@@ -1,0 +1,41 @@
+// Command powctl queries a running powmgrd for its status: connected
+// agents, state cycle counts, throttle operations, thresholds and the
+// manager's own measured CPU cost.
+//
+//	powctl -addr 127.0.0.1:7077
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/managerd"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("powctl: ")
+
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7077", "manager daemon address")
+		timeout = flag.Duration("timeout", 3*time.Second, "query timeout")
+	)
+	flag.Parse()
+
+	st, err := managerd.QueryStatus(*addr, *timeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("agents          %d\n", st.Agents)
+	fmt.Printf("cycles          %d (green %d, yellow %d, red %d)\n",
+		st.Cycles, st.GreenCycles, st.YellowCycles, st.RedCycles)
+	fmt.Printf("red entries     %d\n", st.RedEntries)
+	fmt.Printf("ops             degrade %d, restore %d\n", st.DegradeOps, st.RestoreOps)
+	fmt.Printf("last power      %.1f W\n", st.LastPowerW)
+	fmt.Printf("thresholds      PL %.1f W, PH %.1f W\n", st.ThresholdPLW, st.ThresholdPHW)
+	fmt.Printf("manager busy    %d µs (cpu utilisation %.4f)\n", st.BusyMicros, st.CPUUtilise)
+	fmt.Printf("stale dropped   %d\n", st.DroppedStale)
+	fmt.Printf("command errors  %d\n", st.CommandErrors)
+}

@@ -1,0 +1,171 @@
+// Command powersim runs one power-capping scenario on the simulated
+// Tianhe-1A cluster and prints the paper's metrics, optionally exporting
+// the power time-series and job records.
+//
+// Usage:
+//
+//	powersim -policy mpc -training 2h -eval 6h
+//	powersim -policy hri -candidates 48 -seed 3 -series series.csv -jobs jobs.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/replay"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("powersim: ")
+
+	var (
+		policy     = flag.String("policy", "mpc", "target set selection policy (mpc, mpc-c, lpc, lpc-c, bfp, hri, hri-c, none, all, random)")
+		nodes      = flag.Int("nodes", 128, "total nodes |A_total|")
+		privileged = flag.Int("privileged", 0, "permanently uncontrollable nodes")
+		candidates = flag.Int("candidates", -1, "|A_candidate| (-1 = all non-privileged)")
+		class      = flag.String("class", "D", "NPB problem class (C or D)")
+		seed       = flag.Uint64("seed", 1, "experiment seed")
+		training   = flag.Duration("training", 2*time.Hour, "uncapped threshold-learning period (0 = manual thresholds from -pmax)")
+		eval       = flag.Duration("eval", 6*time.Hour, "evaluation window")
+		pmax       = flag.String("pmax", "31kW", "power provision capability")
+		tg         = flag.Int("tg", 10, "steady-green patience T_g (control cycles)")
+		period     = flag.Duration("period", time.Second, "control cycle period τ")
+		dropRate   = flag.Float64("drop", 0, "agent sample loss probability per cycle")
+		seriesOut  = flag.String("series", "", "write power series CSV to this file")
+		jobsOut    = flag.String("jobs", "", "write finished-job CSV to this file")
+		eventsOut  = flag.String("events", "", "write control-loop state transitions (JSONL) to this file")
+		recordOut  = flag.String("record-trace", "", "record the generated workload trace to this file")
+		replayIn   = flag.String("replay-trace", "", "replay a previously recorded workload trace")
+	)
+	flag.Parse()
+
+	pm, err := units.ParseWatts(*pmax)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Nodes = *nodes
+	cfg.Privileged = *privileged
+	cfg.CandidateCount = *candidates
+	cfg.PolicyName = *policy
+	cfg.PMax = pm
+	cfg.Training = *training
+	cfg.Tg = *tg
+	cfg.ControlPeriod = *period
+	cfg.AgentDropRate = *dropRate
+	cfg.RecordTrace = *recordOut != ""
+	if *replayIn != "" {
+		f, err := os.Open(*replayIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := replay.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.WorkloadTrace = tr
+		fmt.Printf("replaying %d-job trace from %s\n", tr.Len(), *replayIn)
+	}
+	switch *class {
+	case "C", "c":
+		cfg.Class = workload.ClassC
+	case "D", "d":
+		cfg.Class = workload.ClassD
+	default:
+		log.Fatalf("unknown class %q (want C or D)", *class)
+	}
+
+	sys, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster: %d nodes, P_thy %v, provision %v\n",
+		cfg.Nodes, sys.Cluster().TheoreticalPeak(), pm)
+	fmt.Println("assumptions (§II.D):")
+	fmt.Println(core.FormatAssumptions(sys.CheckAssumptions()))
+	fmt.Printf("running: policy=%s class=%c training=%v eval=%v seed=%d\n",
+		*policy, cfg.Class, *training, *eval, *seed)
+
+	start := time.Now()
+	res, err := sys.Run(*eval)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := res.Summary
+	st := res.ManagerStats
+	fmt.Printf("\nresults (%v wall):\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  P_max         %v\n", s.PMax)
+	fmt.Printf("  P_mean        %v\n", s.PMean)
+	fmt.Printf("  distribution  %v\n", metrics.NewHistogram(res.Series))
+	if spark := trace.SparklineWithScale(res.Series, 60); spark != "" {
+		fmt.Printf("  timeline      %s\n", spark)
+	}
+	fmt.Printf("  energy        %.2f kWh\n", s.Energy.KWh())
+	fmt.Printf("  ΔP×T          %.5f (threshold %v)\n", s.Overspend, pm)
+	fmt.Printf("  time over     %v\n", s.TimeAbove.Round(time.Second))
+	fmt.Printf("  performance   %.4f\n", s.Performance)
+	fmt.Printf("  CPLJ          %d/%d (%.1f%%)\n", s.CPLJ, s.JobsDone, 100*s.CPLJFrac)
+	fmt.Printf("  thresholds    PL=%v PH=%v (peak %v)\n", res.Thresholds.PL, res.Thresholds.PH, res.TrainingPeak)
+	fmt.Printf("  cycles        green=%d yellow=%d red=%d (red entries %d)\n",
+		st.GreenCycles, st.YellowCycles, st.RedCycles, st.RedEntries)
+	fmt.Printf("  ops           degrade=%d restore=%d\n", st.DegradeOps, st.RestoreOps)
+	if res.DroppedReadings > 0 {
+		fmt.Printf("  faults        %d readings dropped\n", res.DroppedReadings)
+	}
+
+	if *seriesOut != "" {
+		if err := writeFile(*seriesOut, func(f *os.File) error {
+			return trace.WriteSeriesCSV(f, res.Series)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d samples)\n", *seriesOut, res.Series.Len())
+	}
+	if *eventsOut != "" && res.Events != nil {
+		if err := writeFile(*eventsOut, func(f *os.File) error {
+			return res.Events.WriteJSONL(f)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d events)\n", *eventsOut, res.Events.Len())
+	}
+	if *recordOut != "" && res.Trace != nil {
+		if err := writeFile(*recordOut, func(f *os.File) error {
+			return res.Trace.Write(f)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d requests)\n", *recordOut, res.Trace.Len())
+	}
+	if *jobsOut != "" {
+		if err := writeFile(*jobsOut, func(f *os.File) error {
+			return trace.WriteJobsCSV(f, res.Jobs, metrics.DefaultLosslessTol)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d jobs)\n", *jobsOut, len(res.Jobs))
+	}
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

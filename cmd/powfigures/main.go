@@ -1,0 +1,210 @@
+// Command powfigures regenerates the paper's evaluation figures as printed
+// series/tables:
+//
+//	powfigures -fig 5            # manager scalability (measured over TCP)
+//	powfigures -fig 6            # capping effect vs |A_candidate|
+//	powfigures -fig 7            # MPC vs HRI vs uncapped at 128 candidates
+//	powfigures -fig thresholds   # §III.A threshold learning
+//	powfigures -fig policies-ext # full §IV policy family (paper future work)
+//	powfigures -fig faults       # agent sample-loss robustness
+//	powfigures -fig thermal      # §I.A heat/reliability/cooling study
+//	powfigures -fig controllers  # Algorithm 1 vs feedback PI vs two-level
+//	powfigures -fig privileged   # dynamic candidate membership (§II.A)
+//	powfigures -fig cabinets     # PDU breakers vs job placement
+//	powfigures -fig fairness     # who pays for capping (Jain's index)
+//	powfigures -fig tg|period|margins  # design-parameter ablations
+//	powfigures -fig all
+//
+// -scale selects fidelity: quick (minutes of virtual time), fast
+// (default; reproduces the shapes in tens of seconds) or paper (24 h
+// training + 12 h evaluation per §V.C). -format markdown emits the
+// tables as GitHub-flavoured markdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("powfigures: ")
+
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, thresholds, policies-ext, faults, thermal, controllers, privileged, cabinets, fairness, hetero, tg, period, margins, all")
+		scale  = flag.String("scale", "fast", "fidelity: quick, fast, paper")
+		format = flag.String("format", "text", "output format: text or markdown")
+	)
+	flag.Parse()
+
+	var sc experiment.Scale
+	switch *scale {
+	case "quick":
+		sc = experiment.Quick()
+	case "fast":
+		sc = experiment.Fast()
+	case "paper":
+		sc = experiment.Paper()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	render := (*experiment.Table).Render
+	switch *format {
+	case "text":
+	case "markdown", "md":
+		render = (*experiment.Table).RenderMarkdown
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+	run := func(name string, fn func() (*experiment.Table, error)) {
+		t, err := fn()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if err := render(t, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	figures := map[string]func() (*experiment.Table, error){
+		"5": func() (*experiment.Table, error) {
+			pts, err := experiment.Figure5(experiment.DefaultFigure5())
+			if err != nil {
+				return nil, err
+			}
+			return experiment.Figure5Table(pts), nil
+		},
+		"6": func() (*experiment.Table, error) {
+			pts, err := experiment.Figure6(sc, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			return experiment.Figure6Table(pts), nil
+		},
+		"7": func() (*experiment.Table, error) {
+			rs, err := experiment.Figure7(sc)
+			if err != nil {
+				return nil, err
+			}
+			t := experiment.PolicyTable("Figure 7: power capping results of different policies (128 candidates)", rs)
+			t.Notes = append(t.Notes,
+				"paper: ≈2% perf loss, ≈10% Pmax cut, ΔP×T cut 73% (MPC) / 66% (HRI), red never entered")
+			return t, nil
+		},
+		"thresholds": func() (*experiment.Table, error) {
+			rs, err := experiment.Thresholds(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiment.ThresholdTable(rs), nil
+		},
+		"policies-ext": func() (*experiment.Table, error) {
+			rs, err := experiment.PolicyFamily(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiment.PolicyTable("Extension E1: full §IV policy family", rs), nil
+		},
+		"faults": func() (*experiment.Table, error) {
+			pts, err := experiment.Faults(sc, []float64{0, 0.05, 0.1, 0.2, 0.4})
+			if err != nil {
+				return nil, err
+			}
+			return experiment.FaultTable(pts), nil
+		},
+		"tg": func() (*experiment.Table, error) {
+			pts, err := experiment.AblationTg(sc, nil)
+			if err != nil {
+				return nil, err
+			}
+			return experiment.AblationTgTable(pts), nil
+		},
+		"period": func() (*experiment.Table, error) {
+			pts, err := experiment.AblationPeriod(sc, nil)
+			if err != nil {
+				return nil, err
+			}
+			return experiment.AblationPeriodTable(pts), nil
+		},
+		"hetero": func() (*experiment.Table, error) {
+			pts, err := experiment.HeteroStudy(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiment.HeteroTable(pts), nil
+		},
+		"fairness": func() (*experiment.Table, error) {
+			pts, err := experiment.FairnessStudy(sc, nil)
+			if err != nil {
+				return nil, err
+			}
+			// Append the per-benchmark "who pays" breakdown for the two
+			// paper policies after the headline table.
+			t := experiment.FairnessTable(pts)
+			for _, p := range pts {
+				if p.Policy == "mpc" || p.Policy == "hri" {
+					var sb strings.Builder
+					if err := experiment.BenchmarkTable(p.Policy, p.PerBenchmark).Render(&sb); err != nil {
+						return nil, err
+					}
+					t.Notes = append(t.Notes, "\n"+strings.TrimRight(sb.String(), "\n"))
+				}
+			}
+			return t, nil
+		},
+		"cabinets": func() (*experiment.Table, error) {
+			pts, err := experiment.CabinetStudy(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiment.CabinetTable(pts), nil
+		},
+		"privileged": func() (*experiment.Table, error) {
+			pts, err := experiment.PrivilegedJobs(sc, nil)
+			if err != nil {
+				return nil, err
+			}
+			return experiment.PrivilegedTable(pts), nil
+		},
+		"controllers": func() (*experiment.Table, error) {
+			pts, err := experiment.ControllerStudy(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiment.ControllerTable(pts), nil
+		},
+		"thermal": func() (*experiment.Table, error) {
+			pts, err := experiment.ThermalStudy(sc, nil)
+			if err != nil {
+				return nil, err
+			}
+			return experiment.ThermalTable(pts), nil
+		},
+		"margins": func() (*experiment.Table, error) {
+			pts, err := experiment.AblationMargins(sc, nil)
+			if err != nil {
+				return nil, err
+			}
+			return experiment.AblationMarginsTable(pts), nil
+		},
+	}
+
+	if *fig == "all" {
+		for _, name := range []string{"5", "6", "7", "thresholds", "policies-ext", "faults", "thermal", "controllers", "privileged", "cabinets", "fairness", "hetero", "tg", "period", "margins"} {
+			fmt.Printf("── %s ──\n", name)
+			run(name, figures[name])
+		}
+		return
+	}
+	fn, ok := figures[*fig]
+	if !ok {
+		log.Fatalf("unknown figure %q", *fig)
+	}
+	run(*fig, fn)
+}

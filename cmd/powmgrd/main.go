@@ -1,0 +1,87 @@
+// Command powmgrd runs the global power manager daemon: it accepts agent
+// connections, runs the power capping algorithm every control cycle, and
+// pushes DVFS level commands back to the agents.
+//
+//	powmgrd -addr 127.0.0.1:7077 -pl 30kW -ph 33kW -policy mpc
+//
+// Query it with powctl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/managerd"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("powmgrd: ")
+
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7077", "listen address")
+		plStr   = flag.String("pl", "30kW", "lower threshold P_L")
+		phStr   = flag.String("ph", "33kW", "upper threshold P_H")
+		polName = flag.String("policy", "mpc", "target set selection policy")
+		period  = flag.Duration("period", time.Second, "control cycle period τ")
+		tg      = flag.Int("tg", 10, "steady-green patience T_g (cycles)")
+		train   = flag.Duration("learn", 0, "enable §III.A threshold learning with this training window (0 = fixed thresholds)")
+		pmaxStr = flag.String("pmax", "40kW", "provision capability seeding the learner (with -learn)")
+	)
+	flag.Parse()
+
+	pl, err := units.ParseWatts(*plStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ph, err := units.ParseWatts(*phStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pol, err := policy.New(*polName, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := managerd.Config{
+		Addr:         *addr,
+		Model:        power.TianheNode(),
+		Policy:       pol,
+		Tg:           *tg,
+		ControlEvery: *period,
+		Thresholds:   power.Thresholds{PL: pl, PH: ph},
+	}
+	if *train > 0 {
+		pm, err := units.ParseWatts(*pmaxStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Learn = &managerd.LearnConfig{PMax: pm, Training: *train}
+	}
+	srv, err := managerd.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("powmgrd: listening on %s (policy %s, PL %v, PH %v, τ %v)\n",
+		srv.Addr(), *polName, pl, ph, *period)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("powmgrd: shutting down")
+	srv.Stop()
+	st := srv.Status()
+	fmt.Printf("powmgrd: %d cycles (g/y/r %d/%d/%d), %d degrades, %d restores, cpu %.4f\n",
+		st.Cycles, st.GreenCycles, st.YellowCycles, st.RedCycles,
+		st.DegradeOps, st.RestoreOps, st.CPUUtilise)
+}

@@ -1,0 +1,164 @@
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildOnce compiles the command binaries used by the CLI tests into a
+// shared temporary directory.
+var buildOnce = struct {
+	sync.Once
+	dir string
+	err error
+}{}
+
+func binaries(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "powercap-bins")
+		if err != nil {
+			buildOnce.err = err
+			return
+		}
+		for _, tool := range []string{"powersim", "powfigures", "powmgrd", "powagentd", "powctl"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildOnce.err = err
+				t.Logf("build %s: %s", tool, out)
+				return
+			}
+		}
+		buildOnce.dir = dir
+	})
+	if buildOnce.err != nil {
+		t.Fatal(buildOnce.err)
+	}
+	return buildOnce.dir
+}
+
+func TestPowersimCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI end-to-end")
+	}
+	bin := binaries(t)
+	dir := t.TempDir()
+	series := filepath.Join(dir, "series.csv")
+	jobs := filepath.Join(dir, "jobs.csv")
+	events := filepath.Join(dir, "events.jsonl")
+	traceOut := filepath.Join(dir, "trace.jsonl")
+
+	out, err := exec.Command(filepath.Join(bin, "powersim"),
+		"-class", "C", "-training", "20m", "-eval", "30m",
+		"-series", series, "-jobs", jobs, "-events", events,
+		"-record-trace", traceOut).CombinedOutput()
+	if err != nil {
+		t.Fatalf("powersim: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"assumptions (§II.D):", "controllability", "P_max", "ΔP×T",
+		"performance", "thresholds", "timeline",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("powersim output missing %q:\n%s", want, text)
+		}
+	}
+	for _, f := range []string{series, jobs, events, traceOut} {
+		if fi, err := os.Stat(f); err != nil || fi.Size() == 0 {
+			t.Errorf("artefact %s missing or empty (%v)", f, err)
+		}
+	}
+
+	// Replay the recorded trace under a different policy.
+	out, err = exec.Command(filepath.Join(bin, "powersim"),
+		"-class", "C", "-training", "20m", "-eval", "30m",
+		"-policy", "hri", "-replay-trace", traceOut).CombinedOutput()
+	if err != nil {
+		t.Fatalf("powersim replay: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "replaying") {
+		t.Errorf("replay output:\n%s", out)
+	}
+}
+
+func TestPowersimCLIBadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI end-to-end")
+	}
+	bin := binaries(t)
+	cases := [][]string{
+		{"-class", "Z"},
+		{"-pmax", "banana"},
+		{"-policy", "bogus", "-class", "C", "-eval", "1m"},
+	}
+	for _, args := range cases {
+		if err := exec.Command(filepath.Join(bin, "powersim"), args...).Run(); err == nil {
+			t.Errorf("powersim %v succeeded, want failure", args)
+		}
+	}
+}
+
+func TestPowfiguresCLIMarkdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI end-to-end")
+	}
+	bin := binaries(t)
+	out, err := exec.Command(filepath.Join(bin, "powfigures"),
+		"-fig", "thresholds", "-scale", "quick", "-format", "markdown").CombinedOutput()
+	if err != nil {
+		t.Fatalf("powfigures: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "| seed |") || !strings.Contains(string(out), "0.930") {
+		t.Errorf("markdown output:\n%s", out)
+	}
+	if err := exec.Command(filepath.Join(bin, "powfigures"), "-fig", "nope").Run(); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestDaemonCLIRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI end-to-end")
+	}
+	bin := binaries(t)
+	// Manager on an ephemeral-ish port (pick one unlikely to clash).
+	const addr = "127.0.0.1:39707"
+	mgr := exec.Command(filepath.Join(bin, "powmgrd"),
+		"-addr", addr, "-pl", "400W", "-ph", "600W", "-period", "100ms")
+	if err := mgr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		mgr.Process.Kill()
+		mgr.Wait()
+	}()
+
+	agent := exec.Command(filepath.Join(bin, "powagentd"),
+		"-manager", addr, "-node", "3", "-sample", "100ms", "-tick", "20ms")
+	if err := agent.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		agent.Process.Kill()
+		agent.Wait()
+	}()
+
+	// powctl retries until the daemon answers with a connected agent.
+	deadline := 40
+	for i := 0; i < deadline; i++ {
+		out, err := exec.Command(filepath.Join(bin, "powctl"), "-addr", addr).CombinedOutput()
+		if err == nil && strings.Contains(string(out), "agents          1") {
+			if !strings.Contains(string(out), "thresholds") {
+				t.Errorf("powctl output:\n%s", out)
+			}
+			return
+		}
+		exec.Command("sleep", "0.25").Run()
+	}
+	t.Fatal("powctl never saw the connected agent")
+}

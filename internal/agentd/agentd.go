@@ -1,0 +1,242 @@
+// Package agentd implements the per-node profiling agent daemon of the
+// architecture (Figure 1): it samples the node's kernel counters every
+// sampling interval, pushes the raw interval readings to the global power
+// manager over TCP, and applies the power level commands the manager sends
+// back.
+//
+// In this repository the "node" behind the agent is the simulated Tianhe
+// node driven by a synthetic load pattern in real time — the agent code
+// itself (sampling, deltas, wire protocol, command handling) is exactly
+// what would run against a real /proc.
+package agentd
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/manager"
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/procfs"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// Config parametrises an agent.
+type Config struct {
+	// NodeID is this node's identity within the cluster.
+	NodeID node.ID
+	// ManagerAddr is the TCP address of the global manager daemon.
+	ManagerAddr string
+	// SampleEvery is the sampling/push interval τ.
+	SampleEvery time.Duration
+	// TickEvery is the granularity at which the simulated node's load
+	// pattern advances.
+	TickEvery time.Duration
+	// Model is the node's device model.
+	Model power.Model
+	// Seed drives the synthetic load pattern.
+	Seed int64
+}
+
+// Agent is a running profiling agent.
+type Agent struct {
+	cfg  Config
+	node *node.Node
+	rng  *rand.Rand
+
+	mu       sync.Mutex
+	prevSnap procfs.Snapshot
+	havePrev bool
+	applied  int // commands applied
+	job      workload.JobID
+
+	// synthetic load state
+	loadUntil time.Duration
+	load      node.Load
+	clock     time.Duration
+}
+
+// New constructs an agent with a freshly simulated node at full power.
+func New(cfg Config) (*Agent, error) {
+	if cfg.SampleEvery <= 0 || cfg.TickEvery <= 0 {
+		return nil, fmt.Errorf("agentd: need positive intervals")
+	}
+	n, err := node.New(cfg.NodeID, node.Config{Model: cfg.Model, Controllable: true})
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{
+		cfg:  cfg,
+		node: n,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// CommandsApplied reports how many level commands the agent has applied.
+func (a *Agent) CommandsApplied() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.applied
+}
+
+// Level reports the node's current power level.
+func (a *Agent) Level() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.node.Level()
+}
+
+// step advances the synthetic workload pattern by one tick: the node
+// alternates between job episodes (random benchmark-like loads attributed
+// to a synthetic job ID) and short idle gaps.
+func (a *Agent) step() {
+	a.clock += a.cfg.TickEvery
+	if a.clock >= a.loadUntil {
+		if a.rng.Float64() < 0.15 {
+			// Idle gap.
+			a.load = node.Load{CPUUtil: 0.02}
+			a.job = 0
+			a.loadUntil = a.clock + time.Duration(1+a.rng.Intn(5))*a.cfg.SampleEvery
+		} else {
+			a.load = node.Load{
+				CPUUtil: 0.5 + a.rng.Float64()*0.5,
+				MemFrac: 0.2 + a.rng.Float64()*0.5,
+				NICFrac: a.rng.Float64() * 0.5,
+			}
+			a.job = workload.JobID(1 + a.rng.Intn(16))
+			a.loadUntil = a.clock + time.Duration(5+a.rng.Intn(30))*a.cfg.SampleEvery
+		}
+	}
+	a.node.SetLoad(a.load)
+	a.node.Tick(a.cfg.TickEvery)
+}
+
+// sample produces the current interval reading.
+func (a *Agent) sample() manager.AgentReading {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cur := a.node.Snapshot(a.clock)
+	r := manager.AgentReading{
+		ID:       a.node.ID(),
+		Level:    a.node.Level(),
+		MaxLevel: a.node.Levels() - 1,
+		Job:      a.job,
+	}
+	if a.havePrev {
+		if d, err := procfs.Diff(a.prevSnap, cur); err == nil {
+			r.Delta = d
+		}
+	}
+	a.prevSnap, a.havePrev = cur, true
+	return r
+}
+
+// apply executes a level command.
+func (a *Agent) apply(level int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.node.SetLevel(level); err != nil {
+		return err
+	}
+	a.applied++
+	return nil
+}
+
+// RunWithReconnect runs the agent, redialling the manager with capped
+// exponential backoff whenever the connection drops. It returns only when
+// ctx is cancelled. The node keeps its power level across reconnects —
+// an agent restart must not silently undo a manager's throttle command.
+func (a *Agent) RunWithReconnect(ctx context.Context, initialBackoff, maxBackoff time.Duration) {
+	if initialBackoff <= 0 {
+		initialBackoff = 100 * time.Millisecond
+	}
+	if maxBackoff < initialBackoff {
+		maxBackoff = 10 * initialBackoff
+	}
+	backoff := initialBackoff
+	for ctx.Err() == nil {
+		err := a.Run(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		if err == nil {
+			backoff = initialBackoff
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// Run connects to the manager and serves until ctx is cancelled or the
+// connection drops. It returns the first terminal error (nil on clean
+// shutdown via ctx).
+func (a *Agent) Run(ctx context.Context) error {
+	var d net.Dialer
+	raw, err := d.DialContext(ctx, "tcp", a.cfg.ManagerAddr)
+	if err != nil {
+		return fmt.Errorf("agentd: dial manager: %w", err)
+	}
+	conn := wire.NewConn(raw)
+	defer conn.Close()
+
+	if err := conn.Send(wire.Envelope{
+		Type: wire.KindHello, Node: int(a.cfg.NodeID),
+		MaxLevel: a.node.Levels() - 1,
+	}); err != nil {
+		return err
+	}
+
+	// Reader: apply commands as they arrive.
+	readErr := make(chan error, 1)
+	go func() {
+		for {
+			env, err := conn.Recv()
+			if err != nil {
+				readErr <- err
+				return
+			}
+			if env.Type != wire.KindCommand {
+				continue
+			}
+			_ = a.apply(env.Level)
+		}
+	}()
+
+	// Writer: tick the node and push samples. Sends are serialised on
+	// this goroutine only.
+	tick := time.NewTicker(a.cfg.TickEvery)
+	defer tick.Stop()
+	nextSample := a.cfg.SampleEvery
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case err := <-readErr:
+			return err
+		case <-tick.C:
+			a.mu.Lock()
+			a.step()
+			clock := a.clock
+			a.mu.Unlock()
+			if clock >= nextSample {
+				nextSample += a.cfg.SampleEvery
+				if err := conn.Send(wire.SampleEnvelope(a.sample())); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// Assumption is one of the §II.D applicability conditions of the
+// architecture.
+type Assumption struct {
+	Name string
+	// Holds reports whether the condition is satisfied by this system.
+	Holds bool
+	// Detail explains the numbers behind the verdict.
+	Detail string
+}
+
+// CheckAssumptions evaluates the four underlying assumptions of §II.D
+// against the constructed system:
+//
+//   - Controllability: flooring every candidate (at worst-case load)
+//     brings the system under the provision capability;
+//   - Observability: the system power can be measured and per-node power
+//     estimated (structurally true here: meter + formula (1); reported
+//     with the configured estimation error);
+//   - Necessity: the provision capability is below the theoretical
+//     maximal consumption P_thy;
+//   - Operability: the provision is high enough for normal operation —
+//     checked structurally as provision above the all-idle floor plus
+//     one fully-loaded job's worth of headroom.
+//
+// Call it after New and before Run; it inspects configuration and
+// cluster state only.
+func (s *System) CheckAssumptions() []Assumption {
+	var out []Assumption
+
+	// Controllability.
+	err := s.cluster.CheckControllability(s.cfg.PMax)
+	floored := flooredWorstCase(s)
+	out = append(out, Assumption{
+		Name:  "controllability",
+		Holds: err == nil,
+		Detail: fmt.Sprintf("floored worst case %v vs provision %v (|A_candidate|=%d)",
+			floored, s.cfg.PMax, len(s.cluster.Candidates())),
+	})
+
+	// Observability.
+	out = append(out, Assumption{
+		Name:  "observability",
+		Holds: true,
+		Detail: fmt.Sprintf("system meter (noise σ %.2f%%) + formula (1) per node (model error ≤ %.1f%%)",
+			100*s.cfg.MeterNoise, 100*s.cfg.ModelError),
+	})
+
+	// Necessity.
+	pthy := s.cluster.TheoreticalPeak()
+	out = append(out, Assumption{
+		Name:   "necessity",
+		Holds:  s.cfg.PMax < pthy,
+		Detail: fmt.Sprintf("provision %v vs P_thy %v", s.cfg.PMax, pthy),
+	})
+
+	// Operability: the floor plus one saturated 128-proc job must fit —
+	// otherwise the system throttles permanently rather than
+	// "occasionally" (§II.D).
+	floor := s.cluster.FloorPower()
+	var oneJob units.Watts
+	if n := s.cluster.Nodes(); len(n) > 0 {
+		m := n[0].Model()
+		nodesPerJob := len(n) / 2 // a mid-size job on half the machine
+		if nodesPerJob < 1 {
+			nodesPerJob = 1
+		}
+		top := m.Levels() - 1
+		oneJob = units.Watts(float64(nodesPerJob) *
+			float64(m.Instant(0.9, 0.5, 0.2, top)-m.MinPower()))
+	}
+	need := floor + oneJob
+	out = append(out, Assumption{
+		Name:   "operability",
+		Holds:  s.cfg.PMax > need,
+		Detail: fmt.Sprintf("provision %v vs idle floor %v + half-machine job %v", s.cfg.PMax, floor, oneJob),
+	})
+	return out
+}
+
+func flooredWorstCase(s *System) units.Watts {
+	var sum units.Watts
+	for _, n := range s.cluster.Nodes() {
+		m := n.Model()
+		if n.Controllable() {
+			sum += m.Instant(1, 1, 1, 0)
+		} else {
+			sum += m.MaxPower()
+		}
+	}
+	return sum
+}
+
+// FormatAssumptions renders the checklist compactly.
+func FormatAssumptions(as []Assumption) string {
+	var sb strings.Builder
+	for _, a := range as {
+		mark := "ok "
+		if !a.Holds {
+			mark = "VIOLATED"
+		}
+		fmt.Fprintf(&sb, "  %-16s %-8s %s\n", a.Name, mark, a.Detail)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TestCalibrationReport logs the headline power figures of a short uncapped
+// run so parameter drift is visible in -v output. It asserts only broad
+// physical plausibility; the tight shape checks live in the experiment
+// tests.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run")
+	}
+	cfg := DefaultConfig()
+	cfg.Class = workload.ClassC
+	cfg.PolicyName = "none"
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(30 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("P_thy   = %v", res.TheoreticalPeak)
+	t.Logf("P_max   = %v", res.Summary.PMax)
+	t.Logf("P_mean  = %v", res.Summary.PMean)
+	t.Logf("ΔP×T(40kW) = %.4f", res.Summary.Overspend)
+	t.Logf("jobs done = %d, perf = %.4f, cplj = %.3f", res.Summary.JobsDone, res.Summary.Performance, res.Summary.CPLJFrac)
+	t.Logf("thresholds: PL=%v PH=%v", res.Thresholds.PL, res.Thresholds.PH)
+
+	if res.Summary.PMax <= res.Summary.PMean {
+		t.Error("peak not above mean")
+	}
+	if res.Summary.PMax >= res.TheoreticalPeak {
+		t.Error("observed peak at/above theoretical peak")
+	}
+}

@@ -1,0 +1,685 @@
+// Package core wires the complete power provision and capping system of
+// the paper: the simulated Tianhe-1A cluster, the NPB evaluation workload
+// (§V.B–C), the facility power meter, the threshold learner (§III.A), the
+// per-node sensing path, and the global power manager running Algorithm 1
+// with a configurable target set selection policy (§IV).
+//
+// It is the public API of this repository: construct a System from a
+// Config and Run it for a virtual duration; the Result carries the paper's
+// metrics (Performance, CPLJ, P_max, ΔP×T) plus control-loop statistics.
+//
+//	cfg := core.DefaultConfig()
+//	cfg.PolicyName = "mpc"
+//	sys, err := core.New(cfg)
+//	res, err := sys.Run(12 * time.Hour)
+//	fmt.Println(res.Summary.Performance, res.Summary.PMax)
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/feedback"
+	"repro/internal/manager"
+	"repro/internal/metrics"
+	"repro/internal/node"
+	"repro/internal/nodemgr"
+	"repro/internal/pdist"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/replay"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Config describes one complete experiment setup. DefaultConfig returns
+// the paper's environment; tests and ablations override fields.
+type Config struct {
+	// Seed drives every random stream in the run (workload draws, phase
+	// offsets, meter noise, node model error). Same seed, same run.
+	Seed uint64
+
+	// Nodes is |A_total|; Privileged nodes are permanently uncontrollable.
+	Nodes      int
+	Privileged int
+	// CandidateCount limits |A_candidate| to this many evenly spaced
+	// nodes; negative means "all non-privileged nodes" (Figure 6 sweeps
+	// this).
+	CandidateCount int
+	// Model is the per-node device/power model.
+	Model power.Model
+	// ModelFor, when non-nil, overrides Model per node index, building a
+	// heterogeneous cluster (Algorithm 1 explicitly supports them,
+	// §III.B property 1). The sensing path registers each node's model
+	// so formula (1) is evaluated with the right coefficients.
+	ModelFor func(i int) power.Model
+
+	// Class selects the NPB problem class (D = paper, C = 16× shorter
+	// for tests); Benchmarks optionally restricts the suite by name.
+	Class      workload.Class
+	Benchmarks []string
+	// ProcsPerNode is the MPI placement density (testbed: 2 for class D,
+	// so NPROCS=256 fills all 128 nodes). Zero = one process per core.
+	ProcsPerNode int
+
+	// PolicyName selects the target set selection policy (§IV); see
+	// policy.Names. "none" disables capping (the baseline run).
+	PolicyName string
+
+	// Controller selects the control law: "capping" (Algorithm 1, the
+	// paper's contribution; default when empty), "feedback" (the
+	// Wang & Chen cluster-level PI baseline from §I.B, which adjusts
+	// every candidate node each cycle) or "twolevel" (the Femal-style
+	// per-node budget division of §I.B, enforced locally on each node).
+	// With a non-capping controller, PolicyName is ignored.
+	Controller string
+	// TwoLevelDivision selects the budget split for the "twolevel"
+	// controller: "uniform" (default) or "proportional".
+	TwoLevelDivision string
+
+	// PMax is the power provision capability (§II.D, Necessity): the
+	// threshold ΔP×T is evaluated against and the learner's initial
+	// P_peak.
+	PMax units.Watts
+
+	// ControlPeriod is the manager cycle τ; TickPeriod is the workload
+	// advancement step.
+	ControlPeriod time.Duration
+	TickPeriod    time.Duration
+
+	// Tg is the steady-green patience in cycles; AdjustEvery is t_p, the
+	// threshold re-adjustment period in cycles; Training is the initial
+	// uncapped threshold-learning period.
+	Tg          int
+	AdjustEvery int
+	Training    time.Duration
+	// MarginL/MarginH are the threshold derivation margins (defaults
+	// 16%/7% per Fan et al.).
+	MarginL, MarginH float64
+
+	// MeterOverhead/MeterNoise configure the facility meter; ModelError
+	// and PowerJitter the per-node truth-vs-model gap.
+	MeterOverhead float64
+	MeterNoise    float64
+	ModelError    float64
+	PowerJitter   float64
+
+	// JobRampUp/JobJitter shape job power behaviour; IdleLoad is the
+	// background load of free nodes.
+	JobRampUp time.Duration
+	JobJitter float64
+	IdleLoad  node.Load
+
+	// AgentDropRate injects sensing faults: the probability that a
+	// node's reading is lost in a given cycle.
+	AgentDropRate float64
+
+	// PrivilegedJobFraction marks this fraction of generated jobs as
+	// high-priority: their nodes are pinned out of A_candidate for the
+	// job's lifetime (§II.A dynamic candidate membership).
+	PrivilegedJobFraction float64
+
+	// Cabinets enables the power-distribution model: nodes are laid out
+	// in this many equal cabinets, each with a PDU breaker rating of
+	// CabinetBreaker (0 derives a rating with 15% headroom over an even
+	// split of PMax). Result.Cabinets reports per-cabinet outcomes.
+	Cabinets       int
+	CabinetBreaker units.Watts
+	// Placement selects job placement: "firstfit" (default) packs jobs
+	// into contiguous node ranges; "spread" deals each job's nodes
+	// round-robin across cabinets.
+	Placement string
+
+	// WorkloadTrace, when non-nil, replays the given recorded trace
+	// instead of random generation (the seed-driven generator becomes
+	// the fallback once the trace is exhausted).
+	WorkloadTrace *replay.Trace
+	// RecordTrace captures the run's generated requests; the trace is
+	// returned in Result.Trace.
+	RecordTrace bool
+
+	// ThermalEnabled turns on the §I.A thermal model: per-node RC
+	// temperatures, the temperature→power leakage feedback, and the
+	// failure/cooling accounting reported in Result.Thermal.
+	ThermalEnabled bool
+	// Thermal overrides the thermal parameters; the zero value selects
+	// the Tianhe defaults.
+	Thermal thermal.Params
+}
+
+// DefaultConfig returns the paper's experiment environment: 128 Tianhe-1A
+// nodes, NPB class D, 40 kW provision capability, 1 s control cycle,
+// Tg = 10 cycles, thresholds learned per §III.A.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		Nodes:          128,
+		Privileged:     0,
+		CandidateCount: -1,
+		Model:          power.TianheNode(),
+		Class:          workload.ClassD,
+		ProcsPerNode:   2,
+		PolicyName:     "mpc",
+		PMax:           units.KW(31),
+		ControlPeriod:  time.Second,
+		TickPeriod:     time.Second,
+		Tg:             10,
+		AdjustEvery:    300,
+		Training:       0, // Run handles training when set
+		MarginL:        power.DefaultMarginL,
+		MarginH:        power.DefaultMarginH,
+		MeterOverhead:  0.0,
+		MeterNoise:     0.003,
+		ModelError:     0.02,
+		PowerJitter:    0.005,
+		JobRampUp:      45 * time.Second,
+		JobJitter:      0.03,
+		IdleLoad:       node.Load{CPUUtil: 0.02},
+	}
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("core: Nodes must be positive")
+	}
+	if c.PMax <= 0 {
+		return fmt.Errorf("core: PMax must be positive")
+	}
+	if c.ControlPeriod <= 0 || c.TickPeriod <= 0 {
+		return fmt.Errorf("core: ControlPeriod and TickPeriod must be positive")
+	}
+	if c.Tg <= 0 {
+		return fmt.Errorf("core: Tg must be positive")
+	}
+	if c.AdjustEvery <= 0 {
+		return fmt.Errorf("core: AdjustEvery must be positive")
+	}
+	if c.AgentDropRate < 0 || c.AgentDropRate >= 1 {
+		return fmt.Errorf("core: AgentDropRate %v outside [0,1)", c.AgentDropRate)
+	}
+	if c.PrivilegedJobFraction < 0 || c.PrivilegedJobFraction > 1 {
+		return fmt.Errorf("core: PrivilegedJobFraction %v outside [0,1]", c.PrivilegedJobFraction)
+	}
+	switch c.Controller {
+	case "", "capping", "feedback", "twolevel":
+	default:
+		return fmt.Errorf("core: unknown controller %q (want capping, feedback or twolevel)", c.Controller)
+	}
+	switch c.TwoLevelDivision {
+	case "", "uniform", "proportional":
+	default:
+		return fmt.Errorf("core: unknown two-level division %q", c.TwoLevelDivision)
+	}
+	switch c.Placement {
+	case "", "firstfit", "spread":
+	default:
+		return fmt.Errorf("core: unknown placement %q (want firstfit or spread)", c.Placement)
+	}
+	if c.Cabinets < 0 || (c.Cabinets > 0 && c.Nodes%c.Cabinets != 0) {
+		return fmt.Errorf("core: %d nodes do not divide into %d cabinets", c.Nodes, c.Cabinets)
+	}
+	if c.Placement == "spread" && c.Cabinets == 0 {
+		return fmt.Errorf("core: spread placement requires Cabinets > 0")
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// System is a fully wired experiment instance.
+type System struct {
+	cfg     Config
+	engine  *sim.Engine
+	cluster *cluster.Cluster
+	sched   *scheduler.Scheduler
+	meter   *power.Meter
+	learner *power.Learner
+	builder *manager.Builder
+	coll    *manager.Collector
+	mgr     *manager.Manager
+	act     manager.Actuator
+	streams *sim.Streams
+
+	series    *metrics.Series
+	events    trace.EventLog
+	lastState power.State
+	haveState bool
+	recording bool
+	senseTime time.Duration
+	faultRng  func() float64 // nil when no faults
+	dropped   int
+
+	therm    *thermal.Tracker // nil when thermal modelling is off
+	thermBuf []units.Watts
+
+	fb       *feedback.Controller // non-nil when Controller == "feedback"
+	twolevel *nodemgr.Controller  // non-nil when Controller == "twolevel"
+	recorder *replay.Recorder     // non-nil when RecordTrace
+
+	cabinets *pdist.Monitor // nil unless Cabinets > 0
+	cabBuf   []units.Watts
+}
+
+// New constructs a System.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	streams := sim.NewStreams(cfg.Seed)
+
+	cl, err := cluster.New(cluster.Config{
+		Nodes:       cfg.Nodes,
+		Model:       cfg.Model,
+		ModelFor:    cfg.ModelFor,
+		Privileged:  cfg.Privileged,
+		ModelError:  cfg.ModelError,
+		JitterSigma: cfg.PowerJitter,
+		Rng:         streams.Get("nodes"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CandidateCount >= 0 {
+		if err := cl.SetCandidateCount(cfg.CandidateCount); err != nil {
+			return nil, err
+		}
+	}
+
+	suite := workload.NPB(cfg.Class)
+	if len(cfg.Benchmarks) > 0 {
+		var filtered []workload.Spec
+		for _, name := range cfg.Benchmarks {
+			s, err := workload.SpecByName(suite, name)
+			if err != nil {
+				return nil, err
+			}
+			filtered = append(filtered, s)
+		}
+		suite = filtered
+	}
+	gen := scheduler.RandomGenerator(streams.Get("workload"), suite)
+	if cfg.PrivilegedJobFraction > 0 {
+		gen = scheduler.PriorityGenerator(streams.Get("workload"), suite, cfg.PrivilegedJobFraction)
+	}
+	if cfg.WorkloadTrace != nil {
+		player, err := replay.NewPlayer(cfg.WorkloadTrace, suite, gen)
+		if err != nil {
+			return nil, err
+		}
+		gen = player.Generator()
+	}
+	var recorder *replay.Recorder
+	if cfg.RecordTrace {
+		recorder = replay.NewRecorder(gen, replay.Header{
+			Suite:   "NPB-" + string(cfg.Class),
+			Comment: fmt.Sprintf("recorded by core.System seed=%d", cfg.Seed),
+		})
+		gen = recorder.Generator()
+	}
+	var placement scheduler.Placement
+	if cfg.Placement == "spread" {
+		placement = scheduler.CabinetSpread(cfg.Nodes / cfg.Cabinets)
+	}
+	sched, err := scheduler.New(cl.Nodes(), scheduler.Config{
+		Generator: gen,
+		JobConfig: workload.JobConfig{
+			RampUp: cfg.JobRampUp,
+			Jitter: cfg.JobJitter,
+			Rng:    streams.Get("jobs"),
+		},
+		IdleLoad:     cfg.IdleLoad,
+		ProcsPerNode: cfg.ProcsPerNode,
+		Placement:    placement,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	pol, err := policy.New(cfg.PolicyName, streams.Get("policy"))
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := manager.New(manager.Config{Tg: cfg.Tg, Policy: pol})
+	if err != nil {
+		return nil, err
+	}
+	learner, err := power.NewLearner(cfg.PMax, cfg.Training, cfg.AdjustEvery)
+	if err != nil {
+		return nil, err
+	}
+	if err := learner.SetMargins(cfg.MarginL, cfg.MarginH); err != nil {
+		return nil, err
+	}
+
+	s := &System{
+		cfg:     cfg,
+		engine:  sim.NewEngine(),
+		cluster: cl,
+		sched:   sched,
+		meter:   power.NewMeter(cl, cfg.MeterOverhead, cfg.MeterNoise, streams.Get("meter")),
+		learner: learner,
+		builder: newBuilder(cfg, cl),
+		coll:    manager.NewCollector(cl, sched),
+		mgr:     mgr,
+		act:     manager.ClusterActuator{Cluster: cl},
+		streams: streams,
+		series:  &metrics.Series{},
+	}
+	if cfg.AgentDropRate > 0 {
+		rng := streams.Get("faults")
+		s.faultRng = rng.Float64
+	}
+	s.recorder = recorder
+	if cfg.Controller == "feedback" {
+		fb, err := feedback.New(feedback.Default(cfg.PMax))
+		if err != nil {
+			return nil, err
+		}
+		s.fb = fb
+	}
+	if cfg.Controller == "twolevel" {
+		div := nodemgr.Uniform
+		if cfg.TwoLevelDivision == "proportional" {
+			div = nodemgr.Proportional
+		}
+		tl, err := nodemgr.New(nodemgr.Config{Budget: cfg.PMax, Division: div, Model: cfg.Model})
+		if err != nil {
+			return nil, err
+		}
+		s.twolevel = tl
+	}
+	if cfg.Cabinets > 0 {
+		breaker := cfg.CabinetBreaker
+		if breaker == 0 {
+			breaker = units.Watts(1.15 * float64(cfg.PMax) / float64(cfg.Cabinets))
+		}
+		mon, err := pdist.NewMonitor(pdist.Layout{
+			Cabinets: cfg.Cabinets,
+			NodesPer: cfg.Nodes / cfg.Cabinets,
+		}, breaker)
+		if err != nil {
+			return nil, err
+		}
+		s.cabinets = mon
+		s.cabBuf = make([]units.Watts, cfg.Nodes)
+	}
+	if cfg.ThermalEnabled {
+		params := cfg.Thermal
+		if params == (thermal.Params{}) {
+			params = thermal.Tianhe()
+		}
+		tr, err := thermal.NewTracker(cfg.Nodes, params)
+		if err != nil {
+			return nil, err
+		}
+		s.therm = tr
+		s.thermBuf = make([]units.Watts, cfg.Nodes)
+	}
+
+	// Order matters: the tick event must fire before the control event at
+	// shared instants, so the manager sees counters that include the
+	// latest interval.
+	s.engine.Every(cfg.TickPeriod, s.tick)
+	s.engine.Every(cfg.ControlPeriod, s.control)
+	return s, nil
+}
+
+// newBuilder creates the sensing snapshot builder, registering per-node
+// profile models on heterogeneous clusters.
+func newBuilder(cfg Config, cl *cluster.Cluster) *manager.Builder {
+	b := manager.NewBuilder(cfg.Model)
+	if cfg.ModelFor != nil {
+		for _, n := range cl.Nodes() {
+			b.SetNodeModel(n.ID(), n.Model())
+		}
+	}
+	return b
+}
+
+// tick advances physics and workload by one TickPeriod.
+func (s *System) tick(e *sim.Engine) {
+	dt := s.cfg.TickPeriod
+	s.cluster.Tick(dt)        // account the previous interval's load
+	s.sched.Tick(e.Now(), dt) // finish/start jobs, install new loads
+	if s.cabinets != nil {
+		for i, n := range s.cluster.Nodes() {
+			s.cabBuf[i] = n.TruePower()
+		}
+		if err := s.cabinets.Observe(dt, s.cabBuf); err != nil {
+			panic(err) // sizes match by construction
+		}
+	}
+	if s.therm != nil {
+		for i, n := range s.cluster.Nodes() {
+			s.thermBuf[i] = n.TruePower()
+		}
+		if err := s.therm.Step(dt, s.thermBuf); err != nil {
+			panic(err) // sizes match by construction
+		}
+		// Close the §I.A positive feedback loop: hotter nodes draw more.
+		for i, n := range s.cluster.Nodes() {
+			n.SetThermalFactor(s.therm.LeakageFactor(i))
+		}
+	}
+}
+
+// control runs one manager cycle.
+func (s *System) control(e *sim.Engine) {
+	now := e.Now()
+	p := s.meter.Read()
+	thr := s.learner.Observe(now, p)
+	if s.recording {
+		_ = s.series.Add(now, p)
+	}
+
+	st := thr.Classify(p)
+	if s.recording && (!s.haveState || st != s.lastState) {
+		s.events.Add(trace.Event{
+			TimeSec: now.Seconds(),
+			Kind:    "state",
+			State:   st.String(),
+			PowerW:  float64(p),
+		})
+	}
+	s.lastState, s.haveState = st, true
+
+	t0 := time.Now()
+	readings := s.coll.Collect(now)
+	if s.faultRng != nil {
+		kept := readings[:0]
+		for _, r := range readings {
+			if s.faultRng() < s.cfg.AgentDropRate {
+				s.dropped++
+				continue
+			}
+			kept = append(kept, r)
+		}
+		readings = kept
+	}
+	snap := s.builder.Build(p, thr.PL, readings)
+	s.senseTime += time.Since(t0)
+
+	// During the training period the system runs uncapped (§V.C): sense
+	// to keep history warm, but do not actuate.
+	if !s.learner.Trained() {
+		return
+	}
+	if s.fb != nil {
+		// The feedback baseline regulates to the same P_L Algorithm 1
+		// would hold, for a fair comparison.
+		s.fb.SetSetpoint(thr.PL)
+		s.fb.Cycle(p, snap, s.act)
+		return
+	}
+	if s.twolevel != nil {
+		// The two-level baseline divides the same P_L into per-node
+		// budgets enforced locally.
+		s.twolevel.SetBudget(thr.PL)
+		s.twolevel.Cycle(readings, s.act)
+		return
+	}
+	// The "none" policy is the fully uncapped baseline — Algorithm 1's
+	// red state would floor the candidates regardless of policy, so the
+	// baseline skips the manager entirely.
+	if s.cfg.PolicyName == "none" {
+		return
+	}
+	if _, _, err := s.mgr.Cycle(p, thr, snap, s.act); err != nil {
+		// Threshold validation cannot fail here by construction; a
+		// failure would indicate a learner bug worth surfacing loudly.
+		panic(err)
+	}
+}
+
+// Result carries everything a run produced.
+type Result struct {
+	// Series is the power signal over the evaluation window (training
+	// excluded).
+	Series *metrics.Series
+	// Jobs are the jobs that finished inside the evaluation window.
+	Jobs []*workload.Job
+	// Summary holds the paper's metrics computed against PMax.
+	Summary metrics.Summary
+	// ManagerStats are the control-loop counters.
+	ManagerStats manager.Stats
+	// Thresholds are the final learned thresholds; TrainingPeak is the
+	// peak observed across the whole run.
+	Thresholds   power.Thresholds
+	TrainingPeak units.Watts
+	// SenseTime is host CPU-wall time spent collecting and building
+	// snapshots (Figure 5's management cost, in-process variant).
+	SenseTime time.Duration
+	// DroppedReadings counts fault-injected sample losses.
+	DroppedReadings int
+	// TheoreticalPeak is P_thy for this cluster.
+	TheoreticalPeak units.Watts
+	// Thermal is the accumulated thermal outcome; nil unless
+	// ThermalEnabled.
+	Thermal *thermal.Summary
+	// FeedbackStats are the baseline controller's counters; nil unless
+	// Controller == "feedback".
+	FeedbackStats *feedback.Stats
+	// TwoLevelStats are the two-level baseline's counters; nil unless
+	// Controller == "twolevel".
+	TwoLevelStats *nodemgr.Stats
+	// Trace is the recorded workload trace; nil unless RecordTrace.
+	Trace *replay.Trace
+	// Cabinets is the power-distribution outcome; nil unless Cabinets
+	// was configured.
+	Cabinets *pdist.Summary
+	// Events logs the control loop's state transitions over the
+	// evaluation window.
+	Events *trace.EventLog
+}
+
+// Run executes the configured training period followed by an evaluation
+// window of the given duration, and returns the evaluation results. Run
+// may be called once per System.
+func (s *System) Run(eval time.Duration) (*Result, error) {
+	if eval <= 0 {
+		return nil, fmt.Errorf("core: evaluation duration must be positive")
+	}
+	if s.engine.Now() > 0 {
+		return nil, fmt.Errorf("core: Run may only be called once")
+	}
+	if s.cfg.Training > 0 {
+		s.engine.RunUntil(s.cfg.Training)
+	}
+	trainEnd := s.engine.Now()
+	s.recording = true
+	if s.therm != nil {
+		// The thermal summary covers the measured window only; the
+		// (identical, uncapped) training period would dilute it.
+		s.therm.ResetAccumulators()
+	}
+	if s.cabinets != nil {
+		s.cabinets.Reset()
+	}
+	s.engine.RunUntil(trainEnd + eval)
+
+	var jobs []*workload.Job
+	for _, j := range s.sched.Finished() {
+		if j.End() >= trainEnd {
+			jobs = append(jobs, j)
+		}
+	}
+	return &Result{
+		Series:          s.series,
+		Jobs:            jobs,
+		Summary:         metrics.Summarise(s.series, s.cfg.PMax, jobs),
+		ManagerStats:    s.mgr.Stats(),
+		Thresholds:      s.learner.Thresholds(),
+		TrainingPeak:    s.learner.LifetimePeak(),
+		SenseTime:       s.senseTime,
+		DroppedReadings: s.dropped,
+		TheoreticalPeak: s.cluster.TheoreticalPeak(),
+		Thermal:         thermalSummary(s.therm),
+		FeedbackStats:   feedbackStats(s.fb),
+		TwoLevelStats:   twoLevelStats(s.twolevel),
+		Trace:           recordedTrace(s.recorder),
+		Cabinets:        cabinetSummary(s.cabinets),
+		Events:          &s.events,
+	}, nil
+}
+
+func cabinetSummary(m *pdist.Monitor) *pdist.Summary {
+	if m == nil {
+		return nil
+	}
+	sum := m.Summarise()
+	return &sum
+}
+
+func recordedTrace(r *replay.Recorder) *replay.Trace {
+	if r == nil {
+		return nil
+	}
+	return r.Trace()
+}
+
+func feedbackStats(fb *feedback.Controller) *feedback.Stats {
+	if fb == nil {
+		return nil
+	}
+	st := fb.Stats()
+	return &st
+}
+
+func twoLevelStats(tl *nodemgr.Controller) *nodemgr.Stats {
+	if tl == nil {
+		return nil
+	}
+	st := tl.Stats()
+	return &st
+}
+
+func thermalSummary(t *thermal.Tracker) *thermal.Summary {
+	if t == nil {
+		return nil
+	}
+	sum := t.Summarise()
+	return &sum
+}
+
+// Cluster exposes the underlying cluster (examples and experiments).
+func (s *System) Cluster() *cluster.Cluster { return s.cluster }
+
+// Scheduler exposes the job subsystem.
+func (s *System) Scheduler() *scheduler.Scheduler { return s.sched }
+
+// Manager exposes the power manager.
+func (s *System) Manager() *manager.Manager { return s.mgr }
+
+// Learner exposes the threshold learner.
+func (s *System) Learner() *power.Learner { return s.learner }
+
+// Engine exposes the simulation engine (for custom instrumentation, e.g.
+// sampling extra series on a schedule before calling Run).
+func (s *System) Engine() *sim.Engine { return s.engine }

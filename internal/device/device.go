@@ -1,0 +1,209 @@
+// Package device models the power-relevant devices of a compute node: the
+// DVFS-capable CPU sockets, the memory subsystem and the communication
+// chipset (NIC). These models supply the per-level maxima that the paper's
+// power profile model (formula 1) consumes — P_idle(l), P_cpu(l), P_mem(l),
+// P_NIC(l) — and the "true" power draw the simulated facility meter
+// integrates.
+//
+// The default parameters approximate the Tianhe-1A node of the paper's
+// testbed: two Intel Xeon X5670 sockets with ten DVFS operating points from
+// 1.60 GHz to 2.93 GHz.
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// CPU describes the DVFS-capable processor complex of a node. All sockets
+// switch frequency together ("regulating the working frequency of its
+// processor cores synchronously", §V.A).
+type CPU struct {
+	Sockets        int           // number of processor packages
+	CoresPerSocket int           // cores per package
+	Freqs          []units.Hertz // ascending DVFS frequency table; index = level
+	// VoltMin/VoltMax describe the linear voltage/frequency relation used
+	// by the f·V² dynamic-power curve.
+	VoltMin, VoltMax float64
+	// DynMaxPerSocket is the per-socket dynamic power (max minus idle) at
+	// the top operating point; lower levels scale it by f·V².
+	DynMaxPerSocket units.Watts
+}
+
+// X5670 returns the CPU model of the paper's testbed node: 2 sockets,
+// 6 cores each, 10 DVFS operating points from 1.60 to 2.93 GHz.
+func X5670() CPU {
+	freqs := make([]units.Hertz, 0, 10)
+	// Evenly spaced operating points between the documented endpoints;
+	// the X5670's real table uses 133 MHz multiplier steps, which these
+	// approximate to within one step.
+	lo, hi := 1.60, 2.93
+	for i := 0; i < 10; i++ {
+		freqs = append(freqs, units.GHz(lo+(hi-lo)*float64(i)/9))
+	}
+	return CPU{
+		Sockets:         2,
+		CoresPerSocket:  6,
+		Freqs:           freqs,
+		VoltMin:         0.85,
+		VoltMax:         1.20,
+		DynMaxPerSocket: 75, // watts of dynamic headroom per socket at 2.93 GHz
+	}
+}
+
+// Levels returns the number of discrete power levels (DVFS operating
+// points). Levels are numbered 0 (lowest frequency/power) through
+// Levels()-1 (highest), matching the paper's convention that degrading a
+// node decreases its level by one.
+func (c CPU) Levels() int { return len(c.Freqs) }
+
+// Cores returns the total core count of the node.
+func (c CPU) Cores() int { return c.Sockets * c.CoresPerSocket }
+
+// Freq returns the operating frequency at level l.
+func (c CPU) Freq(l int) units.Hertz { return c.Freqs[c.clamp(l)] }
+
+// MaxFreq returns the frequency of the top level.
+func (c CPU) MaxFreq() units.Hertz { return c.Freqs[len(c.Freqs)-1] }
+
+// voltage returns the modelled core voltage at level l, interpolating
+// linearly between VoltMin (lowest frequency) and VoltMax (highest).
+func (c CPU) voltage(l int) float64 {
+	if len(c.Freqs) == 1 {
+		return c.VoltMax
+	}
+	t := float64(c.clamp(l)) / float64(len(c.Freqs)-1)
+	return c.VoltMin + (c.VoltMax-c.VoltMin)*t
+}
+
+// DynMax returns the maximal dynamic power of the whole CPU complex (all
+// sockets) at level l — the paper's Σ_x P_x(l). Dynamic CMOS power scales
+// as f·V²; the curve is normalised so the top level yields
+// Sockets·DynMaxPerSocket.
+func (c CPU) DynMax(l int) units.Watts {
+	top := len(c.Freqs) - 1
+	num := float64(c.Freq(l)) * c.voltage(l) * c.voltage(l)
+	den := float64(c.Freq(top)) * c.voltage(top) * c.voltage(top)
+	return units.Watts(float64(c.DynMaxPerSocket) * float64(c.Sockets) * num / den)
+}
+
+// SlowdownFactor returns the frequency ratio f(l)/f(max) ∈ (0,1]; workload
+// models combine it with their frequency sensitivity to compute progress.
+func (c CPU) SlowdownFactor(l int) float64 {
+	return float64(c.Freq(l)) / float64(c.MaxFreq())
+}
+
+func (c CPU) clamp(l int) int {
+	if l < 0 {
+		return 0
+	}
+	if l >= len(c.Freqs) {
+		return len(c.Freqs) - 1
+	}
+	return l
+}
+
+// Validate checks the CPU model for internal consistency.
+func (c CPU) Validate() error {
+	if c.Sockets <= 0 || c.CoresPerSocket <= 0 {
+		return fmt.Errorf("device: cpu needs positive sockets and cores, got %d×%d", c.Sockets, c.CoresPerSocket)
+	}
+	if len(c.Freqs) == 0 {
+		return fmt.Errorf("device: cpu needs at least one DVFS level")
+	}
+	for i := 1; i < len(c.Freqs); i++ {
+		if c.Freqs[i] <= c.Freqs[i-1] {
+			return fmt.Errorf("device: DVFS table must be strictly ascending (level %d)", i)
+		}
+	}
+	if c.Freqs[0] <= 0 {
+		return fmt.Errorf("device: non-positive base frequency")
+	}
+	if c.DynMaxPerSocket < 0 {
+		return fmt.Errorf("device: negative DynMaxPerSocket")
+	}
+	if c.VoltMin <= 0 || c.VoltMax < c.VoltMin {
+		return fmt.Errorf("device: invalid voltage range [%v,%v]", c.VoltMin, c.VoltMax)
+	}
+	return nil
+}
+
+// Memory describes a node's memory subsystem.
+type Memory struct {
+	TotalBytes uint64      // installed capacity
+	DynMax     units.Watts // maximal dynamic power of all DIMMs (P_mem)
+}
+
+// DDR3x12 returns the testbed memory: 12 × 4 GB DDR3 DIMMs (6 per socket).
+func DDR3x12() Memory {
+	return Memory{TotalBytes: 12 * 4 << 30, DynMax: 60}
+}
+
+// Validate checks the memory model.
+func (m Memory) Validate() error {
+	if m.TotalBytes == 0 {
+		return fmt.Errorf("device: memory capacity is zero")
+	}
+	if m.DynMax < 0 {
+		return fmt.Errorf("device: negative memory DynMax")
+	}
+	return nil
+}
+
+// NIC describes the communication chipset.
+type NIC struct {
+	Bandwidth units.Bytes // bytes/second the link can move (both directions)
+	DynMax    units.Watts // maximal dynamic power (P_NIC)
+}
+
+// TianheNIC returns the testbed's high-speed communication chipset model:
+// 8 GB/s effective per-node bandwidth.
+func TianheNIC() NIC {
+	return NIC{Bandwidth: units.GB(8), DynMax: 20}
+}
+
+// Validate checks the NIC model.
+func (n NIC) Validate() error {
+	if n.Bandwidth <= 0 {
+		return fmt.Errorf("device: NIC bandwidth must be positive")
+	}
+	if n.DynMax < 0 {
+		return fmt.Errorf("device: negative NIC DynMax")
+	}
+	return nil
+}
+
+// IdleCurve gives a node's static power P_idle(l) as a function of level.
+// Static power falls with level because lower voltage cuts leakage and the
+// uncore slows down.
+type IdleCurve struct {
+	Min units.Watts // static power at level 0
+	Max units.Watts // static power at the top level
+}
+
+// TianheIdle returns the testbed node's static power curve.
+func TianheIdle() IdleCurve { return IdleCurve{Min: 105, Max: 140} }
+
+// At interpolates the static power at level l of levels total levels.
+func (ic IdleCurve) At(l, levels int) units.Watts {
+	if levels <= 1 {
+		return ic.Max
+	}
+	if l < 0 {
+		l = 0
+	}
+	if l >= levels {
+		l = levels - 1
+	}
+	t := float64(l) / float64(levels-1)
+	return ic.Min + units.Watts(t*float64(ic.Max-ic.Min))
+}
+
+// Validate checks the idle curve.
+func (ic IdleCurve) Validate() error {
+	if ic.Min < 0 || ic.Max < ic.Min {
+		return fmt.Errorf("device: invalid idle curve [%v,%v]", ic.Min, ic.Max)
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestX5670Shape(t *testing.T) {
+	c := X5670()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Levels() != 10 {
+		t.Errorf("levels = %d, want 10 (paper: 10 working frequencies)", c.Levels())
+	}
+	if c.Cores() != 12 {
+		t.Errorf("cores = %d, want 12 (2 sockets × 6)", c.Cores())
+	}
+	if got := c.Freq(0); math.Abs(got.GHz()-1.60) > 1e-9 {
+		t.Errorf("base freq = %v, want 1.60 GHz", got)
+	}
+	if got := c.MaxFreq(); math.Abs(got.GHz()-2.93) > 1e-9 {
+		t.Errorf("max freq = %v, want 2.93 GHz", got)
+	}
+}
+
+func TestFreqMonotonic(t *testing.T) {
+	c := X5670()
+	for l := 1; l < c.Levels(); l++ {
+		if c.Freq(l) <= c.Freq(l-1) {
+			t.Errorf("freq(%d)=%v not > freq(%d)=%v", l, c.Freq(l), l-1, c.Freq(l-1))
+		}
+	}
+}
+
+func TestFreqClamping(t *testing.T) {
+	c := X5670()
+	if c.Freq(-3) != c.Freq(0) {
+		t.Error("negative level not clamped")
+	}
+	if c.Freq(99) != c.MaxFreq() {
+		t.Error("overlarge level not clamped")
+	}
+}
+
+func TestDynMaxMonotoneAndNormalised(t *testing.T) {
+	c := X5670()
+	top := c.Levels() - 1
+	want := units.Watts(float64(c.DynMaxPerSocket) * float64(c.Sockets))
+	if got := c.DynMax(top); math.Abs(float64(got-want)) > 1e-9 {
+		t.Errorf("DynMax(top) = %v, want %v", got, want)
+	}
+	for l := 1; l <= top; l++ {
+		if c.DynMax(l) <= c.DynMax(l-1) {
+			t.Errorf("DynMax not strictly increasing at level %d", l)
+		}
+	}
+	// f·V² scaling means the bottom level is far below the top —
+	// X5670-class parts roughly halve dynamic power at minimum frequency.
+	ratio := float64(c.DynMax(0)) / float64(c.DynMax(top))
+	if ratio > 0.5 || ratio < 0.15 {
+		t.Errorf("DynMax(0)/DynMax(top) = %.2f, want a deep but plausible cut", ratio)
+	}
+}
+
+func TestSlowdownFactor(t *testing.T) {
+	c := X5670()
+	if got := c.SlowdownFactor(c.Levels() - 1); got != 1 {
+		t.Errorf("slowdown at top = %v, want 1", got)
+	}
+	want := 1.60 / 2.93
+	if got := c.SlowdownFactor(0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("slowdown at bottom = %v, want %v", got, want)
+	}
+}
+
+func TestCPUValidateErrors(t *testing.T) {
+	cases := []CPU{
+		{},
+		{Sockets: 1, CoresPerSocket: 6}, // no freq table
+		{Sockets: 1, CoresPerSocket: 1, Freqs: []units.Hertz{2, 1}, VoltMin: 1, VoltMax: 1},                   // descending
+		{Sockets: 1, CoresPerSocket: 1, Freqs: []units.Hertz{1, 2}, VoltMin: 1, VoltMax: 0.5},                 // volt range
+		{Sockets: 1, CoresPerSocket: 1, Freqs: []units.Hertz{1}, VoltMin: 1, VoltMax: 1, DynMaxPerSocket: -1}, // neg power
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid CPU %+v", i, c)
+		}
+	}
+}
+
+func TestSingleLevelCPU(t *testing.T) {
+	c := CPU{Sockets: 1, CoresPerSocket: 1, Freqs: []units.Hertz{units.GHz(2)},
+		VoltMin: 1, VoltMax: 1, DynMaxPerSocket: 50}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DynMax(0); got != 50 {
+		t.Errorf("single-level DynMax = %v", got)
+	}
+	if c.SlowdownFactor(0) != 1 {
+		t.Error("single-level slowdown != 1")
+	}
+}
+
+func TestMemoryModel(t *testing.T) {
+	m := DDR3x12()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalBytes != 48<<30 {
+		t.Errorf("capacity = %d, want 48 GiB (12 × 4 GB)", m.TotalBytes)
+	}
+	if err := (Memory{}).Validate(); err == nil {
+		t.Error("zero memory accepted")
+	}
+	if err := (Memory{TotalBytes: 1, DynMax: -1}).Validate(); err == nil {
+		t.Error("negative DynMax accepted")
+	}
+}
+
+func TestNICModel(t *testing.T) {
+	n := TianheNIC()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Bandwidth != units.GB(8) {
+		t.Errorf("bandwidth = %v", n.Bandwidth)
+	}
+	if err := (NIC{}).Validate(); err == nil {
+		t.Error("zero NIC accepted")
+	}
+	if err := (NIC{Bandwidth: 1, DynMax: -5}).Validate(); err == nil {
+		t.Error("negative NIC power accepted")
+	}
+}
+
+func TestIdleCurve(t *testing.T) {
+	ic := TianheIdle()
+	if err := ic.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ic.At(0, 10); got != ic.Min {
+		t.Errorf("At(0) = %v, want Min", got)
+	}
+	if got := ic.At(9, 10); got != ic.Max {
+		t.Errorf("At(top) = %v, want Max", got)
+	}
+	mid := ic.At(5, 10)
+	if mid <= ic.Min || mid >= ic.Max {
+		t.Errorf("At(5) = %v, want strictly between", mid)
+	}
+	// Clamping and degenerate level counts.
+	if ic.At(-1, 10) != ic.Min || ic.At(99, 10) != ic.Max {
+		t.Error("At does not clamp out-of-range levels")
+	}
+	if ic.At(0, 1) != ic.Max {
+		t.Error("single-level curve should give Max")
+	}
+	if err := (IdleCurve{Min: 10, Max: 5}).Validate(); err == nil {
+		t.Error("inverted idle curve accepted")
+	}
+}
+
+// Property: DynMax is monotone non-decreasing in level for arbitrary valid
+// voltage ranges.
+func TestDynMaxMonotoneProperty(t *testing.T) {
+	f := func(vMinRaw, vSpanRaw uint8) bool {
+		c := X5670()
+		c.VoltMin = 0.5 + float64(vMinRaw)/512        // [0.5, 1.0)
+		c.VoltMax = c.VoltMin + float64(vSpanRaw)/256 // ≥ VoltMin
+		for l := 1; l < c.Levels(); l++ {
+			if c.DynMax(l) < c.DynMax(l-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// CabinetPoint is one (placement, policy) cell of the distribution study.
+type CabinetPoint struct {
+	Placement string
+	Policy    string
+	PolicyResult
+	HottestPeak   units.Watts
+	PeakImbalance float64
+	TripRisk      float64
+}
+
+// CabinetStudy examines the power-distribution hierarchy beneath the
+// global budget (extension E6): the cluster is laid out in 4 cabinets
+// with individual PDU breaker ratings, and job placement either packs
+// jobs into contiguous racks (first-fit, the default batch behaviour) or
+// spreads each job across cabinets. A globally capped system can still
+// concentrate load in one rack; placement is the lever that controls the
+// per-cabinet peak and breaker-trip exposure.
+func CabinetStudy(sc Scale) ([]CabinetPoint, error) {
+	type setup struct{ placement, policy string }
+	setups := []setup{
+		{"firstfit", "none"},
+		{"firstfit", "mpc"},
+		{"spread", "none"},
+		{"spread", "mpc"},
+	}
+	var out []CabinetPoint
+	for _, st := range setups {
+		st := st
+		pt := CabinetPoint{Placement: st.placement, Policy: st.policy}
+		var hot, imb, trip, pmax, perf float64
+		for _, seed := range sc.Seeds {
+			cfg := sc.baseConfig(seed)
+			cfg.PolicyName = st.policy
+			cfg.Cabinets = 4
+			cfg.Placement = st.placement
+			sys, err := core.New(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("cabinets %s/%s: %w", st.placement, st.policy, err)
+			}
+			r, err := sys.Run(sc.Eval)
+			if err != nil {
+				return nil, err
+			}
+			if r.Cabinets == nil {
+				return nil, fmt.Errorf("experiment: cabinet summary missing")
+			}
+			hottest := 0.0
+			for _, c := range r.Cabinets.Cabinets {
+				if float64(c.Peak) > hottest {
+					hottest = float64(c.Peak)
+				}
+			}
+			hot += hottest
+			imb += r.Cabinets.PeakImbalance
+			trip += r.Cabinets.TripRiskFraction
+			pmax += float64(r.Summary.PMax)
+			perf += r.Summary.Performance
+		}
+		n := float64(len(sc.Seeds))
+		pt.HottestPeak = units.Watts(hot / n)
+		pt.PeakImbalance = imb / n
+		pt.TripRisk = trip / n
+		pt.PMax = units.Watts(pmax / n)
+		pt.Performance = perf / n
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// CabinetTable renders the study.
+func CabinetTable(pts []CabinetPoint) *Table {
+	t := &Table{
+		Title:  "Extension E6: power distribution — placement vs per-cabinet peaks (4 cabinets)",
+		Header: []string{"placement", "policy", "hottest cab", "imbalance", "trip risk", "perf"},
+		Notes: []string{
+			"imbalance = hottest cabinet peak / mean cabinet peak (1.0 = balanced racks)",
+			"trip risk = fraction of intervals with a cabinet above its breaker rating",
+		},
+	}
+	for _, p := range pts {
+		t.AddRow(p.Placement, p.Policy,
+			fmt.Sprintf("%.2f kW", p.HottestPeak.KW()),
+			f3(p.PeakImbalance), pct(p.TripRisk), f4(p.Performance))
+	}
+	return t
+}

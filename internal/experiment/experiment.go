@@ -1,0 +1,313 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Scale sets the fidelity/runtime trade-off of the simulation harnesses.
+type Scale struct {
+	// Class is the NPB problem class.
+	Class workload.Class
+	// Training is the uncapped threshold-learning period before each
+	// evaluation window.
+	Training time.Duration
+	// Eval is the measured window (the paper uses 12 h per policy).
+	Eval time.Duration
+	// Seeds are averaged over; more seeds smooth the peak statistics.
+	Seeds []uint64
+}
+
+// Fast returns a scale that reproduces the paper's shapes in tens of
+// seconds: class D workload, 2 h training, 6 h evaluation, two seeds.
+func Fast() Scale {
+	return Scale{Class: workload.ClassD, Training: 2 * time.Hour, Eval: 6 * time.Hour, Seeds: []uint64{1, 2}}
+}
+
+// Paper returns the paper-fidelity scale: 24 h training and 12 h
+// evaluation per policy (§V.C), three seeds.
+func Paper() Scale {
+	return Scale{Class: workload.ClassD, Training: 24 * time.Hour, Eval: 12 * time.Hour, Seeds: []uint64{1, 2, 3}}
+}
+
+// Quick returns a unit-test scale (class C, minutes of virtual time).
+func Quick() Scale {
+	return Scale{Class: workload.ClassC, Training: 30 * time.Minute, Eval: time.Hour, Seeds: []uint64{1}}
+}
+
+// baseConfig returns the shared experiment configuration at this scale.
+func (sc Scale) baseConfig(seed uint64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Class = sc.Class
+	cfg.Training = sc.Training
+	return cfg
+}
+
+// PolicyResult summarises one policy's averaged behaviour.
+type PolicyResult struct {
+	Policy string
+	// Averages over seeds.
+	PMax        units.Watts
+	PMean       units.Watts
+	Overspend   float64 // ΔP×T against the provision capability
+	Performance float64
+	CPLJFrac    float64
+	JobsDone    float64
+	// Worst case over seeds.
+	RedEntries int
+	// Against the uncapped baseline of the same seeds (filled by the
+	// comparison harnesses).
+	PMaxReduction      float64 // 1 − PMax/PMax_uncapped
+	OverspendReduction float64 // 1 − ΔP×T/ΔP×T_uncapped
+}
+
+// runPolicy executes the scenario for one policy across the scale's seeds
+// and averages. mutate (optional) adjusts the config before construction.
+func runPolicy(sc Scale, policy string, mutate func(*core.Config)) (PolicyResult, error) {
+	if len(sc.Seeds) == 0 {
+		return PolicyResult{}, fmt.Errorf("experiment: no seeds")
+	}
+	res := PolicyResult{Policy: policy}
+	var pmax, pmean, over, perf, cplj, jobs float64
+	for _, seed := range sc.Seeds {
+		cfg := sc.baseConfig(seed)
+		cfg.PolicyName = policy
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		sys, err := core.New(cfg)
+		if err != nil {
+			return res, err
+		}
+		r, err := sys.Run(sc.Eval)
+		if err != nil {
+			return res, err
+		}
+		s := r.Summary
+		pmax += float64(s.PMax)
+		pmean += float64(s.PMean)
+		over += s.Overspend
+		if !math.IsNaN(s.Performance) {
+			perf += s.Performance
+		}
+		if !math.IsNaN(s.CPLJFrac) {
+			cplj += s.CPLJFrac
+		}
+		jobs += float64(s.JobsDone)
+		if r.ManagerStats.RedEntries > res.RedEntries {
+			res.RedEntries = r.ManagerStats.RedEntries
+		}
+	}
+	n := float64(len(sc.Seeds))
+	res.PMax = units.Watts(pmax / n)
+	res.PMean = units.Watts(pmean / n)
+	res.Overspend = over / n
+	res.Performance = perf / n
+	res.CPLJFrac = cplj / n
+	res.JobsDone = jobs / n
+	return res, nil
+}
+
+// relativise fills the against-baseline reductions.
+func relativise(baseline PolicyResult, rs []PolicyResult) {
+	for i := range rs {
+		if baseline.PMax > 0 {
+			rs[i].PMaxReduction = 1 - float64(rs[i].PMax)/float64(baseline.PMax)
+		}
+		if baseline.Overspend > 0 {
+			rs[i].OverspendReduction = 1 - rs[i].Overspend/baseline.Overspend
+		}
+	}
+}
+
+// Figure7 reproduces the paper's Figure 7: the uncapped baseline against
+// the MPC and HRI policies with all 128 nodes in A_candidate. Paper
+// findings: ≈2% performance loss under either policy, ≈10% maximal power
+// reduction, ΔP×T reduced by 73% (MPC) and 66% (HRI), CPLJ slightly
+// favouring MPC, and the red state never entered.
+func Figure7(sc Scale) ([]PolicyResult, error) {
+	return ComparePolicies(sc, []string{"none", "mpc", "hri"})
+}
+
+// PolicyFamily runs the full §IV policy family (the paper's future work):
+// state-based MPC, MPC-C, LPC, LPC-C, BFP and change-based HRI, HRI-C,
+// plus the none/all/random baselines.
+func PolicyFamily(sc Scale) ([]PolicyResult, error) {
+	return ComparePolicies(sc, []string{
+		"none", "mpc", "mpc-c", "lpc", "lpc-c", "bfp", "hri", "hri-c", "mincost", "random", "all",
+	})
+}
+
+// ComparePolicies runs the named policies on the Figure 7 scenario,
+// in parallel across policies (each run is an independent simulation).
+// The first entry should be "none" (or another baseline) for the
+// reductions to be meaningful.
+func ComparePolicies(sc Scale, policies []string) ([]PolicyResult, error) {
+	out := make([]PolicyResult, len(policies))
+	errs := make([]error, len(policies))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i, p := range policies {
+		i, p := i, p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := runPolicy(sc, p, nil)
+			if err != nil {
+				errs[i] = fmt.Errorf("policy %s: %w", p, err)
+				return
+			}
+			out[i] = r
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(out) > 0 {
+		relativise(out[0], out)
+	}
+	return out, nil
+}
+
+// maxParallel bounds concurrent simulations: each run is CPU-bound, so
+// more workers than cores only thrashes.
+func maxParallel() int {
+	n := runtime.NumCPU()
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// PolicyTable renders policy results.
+func PolicyTable(title string, rs []PolicyResult) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"policy", "Pmax", "Pmax cut", "ΔP×T", "ΔP×T cut", "perf", "CPLJ", "jobs", "red"},
+	}
+	for _, r := range rs {
+		t.AddRow(
+			r.Policy,
+			fmt.Sprintf("%.2f kW", r.PMax.KW()),
+			pct(r.PMaxReduction),
+			f4(r.Overspend),
+			pct(r.OverspendReduction),
+			f4(r.Performance),
+			f3(r.CPLJFrac),
+			fmt.Sprintf("%.0f", r.JobsDone),
+			fmt.Sprintf("%d", r.RedEntries),
+		)
+	}
+	return t
+}
+
+// FaultPoint is one fault-injection result.
+type FaultPoint struct {
+	DropRate float64
+	PolicyResult
+}
+
+// Faults sweeps agent sample-loss rates under MPC (extension E2): the
+// architecture should degrade gracefully — capping keeps working with
+// stale/missing node views, at slightly reduced effectiveness.
+func Faults(sc Scale, rates []float64) ([]FaultPoint, error) {
+	baseline, err := runPolicy(sc, "none", nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FaultPoint, 0, len(rates))
+	for _, rate := range rates {
+		rate := rate
+		r, err := runPolicy(sc, "mpc", func(cfg *core.Config) {
+			cfg.AgentDropRate = rate
+		})
+		if err != nil {
+			return nil, err
+		}
+		rs := []PolicyResult{r}
+		relativise(baseline, rs)
+		out = append(out, FaultPoint{DropRate: rate, PolicyResult: rs[0]})
+	}
+	return out, nil
+}
+
+// FaultTable renders fault sweep results.
+func FaultTable(ps []FaultPoint) *Table {
+	t := &Table{
+		Title:  "Fault injection: agent sample loss under MPC",
+		Header: []string{"drop rate", "Pmax", "ΔP×T cut", "perf", "red"},
+	}
+	for _, p := range ps {
+		t.AddRow(pct(p.DropRate), fmt.Sprintf("%.2f kW", p.PMax.KW()),
+			pct(p.OverspendReduction), f4(p.Performance), fmt.Sprintf("%d", p.RedEntries))
+	}
+	return t
+}
+
+// ThresholdResult captures the §III.A learning outcome of one run.
+type ThresholdResult struct {
+	Seed         uint64
+	TrainingPeak units.Watts
+	PL, PH       units.Watts
+	PLOverPeak   float64
+	PHOverPeak   float64
+}
+
+// Thresholds verifies the threshold learning rule on uncapped training
+// runs: P_H must equal 93% and P_L 84% of the observed training peak.
+func Thresholds(sc Scale) ([]ThresholdResult, error) {
+	out := make([]ThresholdResult, 0, len(sc.Seeds))
+	for _, seed := range sc.Seeds {
+		cfg := sc.baseConfig(seed)
+		cfg.PolicyName = "none"
+		sys, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sys.Run(sc.Eval)
+		if err != nil {
+			return nil, err
+		}
+		tr := ThresholdResult{
+			Seed:         seed,
+			TrainingPeak: r.TrainingPeak,
+			PL:           r.Thresholds.PL,
+			PH:           r.Thresholds.PH,
+		}
+		if r.TrainingPeak > 0 {
+			tr.PLOverPeak = float64(r.Thresholds.PL) / float64(r.TrainingPeak)
+			tr.PHOverPeak = float64(r.Thresholds.PH) / float64(r.TrainingPeak)
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+// ThresholdTable renders threshold learning results.
+func ThresholdTable(rs []ThresholdResult) *Table {
+	t := &Table{
+		Title:  "Threshold learning (§III.A): P_H = 93%·P_peak, P_L = 84%·P_peak",
+		Header: []string{"seed", "peak", "P_L", "P_H", "P_L/peak", "P_H/peak"},
+	}
+	for _, r := range rs {
+		t.AddRow(fmt.Sprintf("%d", r.Seed),
+			fmt.Sprintf("%.2f kW", r.TrainingPeak.KW()),
+			fmt.Sprintf("%.2f kW", r.PL.KW()),
+			fmt.Sprintf("%.2f kW", r.PH.KW()),
+			f3(r.PLOverPeak), f3(r.PHOverPeak))
+	}
+	return t
+}

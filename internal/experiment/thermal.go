@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// ThermalPoint is one policy's thermal outcome.
+type ThermalPoint struct {
+	Policy string
+	PolicyResult
+	PeakC             float64
+	MeanFinalC        float64
+	FailureMultiplier float64
+	CoolingEnergy     units.Joules
+}
+
+// ThermalStudy runs the §I.A motivation quantitatively: with the thermal
+// model enabled (RC temperatures, temperature→power leakage, the Feng
+// failure-doubling rule and the LLNL 0.7 W/W cooling overhead), compare
+// the uncapped baseline against capping policies on peak temperature,
+// expected failure-rate multiplier and cooling energy. This is the
+// physical meaning the paper assigns to ΔP×T — "the accumulative thermal
+// impact caused by overspending power budget" — made explicit.
+func ThermalStudy(sc Scale, policies []string) ([]ThermalPoint, error) {
+	if len(policies) == 0 {
+		policies = []string{"none", "mpc", "hri"}
+	}
+	var out []ThermalPoint
+	var baseline *ThermalPoint
+	for _, pol := range policies {
+		pol := pol
+		var sum *thermal.Summary
+		pr := PolicyResult{Policy: pol}
+		var pmax, over, perf float64
+		for _, seed := range sc.Seeds {
+			cfg := sc.baseConfig(seed)
+			cfg.PolicyName = pol
+			cfg.ThermalEnabled = true
+			sys, err := core.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			r, err := sys.Run(sc.Eval)
+			if err != nil {
+				return nil, err
+			}
+			if r.Thermal == nil {
+				return nil, fmt.Errorf("experiment: thermal summary missing")
+			}
+			if sum == nil {
+				sum = r.Thermal
+			} else {
+				// Average across seeds.
+				sum.PeakC = (sum.PeakC + r.Thermal.PeakC) / 2
+				sum.MeanFinalC = (sum.MeanFinalC + r.Thermal.MeanFinalC) / 2
+				sum.FailureMultiplier = (sum.FailureMultiplier + r.Thermal.FailureMultiplier) / 2
+				sum.CoolingEnergy = (sum.CoolingEnergy + r.Thermal.CoolingEnergy) / 2
+			}
+			pmax += float64(r.Summary.PMax)
+			over += r.Summary.Overspend
+			perf += r.Summary.Performance
+		}
+		n := float64(len(sc.Seeds))
+		pr.PMax = units.Watts(pmax / n)
+		pr.Overspend = over / n
+		pr.Performance = perf / n
+		pt := ThermalPoint{
+			Policy:            pol,
+			PolicyResult:      pr,
+			PeakC:             sum.PeakC,
+			MeanFinalC:        sum.MeanFinalC,
+			FailureMultiplier: sum.FailureMultiplier,
+			CoolingEnergy:     sum.CoolingEnergy,
+		}
+		out = append(out, pt)
+		if baseline == nil {
+			baseline = &out[0]
+		}
+	}
+	return out, nil
+}
+
+// ThermalTable renders the study.
+func ThermalTable(pts []ThermalPoint) *Table {
+	t := &Table{
+		Title:  "Thermal study (§I.A motivation): capping's effect on heat, reliability, cooling",
+		Header: []string{"policy", "Pmax", "peak °C", "fail ×", "cooling", "perf"},
+		Notes: []string{
+			"fail × = time-averaged failure-rate multiplier (doubles per +10 °C, Feng)",
+			"cooling = energy the plant spends removing heat (0.7 W per IT watt, LLNL)",
+		},
+	}
+	for _, p := range pts {
+		t.AddRow(p.Policy,
+			fmt.Sprintf("%.2f kW", p.PMax.KW()),
+			fmt.Sprintf("%.1f", p.PeakC),
+			fmt.Sprintf("%.3f", p.FailureMultiplier),
+			fmt.Sprintf("%.1f kWh", p.CoolingEnergy.KWh()),
+			f4(p.Performance))
+	}
+	return t
+}

@@ -1,0 +1,184 @@
+package feedback
+
+import (
+	"testing"
+
+	"repro/internal/node"
+	"repro/internal/policy"
+	"repro/internal/units"
+)
+
+// fleetActuator applies commands to a slice of levels and models power as
+// a linear function of the aggregate level.
+type fleetActuator struct {
+	levels []int
+}
+
+func (f *fleetActuator) SetNodeLevel(id node.ID, level int) error {
+	f.levels[int(id)] = level
+	return nil
+}
+
+func (f *fleetActuator) power() units.Watts {
+	p := 0.0
+	for _, l := range f.levels {
+		p += 200 + 12*float64(l)
+	}
+	return units.Watts(p)
+}
+
+func (f *fleetActuator) snapshot() *policy.Snapshot {
+	s := &policy.Snapshot{}
+	for i, l := range f.levels {
+		est := units.Watts(200 + 12*float64(l))
+		lower := est - 12
+		if l == 0 {
+			lower = est
+		}
+		s.Nodes = append(s.Nodes, policy.NodeState{
+			ID: node.ID(i), Level: l, MaxLevel: 9,
+			AtLowest: l == 0,
+			Est:      est, EstLower: lower,
+		})
+	}
+	return s
+}
+
+func newFleet(n, level int) *fleetActuator {
+	f := &fleetActuator{levels: make([]int, n)}
+	for i := range f.levels {
+		f.levels[i] = level
+	}
+	return f
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero setpoint accepted")
+	}
+	if _, err := New(Config{Setpoint: 1, Kp: -1}); err == nil {
+		t.Error("negative gain accepted")
+	}
+	if _, err := New(Config{Setpoint: 1, IntegralClamp: -1}); err == nil {
+		t.Error("negative clamp accepted")
+	}
+	if _, err := New(Default(units.KW(30))); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvergesToSetpoint(t *testing.T) {
+	// 16 nodes: power range [3200, 4928] W. Target 4000 W.
+	fleet := newFleet(16, 9)
+	c, err := New(Default(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c.Cycle(fleet.power(), fleet.snapshot(), fleet)
+	}
+	got := float64(fleet.power())
+	if got < 3900 || got > 4100 {
+		t.Errorf("settled at %.0f W, want ≈4000", got)
+	}
+	st := c.Stats()
+	if st.Cycles != 100 || st.Moves == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTracksSetpointChange(t *testing.T) {
+	fleet := newFleet(16, 9)
+	c, _ := New(Default(4000))
+	for i := 0; i < 60; i++ {
+		c.Cycle(fleet.power(), fleet.snapshot(), fleet)
+	}
+	c.SetSetpoint(4500)
+	for i := 0; i < 60; i++ {
+		c.Cycle(fleet.power(), fleet.snapshot(), fleet)
+	}
+	got := float64(fleet.power())
+	if got < 4380 || got > 4620 {
+		t.Errorf("after retarget settled at %.0f W, want ≈4500", got)
+	}
+	// Zero setpoint is ignored.
+	c.SetSetpoint(0)
+	c.Cycle(fleet.power(), fleet.snapshot(), fleet)
+	if float64(fleet.power()) < 4000 {
+		t.Error("zero setpoint was adopted")
+	}
+}
+
+func TestSaturationLow(t *testing.T) {
+	// Unreachable setpoint below the fleet floor: everything pins at
+	// level 0 and saturation is counted, without oscillation.
+	fleet := newFleet(8, 9)
+	c, _ := New(Default(1000)) // floor is 8×200 = 1600 W
+	for i := 0; i < 50; i++ {
+		c.Cycle(fleet.power(), fleet.snapshot(), fleet)
+	}
+	for i, l := range fleet.levels {
+		if l != 0 {
+			t.Errorf("node %d at level %d, want 0", i, l)
+		}
+	}
+	if c.Stats().SatLow == 0 {
+		t.Error("low saturation not counted")
+	}
+}
+
+func TestSaturationHigh(t *testing.T) {
+	fleet := newFleet(8, 0)
+	c, _ := New(Default(units.KW(100)))
+	for i := 0; i < 50; i++ {
+		c.Cycle(fleet.power(), fleet.snapshot(), fleet)
+	}
+	for i, l := range fleet.levels {
+		if l != 9 {
+			t.Errorf("node %d at level %d, want 9", i, l)
+		}
+	}
+	if c.Stats().SatHigh == 0 {
+		t.Error("high saturation not counted")
+	}
+}
+
+func TestIdleNodesUntouched(t *testing.T) {
+	fleet := newFleet(4, 9)
+	c, _ := New(Default(100)) // far below floor: maximal downward pressure
+	snap := fleet.snapshot()
+	snap.Nodes[2].Idle = true
+	for i := 0; i < 20; i++ {
+		c.Cycle(fleet.power(), snap, fleet)
+		snap = fleet.snapshot()
+		snap.Nodes[2].Idle = true
+	}
+	if fleet.levels[2] != 9 {
+		t.Errorf("idle node moved to level %d", fleet.levels[2])
+	}
+	if fleet.levels[0] != 0 {
+		t.Errorf("busy node not driven down: %d", fleet.levels[0])
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	c, _ := New(Default(1000))
+	c.Cycle(500, &policy.Snapshot{}, &fleetActuator{})
+	if c.Stats().Cycles != 1 {
+		t.Error("cycle not counted")
+	}
+}
+
+func TestCoordinatedMoves(t *testing.T) {
+	// All busy nodes move together — the defining property of the
+	// related-work baseline.
+	fleet := newFleet(8, 9)
+	c, _ := New(Default(2000))
+	c.Cycle(fleet.power(), fleet.snapshot(), fleet)
+	first := fleet.levels[0]
+	for i, l := range fleet.levels {
+		if l != first {
+			t.Errorf("node %d at %d, node 0 at %d: moves not coordinated", i, l, first)
+		}
+	}
+}

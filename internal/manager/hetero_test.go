@@ -1,0 +1,140 @@
+package manager
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/device"
+	"repro/internal/node"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/procfs"
+	"repro/internal/units"
+)
+
+// smallNode returns a lower-power node model with fewer DVFS levels — a
+// different hardware generation in the same cluster.
+func smallNode() power.Model {
+	m := power.TianheNode()
+	m.CPU.Freqs = m.CPU.Freqs[:5] // 5 levels, 1.60–2.19 GHz
+	m.CPU.DynMaxPerSocket = 40
+	m.Idle = device.IdleCurve{Min: 60, Max: 80}
+	m.Mem.DynMax = 30
+	return m
+}
+
+func TestBuilderHeterogeneousModels(t *testing.T) {
+	big := power.TianheNode()
+	small := smallNode()
+	b := NewBuilder(big)
+	b.SetNodeModel(1, small)
+
+	d := procfs.Delta{Interval: time.Second, CPUUtil: 0.9,
+		MemUsed: 24 << 30, MemTotal: 48 << 30}
+	snap := b.Build(0, 0, []AgentReading{
+		{ID: 0, Level: 9, MaxLevel: 9, Delta: d, Job: 1},
+		{ID: 1, Level: 4, MaxLevel: 4, Delta: d, Job: 1},
+	})
+	n0, n1 := snap.Nodes[0], snap.Nodes[1]
+	if n0.Est <= n1.Est {
+		t.Errorf("big node estimate %v not above small node %v", n0.Est, n1.Est)
+	}
+	want := small.Estimate(d, 4)
+	if n1.Est != want {
+		t.Errorf("small node estimated with wrong model: %v vs %v", n1.Est, want)
+	}
+	// Per-node MaxLevel flows through for restore bookkeeping.
+	if n1.MaxLevel != 4 {
+		t.Errorf("small node MaxLevel = %d", n1.MaxLevel)
+	}
+}
+
+// TestHeterogeneousCappingEndToEnd runs Algorithm 1 over a mixed cluster:
+// half Tianhe nodes (10 levels), half older low-power nodes (5 levels).
+// The loop must converge to green and the restore path must respect each
+// node's own level table.
+func TestHeterogeneousCappingEndToEnd(t *testing.T) {
+	big, small := power.TianheNode(), smallNode()
+	cl, err := cluster.New(cluster.Config{
+		Nodes: 8,
+		Model: big,
+		ModelFor: func(i int) power.Model {
+			if i%2 == 1 {
+				return small
+			}
+			return big
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(big)
+	for _, n := range cl.Nodes() {
+		b.SetNodeModel(n.ID(), n.Model())
+	}
+	coll := NewCollector(cl, nil)
+	mgr, err := New(Config{Tg: 3, Policy: policy.All{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := ClusterActuator{Cluster: cl}
+
+	// Load everything heavily and set thresholds so the loop starts
+	// yellow, converges green, then restores.
+	for _, n := range cl.Nodes() {
+		n.SetLoad(node.Load{CPUUtil: 0.95, MemFrac: 0.5, NICFrac: 0.2})
+	}
+	// Yellow band chosen inside the mixed fleet's controllable range.
+	thr := power.Thresholds{PL: units.KW(1.55), PH: units.KW(2.4)}
+
+	var sawYellow, sawGreen bool
+	now := time.Duration(0)
+	for cycle := 0; cycle < 60; cycle++ {
+		now += time.Second
+		cl.Tick(time.Second)
+		p := cl.TruePower()
+		snap := b.Build(p, thr.PL, coll.Collect(now))
+		st, _, err := mgr.Cycle(p, thr, snap, act)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st {
+		case power.Yellow:
+			sawYellow = true
+		case power.Green:
+			sawGreen = true
+		}
+		// Invariant: no node ever leaves its own level table.
+		for _, n := range cl.Nodes() {
+			if n.Level() < 0 || n.Level() >= n.Levels() {
+				t.Fatalf("node %d at level %d of %d", n.ID(), n.Level(), n.Levels())
+			}
+		}
+	}
+	if !sawYellow || !sawGreen {
+		t.Errorf("loop never exercised yellow (%v) and green (%v)", sawYellow, sawGreen)
+	}
+	// Drop the load: after enough steady-green cycles every node must be
+	// restored to its own top level and A_degraded emptied.
+	for _, n := range cl.Nodes() {
+		n.SetLoad(node.Load{})
+	}
+	for cycle := 0; cycle < 40; cycle++ {
+		now += time.Second
+		cl.Tick(time.Second)
+		p := cl.TruePower()
+		snap := b.Build(p, thr.PL, coll.Collect(now))
+		if _, _, err := mgr.Cycle(p, thr, snap, act); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range cl.Nodes() {
+		if !n.AtHighest() {
+			t.Errorf("node %d (levels %d) stuck at level %d after recovery", n.ID(), n.Levels(), n.Level())
+		}
+	}
+	if mgr.Degraded() != 0 {
+		t.Errorf("A_degraded = %d after full restore", mgr.Degraded())
+	}
+}

@@ -1,0 +1,206 @@
+// Package manager implements the global power manager: the power capping
+// algorithm of §III.B (Algorithm 1) driving a target set selection policy,
+// plus the sensing path that turns per-node agent readings into the policy
+// snapshot.
+//
+// The manager is transport-agnostic: the in-process Collector feeds it in
+// the simulator, and the networked managerd feeds it the same AgentReading
+// values decoded from TCP. Actuation goes through the Actuator interface
+// for the same reason.
+package manager
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// Actuator applies power state commands to nodes. Implementations: the
+// cluster (simulation) or the agent command channel (daemons).
+type Actuator interface {
+	SetNodeLevel(id node.ID, level int) error
+}
+
+// Config parametrises the capping algorithm.
+type Config struct {
+	// Tg is the number of consecutive green cycles after which the system
+	// is considered steady green and degraded nodes regain one level.
+	// The paper's experiments use 10.
+	Tg int
+	// Policy selects A_target in the yellow state.
+	Policy policy.Policy
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Tg <= 0 {
+		return fmt.Errorf("manager: Tg must be positive, got %d", c.Tg)
+	}
+	if c.Policy == nil {
+		return fmt.Errorf("manager: nil policy")
+	}
+	return nil
+}
+
+// Stats accumulates control-loop statistics over a run.
+type Stats struct {
+	Cycles       int
+	GreenCycles  int
+	YellowCycles int
+	RedCycles    int
+	// RedEntries counts transitions into the red state — the paper
+	// reports this stayed zero under capping.
+	RedEntries int
+	// DegradeOps / RestoreOps count individual node level changes.
+	DegradeOps int
+	RestoreOps int
+	// SelectTime accumulates host time spent in policy selection; the
+	// Figure 5 harness reads it together with collection time.
+	SelectTime time.Duration
+}
+
+// Manager runs Algorithm 1.
+type Manager struct {
+	cfg      Config
+	degraded map[node.ID]bool // A_degraded
+	timeg    int              // Time_g, in cycles
+	lastSt   power.State
+	started  bool
+	stats    Stats
+}
+
+// New creates a manager. A_degraded starts empty and Time_g at zero, per
+// Algorithm 1's initialisation.
+func New(cfg Config) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Manager{cfg: cfg, degraded: make(map[node.ID]bool)}, nil
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Degraded returns the current size of A_degraded.
+func (m *Manager) Degraded() int { return len(m.degraded) }
+
+// Policy returns the configured selection policy.
+func (m *Manager) Policy() policy.Policy { return m.cfg.Policy }
+
+// Action records one node command issued during a cycle.
+type Action struct {
+	Node  node.ID
+	Level int // the target level l_i
+}
+
+// Cycle executes one control cycle of Algorithm 1 against the given power
+// reading, thresholds and sensing snapshot, issuing commands through act.
+// It returns the classified state and the actions taken.
+//
+// Actuation errors on individual nodes are counted but do not abort the
+// cycle: a node that refuses a command (e.g. it just left A_candidate)
+// must not stall capping of the others.
+func (m *Manager) Cycle(p units.Watts, thr power.Thresholds, snap *policy.Snapshot, act Actuator) (power.State, []Action, error) {
+	if err := thr.Validate(); err != nil {
+		return power.Green, nil, err
+	}
+	st := thr.Classify(p)
+	m.stats.Cycles++
+	if st == power.Red && (!m.started || m.lastSt != power.Red) {
+		m.stats.RedEntries++
+	}
+	m.lastSt, m.started = st, true
+
+	idx := make(map[node.ID]policy.NodeState, len(snap.Nodes))
+	for _, n := range snap.Nodes {
+		idx[n.ID] = n
+	}
+
+	var actions []Action
+	switch st {
+	case power.Green:
+		m.stats.GreenCycles++
+		m.timeg++
+		if m.timeg >= m.cfg.Tg && len(m.degraded) > 0 {
+			actions = m.restore(idx, act)
+		}
+
+	case power.Yellow:
+		m.stats.YellowCycles++
+		m.timeg = 0
+		t0 := time.Now()
+		targets := m.cfg.Policy.Select(snap)
+		m.stats.SelectTime += time.Since(t0)
+		for _, id := range targets {
+			n, ok := idx[id]
+			if !ok || n.Idle || n.AtLowest {
+				// Defensive: Algorithm 1 requires valid policies not
+				// to select idle or floor-level nodes; filter anyway.
+				continue
+			}
+			if err := act.SetNodeLevel(id, n.Level-1); err != nil {
+				continue
+			}
+			m.degraded[id] = true
+			m.stats.DegradeOps++
+			actions = append(actions, Action{Node: id, Level: n.Level - 1})
+		}
+
+	case power.Red:
+		m.stats.RedCycles++
+		m.timeg = 0
+		// Maximal strength: every candidate to its lowest power state,
+		// A_degraded := A_candidate.
+		for _, n := range snap.Nodes {
+			if n.Level > 0 {
+				if err := act.SetNodeLevel(n.ID, 0); err != nil {
+					continue
+				}
+				m.stats.DegradeOps++
+				actions = append(actions, Action{Node: n.ID, Level: 0})
+			}
+			m.degraded[n.ID] = true
+		}
+	}
+	return st, actions, nil
+}
+
+// restore raises every degraded node by one level (steady green). Nodes
+// reaching their top level leave A_degraded. Nodes absent from this
+// cycle's snapshot — a lost agent sample, or a node that left the
+// candidate set — are skipped but retained: forgetting them would orphan
+// a degraded node at a low level forever after a single dropped reading.
+func (m *Manager) restore(idx map[node.ID]policy.NodeState, act Actuator) []Action {
+	ids := make([]node.ID, 0, len(m.degraded))
+	for id := range m.degraded {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+
+	var actions []Action
+	for _, id := range ids {
+		n, ok := idx[id]
+		if !ok {
+			continue
+		}
+		next := n.Level + 1
+		if next > n.MaxLevel {
+			delete(m.degraded, id)
+			continue
+		}
+		if err := act.SetNodeLevel(id, next); err != nil {
+			continue
+		}
+		m.stats.RestoreOps++
+		actions = append(actions, Action{Node: id, Level: next})
+		if next == n.MaxLevel {
+			delete(m.degraded, id)
+		}
+	}
+	return actions
+}

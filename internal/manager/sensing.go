@@ -1,0 +1,203 @@
+package manager
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/node"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/procfs"
+	"repro/internal/scheduler"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// AgentReading is one node's sample as delivered by its profiling agent:
+// interval counters, the level the node runs at, and the job occupying it.
+// Both the in-process Collector and the networked managerd produce these.
+type AgentReading struct {
+	ID       node.ID
+	Level    int
+	MaxLevel int
+	Delta    procfs.Delta
+	Job      workload.JobID // 0 when the node is free
+}
+
+// Idle thresholds: a node whose sampled interval shows less CPU activity
+// and NIC traffic than these fractions is treated as idle and therefore
+// never targeted (§III.B property 4). The sensing path decides idleness
+// from counters, not ground truth — the manager has no other view.
+const (
+	idleCPUUtil = 0.05
+	idleNICFrac = 0.02
+)
+
+// Builder turns a cycle's agent readings into a policy.Snapshot, keeping
+// the previous cycle's estimates so change-based policies can compute
+// ΔP^t(J).
+//
+// Algorithm 1 "is applicable to both heterogeneous and homogeneous
+// systems" (§III.B); heterogeneity enters through per-node profile
+// models registered with SetNodeModel, with the default model covering
+// everything else.
+type Builder struct {
+	model   power.Model
+	perNode map[node.ID]power.Model
+	prevEst map[node.ID]units.Watts
+}
+
+// NewBuilder creates a snapshot builder whose default power profile model
+// is used for every node without a specific registration.
+func NewBuilder(model power.Model) *Builder {
+	return &Builder{model: model, prevEst: make(map[node.ID]units.Watts)}
+}
+
+// SetNodeModel registers a node-specific profile model (heterogeneous
+// clusters).
+func (b *Builder) SetNodeModel(id node.ID, m power.Model) {
+	if b.perNode == nil {
+		b.perNode = make(map[node.ID]power.Model)
+	}
+	b.perNode[id] = m
+}
+
+// modelFor returns the profile model for a node.
+func (b *Builder) modelFor(id node.ID) power.Model {
+	if m, ok := b.perNode[id]; ok {
+		return m
+	}
+	return b.model
+}
+
+// Build assembles the snapshot for one cycle. p is the system power meter
+// reading and pl the lower threshold in force.
+func (b *Builder) Build(p, pl units.Watts, readings []AgentReading) *policy.Snapshot {
+	snap := &policy.Snapshot{P: p, PL: pl}
+	jobs := make(map[workload.JobID]*policy.JobState)
+	nextEst := make(map[node.ID]units.Watts, len(readings))
+
+	for _, r := range readings {
+		model := b.modelFor(r.ID)
+		est := model.Estimate(r.Delta, r.Level)
+		estLower := est
+		if r.Level > 0 {
+			estLower = model.EstimateAtLevel(r.Delta, r.Level-1)
+		}
+		var nicFrac float64
+		if sec := r.Delta.Interval.Seconds(); sec > 0 {
+			nicFrac = float64(r.Delta.NICBytes) / (sec * float64(model.NIC.Bandwidth))
+		}
+		idle := r.Delta.CPUUtil < idleCPUUtil && nicFrac < idleNICFrac
+		ns := policy.NodeState{
+			ID:       r.ID,
+			Level:    r.Level,
+			MaxLevel: r.MaxLevel,
+			AtLowest: r.Level == 0,
+			Idle:     idle,
+			Est:      est,
+			EstLower: estLower,
+			PrevEst:  b.prevEst[r.ID],
+			CPUUtil:  r.Delta.CPUUtil,
+			Job:      r.Job,
+		}
+		snap.Nodes = append(snap.Nodes, ns)
+		nextEst[r.ID] = est
+
+		if r.Job != 0 && !idle {
+			js, ok := jobs[r.Job]
+			if !ok {
+				js = &policy.JobState{ID: r.Job}
+				jobs[r.Job] = js
+			}
+			js.Nodes = append(js.Nodes, r.ID)
+			js.Power += est
+			js.PrevPower += b.prevEst[r.ID]
+			js.Saving += est - estLower
+			// Running mean of member utilisation.
+			js.Util += (r.Delta.CPUUtil - js.Util) / float64(len(js.Nodes))
+		}
+	}
+	// Ascending job ID keeps policy tie-breaks deterministic.
+	ids := make([]workload.JobID, 0, len(jobs))
+	for id := range jobs {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, id := range ids {
+		snap.Jobs = append(snap.Jobs, *jobs[id])
+	}
+	b.prevEst = nextEst
+	return snap
+}
+
+// Collector performs in-process sensing over a simulated cluster: it reads
+// each candidate node's procfs counters, diffs them against the previous
+// cycle, and produces AgentReadings — the exact work a per-node profiling
+// agent plus the manager's gather step perform on the real system.
+type Collector struct {
+	cl    *cluster.Cluster
+	sched *scheduler.Scheduler
+	prev  map[node.ID]procfs.Snapshot
+}
+
+// NewCollector creates a collector over the cluster; sched may be nil when
+// no job attribution is available (nodes then sample with Job 0).
+func NewCollector(cl *cluster.Cluster, sched *scheduler.Scheduler) *Collector {
+	return &Collector{cl: cl, sched: sched, prev: make(map[node.ID]procfs.Snapshot)}
+}
+
+// Collect samples every candidate node at virtual time now.
+func (c *Collector) Collect(now time.Duration) []AgentReading {
+	cand := c.cl.Candidates()
+	out := make([]AgentReading, 0, len(cand))
+	for _, n := range cand {
+		cur := n.Snapshot(now)
+		prev, seen := c.prev[n.ID()]
+		c.prev[n.ID()] = cur
+		var delta procfs.Delta
+		if seen {
+			if d, err := procfs.Diff(prev, cur); err == nil {
+				delta = d
+			}
+		}
+		r := AgentReading{
+			ID:       n.ID(),
+			Level:    n.Level(),
+			MaxLevel: n.Levels() - 1,
+			Delta:    delta,
+		}
+		if c.sched != nil {
+			if job := c.sched.JobOn(n.ID()); job != nil {
+				r.Job = job.ID()
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// ClusterActuator adapts a cluster to the Actuator interface.
+type ClusterActuator struct{ Cluster *cluster.Cluster }
+
+// SetNodeLevel implements Actuator.
+func (a ClusterActuator) SetNodeLevel(id node.ID, level int) error {
+	n := a.Cluster.Node(id)
+	if n == nil {
+		return &UnknownNodeError{ID: id}
+	}
+	return n.SetLevel(level)
+}
+
+// UnknownNodeError reports a command addressed to a node the cluster does
+// not contain.
+type UnknownNodeError struct{ ID node.ID }
+
+func (e *UnknownNodeError) Error() string {
+	return fmt.Sprintf("manager: unknown node %d", e.ID)
+}

@@ -1,0 +1,188 @@
+package manager
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/procfs"
+	"repro/internal/scheduler"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func reading(id int, level int, util float64, job workload.JobID) AgentReading {
+	return AgentReading{
+		ID: node.ID(id), Level: level, MaxLevel: 9,
+		Delta: procfs.Delta{
+			Interval: time.Second, CPUUtil: util,
+			MemUsed: 1 << 32, MemTotal: 48 << 30,
+		},
+		Job: job,
+	}
+}
+
+func TestBuilderGroupsJobs(t *testing.T) {
+	b := NewBuilder(power.TianheNode())
+	snap := b.Build(units.KW(32), units.KW(31), []AgentReading{
+		reading(0, 9, 0.9, 1),
+		reading(1, 9, 0.9, 1),
+		reading(2, 9, 0.7, 2),
+		reading(3, 9, 0.01, 0), // idle, no job
+	})
+	if len(snap.Nodes) != 4 {
+		t.Fatalf("nodes = %d", len(snap.Nodes))
+	}
+	if len(snap.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(snap.Jobs))
+	}
+	if snap.Jobs[0].ID != 1 || len(snap.Jobs[0].Nodes) != 2 {
+		t.Errorf("job 1 grouping wrong: %+v", snap.Jobs[0])
+	}
+	if snap.Jobs[0].Power <= snap.Jobs[1].Power {
+		t.Error("two-node job should out-consume one-node job")
+	}
+	if snap.Jobs[0].Saving <= 0 {
+		t.Error("job saving not computed")
+	}
+}
+
+func TestBuilderIdleDetection(t *testing.T) {
+	b := NewBuilder(power.TianheNode())
+	snap := b.Build(0, 0, []AgentReading{
+		reading(0, 9, 0.01, 3), // idle despite job attribution
+		reading(1, 9, 0.5, 3),
+	})
+	if !snap.Nodes[0].Idle {
+		t.Error("quiet node not marked idle")
+	}
+	if snap.Nodes[1].Idle {
+		t.Error("busy node marked idle")
+	}
+	// Idle nodes do not join Nodes(J).
+	if len(snap.Jobs) != 1 || len(snap.Jobs[0].Nodes) != 1 {
+		t.Errorf("jobs = %+v", snap.Jobs)
+	}
+}
+
+func TestBuilderNICIdleDetection(t *testing.T) {
+	b := NewBuilder(power.TianheNode())
+	r := reading(0, 9, 0.01, 1)
+	// Heavy NIC traffic: not idle even with a quiet CPU.
+	r.Delta.NICBytes = uint64(0.5 * float64(power.TianheNode().NIC.Bandwidth))
+	snap := b.Build(0, 0, []AgentReading{r})
+	if snap.Nodes[0].Idle {
+		t.Error("NIC-busy node marked idle")
+	}
+}
+
+func TestBuilderPrevEstAcrossCycles(t *testing.T) {
+	b := NewBuilder(power.TianheNode())
+	s1 := b.Build(0, 0, []AgentReading{reading(0, 9, 0.4, 1)})
+	if s1.Nodes[0].PrevEst != 0 {
+		t.Error("first sighting has nonzero PrevEst")
+	}
+	s2 := b.Build(0, 0, []AgentReading{reading(0, 9, 0.8, 1)})
+	if s2.Nodes[0].PrevEst != s1.Nodes[0].Est {
+		t.Errorf("PrevEst = %v, want previous Est %v", s2.Nodes[0].PrevEst, s1.Nodes[0].Est)
+	}
+	if s2.Jobs[0].PrevPower != s1.Nodes[0].Est {
+		t.Errorf("job PrevPower = %v", s2.Jobs[0].PrevPower)
+	}
+	if s2.Jobs[0].RateOfIncrease() <= 0 {
+		t.Error("rising job has non-positive rate")
+	}
+}
+
+func TestBuilderEstLowerAtFloor(t *testing.T) {
+	b := NewBuilder(power.TianheNode())
+	snap := b.Build(0, 0, []AgentReading{reading(0, 0, 0.9, 1)})
+	n := snap.Nodes[0]
+	if !n.AtLowest {
+		t.Error("level-0 node not AtLowest")
+	}
+	if n.EstLower != n.Est {
+		t.Errorf("floor node EstLower %v != Est %v", n.EstLower, n.Est)
+	}
+}
+
+func TestBuilderJobOrderDeterministic(t *testing.T) {
+	b := NewBuilder(power.TianheNode())
+	snap := b.Build(0, 0, []AgentReading{
+		reading(0, 9, 0.9, 7),
+		reading(1, 9, 0.9, 3),
+		reading(2, 9, 0.9, 5),
+	})
+	if len(snap.Jobs) != 3 || snap.Jobs[0].ID != 3 || snap.Jobs[1].ID != 5 || snap.Jobs[2].ID != 7 {
+		t.Errorf("job order = %+v", snap.Jobs)
+	}
+}
+
+func TestCollectorEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cl, err := cluster.New(cluster.Config{Nodes: 8, Model: power.TianheNode(), Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := scheduler.New(cl.Nodes(), scheduler.Config{ProcsPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := workload.NPB(workload.ClassC)
+	sched.Submit(workload.Request{Spec: suite[0], NProcs: 8}) // EP on 4 nodes
+
+	coll := NewCollector(cl, sched)
+	b := NewBuilder(power.TianheNode())
+
+	// Warm-up cycle: first collection has no previous snapshot.
+	now := time.Second
+	sched.Tick(now, time.Second)
+	cl.Tick(time.Second)
+	first := coll.Collect(now)
+	if len(first) != 8 {
+		t.Fatalf("readings = %d", len(first))
+	}
+	b.Build(cl.TruePower(), 0, first)
+
+	// Second cycle: deltas now carry real utilisation.
+	now += time.Second
+	cl.Tick(time.Second)
+	sched.Tick(now, time.Second)
+	snap := b.Build(cl.TruePower(), 0, coll.Collect(now))
+	if len(snap.Jobs) != 1 {
+		t.Fatalf("jobs = %+v", snap.Jobs)
+	}
+	if got := len(snap.Jobs[0].Nodes); got != 4 {
+		t.Errorf("job nodes = %d, want 4", got)
+	}
+	// Estimated job power should be in a plausible band for 4 busy
+	// EP nodes (≈250-300 W each).
+	if p := snap.Jobs[0].Power; p < 800 || p > 1400 {
+		t.Errorf("estimated job power = %v", p)
+	}
+}
+
+func TestCollectorSkipsPrivilegedNodes(t *testing.T) {
+	cl, _ := cluster.New(cluster.Config{Nodes: 8, Model: power.TianheNode(), Privileged: 3})
+	coll := NewCollector(cl, nil)
+	if got := len(coll.Collect(time.Second)); got != 5 {
+		t.Errorf("collected %d readings, want 5 candidates only", got)
+	}
+}
+
+func TestClusterActuator(t *testing.T) {
+	cl, _ := cluster.New(cluster.Config{Nodes: 2, Model: power.TianheNode()})
+	act := ClusterActuator{Cluster: cl}
+	if err := act.SetNodeLevel(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Node(1).Level() != 3 {
+		t.Error("level not applied")
+	}
+	if err := act.SetNodeLevel(99, 3); err == nil {
+		t.Error("unknown node accepted")
+	}
+}

@@ -1,0 +1,397 @@
+// Package managerd implements the global power manager as a network
+// daemon: it accepts TCP connections from per-node profiling agents
+// (internal/agentd), keeps the freshest sample per node, and runs the
+// power capping algorithm (Algorithm 1) every control cycle, pushing level
+// commands back down the agent connections.
+//
+// The daemon accounts its own busy time per cycle; Figure 5's management
+// cost curve is this measured collect+estimate+select time as a fraction
+// of the control period, at increasing candidate set sizes.
+package managerd
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/manager"
+	"repro/internal/node"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// Config parametrises the daemon.
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:7077". Port 0
+	// selects an ephemeral port (see Server.Addr).
+	Addr string
+	// Model is the fleet's power profile model (formula 1 runs centrally).
+	Model power.Model
+	// Policy is the target set selection policy.
+	Policy policy.Policy
+	// Tg is Algorithm 1's steady-green patience, in cycles.
+	Tg int
+	// ControlEvery is the control cycle period τ.
+	ControlEvery time.Duration
+	// Thresholds are the administrator-set operating thresholds, used as
+	// long as Learn is nil.
+	Thresholds power.Thresholds
+	// StaleAfter drops samples older than this from the cycle's view;
+	// zero defaults to 3 control periods.
+	StaleAfter time.Duration
+	// Learn, when non-nil, enables §III.A threshold learning: the daemon
+	// starts from Thresholds, observes the fleet's peak for Training of
+	// wall time, then re-derives the thresholds from the lifetime peak
+	// every AdjustEvery cycles.
+	Learn *LearnConfig
+}
+
+// LearnConfig parametrises daemon-side threshold learning.
+type LearnConfig struct {
+	// PMax seeds the learner's initial P_peak.
+	PMax units.Watts
+	// Training is the uncapped observation window (wall time).
+	Training time.Duration
+	// AdjustEvery is t_p in control cycles; zero defaults to 60.
+	AdjustEvery int
+}
+
+// agentConn is one connected agent.
+type agentConn struct {
+	conn     *wire.Conn
+	sendMu   sync.Mutex
+	maxLevel int
+
+	last   manager.AgentReading
+	lastAt time.Time
+	seen   bool
+}
+
+// Server is a running manager daemon.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu      sync.Mutex
+	agents  map[node.ID]*agentConn
+	builder *manager.Builder
+
+	// mgrMu guards mgr (the control loop cycles it while Status reads
+	// its counters). It must never be held while taking mu: the
+	// actuator locks mu during Cycle.
+	mgrMu sync.Mutex
+	mgr   *manager.Manager
+
+	busy    time.Duration
+	lastP   units.Watts
+	thr     power.Thresholds
+	learner *power.Learner
+	started time.Time
+	stale   int
+	cmdErrs int
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New validates the configuration and creates an unstarted server.
+func New(cfg Config) (*Server, error) {
+	if cfg.ControlEvery <= 0 {
+		return nil, fmt.Errorf("managerd: need positive control period")
+	}
+	if err := cfg.Thresholds.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.StaleAfter <= 0 {
+		cfg.StaleAfter = 3 * cfg.ControlEvery
+	}
+	mgr, err := manager.New(manager.Config{Tg: cfg.Tg, Policy: cfg.Policy})
+	if err != nil {
+		return nil, err
+	}
+	srv := &Server{
+		cfg:     cfg,
+		agents:  make(map[node.ID]*agentConn),
+		builder: manager.NewBuilder(cfg.Model),
+		mgr:     mgr,
+		thr:     cfg.Thresholds,
+		stopCh:  make(chan struct{}),
+	}
+	if cfg.Learn != nil {
+		adj := cfg.Learn.AdjustEvery
+		if adj <= 0 {
+			adj = 60
+		}
+		learner, err := power.NewLearner(cfg.Learn.PMax, cfg.Learn.Training, adj)
+		if err != nil {
+			return nil, err
+		}
+		srv.learner = learner
+	}
+	return srv, nil
+}
+
+// Start binds the listener and launches the accept loop and control loop.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("managerd: listen: %w", err)
+	}
+	s.ln = ln
+	s.started = time.Now()
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.controlLoop()
+	return nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Stop shuts the daemon down and waits for its goroutines.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stopCh)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.mu.Lock()
+		for _, a := range s.agents {
+			a.conn.Close()
+		}
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		raw, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stopCh:
+				return
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(wire.NewConn(raw))
+	}
+}
+
+// serveConn handles one inbound connection: agents send hello then a
+// stream of samples; control clients send a status request and get one
+// reply.
+func (s *Server) serveConn(conn *wire.Conn) {
+	defer s.wg.Done()
+	first, err := conn.Recv()
+	if err != nil {
+		conn.Close()
+		return
+	}
+	switch first.Type {
+	case wire.KindStatus:
+		st := s.Status()
+		_ = conn.Send(wire.Envelope{Type: wire.KindStatus, Stats: &st})
+		conn.Close()
+		return
+	case wire.KindHello:
+		// fall through to the agent loop
+	default:
+		conn.Close()
+		return
+	}
+
+	id := node.ID(first.Node)
+	ac := &agentConn{conn: conn, maxLevel: first.MaxLevel}
+	s.mu.Lock()
+	if old, ok := s.agents[id]; ok {
+		old.conn.Close()
+	}
+	s.agents[id] = ac
+	s.mu.Unlock()
+
+	for {
+		env, err := conn.Recv()
+		if err != nil {
+			break
+		}
+		switch env.Type {
+		case wire.KindSample:
+			r := env.Reading()
+			r.ID = id // trust the connection identity, not the payload
+			r.MaxLevel = ac.maxLevel
+			s.mu.Lock()
+			ac.last, ac.lastAt, ac.seen = r, time.Now(), true
+			s.mu.Unlock()
+		case wire.KindAck:
+			// informational
+		}
+	}
+	s.mu.Lock()
+	if s.agents[id] == ac {
+		delete(s.agents, id)
+	}
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// actuator routes manager commands to agent connections.
+type actuator struct{ s *Server }
+
+// SetNodeLevel implements manager.Actuator.
+func (a actuator) SetNodeLevel(id node.ID, level int) error {
+	a.s.mu.Lock()
+	ac, ok := a.s.agents[id]
+	a.s.mu.Unlock()
+	if !ok {
+		a.s.mu.Lock()
+		a.s.cmdErrs++
+		a.s.mu.Unlock()
+		return fmt.Errorf("managerd: no agent for node %d", id)
+	}
+	ac.sendMu.Lock()
+	err := ac.conn.Send(wire.Envelope{Type: wire.KindCommand, Node: int(id), Level: level})
+	ac.sendMu.Unlock()
+	if err != nil {
+		a.s.mu.Lock()
+		a.s.cmdErrs++
+		a.s.mu.Unlock()
+	}
+	return err
+}
+
+func (s *Server) controlLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.ControlEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-tick.C:
+			s.cycle()
+		}
+	}
+}
+
+// cycle runs one control cycle: gather fresh readings, estimate system
+// power, classify, select and command. The daemon has no facility meter,
+// so system power is the sum of per-node estimates — the documented
+// substitution for deployments without a meter (the Observability
+// assumption allows estimation "to a sufficient accuracy").
+func (s *Server) cycle() {
+	t0 := time.Now()
+
+	s.mu.Lock()
+	readings := make([]manager.AgentReading, 0, len(s.agents))
+	for _, ac := range s.agents {
+		if !ac.seen {
+			continue
+		}
+		if time.Since(ac.lastAt) > s.cfg.StaleAfter {
+			s.stale++
+			continue
+		}
+		readings = append(readings, ac.last)
+	}
+	s.mu.Unlock()
+
+	var p units.Watts
+	for _, r := range readings {
+		p += s.cfg.Model.Estimate(r.Delta, r.Level)
+	}
+	thr := s.cfg.Thresholds
+	capping := true
+	if s.learner != nil {
+		thr = s.learner.Observe(time.Since(s.started), p)
+		capping = s.learner.Trained()
+	}
+	s.mu.Lock()
+	s.thr = thr
+	s.mu.Unlock()
+	snap := s.builder.Build(p, thr.PL, readings)
+	if capping {
+		s.mgrMu.Lock()
+		_, _, _ = s.mgr.Cycle(p, thr, snap, actuator{s})
+		s.mgrMu.Unlock()
+	}
+
+	s.mu.Lock()
+	s.lastP = p
+	s.busy += time.Since(t0)
+	s.mu.Unlock()
+}
+
+// Status reports the daemon's counters, including the measured management
+// cost (busy time over elapsed control time).
+func (s *Server) Status() wire.StatusReply {
+	s.mgrMu.Lock()
+	st := s.mgr.Stats()
+	s.mgrMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := wire.StatusReply{
+		Agents:        len(s.agents),
+		Cycles:        st.Cycles,
+		GreenCycles:   st.GreenCycles,
+		YellowCycles:  st.YellowCycles,
+		RedCycles:     st.RedCycles,
+		RedEntries:    st.RedEntries,
+		DegradeOps:    st.DegradeOps,
+		RestoreOps:    st.RestoreOps,
+		BusyMicros:    s.busy.Microseconds(),
+		LastPowerW:    float64(s.lastP),
+		ThresholdPLW:  float64(s.thr.PL),
+		ThresholdPHW:  float64(s.thr.PH),
+		DroppedStale:  s.stale,
+		CommandErrors: s.cmdErrs,
+	}
+	if st.Cycles > 0 {
+		rep.CPUUtilise = float64(s.busy) / float64(time.Duration(st.Cycles)*s.cfg.ControlEvery)
+	}
+	return rep
+}
+
+// QueryStatus connects to a manager daemon and fetches its status.
+func QueryStatus(addr string, timeout time.Duration) (wire.StatusReply, error) {
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return wire.StatusReply{}, err
+	}
+	conn := wire.NewConn(raw)
+	defer conn.Close()
+	if err := raw.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return wire.StatusReply{}, err
+	}
+	if err := conn.Send(wire.Envelope{Type: wire.KindStatus}); err != nil {
+		return wire.StatusReply{}, err
+	}
+	env, err := conn.Recv()
+	if err != nil {
+		return wire.StatusReply{}, err
+	}
+	if env.Type != wire.KindStatus || env.Stats == nil {
+		return wire.StatusReply{}, fmt.Errorf("managerd: unexpected reply %q", env.Type)
+	}
+	return *env.Stats, nil
+}

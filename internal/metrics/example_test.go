@@ -1,0 +1,35 @@
+package metrics_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/units"
+)
+
+func ExampleSeries_OverspendRatio() {
+	// A power signal that spends one of its three seconds 50 W above a
+	// 100 W provision threshold.
+	var s metrics.Series
+	s.Add(0, 100)
+	s.Add(1*time.Second, 150)
+	s.Add(2*time.Second, 150)
+	s.Add(3*time.Second, 100)
+
+	// ΔP×T = energy above the threshold / total energy (§V.C metric 4):
+	// 100 J of overspend against 400 J of total energy.
+	fmt.Printf("ΔP×T = %.3f\n", s.OverspendRatio(100))
+	// Output: ΔP×T = 0.250
+}
+
+func ExampleHistogram_Quantile() {
+	var s metrics.Series
+	for i := 0; i <= 9; i++ {
+		s.Add(time.Duration(i)*time.Second, 30000)
+	}
+	s.Add(10*time.Second, units.KW(38)) // one brief spike
+	h := metrics.NewHistogram(&s)
+	fmt.Printf("p50 = %v\n", h.Quantile(0.50))
+	// Output: p50 = 30.00 kW
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// SlowdownLoss returns the job's relative performance loss
+// T_cap/T_ref − 1 (0 for a lossless job). Unfinished jobs return NaN.
+func SlowdownLoss(j *workload.Job) float64 {
+	if !j.Done() || j.ReferenceDuration() <= 0 {
+		return math.NaN()
+	}
+	loss := float64(j.ActualDuration())/float64(j.ReferenceDuration()) - 1
+	if loss < 0 {
+		return 0
+	}
+	return loss
+}
+
+// JainFairness computes Jain's fairness index over the per-job slowdown
+// losses:
+//
+//	J = (Σ x_i)² / (n · Σ x_i²)
+//
+// J = 1 when every job bears the same loss; J → 1/n when one job bears
+// all of it. §IV argues state-based policies are "not fair when the
+// targeted job does not cause the problem" and motivates HRI as the
+// fairer alternative — this index makes the claim measurable. A run with
+// no losses at all returns 1 (vacuous fairness); an empty job set NaN.
+func JainFairness(jobs []*workload.Job) float64 {
+	n, sum, sumsq := 0, 0.0, 0.0
+	for _, j := range jobs {
+		loss := SlowdownLoss(j)
+		if math.IsNaN(loss) {
+			continue
+		}
+		n++
+		sum += loss
+		sumsq += loss * loss
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	if sumsq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumsq)
+}
+
+// MaxSlowdownLoss returns the worst per-job loss (the straggler's pain).
+func MaxSlowdownLoss(jobs []*workload.Job) float64 {
+	max := 0.0
+	for _, j := range jobs {
+		if loss := SlowdownLoss(j); !math.IsNaN(loss) && loss > max {
+			max = loss
+		}
+	}
+	return max
+}
+
+// BenchmarkBreakdown summarises per-benchmark outcomes: which workloads
+// pay for power capping under a given policy.
+type BenchmarkBreakdown struct {
+	Benchmark   string
+	Jobs        int
+	Performance float64 // mean T_ref/T_cap
+	CPLJFrac    float64
+	MaxLoss     float64
+}
+
+// ByBenchmark groups finished jobs by benchmark name, sorted by name.
+func ByBenchmark(jobs []*workload.Job, tol float64) []BenchmarkBreakdown {
+	type acc struct {
+		n, lossless int
+		perf, maxL  float64
+	}
+	m := map[string]*acc{}
+	for _, j := range jobs {
+		if !j.Done() || j.ActualDuration() <= 0 {
+			continue
+		}
+		a, ok := m[j.Spec().Name]
+		if !ok {
+			a = &acc{}
+			m[j.Spec().Name] = a
+		}
+		a.n++
+		a.perf += float64(j.ReferenceDuration()) / float64(j.ActualDuration())
+		if j.Lossless(tol) {
+			a.lossless++
+		}
+		if loss := SlowdownLoss(j); loss > a.maxL {
+			a.maxL = loss
+		}
+	}
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]BenchmarkBreakdown, 0, len(names))
+	for _, name := range names {
+		a := m[name]
+		out = append(out, BenchmarkBreakdown{
+			Benchmark:   name,
+			Jobs:        a.n,
+			Performance: a.perf / float64(a.n),
+			CPLJFrac:    float64(a.lossless) / float64(a.n),
+			MaxLoss:     a.maxL,
+		})
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/workload"
+)
+
+// mkJobSlow builds a finished job run at the given constant slowdown.
+func mkJobSlow(t *testing.T, name string, slow float64) *workload.Job {
+	t.Helper()
+	spec, err := workload.SpecByName(workload.NPB(workload.ClassC), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := workload.NewJob(1, workload.Request{Spec: spec, NProcs: 8},
+		[]node.ID{0}, 0, workload.JobConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Duration(0)
+	for !j.Done() {
+		j.Advance(now, time.Second, slow)
+		now += time.Second
+	}
+	return j
+}
+
+func TestSlowdownLoss(t *testing.T) {
+	fast := mkJobSlow(t, "EP", 1.0)
+	if got := SlowdownLoss(fast); got != 0 {
+		t.Errorf("lossless job loss = %v", got)
+	}
+	slow := mkJobSlow(t, "EP", 0.5)
+	if got := SlowdownLoss(slow); got <= 0.5 {
+		t.Errorf("half-speed EP loss = %v, want ≈1 (doubled runtime)", got)
+	}
+	spec, _ := workload.SpecByName(workload.NPB(workload.ClassC), "EP")
+	unfinished, _ := workload.NewJob(2, workload.Request{Spec: spec, NProcs: 8},
+		[]node.ID{0}, 0, workload.JobConfig{})
+	if !math.IsNaN(SlowdownLoss(unfinished)) {
+		t.Error("unfinished job loss not NaN")
+	}
+}
+
+func TestJainFairnessExtremes(t *testing.T) {
+	fast := mkJobSlow(t, "EP", 1.0)
+	slow := mkJobSlow(t, "EP", 0.5)
+	// One of four jobs bears all the loss: J = 1/4.
+	jobs := []*workload.Job{slow, fast, fast, fast}
+	if got := JainFairness(jobs); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("concentrated loss J = %v, want 0.25", got)
+	}
+	// All jobs equally slowed: J = 1.
+	even := []*workload.Job{
+		mkJobSlow(t, "EP", 0.8), mkJobSlow(t, "EP", 0.8), mkJobSlow(t, "EP", 0.8),
+	}
+	if got := JainFairness(even); math.Abs(got-1) > 1e-9 {
+		t.Errorf("even loss J = %v, want 1", got)
+	}
+	// No losses at all: vacuous fairness 1.
+	if got := JainFairness([]*workload.Job{fast, fast}); got != 1 {
+		t.Errorf("lossless J = %v", got)
+	}
+	if !math.IsNaN(JainFairness(nil)) {
+		t.Error("empty set not NaN")
+	}
+}
+
+func TestMaxSlowdownLoss(t *testing.T) {
+	jobs := []*workload.Job{
+		mkJobSlow(t, "EP", 1.0),
+		mkJobSlow(t, "EP", 0.8),
+		mkJobSlow(t, "EP", 0.6),
+	}
+	got := MaxSlowdownLoss(jobs)
+	want := SlowdownLoss(jobs[2])
+	if got != want {
+		t.Errorf("max loss = %v, want %v", got, want)
+	}
+	if MaxSlowdownLoss(nil) != 0 {
+		t.Error("empty max loss")
+	}
+}
+
+func TestByBenchmark(t *testing.T) {
+	jobs := []*workload.Job{
+		mkJobSlow(t, "EP", 1.0),
+		mkJobSlow(t, "EP", 0.5),
+		mkJobSlow(t, "CG", 1.0),
+	}
+	rows := ByBenchmark(jobs, DefaultLosslessTol)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// Sorted by name: CG first.
+	if rows[0].Benchmark != "CG" || rows[1].Benchmark != "EP" {
+		t.Errorf("order = %v, %v", rows[0].Benchmark, rows[1].Benchmark)
+	}
+	cg, ep := rows[0], rows[1]
+	if cg.Jobs != 1 || cg.CPLJFrac != 1 || cg.Performance < 0.999 {
+		t.Errorf("CG = %+v", cg)
+	}
+	if ep.Jobs != 2 || ep.CPLJFrac != 0.5 {
+		t.Errorf("EP = %+v", ep)
+	}
+	if ep.MaxLoss <= 0.5 {
+		t.Errorf("EP max loss = %v", ep.MaxLoss)
+	}
+	if got := ByBenchmark(nil, 0.001); len(got) != 0 {
+		t.Errorf("empty breakdown = %v", got)
+	}
+}

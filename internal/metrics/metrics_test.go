@@ -1,0 +1,215 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func series(t *testing.T, pts ...float64) *Series {
+	t.Helper()
+	s := &Series{}
+	for i, p := range pts {
+		if err := s.Add(time.Duration(i)*time.Second, units.Watts(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestAddOrdering(t *testing.T) {
+	s := &Series{}
+	if err := s.Add(time.Second, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(time.Second, 101); err != nil {
+		t.Errorf("equal timestamps should be allowed: %v", err)
+	}
+	if err := s.Add(0, 99); err == nil {
+		t.Error("out-of-order sample accepted")
+	}
+}
+
+func TestMaxMeanEnergy(t *testing.T) {
+	s := series(t, 100, 200, 300, 200)
+	if s.Max() != 300 {
+		t.Errorf("max = %v", s.Max())
+	}
+	// Trapezoid: (150+250+250) = 650 J over 3 s.
+	if got := float64(s.Energy()); math.Abs(got-650) > 1e-9 {
+		t.Errorf("energy = %v, want 650", got)
+	}
+	if got := float64(s.Mean()); math.Abs(got-650.0/3) > 1e-9 {
+		t.Errorf("mean = %v", got)
+	}
+	if s.Span() != 3*time.Second {
+		t.Errorf("span = %v", s.Span())
+	}
+}
+
+func TestDegenerateSeries(t *testing.T) {
+	empty := &Series{}
+	if empty.Max() != 0 || empty.Energy() != 0 || empty.Mean() != 0 {
+		t.Error("empty series should be all zeros")
+	}
+	single := series(t, 500)
+	if single.Mean() != 500 {
+		t.Errorf("single-sample mean = %v", single.Mean())
+	}
+	if single.Energy() != 0 {
+		t.Error("single sample has no energy")
+	}
+}
+
+func TestOverspendEnergyFlatSegments(t *testing.T) {
+	s := series(t, 150, 150, 150)
+	if got := float64(s.OverspendEnergy(100)); math.Abs(got-100) > 1e-9 {
+		t.Errorf("overspend = %v, want 100 (50 W × 2 s)", got)
+	}
+	if got := s.OverspendEnergy(200); got != 0 {
+		t.Errorf("overspend above series = %v", got)
+	}
+}
+
+func TestOverspendEnergyCrossing(t *testing.T) {
+	// Segment from 50 to 150 over 1 s, threshold 100: above for the
+	// second half, triangle area = 0.5 s × 50 W / 2 = 12.5 J.
+	s := series(t, 50, 150)
+	if got := float64(s.OverspendEnergy(100)); math.Abs(got-12.5) > 1e-9 {
+		t.Errorf("rising crossing = %v, want 12.5", got)
+	}
+	// Falling through.
+	s2 := series(t, 150, 50)
+	if got := float64(s2.OverspendEnergy(100)); math.Abs(got-12.5) > 1e-9 {
+		t.Errorf("falling crossing = %v, want 12.5", got)
+	}
+}
+
+func TestTimeAbove(t *testing.T) {
+	s := series(t, 50, 150, 150, 50)
+	// Rises through 100 at t=0.5, falls through at t=2.5 → 2 s above.
+	if got := s.TimeAbove(100); got != 2*time.Second {
+		t.Errorf("time above = %v, want 2 s", got)
+	}
+	if got := s.TimeAbove(200); got != 0 {
+		t.Errorf("time above 200 = %v", got)
+	}
+	if got := s.TimeAbove(0); got != 3*time.Second {
+		t.Errorf("time above 0 = %v, want whole span", got)
+	}
+}
+
+func TestOverspendRatioDefinition(t *testing.T) {
+	// ΔP×T = overspend energy / total energy.
+	s := series(t, 150, 150, 150)
+	want := 100.0 / 300.0
+	if got := s.OverspendRatio(100); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ΔP×T = %v, want %v", got, want)
+	}
+	if got := s.OverspendRatio(1000); got != 0 {
+		t.Errorf("no-overspend ratio = %v", got)
+	}
+	if got := (&Series{}).OverspendRatio(10); got != 0 {
+		t.Errorf("empty-series ratio = %v", got)
+	}
+}
+
+// Property: 0 ≤ overspend ≤ total for any non-negative series; ratio in
+// [0,1]; TimeAbove ≤ span.
+func TestOverspendBoundsProperty(t *testing.T) {
+	f := func(vals []uint16, thRaw uint16) bool {
+		s := &Series{}
+		for i, v := range vals {
+			s.Add(time.Duration(i)*time.Second, units.Watts(v))
+		}
+		th := units.Watts(thRaw)
+		over := float64(s.OverspendEnergy(th))
+		total := float64(s.Energy())
+		if over < 0 || over > total+1e-9 {
+			return false
+		}
+		r := s.OverspendRatio(th)
+		if r < 0 || r > 1 {
+			return false
+		}
+		return s.TimeAbove(th) <= s.Span()+time.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// mkDoneJob fabricates a finished job by advancing it at the given
+// slowdown.
+func mkDoneJob(t *testing.T, slow float64) *workload.Job {
+	t.Helper()
+	spec, err := workload.SpecByName(workload.NPB(workload.ClassC), "EP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := workload.NewJob(1, workload.Request{Spec: spec, NProcs: 8},
+		[]node.ID{0}, 0, workload.JobConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Duration(0)
+	for !j.Done() {
+		j.Advance(now, time.Second, slow)
+		now += time.Second
+	}
+	return j
+}
+
+func TestPerformanceMetric(t *testing.T) {
+	fast := mkDoneJob(t, 1.0)
+	slow := mkDoneJob(t, 0.5)
+	perf := Performance([]*workload.Job{fast, slow})
+	if perf >= 1 || perf <= 0 {
+		t.Errorf("perf = %v", perf)
+	}
+	// Mean of ratios: fast contributes 1.0 exactly.
+	if p := Performance([]*workload.Job{fast}); math.Abs(p-1) > 1e-9 {
+		t.Errorf("unthrottled perf = %v, want 1", p)
+	}
+	if !math.IsNaN(Performance(nil)) {
+		t.Error("empty job set should yield NaN")
+	}
+}
+
+func TestCPLJ(t *testing.T) {
+	fast := mkDoneJob(t, 1.0)
+	slow := mkDoneJob(t, 0.5)
+	jobs := []*workload.Job{fast, slow}
+	if got := CPLJ(jobs, DefaultLosslessTol); got != 1 {
+		t.Errorf("CPLJ = %d, want 1", got)
+	}
+	if got := CPLJFraction(jobs, DefaultLosslessTol); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("CPLJ fraction = %v", got)
+	}
+	if !math.IsNaN(CPLJFraction(nil, 0.01)) {
+		t.Error("empty CPLJ fraction should be NaN")
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	s := series(t, 100, 200, 100)
+	jobs := []*workload.Job{mkDoneJob(t, 1.0)}
+	sum := Summarise(s, 150, jobs)
+	if sum.PMax != 200 {
+		t.Errorf("PMax = %v", sum.PMax)
+	}
+	if sum.JobsDone != 1 || sum.CPLJ != 1 {
+		t.Errorf("jobs = %+v", sum)
+	}
+	if sum.Overspend <= 0 {
+		t.Error("overspend should be positive (peak 200 > 150)")
+	}
+	if math.Abs(sum.Performance-1) > 1e-9 {
+		t.Errorf("performance = %v", sum.Performance)
+	}
+}

@@ -1,0 +1,231 @@
+// Package node models a compute node of the cluster: its devices, its
+// discrete power level (actuated by switching the DVFS operating point of
+// all cores synchronously, as on the paper's testbed), its simulated kernel
+// counters, and its true electrical draw.
+//
+// The node keeps two views of its state deliberately separate:
+//
+//   - the *true* operating point (load fractions set by the workload layer
+//     each tick) from which true power is derived, and
+//   - the procfs counters a profiling agent samples, from which the power
+//     manager *estimates* power via formula (1).
+//
+// A small per-node distortion between the two reproduces the reality that
+// the profile model is only "accurate enough for power management"
+// (Observability, §II.D) rather than exact.
+package node
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/power"
+	"repro/internal/procfs"
+	"repro/internal/units"
+)
+
+// ID identifies a node within the cluster.
+type ID int
+
+// Load is a node's instantaneous resource operating point, produced by the
+// workload layer every tick.
+type Load struct {
+	CPUUtil float64 // busy fraction of all cores, [0,1]
+	MemFrac float64 // fraction of installed memory in use, [0,1]
+	NICFrac float64 // fraction of NIC bandwidth in use, [0,1]
+}
+
+// clamp bounds every fraction to [0,1].
+func (l Load) clamp() Load {
+	return Load{
+		CPUUtil: units.Clamp(l.CPUUtil, 0, 1),
+		MemFrac: units.Clamp(l.MemFrac, 0, 1),
+		NICFrac: units.Clamp(l.NICFrac, 0, 1),
+	}
+}
+
+// IsIdle reports whether the load is negligible on every device.
+func (l Load) IsIdle() bool {
+	return l.CPUUtil < 0.01 && l.NICFrac < 0.01
+}
+
+// Node is one compute node.
+type Node struct {
+	id           ID
+	model        power.Model
+	controllable bool
+	// pinned marks temporary privilege: the node currently runs a
+	// high-priority job and must not be degraded (§II.A). Pinning is
+	// orthogonal to the static controllable flag — the candidate set
+	// "may vary during the execution of the system since the tasks
+	// running on a node may change".
+	pinned bool
+
+	level int
+	load  Load
+	fs    *procfs.FS
+
+	// distortion is the fixed relative error of the node's true draw
+	// against the profile model; jitterSigma adds per-read flicker.
+	distortion  float64
+	jitterSigma float64
+	rng         *rand.Rand
+
+	// thermalFactor is the temperature-driven power multiplier (≥ 1)
+	// applied by the thermal feedback loop; 1 when thermal modelling is
+	// off.
+	thermalFactor float64
+}
+
+// Config parametrises node construction.
+type Config struct {
+	Model power.Model
+	// Controllable marks the node as a member of A_candidate material;
+	// privileged nodes (A_uncontrollable) are built with false.
+	Controllable bool
+	// ModelError is the maximal fixed relative distortion between true
+	// power and the profile model (a value in [0,1), drawn uniformly in
+	// ±ModelError per node). Zero yields a perfectly modelled node.
+	ModelError float64
+	// JitterSigma is the relative σ of per-read power flicker.
+	JitterSigma float64
+	// Rng drives the distortion draw and flicker; nil disables both.
+	Rng *rand.Rand
+}
+
+// New constructs a node at the top power level with no load.
+func New(id ID, cfg Config) (*Node, error) {
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("node %d: %w", id, err)
+	}
+	if cfg.ModelError < 0 || cfg.ModelError >= 1 {
+		return nil, fmt.Errorf("node %d: ModelError %v out of [0,1)", id, cfg.ModelError)
+	}
+	n := &Node{
+		id:           id,
+		model:        cfg.Model,
+		controllable: cfg.Controllable,
+		level:        cfg.Model.Levels() - 1,
+		fs:           procfs.New(cfg.Model.Mem.TotalBytes),
+		jitterSigma:  cfg.JitterSigma,
+		rng:          cfg.Rng,
+	}
+	n.thermalFactor = 1
+	if cfg.Rng != nil && cfg.ModelError > 0 {
+		n.distortion = (cfg.Rng.Float64()*2 - 1) * cfg.ModelError
+	}
+	return n, nil
+}
+
+// SetThermalFactor installs the temperature→power feedback multiplier
+// (§I.A: hotter silicon leaks more at the same performance state).
+// Factors below 1 are clamped to 1.
+func (n *Node) SetThermalFactor(f float64) {
+	if f < 1 {
+		f = 1
+	}
+	n.thermalFactor = f
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() ID { return n.id }
+
+// Model returns the node's power profile model.
+func (n *Node) Model() power.Model { return n.model }
+
+// Controllable reports whether the node may appear in A_candidate. Nodes
+// with no power management facility, statically privileged nodes, and
+// nodes currently pinned by a high-priority job return false (§II.A).
+func (n *Node) Controllable() bool { return n.controllable && !n.pinned }
+
+// SetControllable updates the static privileged/candidate classification;
+// §III.A notes the candidate set "can be adjusted during the execution of
+// the system".
+func (n *Node) SetControllable(c bool) { n.controllable = c }
+
+// Pinned reports whether a high-priority job currently holds the node out
+// of A_candidate.
+func (n *Node) Pinned() bool { return n.pinned }
+
+// SetPinned toggles temporary privilege. The scheduler pins member nodes
+// of high-priority jobs for the jobs' lifetime.
+func (n *Node) SetPinned(p bool) { n.pinned = p }
+
+// Levels returns the number of discrete power levels.
+func (n *Node) Levels() int { return n.model.Levels() }
+
+// Level returns the current power level (0 = lowest).
+func (n *Node) Level() int { return n.level }
+
+// AtLowest reports whether the node cannot be degraded further.
+func (n *Node) AtLowest() bool { return n.level == 0 }
+
+// AtHighest reports whether the node is at full performance.
+func (n *Node) AtHighest() bool { return n.level == n.model.Levels()-1 }
+
+// ErrUncontrollable is returned when a level change is attempted on a
+// privileged node.
+var ErrUncontrollable = fmt.Errorf("node: level change on uncontrollable node")
+
+// SetLevel actuates a power state change (a DVFS switch of all cores).
+// Levels outside the table are clamped. Privileged nodes refuse.
+func (n *Node) SetLevel(l int) error {
+	if !n.controllable || n.pinned {
+		return fmt.Errorf("%w (node %d)", ErrUncontrollable, n.id)
+	}
+	if l < 0 {
+		l = 0
+	}
+	if max := n.model.Levels() - 1; l > max {
+		l = max
+	}
+	n.level = l
+	return nil
+}
+
+// SlowdownFactor returns f(level)/f(max) for workload progress scaling.
+func (n *Node) SlowdownFactor() float64 { return n.model.CPU.SlowdownFactor(n.level) }
+
+// SetLoad installs the instantaneous operating point for the next tick.
+func (n *Node) SetLoad(l Load) { n.load = l.clamp() }
+
+// Load returns the current operating point.
+func (n *Node) Load() Load { return n.load }
+
+// Idle reports whether the node currently carries negligible load.
+func (n *Node) Idle() bool { return n.load.IsIdle() }
+
+// Tick advances the simulated kernel counters by dt under the current load:
+// CPU jiffies across all cores, memory occupancy, NIC byte counters at the
+// used fraction of link bandwidth.
+func (n *Node) Tick(dt time.Duration) {
+	n.fs.AccountCPU(dt, n.model.CPU.Cores(), n.load.CPUUtil)
+	n.fs.SetMemUsed(uint64(n.load.MemFrac * float64(n.model.Mem.TotalBytes)))
+	bytes := n.load.NICFrac * float64(n.model.NIC.Bandwidth) * dt.Seconds()
+	half := uint64(bytes / 2)
+	n.fs.AccountNet(half, uint64(bytes)-half)
+}
+
+// Snapshot reads the node's kernel counters, as the profiling agent does.
+func (n *Node) Snapshot(at time.Duration) procfs.Snapshot { return n.fs.Snapshot(at) }
+
+// TruePower returns the node's present electrical draw: the profile model
+// evaluated at the true operating point, warped by the node's fixed model
+// distortion and per-read flicker.
+func (n *Node) TruePower() units.Watts {
+	p := float64(n.model.Instant(n.load.CPUUtil, n.load.MemFrac, n.load.NICFrac, n.level))
+	p *= (1 + n.distortion) * n.thermalFactor
+	if n.rng != nil && n.jitterSigma > 0 {
+		p *= 1 + n.rng.NormFloat64()*n.jitterSigma
+	}
+	if p < 0 {
+		p = 0
+	}
+	return units.Watts(p)
+}
+
+// MaxPower returns the node's theoretical maximal draw P_i (for P_thy).
+func (n *Node) MaxPower() units.Watts {
+	return units.Watts(float64(n.model.MaxPower()) * (1 + n.distortion))
+}

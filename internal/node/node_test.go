@@ -1,0 +1,263 @@
+package node
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/power"
+	"repro/internal/procfs"
+	"repro/internal/units"
+)
+
+func newTestNode(t *testing.T, id ID, cfg Config) *Node {
+	t.Helper()
+	if cfg.Model.CPU.Sockets == 0 {
+		cfg.Model = power.TianheNode()
+	}
+	n, err := New(id, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewDefaults(t *testing.T) {
+	n := newTestNode(t, 7, Config{Controllable: true})
+	if n.ID() != 7 {
+		t.Errorf("id = %v", n.ID())
+	}
+	if !n.AtHighest() {
+		t.Error("new node not at highest level")
+	}
+	if n.Level() != 9 {
+		t.Errorf("level = %d, want 9", n.Level())
+	}
+	if !n.Idle() {
+		t.Error("new node not idle")
+	}
+	if n.Levels() != 10 {
+		t.Errorf("levels = %d", n.Levels())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, Config{}); err == nil {
+		t.Error("zero model accepted")
+	}
+	if _, err := New(0, Config{Model: power.TianheNode(), ModelError: 1.5}); err == nil {
+		t.Error("ModelError ≥ 1 accepted")
+	}
+}
+
+func TestSetLevelClamps(t *testing.T) {
+	n := newTestNode(t, 0, Config{Controllable: true})
+	if err := n.SetLevel(-5); err != nil {
+		t.Fatal(err)
+	}
+	if !n.AtLowest() {
+		t.Error("negative level not clamped to 0")
+	}
+	if err := n.SetLevel(100); err != nil {
+		t.Fatal(err)
+	}
+	if !n.AtHighest() {
+		t.Error("overlarge level not clamped to top")
+	}
+}
+
+func TestUncontrollableRefusesLevelChange(t *testing.T) {
+	n := newTestNode(t, 3, Config{Controllable: false})
+	err := n.SetLevel(0)
+	if !errors.Is(err, ErrUncontrollable) {
+		t.Errorf("err = %v, want ErrUncontrollable", err)
+	}
+	if n.Level() != 9 {
+		t.Error("level changed despite refusal")
+	}
+	n.SetControllable(true)
+	if err := n.SetLevel(0); err != nil {
+		t.Errorf("after SetControllable(true): %v", err)
+	}
+}
+
+func TestTruePowerIdleVsBusy(t *testing.T) {
+	n := newTestNode(t, 0, Config{Controllable: true})
+	idle := n.TruePower()
+	n.SetLoad(Load{CPUUtil: 1, MemFrac: 0.5, NICFrac: 0.3})
+	busy := n.TruePower()
+	if busy <= idle {
+		t.Errorf("busy %v not above idle %v", busy, idle)
+	}
+}
+
+func TestTruePowerFallsWithLevel(t *testing.T) {
+	n := newTestNode(t, 0, Config{Controllable: true})
+	n.SetLoad(Load{CPUUtil: 0.9, MemFrac: 0.5, NICFrac: 0.2})
+	prev := n.TruePower()
+	for l := n.Levels() - 2; l >= 0; l-- {
+		if err := n.SetLevel(l); err != nil {
+			t.Fatal(err)
+		}
+		cur := n.TruePower()
+		if cur >= prev {
+			t.Errorf("power did not fall moving to level %d: %v → %v", l, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestTruePowerDeterministicWithoutRng(t *testing.T) {
+	n := newTestNode(t, 0, Config{Controllable: true})
+	n.SetLoad(Load{CPUUtil: 0.5})
+	if n.TruePower() != n.TruePower() {
+		t.Error("power flickers with no rng configured")
+	}
+}
+
+func TestModelErrorBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		n := newTestNode(t, ID(i), Config{Controllable: true, ModelError: 0.03, Rng: rng})
+		n.SetLoad(Load{CPUUtil: 1, MemFrac: 1, NICFrac: 1})
+		est := float64(n.Model().Instant(1, 1, 1, n.Level()))
+		truth := float64(n.TruePower())
+		if rel := math.Abs(truth-est) / est; rel > 0.031 {
+			t.Errorf("node %d distortion %.4f exceeds configured 3%%", i, rel)
+		}
+	}
+}
+
+func TestSlowdownFactor(t *testing.T) {
+	n := newTestNode(t, 0, Config{Controllable: true})
+	if n.SlowdownFactor() != 1 {
+		t.Error("slowdown at top level != 1")
+	}
+	n.SetLevel(0)
+	want := 1.60 / 2.93
+	if got := n.SlowdownFactor(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("slowdown at bottom = %v", got)
+	}
+}
+
+func TestTickDrivesProcCounters(t *testing.T) {
+	n := newTestNode(t, 0, Config{Controllable: true})
+	prev := n.Snapshot(0)
+	n.SetLoad(Load{CPUUtil: 0.5, MemFrac: 0.25, NICFrac: 0.1})
+	for i := 0; i < 10; i++ {
+		n.Tick(100 * time.Millisecond)
+	}
+	cur := n.Snapshot(time.Second)
+	d, err := procfs.Diff(prev, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.CPUUtil-0.5) > 0.02 {
+		t.Errorf("agent-visible util = %v, want ≈0.5", d.CPUUtil)
+	}
+	memFrac := float64(d.MemUsed) / float64(d.MemTotal)
+	if math.Abs(memFrac-0.25) > 0.01 {
+		t.Errorf("mem frac = %v", memFrac)
+	}
+	nicFrac := float64(d.NICBytes) / float64(n.Model().NIC.Bandwidth)
+	if math.Abs(nicFrac-0.1) > 0.01 {
+		t.Errorf("nic frac over 1 s = %v, want ≈0.1", nicFrac)
+	}
+}
+
+func TestAgentEstimateTracksTruePower(t *testing.T) {
+	// End-to-end sensing: load → tick → snapshot deltas → formula (1)
+	// must reproduce true power exactly when ModelError is zero.
+	n := newTestNode(t, 0, Config{Controllable: true})
+	n.SetLoad(Load{CPUUtil: 0.8, MemFrac: 0.6, NICFrac: 0.2})
+	prev := n.Snapshot(0)
+	n.Tick(time.Second)
+	cur := n.Snapshot(time.Second)
+	d, err := procfs.Diff(prev, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := n.Model().Estimate(d, n.Level())
+	truth := n.TruePower()
+	if !units.ApproxEqual(float64(est), float64(truth), 0.01) {
+		t.Errorf("estimate %v vs true %v", est, truth)
+	}
+}
+
+func TestLoadClamp(t *testing.T) {
+	n := newTestNode(t, 0, Config{Controllable: true})
+	n.SetLoad(Load{CPUUtil: 3, MemFrac: -2, NICFrac: 1.5})
+	got := n.Load()
+	if got.CPUUtil != 1 || got.MemFrac != 0 || got.NICFrac != 1 {
+		t.Errorf("load not clamped: %+v", got)
+	}
+}
+
+func TestLoadIsIdle(t *testing.T) {
+	if !(Load{}).IsIdle() {
+		t.Error("zero load not idle")
+	}
+	if (Load{CPUUtil: 0.5}).IsIdle() {
+		t.Error("busy load reported idle")
+	}
+	if !(Load{MemFrac: 0.9}).IsIdle() {
+		t.Error("memory-only residency should still count as idle (no active work)")
+	}
+}
+
+func TestMaxPower(t *testing.T) {
+	n := newTestNode(t, 0, Config{Controllable: true})
+	if n.MaxPower() != n.Model().MaxPower() {
+		t.Error("undistorted MaxPower mismatch")
+	}
+}
+
+// Property: TruePower is always within the model's [0, MaxPower·(1+err)]
+// envelope for any load and level.
+func TestTruePowerEnvelopeProperty(t *testing.T) {
+	model := power.TianheNode()
+	rng := rand.New(rand.NewSource(9))
+	n, err := New(0, Config{Model: model, Controllable: true, ModelError: 0.05, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(cu, mf, nf float64, lvl uint8) bool {
+		n.SetLoad(Load{CPUUtil: math.Abs(math.Mod(cu, 1)), MemFrac: math.Abs(math.Mod(mf, 1)), NICFrac: math.Abs(math.Mod(nf, 1))})
+		n.SetLevel(int(lvl) % n.Levels())
+		p := float64(n.TruePower())
+		return p >= 0 && p <= float64(model.MaxPower())*1.06
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPinnedNode(t *testing.T) {
+	n := newTestNode(t, 0, Config{Controllable: true})
+	if n.Pinned() {
+		t.Error("fresh node pinned")
+	}
+	n.SetPinned(true)
+	if n.Controllable() {
+		t.Error("pinned node reports controllable")
+	}
+	if err := n.SetLevel(0); !errors.Is(err, ErrUncontrollable) {
+		t.Errorf("pinned node accepted level change: %v", err)
+	}
+	n.SetPinned(false)
+	if !n.Controllable() {
+		t.Error("unpinned node not controllable")
+	}
+	if err := n.SetLevel(0); err != nil {
+		t.Errorf("unpinned node refused level change: %v", err)
+	}
+	// Pinning never makes a statically privileged node controllable.
+	p := newTestNode(t, 1, Config{Controllable: false})
+	p.SetPinned(false)
+	if p.Controllable() {
+		t.Error("static privilege overridden by unpin")
+	}
+}

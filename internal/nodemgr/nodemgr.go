@@ -1,0 +1,145 @@
+// Package nodemgr implements the two-level power management structure the
+// paper's related work describes (§I.B, after Femal et al.): a
+// cluster-level manager divides the total power budget into per-node
+// budgets, and a node-level manager enforces its local budget by choosing
+// the highest power state whose predicted draw fits.
+//
+// This is the second comparison baseline next to the feedback controller:
+// it needs no global sensing loop at all once budgets are set (each node
+// self-enforces from its own counters), but a static division wastes
+// budget on idle nodes while busy nodes starve — the utilisation-aware
+// division recovers some of that at the cost of re-division churn.
+package nodemgr
+
+import (
+	"fmt"
+
+	"repro/internal/manager"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// LevelFor returns the highest level l such that the node's predicted
+// power at l (formula 1 with the node's current interval counters) fits
+// within budget. If even the lowest level exceeds the budget, level 0 is
+// returned — the node cannot shed static power.
+func LevelFor(model power.Model, r manager.AgentReading, budget units.Watts) int {
+	for l := r.MaxLevel; l > 0; l-- {
+		if model.Estimate(r.Delta, l) <= budget {
+			return l
+		}
+	}
+	return 0
+}
+
+// Division chooses how the global budget splits across nodes.
+type Division int
+
+// Division strategies.
+const (
+	// Uniform gives every node total/N.
+	Uniform Division = iota
+	// Proportional gives each node a share proportional to its current
+	// estimated demand (at full level), with a floor of the node's idle
+	// power so no node is starved below static draw.
+	Proportional
+)
+
+// Config parametrises the two-level controller.
+type Config struct {
+	// Budget is the global power budget to divide (typically P_L).
+	Budget units.Watts
+	// Division selects the split strategy.
+	Division Division
+	// Model is the fleet's power profile model.
+	Model power.Model
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Budget <= 0 {
+		return fmt.Errorf("nodemgr: budget must be positive")
+	}
+	if c.Division != Uniform && c.Division != Proportional {
+		return fmt.Errorf("nodemgr: unknown division %d", c.Division)
+	}
+	return c.Model.Validate()
+}
+
+// Stats accumulates controller behaviour.
+type Stats struct {
+	Cycles int
+	Moves  int
+	// StarvedNodes counts node-cycles where even level 0 exceeded the
+	// local budget (the division was infeasible for that node).
+	StarvedNodes int
+}
+
+// Controller is a running two-level manager.
+type Controller struct {
+	cfg   Config
+	stats Stats
+}
+
+// New creates a controller.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg}, nil
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// SetBudget retargets the controller (e.g. to track a learned P_L).
+func (c *Controller) SetBudget(w units.Watts) {
+	if w > 0 {
+		c.cfg.Budget = w
+	}
+}
+
+// Cycle divides the budget over the given readings and enforces each
+// node's share locally, issuing level commands through act.
+func (c *Controller) Cycle(readings []manager.AgentReading, act manager.Actuator) {
+	c.stats.Cycles++
+	n := len(readings)
+	if n == 0 {
+		return
+	}
+	budgets := make([]units.Watts, n)
+	switch c.cfg.Division {
+	case Uniform:
+		share := units.Watts(float64(c.cfg.Budget) / float64(n))
+		for i := range budgets {
+			budgets[i] = share
+		}
+	case Proportional:
+		// Demand at full level, floored at idle draw.
+		floor := c.cfg.Model.MinPower()
+		demands := make([]float64, n)
+		total := 0.0
+		for i, r := range readings {
+			d := float64(c.cfg.Model.Estimate(r.Delta, r.MaxLevel))
+			if d < float64(floor) {
+				d = float64(floor)
+			}
+			demands[i] = d
+			total += d
+		}
+		for i := range budgets {
+			budgets[i] = units.Watts(float64(c.cfg.Budget) * demands[i] / total)
+		}
+	}
+	for i, r := range readings {
+		target := LevelFor(c.cfg.Model, r, budgets[i])
+		if target == 0 && c.cfg.Model.Estimate(r.Delta, 0) > budgets[i] {
+			c.stats.StarvedNodes++
+		}
+		if target != r.Level {
+			if err := act.SetNodeLevel(r.ID, target); err == nil {
+				c.stats.Moves++
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package nodemgr
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/manager"
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/procfs"
+	"repro/internal/units"
+)
+
+func reading(id, level int, util float64) manager.AgentReading {
+	return manager.AgentReading{
+		ID: node.ID(id), Level: level, MaxLevel: 9,
+		Delta: procfs.Delta{
+			Interval: time.Second, CPUUtil: util,
+			MemUsed: 24 << 30, MemTotal: 48 << 30,
+		},
+	}
+}
+
+func TestLevelFor(t *testing.T) {
+	m := power.TianheNode()
+	r := reading(0, 9, 0.9)
+	// A generous budget keeps the top level.
+	if got := LevelFor(m, r, 1000); got != 9 {
+		t.Errorf("generous budget → level %d, want 9", got)
+	}
+	// An impossible budget floors.
+	if got := LevelFor(m, r, 10); got != 0 {
+		t.Errorf("impossible budget → level %d, want 0", got)
+	}
+	// The returned level's prediction actually fits (when feasible).
+	for _, budget := range []units.Watts{200, 250, 300, 350} {
+		l := LevelFor(m, r, budget)
+		if l > 0 && m.Estimate(r.Delta, l) > budget {
+			t.Errorf("LevelFor(%v) = %d predicts %v over budget", budget, l, m.Estimate(r.Delta, l))
+		}
+		// And it is maximal: one level up must not fit.
+		if l < 9 && m.Estimate(r.Delta, l+1) <= budget {
+			t.Errorf("LevelFor(%v) = %d not maximal", budget, l)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Division: Uniform, Model: power.TianheNode()}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := New(Config{Budget: 1, Division: Division(9), Model: power.TianheNode()}); err == nil {
+		t.Error("unknown division accepted")
+	}
+	if _, err := New(Config{Budget: 1, Division: Uniform}); err == nil {
+		t.Error("zero model accepted")
+	}
+}
+
+type recordActuator struct {
+	levels map[node.ID]int
+	fail   bool
+}
+
+func (a *recordActuator) SetNodeLevel(id node.ID, level int) error {
+	if a.fail {
+		return errors.New("refused")
+	}
+	if a.levels == nil {
+		a.levels = map[node.ID]int{}
+	}
+	a.levels[id] = level
+	return nil
+}
+
+func TestUniformDivisionEnforces(t *testing.T) {
+	m := power.TianheNode()
+	c, err := New(Config{Budget: units.KW(1), Division: Uniform, Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 busy nodes share 1 kW → 250 W each; a busy Tianhe node needs a
+	// low-ish level to fit 250 W.
+	readings := []manager.AgentReading{
+		reading(0, 9, 0.9), reading(1, 9, 0.9), reading(2, 9, 0.9), reading(3, 9, 0.9),
+	}
+	act := &recordActuator{}
+	c.Cycle(readings, act)
+	if len(act.levels) != 4 {
+		t.Fatalf("commands = %v", act.levels)
+	}
+	for id, l := range act.levels {
+		if est := m.Estimate(readings[int(id)].Delta, l); est > 250 {
+			t.Errorf("node %d at level %d draws %v over its 250 W share", id, l, est)
+		}
+	}
+	if st := c.Stats(); st.Cycles != 1 || st.Moves != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestProportionalFavoursBusyNodes(t *testing.T) {
+	m := power.TianheNode()
+	c, _ := New(Config{Budget: units.KW(1), Division: Proportional, Model: m})
+	readings := []manager.AgentReading{
+		reading(0, 9, 0.95), // busy
+		reading(1, 9, 0.02), // idle
+		reading(2, 9, 0.95),
+		reading(3, 9, 0.02),
+	}
+	act := &recordActuator{}
+	c.Cycle(readings, act)
+	busyLevel, idleLevel := act.levels[0], act.levels[1]
+	if _, moved := act.levels[0]; !moved {
+		busyLevel = 9
+	}
+	if _, moved := act.levels[1]; !moved {
+		idleLevel = 9
+	}
+	if busyLevel < idleLevel {
+		t.Errorf("proportional division gave busy node level %d below idle node %d", busyLevel, idleLevel)
+	}
+}
+
+func TestStarvationCounted(t *testing.T) {
+	m := power.TianheNode()
+	c, _ := New(Config{Budget: 50, Division: Uniform, Model: m}) // 12.5 W/node: infeasible
+	act := &recordActuator{}
+	c.Cycle([]manager.AgentReading{reading(0, 9, 0.9), reading(1, 9, 0.9),
+		reading(2, 9, 0.9), reading(3, 9, 0.9)}, act)
+	if st := c.Stats(); st.StarvedNodes != 4 {
+		t.Errorf("starved = %d, want 4", st.StarvedNodes)
+	}
+}
+
+func TestNoCommandWhenAlreadyAtTarget(t *testing.T) {
+	m := power.TianheNode()
+	c, _ := New(Config{Budget: units.MW(1), Division: Uniform, Model: m})
+	act := &recordActuator{}
+	c.Cycle([]manager.AgentReading{reading(0, 9, 0.9)}, act)
+	if len(act.levels) != 0 {
+		t.Errorf("issued redundant commands: %v", act.levels)
+	}
+}
+
+func TestActuationErrorNotCountedAsMove(t *testing.T) {
+	m := power.TianheNode()
+	c, _ := New(Config{Budget: units.KW(1), Division: Uniform, Model: m})
+	act := &recordActuator{fail: true}
+	c.Cycle([]manager.AgentReading{reading(0, 9, 0.9), reading(1, 9, 0.9),
+		reading(2, 9, 0.9), reading(3, 9, 0.9)}, act)
+	if st := c.Stats(); st.Moves != 0 {
+		t.Errorf("failed actuations counted: %+v", st)
+	}
+}
+
+func TestEmptyReadings(t *testing.T) {
+	c, _ := New(Config{Budget: 1000, Division: Uniform, Model: power.TianheNode()})
+	c.Cycle(nil, &recordActuator{})
+	if c.Stats().Cycles != 1 {
+		t.Error("cycle not counted")
+	}
+}
+
+func TestSetBudget(t *testing.T) {
+	c, _ := New(Config{Budget: 1000, Division: Uniform, Model: power.TianheNode()})
+	c.SetBudget(2000)
+	c.SetBudget(0) // ignored
+	act := &recordActuator{}
+	c.Cycle([]manager.AgentReading{reading(0, 9, 0.9)}, act)
+	// 2 kW for one node: no throttling needed.
+	if len(act.levels) != 0 {
+		t.Errorf("commands = %v", act.levels)
+	}
+}

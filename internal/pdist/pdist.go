@@ -1,0 +1,174 @@
+// Package pdist models the power distribution hierarchy beneath the
+// facility feed: cabinets (racks) with individual PDU/breaker ratings.
+//
+// The paper manages one global budget — the power provision capability —
+// but provision is physically delivered through per-cabinet feeds, and a
+// system that respects the global cap can still trip one cabinet's
+// breaker when power-hungry jobs concentrate in a single rack. The
+// Monitor tracks per-cabinet power alongside the global signal so
+// experiments can quantify that risk and evaluate placement strategies
+// against it.
+//
+// The Tianhe-1A variant's 128 nodes are laid out as 4 cabinets × 32
+// nodes (the full machine packs 64 compute nodes per cabinet pair; the
+// experimental partition is assumed to keep that density).
+package pdist
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/units"
+)
+
+// Layout maps nodes to cabinets: contiguous blocks of NodesPer node IDs.
+type Layout struct {
+	Cabinets int
+	NodesPer int
+}
+
+// Tianhe128Layout returns the assumed testbed layout: 4 cabinets × 32.
+func Tianhe128Layout() Layout { return Layout{Cabinets: 4, NodesPer: 32} }
+
+// Validate checks the layout.
+func (l Layout) Validate() error {
+	if l.Cabinets <= 0 || l.NodesPer <= 0 {
+		return fmt.Errorf("pdist: need positive cabinets and nodes per cabinet")
+	}
+	return nil
+}
+
+// Nodes returns the total node count covered.
+func (l Layout) Nodes() int { return l.Cabinets * l.NodesPer }
+
+// CabinetOf maps a node to its cabinet index; nodes beyond the layout
+// fold into the last cabinet so a misconfigured cluster degrades rather
+// than panics.
+func (l Layout) CabinetOf(id node.ID) int {
+	c := int(id) / l.NodesPer
+	if c < 0 {
+		return 0
+	}
+	if c >= l.Cabinets {
+		return l.Cabinets - 1
+	}
+	return c
+}
+
+// Monitor integrates per-cabinet power over a run.
+type Monitor struct {
+	layout  Layout
+	breaker units.Watts // per-cabinet rating; 0 disables overspend checks
+
+	peak      []float64 // per cabinet, watts
+	overJ     []float64 // per cabinet, joules above the breaker rating
+	energy    []float64 // per cabinet, joules
+	tripRisks int       // samples with any cabinet above rating
+	samples   int
+}
+
+// NewMonitor creates a monitor. breaker is the per-cabinet PDU rating
+// (0 = record peaks only).
+func NewMonitor(layout Layout, breaker units.Watts) (*Monitor, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	if breaker < 0 {
+		return nil, fmt.Errorf("pdist: negative breaker rating")
+	}
+	return &Monitor{
+		layout:  layout,
+		breaker: breaker,
+		peak:    make([]float64, layout.Cabinets),
+		overJ:   make([]float64, layout.Cabinets),
+		energy:  make([]float64, layout.Cabinets),
+	}, nil
+}
+
+// Observe accounts one interval: powers[i] is node i's draw held for dt.
+func (m *Monitor) Observe(dt time.Duration, powers []units.Watts) error {
+	if len(powers) != m.layout.Nodes() {
+		return fmt.Errorf("pdist: %d powers for %d nodes", len(powers), m.layout.Nodes())
+	}
+	sec := dt.Seconds()
+	cab := make([]float64, m.layout.Cabinets)
+	for i, p := range powers {
+		cab[m.layout.CabinetOf(node.ID(i))] += float64(p)
+	}
+	tripped := false
+	for c, p := range cab {
+		if p > m.peak[c] {
+			m.peak[c] = p
+		}
+		m.energy[c] += p * sec
+		if m.breaker > 0 && p > float64(m.breaker) {
+			m.overJ[c] += (p - float64(m.breaker)) * sec
+			tripped = true
+		}
+	}
+	if tripped {
+		m.tripRisks++
+	}
+	m.samples++
+	return nil
+}
+
+// CabinetSummary is one cabinet's accumulated outcome.
+type CabinetSummary struct {
+	Cabinet   int
+	Peak      units.Watts
+	Energy    units.Joules
+	Overspend units.Joules // energy above the breaker rating
+}
+
+// Summary is the run's distribution-level outcome.
+type Summary struct {
+	Breaker units.Watts
+	// Cabinets, per cabinet.
+	Cabinets []CabinetSummary
+	// HottestCabinet is the cabinet with the highest peak.
+	HottestCabinet int
+	// PeakImbalance is hottest cabinet peak / mean cabinet peak — 1.0
+	// means perfectly balanced racks.
+	PeakImbalance float64
+	// TripRiskFraction is the fraction of observation intervals in which
+	// at least one cabinet exceeded its breaker rating.
+	TripRiskFraction float64
+}
+
+// Reset zeroes the accumulators (used at the end of a training period so
+// the summary covers the measured window only).
+func (m *Monitor) Reset() {
+	for c := range m.peak {
+		m.peak[c], m.overJ[c], m.energy[c] = 0, 0, 0
+	}
+	m.tripRisks, m.samples = 0, 0
+}
+
+// Summarise returns the accumulated outcome.
+func (m *Monitor) Summarise() Summary {
+	s := Summary{Breaker: m.breaker}
+	meanPeak, maxPeak := 0.0, 0.0
+	for c := range m.peak {
+		s.Cabinets = append(s.Cabinets, CabinetSummary{
+			Cabinet:   c,
+			Peak:      units.Watts(m.peak[c]),
+			Energy:    units.Joules(m.energy[c]),
+			Overspend: units.Joules(m.overJ[c]),
+		})
+		meanPeak += m.peak[c]
+		if m.peak[c] > maxPeak {
+			maxPeak = m.peak[c]
+			s.HottestCabinet = c
+		}
+	}
+	meanPeak /= float64(len(m.peak))
+	if meanPeak > 0 {
+		s.PeakImbalance = maxPeak / meanPeak
+	}
+	if m.samples > 0 {
+		s.TripRiskFraction = float64(m.tripRisks) / float64(m.samples)
+	}
+	return s
+}

@@ -1,0 +1,128 @@
+package pdist
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/units"
+)
+
+func TestLayout(t *testing.T) {
+	l := Tianhe128Layout()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Nodes() != 128 {
+		t.Errorf("nodes = %d", l.Nodes())
+	}
+	cases := []struct {
+		id  node.ID
+		cab int
+	}{{0, 0}, {31, 0}, {32, 1}, {127, 3}, {500, 3}, {-1, 0}}
+	for _, c := range cases {
+		if got := l.CabinetOf(c.id); got != c.cab {
+			t.Errorf("CabinetOf(%d) = %d, want %d", c.id, got, c.cab)
+		}
+	}
+	if err := (Layout{}).Validate(); err == nil {
+		t.Error("zero layout accepted")
+	}
+}
+
+func TestNewMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(Layout{}, 0); err == nil {
+		t.Error("invalid layout accepted")
+	}
+	if _, err := NewMonitor(Tianhe128Layout(), -5); err == nil {
+		t.Error("negative breaker accepted")
+	}
+}
+
+func TestObserveSizeMismatch(t *testing.T) {
+	m, _ := NewMonitor(Layout{Cabinets: 2, NodesPer: 2}, 0)
+	if err := m.Observe(time.Second, []units.Watts{1}); err == nil {
+		t.Error("short power slice accepted")
+	}
+}
+
+func mkPowers(perNode ...float64) []units.Watts {
+	out := make([]units.Watts, len(perNode))
+	for i, p := range perNode {
+		out[i] = units.Watts(p)
+	}
+	return out
+}
+
+func TestPerCabinetAccounting(t *testing.T) {
+	// 2 cabinets × 2 nodes; cabinet 0 hot, cabinet 1 cool.
+	m, err := NewMonitor(Layout{Cabinets: 2, NodesPer: 2}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := m.Observe(time.Second, mkPowers(300, 300, 100, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := m.Summarise()
+	if s.HottestCabinet != 0 {
+		t.Errorf("hottest = %d", s.HottestCabinet)
+	}
+	if s.Cabinets[0].Peak != 600 || s.Cabinets[1].Peak != 200 {
+		t.Errorf("peaks = %v / %v", s.Cabinets[0].Peak, s.Cabinets[1].Peak)
+	}
+	// Cabinet 0 over its 500 W rating by 100 W for 10 s = 1 kJ.
+	if got := float64(s.Cabinets[0].Overspend); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("overspend = %v, want 1 kJ", got)
+	}
+	if s.Cabinets[1].Overspend != 0 {
+		t.Error("cool cabinet overspent")
+	}
+	if s.TripRiskFraction != 1 {
+		t.Errorf("trip risk = %v, want 1 (every sample)", s.TripRiskFraction)
+	}
+	// Imbalance = 600 / mean(600,200) = 1.5.
+	if math.Abs(s.PeakImbalance-1.5) > 1e-9 {
+		t.Errorf("imbalance = %v", s.PeakImbalance)
+	}
+	// Energy: cabinet 0 = 600 W × 10 s.
+	if got := float64(s.Cabinets[0].Energy); math.Abs(got-6000) > 1e-9 {
+		t.Errorf("energy = %v", got)
+	}
+}
+
+func TestZeroBreakerRecordsPeaksOnly(t *testing.T) {
+	m, _ := NewMonitor(Layout{Cabinets: 1, NodesPer: 2}, 0)
+	m.Observe(time.Second, mkPowers(1000, 1000))
+	s := m.Summarise()
+	if s.Cabinets[0].Overspend != 0 || s.TripRiskFraction != 0 {
+		t.Errorf("breakerless monitor flagged overspend: %+v", s)
+	}
+	if s.Cabinets[0].Peak != 2000 {
+		t.Errorf("peak = %v", s.Cabinets[0].Peak)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m, _ := NewMonitor(Layout{Cabinets: 1, NodesPer: 1}, 100)
+	m.Observe(time.Second, mkPowers(500))
+	m.Reset()
+	s := m.Summarise()
+	if s.Cabinets[0].Peak != 0 || s.Cabinets[0].Overspend != 0 || s.TripRiskFraction != 0 {
+		t.Errorf("reset incomplete: %+v", s)
+	}
+	// Balanced empty history: imbalance reports 0 (no mean peak).
+	if s.PeakImbalance != 0 {
+		t.Errorf("imbalance after reset = %v", s.PeakImbalance)
+	}
+}
+
+func TestBalancedImbalanceIsOne(t *testing.T) {
+	m, _ := NewMonitor(Layout{Cabinets: 4, NodesPer: 1}, 0)
+	m.Observe(time.Second, mkPowers(250, 250, 250, 250))
+	if s := m.Summarise(); math.Abs(s.PeakImbalance-1) > 1e-9 {
+		t.Errorf("balanced imbalance = %v", s.PeakImbalance)
+	}
+}

@@ -1,0 +1,418 @@
+// Package policy implements the target set selection policies of §IV.
+//
+// A policy inspects a Snapshot — the global manager's per-cycle view of the
+// candidate nodes and the jobs running on them — and returns the subset of
+// candidate nodes (A_target) whose power budget the capping algorithm will
+// cut by one level.
+//
+// State-based policies (MPC, MPC-C, LPC, LPC-C, BFP) select by the current
+// power consumption of jobs; change-based policies (HRI, HRI-C) select by
+// the rate of increase in job power. None/All/Random baselines support the
+// evaluation.
+package policy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/node"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// NodeState is the manager's view of one candidate node at this cycle.
+type NodeState struct {
+	ID    node.ID
+	Level int
+	// MaxLevel is the node's highest level index (Levels-1); the manager
+	// needs it to know when a restored node leaves A_degraded.
+	MaxLevel int
+	AtLowest bool
+	Idle     bool
+	// Est is P(x): formula (1) evaluated at the node's current level.
+	Est units.Watts
+	// EstLower is P'(x): formula (1) evaluated one level lower (equal to
+	// Est when the node is already at its lowest level).
+	EstLower units.Watts
+	// PrevEst is the previous cycle's P(x); zero on the first sighting.
+	PrevEst units.Watts
+	// CPUUtil is the node's sampled busy fraction this interval — the
+	// manager's observable proxy for how frequency-sensitive the node's
+	// work is.
+	CPUUtil float64
+	// Job is the job occupying the node; 0 when free.
+	Job workload.JobID
+}
+
+// JobState aggregates the candidate nodes of one job.
+type JobState struct {
+	ID workload.JobID
+	// Nodes is the paper's Nodes(J): non-idle candidate nodes running J.
+	Nodes []node.ID
+	// Power is P(J) = Σ P(x) over Nodes.
+	Power units.Watts
+	// PrevPower is P^{t−1}(J) over the same node set; zero if unknown.
+	PrevPower units.Watts
+	// Saving is Σ (P(x) − P'(x)): the predicted cut from degrading every
+	// degradable node of the job by one level.
+	Saving units.Watts
+	// Util is the mean sampled CPU utilisation across Nodes — high means
+	// compute-bound work that a DVFS cut will hurt proportionally.
+	Util float64
+}
+
+// RateOfIncrease returns ΔP^t(J) = (P^t−P^{t−1})/P^{t−1}. A job first seen
+// this cycle has no previous sample, so its rate is unknown and reported
+// as 0 — the change-based policies only act on jobs with an observed
+// history, exactly as the paper's formula (defined over two consecutive
+// samples) requires.
+func (j JobState) RateOfIncrease() float64 {
+	if j.PrevPower <= 0 {
+		return 0
+	}
+	return float64(j.Power-j.PrevPower) / float64(j.PrevPower)
+}
+
+// Snapshot is the full per-cycle sensing result handed to a policy.
+type Snapshot struct {
+	// P is the system power reading this cycle.
+	P units.Watts
+	// PL is the lower threshold in force; P−PL is the cut the collection
+	// policies aim for.
+	PL units.Watts
+	// Nodes holds every candidate node's state.
+	Nodes []NodeState
+	// Jobs holds every job with at least one non-idle candidate node,
+	// in ascending job ID order.
+	Jobs []JobState
+}
+
+// Policy selects A_target from a snapshot. Implementations must only
+// return nodes that are degradable: non-idle candidates above their lowest
+// level (§III.B property 4).
+type Policy interface {
+	Name() string
+	Select(s *Snapshot) []node.ID
+}
+
+// degradable reports whether a node may be selected.
+func degradable(n NodeState) bool { return !n.Idle && !n.AtLowest }
+
+// nodeIndex builds an ID → state lookup.
+func nodeIndex(s *Snapshot) map[node.ID]NodeState {
+	idx := make(map[node.ID]NodeState, len(s.Nodes))
+	for _, n := range s.Nodes {
+		idx[n.ID] = n
+	}
+	return idx
+}
+
+// degradableNodesOf filters a job's node list to the degradable ones.
+func degradableNodesOf(j JobState, idx map[node.ID]NodeState) []node.ID {
+	out := make([]node.ID, 0, len(j.Nodes))
+	for _, id := range j.Nodes {
+		if n, ok := idx[id]; ok && degradable(n) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// jobsByPowerDesc returns jobs sorted by P(J) descending (ties by ID for
+// determinism).
+func jobsByPowerDesc(s *Snapshot) []JobState {
+	jobs := append([]JobState(nil), s.Jobs...)
+	sort.Slice(jobs, func(a, b int) bool {
+		if jobs[a].Power != jobs[b].Power {
+			return jobs[a].Power > jobs[b].Power
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	return jobs
+}
+
+// selectSingleJob returns the degradable nodes of the job maximising key
+// (with strict preference; ties by lower job ID). Jobs with no degradable
+// nodes are skipped so the policy always returns an actionable set when
+// one exists.
+func selectSingleJob(s *Snapshot, key func(JobState) float64) []node.ID {
+	idx := nodeIndex(s)
+	best := -math.MaxFloat64
+	var bestNodes []node.ID
+	var bestID workload.JobID
+	for _, j := range s.Jobs {
+		nodes := degradableNodesOf(j, idx)
+		if len(nodes) == 0 {
+			continue
+		}
+		k := key(j)
+		if k > best || (k == best && (bestNodes == nil || j.ID < bestID)) {
+			best, bestNodes, bestID = k, nodes, j.ID
+		}
+	}
+	return bestNodes
+}
+
+// MPC is the "most power consuming job" policy: target the nodes of the
+// job with the largest P(J).
+type MPC struct{}
+
+// Name implements Policy.
+func (MPC) Name() string { return "mpc" }
+
+// Select implements Policy.
+func (MPC) Select(s *Snapshot) []node.ID {
+	return selectSingleJob(s, func(j JobState) float64 { return float64(j.Power) })
+}
+
+// LPC is the "least power consuming job" policy — slowest effect on power,
+// least likely to cause green/yellow swings (§IV.A).
+type LPC struct{}
+
+// Name implements Policy.
+func (LPC) Name() string { return "lpc" }
+
+// Select implements Policy.
+func (LPC) Select(s *Snapshot) []node.ID {
+	return selectSingleJob(s, func(j JobState) float64 { return -float64(j.Power) })
+}
+
+// HRI is the "highest rate of increase" change-based policy: target the
+// job with the largest ΔP^t(J).
+type HRI struct{}
+
+// Name implements Policy.
+func (HRI) Name() string { return "hri" }
+
+// Select implements Policy.
+func (HRI) Select(s *Snapshot) []node.ID {
+	return selectSingleJob(s, func(j JobState) float64 { return j.RateOfIncrease() })
+}
+
+// collect accumulates jobs in the given order until the predicted saving
+// covers P − PL, per Algorithm 2's loop. It returns the union of the
+// accumulated jobs' degradable nodes.
+func collect(s *Snapshot, jobs []JobState) []node.ID {
+	idx := nodeIndex(s)
+	needed := float64(s.P - s.PL)
+	saved := 0.0
+	inSet := make(map[node.ID]bool)
+	var out []node.ID
+	for _, j := range jobs {
+		added := false
+		for _, id := range degradableNodesOf(j, idx) {
+			if inSet[id] {
+				continue
+			}
+			inSet[id] = true
+			out = append(out, id)
+			saved += float64(idx[id].Est - idx[id].EstLower)
+			added = true
+		}
+		if added && saved >= needed {
+			break
+		}
+	}
+	return out
+}
+
+// MPCC is Algorithm 2, the "most power consuming job collection" policy:
+// accumulate jobs in descending P(J) order until the saving Σ(P(x)−P'(x))
+// reaches P − P_L.
+type MPCC struct{}
+
+// Name implements Policy.
+func (MPCC) Name() string { return "mpc-c" }
+
+// Select implements Policy.
+func (MPCC) Select(s *Snapshot) []node.ID {
+	return collect(s, jobsByPowerDesc(s))
+}
+
+// LPCC is the least-power counterpart of MPCC: accumulate jobs in
+// ascending P(J) order.
+type LPCC struct{}
+
+// Name implements Policy.
+func (LPCC) Name() string { return "lpc-c" }
+
+// Select implements Policy.
+func (LPCC) Select(s *Snapshot) []node.ID {
+	jobs := jobsByPowerDesc(s)
+	for i, j := 0, len(jobs)-1; i < j; i, j = i+1, j-1 {
+		jobs[i], jobs[j] = jobs[j], jobs[i]
+	}
+	return collect(s, jobs)
+}
+
+// HRIC accumulates jobs by descending rate of increase until the saving
+// covers P − P_L — the collection counterpart of HRI (§IV.B).
+type HRIC struct{}
+
+// Name implements Policy.
+func (HRIC) Name() string { return "hri-c" }
+
+// Select implements Policy.
+func (HRIC) Select(s *Snapshot) []node.ID {
+	jobs := append([]JobState(nil), s.Jobs...)
+	sort.Slice(jobs, func(a, b int) bool {
+		ra, rb := jobs[a].RateOfIncrease(), jobs[b].RateOfIncrease()
+		if ra != rb {
+			return ra > rb
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	return collect(s, jobs)
+}
+
+// MinCost is a sensitivity-aware extension beyond the paper's §IV family,
+// motivated by the fairness study: DVFS capping hurts compute-bound jobs
+// (high CPU utilisation) far more than communication/memory-bound ones.
+// MinCost targets the job with the best watts-saved per unit of likely
+// slowdown, using the sampled CPU utilisation as the observable
+// sensitivity proxy:
+//
+//	score(J) = Saving(J) / (0.1 + Util(J))
+//
+// It cuts comparable power to MPC while steering the performance cost
+// towards the jobs that barely feel it.
+type MinCost struct{}
+
+// Name implements Policy.
+func (MinCost) Name() string { return "mincost" }
+
+// Select implements Policy.
+func (MinCost) Select(s *Snapshot) []node.ID {
+	return selectSingleJob(s, func(j JobState) float64 {
+		return float64(j.Saving) / (0.1 + j.Util)
+	})
+}
+
+// BFP is the "best fit job" policy: select the job whose one-level saving
+// is just above P − P_L — a compromise between MPC and LPC (§IV.A). When
+// no single job saves enough, it falls back to the job with the largest
+// saving.
+type BFP struct{}
+
+// Name implements Policy.
+func (BFP) Name() string { return "bfp" }
+
+// Select implements Policy.
+func (BFP) Select(s *Snapshot) []node.ID {
+	idx := nodeIndex(s)
+	needed := float64(s.P - s.PL)
+	bestFit := math.MaxFloat64
+	var fitNodes []node.ID
+	largest := -1.0
+	var largestNodes []node.ID
+	for _, j := range s.Jobs {
+		nodes := degradableNodesOf(j, idx)
+		if len(nodes) == 0 {
+			continue
+		}
+		saving := 0.0
+		for _, id := range nodes {
+			saving += float64(idx[id].Est - idx[id].EstLower)
+		}
+		if saving >= needed && saving < bestFit {
+			bestFit, fitNodes = saving, nodes
+		}
+		if saving > largest {
+			largest, largestNodes = saving, nodes
+		}
+	}
+	if fitNodes != nil {
+		return fitNodes
+	}
+	return largestNodes
+}
+
+// None never selects anything: the uncapped baseline.
+type None struct{}
+
+// Name implements Policy.
+func (None) Name() string { return "none" }
+
+// Select implements Policy.
+func (None) Select(*Snapshot) []node.ID { return nil }
+
+// All selects every degradable candidate — the indiscriminate throttling
+// the related-work systems apply, used as an upper bound on power cut and
+// performance damage.
+type All struct{}
+
+// Name implements Policy.
+func (All) Name() string { return "all" }
+
+// Select implements Policy.
+func (All) Select(s *Snapshot) []node.ID {
+	var out []node.ID
+	for _, n := range s.Nodes {
+		if degradable(n) {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Random selects the nodes of one uniformly random job with degradable
+// nodes — a fairness baseline.
+type Random struct{ Rng *rand.Rand }
+
+// Name implements Policy.
+func (Random) Name() string { return "random" }
+
+// Select implements Policy.
+func (r Random) Select(s *Snapshot) []node.ID {
+	idx := nodeIndex(s)
+	var eligible [][]node.ID
+	for _, j := range s.Jobs {
+		if nodes := degradableNodesOf(j, idx); len(nodes) > 0 {
+			eligible = append(eligible, nodes)
+		}
+	}
+	if len(eligible) == 0 {
+		return nil
+	}
+	if r.Rng == nil {
+		return eligible[0]
+	}
+	return eligible[r.Rng.Intn(len(eligible))]
+}
+
+// New constructs a policy by name. Random receives the given rng.
+func New(name string, rng *rand.Rand) (Policy, error) {
+	switch name {
+	case "mpc":
+		return MPC{}, nil
+	case "mpc-c":
+		return MPCC{}, nil
+	case "lpc":
+		return LPC{}, nil
+	case "lpc-c":
+		return LPCC{}, nil
+	case "bfp":
+		return BFP{}, nil
+	case "hri":
+		return HRI{}, nil
+	case "hri-c":
+		return HRIC{}, nil
+	case "mincost":
+		return MinCost{}, nil
+	case "none":
+		return None{}, nil
+	case "all":
+		return All{}, nil
+	case "random":
+		return Random{Rng: rng}, nil
+	default:
+		return nil, fmt.Errorf("policy: unknown policy %q (have %v)", name, Names())
+	}
+}
+
+// Names lists every registered policy name.
+func Names() []string {
+	return []string{"mpc", "mpc-c", "lpc", "lpc-c", "bfp", "hri", "hri-c", "mincost", "none", "all", "random"}
+}

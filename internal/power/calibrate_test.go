@@ -1,0 +1,175 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/procfs"
+	"repro/internal/units"
+)
+
+// synthDelta builds an interval delta with the given fractions against
+// the Tianhe node's memory/NIC sizes.
+func synthDelta(m Model, util, memFrac, nicFrac float64) procfs.Delta {
+	return procfs.Delta{
+		Interval: time.Second,
+		CPUUtil:  util,
+		MemUsed:  uint64(memFrac * float64(m.Mem.TotalBytes)),
+		MemTotal: m.Mem.TotalBytes,
+		NICBytes: uint64(nicFrac * float64(m.NIC.Bandwidth)),
+	}
+}
+
+func TestCalibratorValidation(t *testing.T) {
+	if _, err := NewCalibrator(0, 1); err == nil {
+		t.Error("zero levels accepted")
+	}
+	if _, err := NewCalibrator(10, 0); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	c, _ := NewCalibrator(10, units.GB(8))
+	if err := c.Add(10, procfs.Delta{}, 100); err == nil {
+		t.Error("out-of-range level accepted")
+	}
+	if err := c.Add(-1, procfs.Delta{}, 100); err == nil {
+		t.Error("negative level accepted")
+	}
+}
+
+func TestFitNeedsSamples(t *testing.T) {
+	c, _ := NewCalibrator(2, units.GB(8))
+	if _, err := c.Fit(); err == nil {
+		t.Error("fit with no samples accepted")
+	}
+}
+
+func TestFitNeedsDiversity(t *testing.T) {
+	// Many samples but all at the same load point: the normal matrix is
+	// singular and the fit must say so, not return garbage.
+	m := TianheNode()
+	c, _ := NewCalibrator(1, m.NIC.Bandwidth)
+	d := synthDelta(m, 0.5, 0.5, 0.5)
+	for i := 0; i < 50; i++ {
+		if err := c.Add(0, d, 300); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Fit(); err == nil {
+		t.Error("degenerate design matrix accepted")
+	}
+}
+
+// TestCalibrationRecoversModel meters a known node model across a load
+// sweep with sensor noise and checks the fit reproduces the model's
+// estimates to within a watt-scale tolerance — the end-to-end procedure
+// that grounds the Observability assumption.
+func TestCalibrationRecoversModel(t *testing.T) {
+	m := TianheNode()
+	rng := rand.New(rand.NewSource(7))
+	cal, err := NewCalibrator(m.Levels(), m.NIC.Bandwidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Metering campaign: a grid of load points per level, 0.5% meter
+	// noise.
+	for l := 0; l < m.Levels(); l++ {
+		for _, util := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			for _, mem := range []float64{0.1, 0.5, 0.9} {
+				for _, nic := range []float64{0, 0.3, 0.6} {
+					d := synthDelta(m, util, mem, nic)
+					truth := float64(m.Estimate(d, l))
+					measured := truth * (1 + rng.NormFloat64()*0.005)
+					if err := cal.Add(l, d, units.Watts(measured)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	fitted, err := cal.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Validate on unseen load points.
+	maxRel := 0.0
+	for l := 0; l < m.Levels(); l++ {
+		for i := 0; i < 50; i++ {
+			d := synthDelta(m, rng.Float64(), rng.Float64(), rng.Float64())
+			want := float64(m.Estimate(d, l))
+			got := float64(fitted.Estimate(d, l))
+			if rel := math.Abs(got-want) / want; rel > maxRel {
+				maxRel = rel
+			}
+		}
+	}
+	if maxRel > 0.01 {
+		t.Errorf("calibrated model deviates up to %.2f%% from truth, want < 1%%", 100*maxRel)
+	}
+	// Recovered coefficients match the device models.
+	idle, cpu, mem, nic := fitted.Coefficients(m.Levels() - 1)
+	if !units.ApproxEqual(float64(idle), float64(m.Idle.Max), 0.01) {
+		t.Errorf("fitted idle %v vs model %v", idle, m.Idle.Max)
+	}
+	if !units.ApproxEqual(float64(cpu), float64(m.CPU.DynMax(m.Levels()-1)), 0.02) {
+		t.Errorf("fitted ΣP_cpu %v vs model %v", cpu, m.CPU.DynMax(m.Levels()-1))
+	}
+	if !units.ApproxEqual(float64(mem), float64(m.Mem.DynMax), 0.05) {
+		t.Errorf("fitted P_mem %v vs model %v", mem, m.Mem.DynMax)
+	}
+	if !units.ApproxEqual(float64(nic), float64(m.NIC.DynMax), 0.1) {
+		t.Errorf("fitted P_NIC %v vs model %v", nic, m.NIC.DynMax)
+	}
+	if cal.Samples(0) != 45 {
+		t.Errorf("samples(0) = %d", cal.Samples(0))
+	}
+}
+
+func TestCalibratedEstimateClamps(t *testing.T) {
+	m := TianheNode()
+	cal, _ := NewCalibrator(2, m.NIC.Bandwidth)
+	rng := rand.New(rand.NewSource(3))
+	for l := 0; l < 2; l++ {
+		for i := 0; i < 30; i++ {
+			d := synthDelta(m, rng.Float64(), rng.Float64(), rng.Float64())
+			cal.Add(l, d, m.Estimate(d, l))
+		}
+	}
+	fitted, err := cal.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := synthDelta(m, 0.5, 0.5, 0.5)
+	if fitted.Estimate(d, -3) != fitted.Estimate(d, 0) {
+		t.Error("negative level not clamped")
+	}
+	if fitted.Estimate(d, 99) != fitted.Estimate(d, 1) {
+		t.Error("overlarge level not clamped")
+	}
+}
+
+func TestSolve4KnownSystem(t *testing.T) {
+	// Identity-ish system with pivoting required.
+	m := [4][4]float64{
+		{0, 1, 0, 0},
+		{2, 0, 0, 0},
+		{0, 0, 0, 3},
+		{0, 0, 4, 0},
+	}
+	b := [4]float64{5, 6, 7, 8}
+	x, err := solve4(m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [4]float64{3, 5, 2, 7.0 / 3}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+	var singular [4][4]float64
+	if _, err := solve4(singular, b); err == nil {
+		t.Error("singular system solved")
+	}
+}

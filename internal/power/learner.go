@@ -1,0 +1,120 @@
+package power
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Learner implements §III.A's threshold setting and adjustment algorithm.
+//
+// The system first runs a training period with P_peak initialised to P_Max
+// (the power provision capability). During training the maximal observed
+// power is recorded and adopted as P_peak at the end of training; after
+// that, "the observation of the peak power consumption continues through
+// the whole execution period" and the thresholds are re-derived from the
+// lifetime peak every t_p control cycles with the 93%/84% rule. Using the
+// lifetime peak (rather than a per-window peak) keeps the thresholds from
+// ratcheting downwards once capping itself suppresses the observable peak.
+//
+// A zero training duration selects manual mode: the thresholds stay fixed
+// at their P_Max-derived values, matching the paper's alternative of the
+// administrator setting them "based on his empirical knowledge".
+type Learner struct {
+	marginL, marginH float64
+	trainingUntil    time.Duration
+	adjustEvery      int // t_p, in control cycles
+	manual           bool
+	trained          bool
+
+	cycles   int
+	lifetime units.Watts // peak observed over the whole run
+	thr      Thresholds
+}
+
+// NewLearner creates a learner. pMax seeds P_peak (per §III.A the initial
+// value of P_peak is P_Max); training lasts until the given virtual time
+// (zero = manual mode, thresholds fixed); after training the thresholds
+// are re-derived every adjustEvery cycles.
+func NewLearner(pMax units.Watts, training time.Duration, adjustEvery int) (*Learner, error) {
+	if pMax <= 0 {
+		return nil, fmt.Errorf("power: learner needs positive P_Max, got %v", pMax)
+	}
+	if adjustEvery <= 0 {
+		return nil, fmt.Errorf("power: learner needs positive adjustment period, got %d", adjustEvery)
+	}
+	l := &Learner{
+		marginL:       DefaultMarginL,
+		marginH:       DefaultMarginH,
+		trainingUntil: training,
+		adjustEvery:   adjustEvery,
+		manual:        training == 0,
+		trained:       training == 0,
+		thr:           FromPeak(pMax, DefaultMarginL, DefaultMarginH),
+	}
+	return l, nil
+}
+
+// SetMargins overrides the default 16%/7% margins (for ablation studies).
+// In manual mode the fixed thresholds are re-derived immediately from the
+// initial P_peak; in learning mode the next adjustment uses the new
+// margins.
+func (l *Learner) SetMargins(marginL, marginH float64) error {
+	if marginL < marginH {
+		return fmt.Errorf("power: marginL (%v) must be ≥ marginH (%v) so P_L ≤ P_H", marginL, marginH)
+	}
+	if marginH < 0 || marginL >= 1 {
+		return fmt.Errorf("power: margins out of range: L=%v H=%v", marginL, marginH)
+	}
+	// Recover the current P_peak from the existing thresholds before the
+	// margins change.
+	peak := units.Watts(float64(l.thr.PH) / (1 - l.marginH))
+	l.marginL, l.marginH = marginL, marginH
+	l.thr = FromPeak(peak, l.marginL, l.marginH)
+	return nil
+}
+
+// Observe records one control cycle's power reading at virtual time now and
+// returns the thresholds to use for this cycle. Threshold re-derivation
+// happens at the end of the training period and every t_p cycles after it;
+// in manual mode the thresholds never move.
+func (l *Learner) Observe(now time.Duration, p units.Watts) Thresholds {
+	if p > l.lifetime {
+		l.lifetime = p
+	}
+	if l.manual {
+		return l.thr
+	}
+	if !l.trained {
+		if now >= l.trainingUntil {
+			l.trained = true
+			l.adopt()
+		}
+		return l.thr
+	}
+	l.cycles++
+	if l.cycles >= l.adjustEvery {
+		l.cycles = 0
+		l.adopt()
+	}
+	return l.thr
+}
+
+// adopt re-derives thresholds from the lifetime peak. If no power has been
+// observed yet, the thresholds are kept.
+func (l *Learner) adopt() {
+	if l.lifetime > 0 {
+		l.thr = FromPeak(l.lifetime, l.marginL, l.marginH)
+	}
+}
+
+// Trained reports whether the training period has completed.
+func (l *Learner) Trained() bool { return l.trained }
+
+// Thresholds returns the thresholds currently in force.
+func (l *Learner) Thresholds() Thresholds { return l.thr }
+
+// LifetimePeak returns the largest power ever observed (the paper's P_max
+// evaluation metric when observed on an uncapped run).
+func (l *Learner) LifetimePeak() units.Watts { return l.lifetime }

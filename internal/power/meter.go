@@ -1,0 +1,53 @@
+package power
+
+import (
+	"math/rand"
+
+	"repro/internal/units"
+)
+
+// Source is anything whose instantaneous true power draw can be read.
+// The cluster implements it by summing node draws.
+type Source interface {
+	TruePower() units.Watts
+}
+
+// Meter simulates the facility power meter of the Observability assumption
+// (§II.D): "the system's total power consumption can be measured directly".
+// A real meter sees PSU conversion loss and has bounded accuracy, so the
+// meter applies a fixed overhead factor and zero-mean Gaussian sensor noise.
+type Meter struct {
+	src      Source
+	overhead float64 // PSU/distribution loss factor, e.g. 0.05 = 5%
+	noise    float64 // relative σ of sensor noise, e.g. 0.003
+	rng      *rand.Rand
+}
+
+// NewMeter wraps src. overhead is the fractional distribution loss added on
+// top of the IT load; noiseSigma is the relative standard deviation of the
+// reading error. rng may be nil for a noiseless meter.
+func NewMeter(src Source, overhead, noiseSigma float64, rng *rand.Rand) *Meter {
+	if overhead < 0 {
+		overhead = 0
+	}
+	if noiseSigma < 0 {
+		noiseSigma = 0
+	}
+	return &Meter{src: src, overhead: overhead, noise: noiseSigma, rng: rng}
+}
+
+// Read returns one meter sample of the current system power.
+func (m *Meter) Read() units.Watts {
+	p := float64(m.src.TruePower()) * (1 + m.overhead)
+	if m.rng != nil && m.noise > 0 {
+		p *= 1 + m.rng.NormFloat64()*m.noise
+	}
+	if p < 0 {
+		p = 0
+	}
+	return units.Watts(p)
+}
+
+// TrueLoad returns the undistorted IT load (without overhead or noise);
+// metrics that integrate energy use this to avoid double-counting noise.
+func (m *Meter) TrueLoad() units.Watts { return m.src.TruePower() }

@@ -1,0 +1,171 @@
+// Package procfs simulates the Linux kernel counter interfaces the paper's
+// profiling agent reads on each Tianhe-1A node: /proc/stat CPU jiffies,
+// /proc/meminfo occupancy, and the communication chipset's byte counters
+// (the Tianhe NIC exposes an automatic traffic log; we model it as a netdev
+// style monotonic counter).
+//
+// The simulated node advances these counters as its workload runs; the agent
+// samples them and reconstructs utilisation from interval deltas, exactly as
+// a real agent would. Keeping the counter semantics (monotonic, jiffy
+// granularity, wraparound-free 64-bit) means the estimation code above this
+// package is identical to what would run against a real /proc.
+package procfs
+
+import (
+	"fmt"
+	"time"
+)
+
+// UserHZ is the jiffy rate: CPU time accounting advances in 1/UserHZ second
+// units, matching Linux's USER_HZ=100 as seen through /proc/stat.
+const UserHZ = 100
+
+// CPUStat mirrors the aggregate cpu line of /proc/stat: cumulative jiffies
+// spent in each class since boot.
+type CPUStat struct {
+	User   uint64 // jiffies running user code
+	System uint64 // jiffies running kernel code
+	Idle   uint64 // jiffies idle
+	IOWait uint64 // jiffies idle while waiting on I/O
+}
+
+// Total returns the total jiffies accounted.
+func (c CPUStat) Total() uint64 { return c.User + c.System + c.Idle + c.IOWait }
+
+// Busy returns the non-idle jiffies.
+func (c CPUStat) Busy() uint64 { return c.User + c.System }
+
+// MemInfo mirrors the fields of /proc/meminfo the profiling model needs.
+type MemInfo struct {
+	TotalBytes uint64 // MemTotal
+	UsedBytes  uint64 // MemTotal - MemFree - cached/reclaimable
+}
+
+// NetDev mirrors a netdev-style monotonic traffic counter pair for the
+// Tianhe communication chipset.
+type NetDev struct {
+	RxBytes uint64
+	TxBytes uint64
+}
+
+// Bytes returns the total traffic counter (both directions), which is what
+// formula (1)'s Data_NIC consumes.
+func (n NetDev) Bytes() uint64 { return n.RxBytes + n.TxBytes }
+
+// Snapshot is a point-in-time reading of all counters on one node.
+type Snapshot struct {
+	At  time.Duration // virtual timestamp of the reading
+	CPU CPUStat
+	Mem MemInfo
+	Net NetDev
+}
+
+// FS is the simulated per-node proc filesystem. The node model advances it;
+// the profiling agent reads Snapshot. FS is not safe for concurrent use; in
+// the simulator each node is owned by a single goroutine, and the networked
+// agent serialises access itself.
+type FS struct {
+	cpu CPUStat
+	mem MemInfo
+	net NetDev
+	// fractional jiffy remainders, so short ticks do not lose CPU time to
+	// integer truncation
+	remBusy float64
+	remIdle float64
+}
+
+// New returns a proc filesystem for a node with the given memory size.
+func New(memTotal uint64) *FS {
+	return &FS{mem: MemInfo{TotalBytes: memTotal}}
+}
+
+// AccountCPU charges an interval dt of CPU time across nCores cores with
+// the given busy utilisation in [0,1]. A 70/30 user/system split is applied
+// to the busy share — the split does not affect the profiling model, which
+// only consumes busy vs total, but it keeps the counters realistic.
+func (fs *FS) AccountCPU(dt time.Duration, nCores int, util float64) {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	jiffies := dt.Seconds() * UserHZ * float64(nCores)
+	busy := jiffies*util + fs.remBusy
+	idle := jiffies*(1-util) + fs.remIdle
+	bi, ii := uint64(busy), uint64(idle)
+	fs.remBusy = busy - float64(bi)
+	fs.remIdle = idle - float64(ii)
+	user := bi * 7 / 10
+	fs.cpu.User += user
+	fs.cpu.System += bi - user
+	fs.cpu.Idle += ii
+}
+
+// SetMemUsed records the current memory occupancy in bytes, clamped to the
+// configured total.
+func (fs *FS) SetMemUsed(used uint64) {
+	if used > fs.mem.TotalBytes {
+		used = fs.mem.TotalBytes
+	}
+	fs.mem.UsedBytes = used
+}
+
+// AccountNet adds transmitted/received byte counts to the NIC counters.
+func (fs *FS) AccountNet(rx, tx uint64) {
+	fs.net.RxBytes += rx
+	fs.net.TxBytes += tx
+}
+
+// Snapshot returns the current counter values stamped with the given
+// virtual time.
+func (fs *FS) Snapshot(at time.Duration) Snapshot {
+	return Snapshot{At: at, CPU: fs.cpu, Mem: fs.mem, Net: fs.net}
+}
+
+// Delta holds interval readings derived from two snapshots — the quantities
+// formula (1) actually consumes.
+type Delta struct {
+	Interval time.Duration
+	CPUUtil  float64 // busy fraction over the interval, in [0,1]
+	MemUsed  uint64  // bytes, from the later snapshot
+	MemTotal uint64  // bytes
+	NICBytes uint64  // bytes moved during the interval
+}
+
+// ErrNonMonotonic is returned when the later snapshot's counters run
+// backwards relative to the earlier one, which indicates the two snapshots
+// were passed in the wrong order or came from different nodes.
+type ErrNonMonotonic struct {
+	Field string
+}
+
+func (e *ErrNonMonotonic) Error() string {
+	return fmt.Sprintf("procfs: counter %q decreased between snapshots", e.Field)
+}
+
+// Diff computes interval quantities between an earlier snapshot prev and a
+// later snapshot cur. A zero-length interval yields zero utilisation rather
+// than NaN.
+func Diff(prev, cur Snapshot) (Delta, error) {
+	if cur.CPU.Total() < prev.CPU.Total() || cur.CPU.Busy() < prev.CPU.Busy() {
+		return Delta{}, &ErrNonMonotonic{Field: "cpu"}
+	}
+	if cur.Net.Bytes() < prev.Net.Bytes() {
+		return Delta{}, &ErrNonMonotonic{Field: "net"}
+	}
+	if cur.At < prev.At {
+		return Delta{}, &ErrNonMonotonic{Field: "time"}
+	}
+	d := Delta{
+		Interval: cur.At - prev.At,
+		MemUsed:  cur.Mem.UsedBytes,
+		MemTotal: cur.Mem.TotalBytes,
+		NICBytes: cur.Net.Bytes() - prev.Net.Bytes(),
+	}
+	total := cur.CPU.Total() - prev.CPU.Total()
+	if total > 0 {
+		d.CPUUtil = float64(cur.CPU.Busy()-prev.CPU.Busy()) / float64(total)
+	}
+	return d, nil
+}

@@ -1,0 +1,182 @@
+package procfs
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAccountCPUFullLoad(t *testing.T) {
+	fs := New(1 << 30)
+	fs.AccountCPU(10*time.Second, 12, 1.0)
+	s := fs.Snapshot(10 * time.Second)
+	// 10 s × 100 Hz × 12 cores = 12000 jiffies, all busy.
+	if got := s.CPU.Busy(); got != 12000 {
+		t.Errorf("busy jiffies = %d, want 12000", got)
+	}
+	if s.CPU.Idle != 0 {
+		t.Errorf("idle jiffies = %d, want 0", s.CPU.Idle)
+	}
+}
+
+func TestAccountCPUHalfLoad(t *testing.T) {
+	fs := New(1 << 30)
+	fs.AccountCPU(10*time.Second, 4, 0.5)
+	s := fs.Snapshot(10 * time.Second)
+	if got := s.CPU.Busy(); got != 2000 {
+		t.Errorf("busy = %d, want 2000", got)
+	}
+	if got := s.CPU.Idle; got != 2000 {
+		t.Errorf("idle = %d, want 2000", got)
+	}
+}
+
+func TestAccountCPUClampsUtil(t *testing.T) {
+	fs := New(1)
+	fs.AccountCPU(time.Second, 1, 1.7)
+	if got := fs.Snapshot(0).CPU.Idle; got != 0 {
+		t.Errorf("util > 1 should clamp: idle = %d", got)
+	}
+	fs2 := New(1)
+	fs2.AccountCPU(time.Second, 1, -0.5)
+	if got := fs2.Snapshot(0).CPU.Busy(); got != 0 {
+		t.Errorf("util < 0 should clamp: busy = %d", got)
+	}
+}
+
+func TestFractionalJiffiesConserved(t *testing.T) {
+	// Many tiny ticks must account the same CPU time as one big tick:
+	// remainders may not be dropped.
+	fs := New(1)
+	for i := 0; i < 1000; i++ {
+		fs.AccountCPU(time.Millisecond, 12, 0.37)
+	}
+	s := fs.Snapshot(time.Second)
+	// 1 s total × 100 Hz × 12 cores = 1200 jiffies; busy ≈ 444.
+	if total := s.CPU.Total(); total < 1198 || total > 1200 {
+		t.Errorf("total jiffies = %d, want ≈1200", total)
+	}
+	if busy := s.CPU.Busy(); busy < 442 || busy > 445 {
+		t.Errorf("busy jiffies = %d, want ≈444", busy)
+	}
+}
+
+func TestSetMemUsedClamps(t *testing.T) {
+	fs := New(1000)
+	fs.SetMemUsed(5000)
+	if got := fs.Snapshot(0).Mem.UsedBytes; got != 1000 {
+		t.Errorf("mem used = %d, want clamped to 1000", got)
+	}
+	fs.SetMemUsed(400)
+	if got := fs.Snapshot(0).Mem.UsedBytes; got != 400 {
+		t.Errorf("mem used = %d, want 400", got)
+	}
+}
+
+func TestAccountNet(t *testing.T) {
+	fs := New(1)
+	fs.AccountNet(100, 200)
+	fs.AccountNet(1, 2)
+	n := fs.Snapshot(0).Net
+	if n.RxBytes != 101 || n.TxBytes != 202 {
+		t.Errorf("net = %+v", n)
+	}
+	if n.Bytes() != 303 {
+		t.Errorf("Bytes() = %d, want 303", n.Bytes())
+	}
+}
+
+func TestDiffBasic(t *testing.T) {
+	fs := New(1 << 30)
+	prev := fs.Snapshot(0)
+	fs.AccountCPU(2*time.Second, 12, 0.75)
+	fs.SetMemUsed(1 << 29)
+	fs.AccountNet(1000, 2000)
+	cur := fs.Snapshot(2 * time.Second)
+
+	d, err := Diff(prev, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Interval != 2*time.Second {
+		t.Errorf("interval = %v", d.Interval)
+	}
+	if math.Abs(d.CPUUtil-0.75) > 0.01 {
+		t.Errorf("cpu util = %v, want 0.75", d.CPUUtil)
+	}
+	if d.MemUsed != 1<<29 || d.MemTotal != 1<<30 {
+		t.Errorf("mem = %d/%d", d.MemUsed, d.MemTotal)
+	}
+	if d.NICBytes != 3000 {
+		t.Errorf("nic bytes = %d", d.NICBytes)
+	}
+}
+
+func TestDiffZeroInterval(t *testing.T) {
+	fs := New(1)
+	s := fs.Snapshot(time.Second)
+	d, err := Diff(s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CPUUtil != 0 || d.Interval != 0 {
+		t.Errorf("zero-interval diff = %+v, want zeros (no NaN)", d)
+	}
+}
+
+func TestDiffNonMonotonic(t *testing.T) {
+	fs := New(1)
+	fs.AccountCPU(time.Second, 1, 1)
+	later := fs.Snapshot(time.Second)
+	earlier := New(1).Snapshot(0)
+	if _, err := Diff(later, earlier); err == nil {
+		t.Error("reversed snapshots accepted")
+	} else {
+		var nm *ErrNonMonotonic
+		if !errors.As(err, &nm) {
+			t.Errorf("error type = %T", err)
+		}
+	}
+}
+
+func TestDiffTimeBackwards(t *testing.T) {
+	fs := New(1)
+	a := fs.Snapshot(2 * time.Second)
+	b := fs.Snapshot(1 * time.Second)
+	if _, err := Diff(a, b); err == nil {
+		t.Error("time going backwards accepted")
+	}
+}
+
+// Property: for any sequence of ticks, CPUUtil derived from Diff stays in
+// [0,1] and counters are monotonic.
+func TestDiffUtilBoundsProperty(t *testing.T) {
+	f := func(utils []float64, coreSeed uint8) bool {
+		fs := New(1 << 20)
+		cores := int(coreSeed%32) + 1
+		prev := fs.Snapshot(0)
+		at := time.Duration(0)
+		for _, u := range utils {
+			if math.IsNaN(u) || math.IsInf(u, 0) {
+				u = 0.5
+			}
+			at += 100 * time.Millisecond
+			fs.AccountCPU(100*time.Millisecond, cores, u)
+			cur := fs.Snapshot(at)
+			d, err := Diff(prev, cur)
+			if err != nil {
+				return false
+			}
+			if d.CPUUtil < 0 || d.CPUUtil > 1.0001 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

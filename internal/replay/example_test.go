@@ -1,0 +1,35 @@
+package replay_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/replay"
+	"repro/internal/workload"
+)
+
+func Example() {
+	// Serialise a two-job trace and replay it.
+	tr := &replay.Trace{
+		Header: replay.Header{Suite: "NPB-D", Comment: "example"},
+		Records: []replay.Record{
+			{Benchmark: "EP", NProcs: 64},
+			{Benchmark: "CG", NProcs: 256, Priority: 1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		fmt.Println(err)
+		return
+	}
+	loaded, _ := replay.Read(&buf)
+	player, _ := replay.NewPlayer(loaded, workload.NPB(workload.ClassD), nil)
+	gen := player.Generator()
+	for i := 0; i < 2; i++ {
+		req := gen()
+		fmt.Printf("%s nprocs=%d privileged=%v\n", req.Spec.Name, req.NProcs, req.Privileged())
+	}
+	// Output:
+	// EP nprocs=64 privileged=false
+	// CG nprocs=256 privileged=true
+}

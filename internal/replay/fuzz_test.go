@@ -1,0 +1,34 @@
+package replay
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes into the trace parser: it must never
+// panic, and every accepted trace must survive a Write/Read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add(`{"format":1}` + "\n" + `{"benchmark":"EP","nprocs":8}` + "\n")
+	f.Add(`{"format":1,"suite":"NPB-D"}` + "\n")
+	f.Add("")
+	f.Add(`{"format":2}` + "\n")
+	f.Add(`{"format":1}` + "\n" + `{"benchmark":"EP","nprocs":-1}` + "\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatalf("accepted trace failed to serialise: %v", err)
+		}
+		tr2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if tr2.Len() != tr.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", tr.Len(), tr2.Len())
+		}
+	})
+}

@@ -1,0 +1,188 @@
+// Package replay records and replays workload traces: the sequence of job
+// requests a run's generator produced. Replaying a recorded trace lets two
+// policies be compared on *literally* the same workload — the same
+// benchmarks, sizes, priorities, in the same order — rather than merely
+// the same random seed, and lets a production trace captured on one
+// system drive experiments on another.
+//
+// Traces are JSON lines, one request per line, with a header line
+// carrying the format version and provenance.
+package replay
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/scheduler"
+	"repro/internal/workload"
+)
+
+// FormatVersion identifies the trace file format.
+const FormatVersion = 1
+
+// Header is the first line of a trace file.
+type Header struct {
+	Format  int    `json:"format"`
+	Suite   string `json:"suite"`   // e.g. "NPB-D"
+	Comment string `json:"comment"` // free-form provenance
+}
+
+// Record is one generated job request.
+type Record struct {
+	Benchmark string `json:"benchmark"`
+	NProcs    int    `json:"nprocs"`
+	Priority  int    `json:"priority,omitempty"`
+}
+
+// Trace is an in-memory workload trace.
+type Trace struct {
+	Header  Header
+	Records []Record
+}
+
+// Len returns the number of recorded requests.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// Write serialises the trace.
+func (t *Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	hdr := t.Header
+	hdr.Format = FormatVersion
+	if err := enc.Encode(hdr); err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read parses a trace.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("replay: empty trace")
+	}
+	var hdr Header
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("replay: bad header: %w", err)
+	}
+	if hdr.Format != FormatVersion {
+		return nil, fmt.Errorf("replay: unsupported trace format %d (want %d)", hdr.Format, FormatVersion)
+	}
+	t := &Trace{Header: hdr}
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("replay: line %d: %w", line, err)
+		}
+		if rec.NProcs <= 0 {
+			return nil, fmt.Errorf("replay: line %d: nprocs %d", line, rec.NProcs)
+		}
+		t.Records = append(t.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Recorder wraps a generator, capturing everything it emits.
+type Recorder struct {
+	inner scheduler.Generator
+	trace *Trace
+}
+
+// NewRecorder wraps gen; the captured trace is available from Trace.
+func NewRecorder(gen scheduler.Generator, header Header) *Recorder {
+	return &Recorder{inner: gen, trace: &Trace{Header: header}}
+}
+
+// Generator returns the recording generator to install in the scheduler.
+func (r *Recorder) Generator() scheduler.Generator {
+	return func() workload.Request {
+		req := r.inner()
+		r.trace.Records = append(r.trace.Records, Record{
+			Benchmark: req.Spec.Name,
+			NProcs:    req.NProcs,
+			Priority:  req.Priority,
+		})
+		return req
+	}
+}
+
+// Trace returns the captured trace so far.
+func (r *Recorder) Trace() *Trace { return r.trace }
+
+// Player replays a trace as a scheduler generator. When the trace runs
+// out it either stops producing (Exhausted reports true and the fallback
+// is nil) or hands over to the fallback generator.
+type Player struct {
+	trace    *Trace
+	suite    []workload.Spec
+	pos      int
+	fallback scheduler.Generator
+	errs     int
+}
+
+// NewPlayer creates a player resolving benchmark names against suite.
+// fallback may be nil.
+func NewPlayer(trace *Trace, suite []workload.Spec, fallback scheduler.Generator) (*Player, error) {
+	if trace == nil || trace.Len() == 0 {
+		return nil, fmt.Errorf("replay: empty trace")
+	}
+	// Validate all names up front so replays fail fast, not mid-run.
+	for i, rec := range trace.Records {
+		if _, err := workload.SpecByName(suite, rec.Benchmark); err != nil {
+			return nil, fmt.Errorf("replay: record %d: %w", i, err)
+		}
+	}
+	return &Player{trace: trace, suite: suite, fallback: fallback}, nil
+}
+
+// Exhausted reports whether the trace has been fully replayed.
+func (p *Player) Exhausted() bool { return p.pos >= p.trace.Len() }
+
+// Position returns how many records have been replayed.
+func (p *Player) Position() int { return p.pos }
+
+// Generator returns the replaying generator. After exhaustion it repeats
+// the last record when no fallback is configured (the scheduler contract
+// requires a request; repeating the tail keeps the run deterministic).
+func (p *Player) Generator() scheduler.Generator {
+	return func() workload.Request {
+		if p.Exhausted() {
+			if p.fallback != nil {
+				return p.fallback()
+			}
+			return p.toRequest(p.trace.Records[p.trace.Len()-1])
+		}
+		rec := p.trace.Records[p.pos]
+		p.pos++
+		return p.toRequest(rec)
+	}
+}
+
+func (p *Player) toRequest(rec Record) workload.Request {
+	spec, err := workload.SpecByName(p.suite, rec.Benchmark)
+	if err != nil {
+		// Names were validated at construction; reaching this means the
+		// suite changed underneath us.
+		p.errs++
+		spec = p.suite[0]
+	}
+	return workload.Request{Spec: spec, NProcs: rec.NProcs, Priority: rec.Priority}
+}

@@ -1,0 +1,209 @@
+package replay
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/scheduler"
+	"repro/internal/workload"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := &Trace{
+		Header: Header{Suite: "NPB-D", Comment: "test"},
+		Records: []Record{
+			{Benchmark: "EP", NProcs: 64},
+			{Benchmark: "CG", NProcs: 256, Priority: 1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.Suite != "NPB-D" || got.Header.Format != FormatVersion {
+		t.Errorf("header = %+v", got.Header)
+	}
+	if got.Len() != 2 || got.Records[1] != tr.Records[1] {
+		t.Errorf("records = %+v", got.Records)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not json\n",
+		`{"format":99}` + "\n",
+		`{"format":1}` + "\n" + `{"benchmark":"EP","nprocs":0}` + "\n",
+		`{"format":1}` + "\n" + "garbage\n",
+	}
+	for i, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	in := `{"format":1}` + "\n\n" + `{"benchmark":"EP","nprocs":8}` + "\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("records = %d", tr.Len())
+	}
+}
+
+func TestRecorderCaptures(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	suite := workload.NPB(workload.ClassC)
+	rec := NewRecorder(scheduler.RandomGenerator(rng, suite), Header{Suite: "NPB-C"})
+	gen := rec.Generator()
+	var want []workload.Request
+	for i := 0; i < 20; i++ {
+		want = append(want, gen())
+	}
+	tr := rec.Trace()
+	if tr.Len() != 20 {
+		t.Fatalf("captured %d", tr.Len())
+	}
+	for i, r := range tr.Records {
+		if r.Benchmark != want[i].Spec.Name || r.NProcs != want[i].NProcs {
+			t.Errorf("record %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+func TestPlayerReplaysExactly(t *testing.T) {
+	suite := workload.NPB(workload.ClassC)
+	tr := &Trace{Records: []Record{
+		{Benchmark: "EP", NProcs: 8},
+		{Benchmark: "SP", NProcs: 128, Priority: 1},
+	}}
+	p, err := NewPlayer(tr, suite, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := p.Generator()
+	r1, r2 := gen(), gen()
+	if r1.Spec.Name != "EP" || r1.NProcs != 8 {
+		t.Errorf("r1 = %+v", r1)
+	}
+	if r2.Spec.Name != "SP" || r2.NProcs != 128 || r2.Priority != 1 {
+		t.Errorf("r2 = %+v", r2)
+	}
+	if !p.Exhausted() || p.Position() != 2 {
+		t.Errorf("pos = %d exhausted = %v", p.Position(), p.Exhausted())
+	}
+	// No fallback: repeats the tail deterministically.
+	r3 := gen()
+	if r3.Spec.Name != "SP" {
+		t.Errorf("tail repeat = %+v", r3)
+	}
+}
+
+func TestPlayerFallback(t *testing.T) {
+	suite := workload.NPB(workload.ClassC)
+	tr := &Trace{Records: []Record{{Benchmark: "EP", NProcs: 8}}}
+	calls := 0
+	fallback := func() workload.Request {
+		calls++
+		return workload.Request{Spec: suite[1], NProcs: 16}
+	}
+	p, err := NewPlayer(tr, suite, fallback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := p.Generator()
+	gen()
+	after := gen()
+	if calls != 1 || after.Spec.Name != suite[1].Name {
+		t.Errorf("fallback not used: calls=%d req=%+v", calls, after)
+	}
+}
+
+func TestPlayerValidation(t *testing.T) {
+	suite := workload.NPB(workload.ClassC)
+	if _, err := NewPlayer(&Trace{}, suite, nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	bad := &Trace{Records: []Record{{Benchmark: "FT", NProcs: 8}}}
+	if _, err := NewPlayer(bad, suite, nil); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+// TestRecordReplayEquivalence runs a scheduler with a recorded random
+// generator, then replays the trace into a second scheduler and checks
+// the job sequences match exactly.
+func TestRecordReplayEquivalence(t *testing.T) {
+	mk := func() []*node.Node {
+		nodes := make([]*node.Node, 16)
+		for i := range nodes {
+			n, err := node.New(node.ID(i), node.Config{Model: power.TianheNode(), Controllable: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes[i] = n
+		}
+		return nodes
+	}
+	suite := workload.NPB(workload.ClassC)
+
+	rec := NewRecorder(scheduler.RandomGenerator(rand.New(rand.NewSource(11)), suite), Header{})
+	s1, err := scheduler.New(mk(), scheduler.Config{ProcsPerNode: 2, Generator: rec.Generator()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Duration(0)
+	for i := 0; i < 1800; i++ {
+		now += time.Second
+		s1.Tick(now, time.Second)
+	}
+
+	// Round-trip through serialisation for good measure.
+	var buf bytes.Buffer
+	if err := rec.Trace().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	player, err := NewPlayer(tr, suite, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := scheduler.New(mk(), scheduler.Config{ProcsPerNode: 2, Generator: player.Generator()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = 0
+	for i := 0; i < 1800; i++ {
+		now += time.Second
+		s2.Tick(now, time.Second)
+	}
+
+	f1, f2 := s1.Finished(), s2.Finished()
+	if len(f1) != len(f2) {
+		t.Fatalf("finished %d vs %d", len(f1), len(f2))
+	}
+	for i := range f1 {
+		if f1[i].Spec().Name != f2[i].Spec().Name || f1[i].NProcs() != f2[i].NProcs() {
+			t.Errorf("job %d: %s/%d vs %s/%d", i,
+				f1[i].Spec().Name, f1[i].NProcs(), f2[i].Spec().Name, f2[i].NProcs())
+		}
+		if f1[i].End() != f2[i].End() {
+			t.Errorf("job %d end %v vs %v", i, f1[i].End(), f2[i].End())
+		}
+	}
+}

@@ -1,0 +1,354 @@
+// Package scheduler implements the job subsystem of the evaluation
+// environment (§V.C): a FCFS job queue, first-fit placement of jobs onto
+// free nodes (one process per core, as on the testbed), and the paper's
+// workload generation protocol — "an evaluation job is added to the job
+// queue whenever the queue is empty" and "loaded to the system as soon as
+// the required hardware resource is available".
+//
+// Each tick the scheduler advances running jobs at the pace of their
+// slowest member node (bottleneck coupling) and installs the jobs' current
+// operating points on their nodes.
+package scheduler
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/workload"
+)
+
+// Generator produces the next job request when the queue runs empty.
+type Generator func() workload.Request
+
+// RandomGenerator returns the paper's generator: uniform benchmark from
+// suite, uniform NPROCS from {8..256}.
+func RandomGenerator(rng *rand.Rand, suite []workload.Spec) Generator {
+	return func() workload.Request { return workload.RandomRequest(rng, suite) }
+}
+
+// PriorityGenerator is RandomGenerator with a fraction of jobs marked
+// high-priority (their nodes become privileged for the job's lifetime,
+// §II.A).
+func PriorityGenerator(rng *rand.Rand, suite []workload.Spec, privFrac float64) Generator {
+	return func() workload.Request { return workload.PriorityRequest(rng, suite, privFrac) }
+}
+
+// Config parametrises the scheduler.
+type Config struct {
+	// Generator refills the queue; nil disables generation (jobs are then
+	// only submitted explicitly via Submit).
+	Generator Generator
+	// JobConfig is applied to every started job.
+	JobConfig workload.JobConfig
+	// IdleLoad is the background operating point of nodes with no job
+	// (OS housekeeping). Zero value means truly dark idle.
+	IdleLoad node.Load
+	// ProcsPerNode is the process placement density. The testbed runs
+	// NPB class D at 2 processes per node (NPROCS=256 fills all 128
+	// nodes); zero defaults to one process per core.
+	ProcsPerNode int
+	// Placement chooses which free nodes a job occupies; nil = FirstFit.
+	Placement Placement
+	// Backfill allows jobs behind a blocked queue head to start when
+	// they fit in the currently free nodes (simple backfill without
+	// reservations). The paper's testbed runs plain FCFS; backfill is
+	// the production-batch-system counterpart.
+	Backfill bool
+}
+
+// Placement selects need nodes from the free list (which is in node-ID
+// order). Implementations must return exactly need distinct IDs drawn
+// from free.
+type Placement func(free []node.ID, need int) []node.ID
+
+// FirstFit takes the lowest-numbered free nodes — the default, which
+// tends to pack jobs into contiguous ranges (and therefore into the same
+// cabinets).
+func FirstFit(free []node.ID, need int) []node.ID { return free[:need] }
+
+// CabinetSpread returns a placement that deals free nodes round-robin
+// across cabinets of nodesPerCabinet consecutive IDs, spreading each
+// job's thermal and electrical footprint over the distribution hierarchy.
+func CabinetSpread(nodesPerCabinet int) Placement {
+	if nodesPerCabinet <= 0 {
+		return FirstFit
+	}
+	return func(free []node.ID, need int) []node.ID {
+		buckets := make(map[int][]node.ID)
+		maxCab := 0
+		for _, id := range free {
+			c := int(id) / nodesPerCabinet
+			buckets[c] = append(buckets[c], id)
+			if c > maxCab {
+				maxCab = c
+			}
+		}
+		out := make([]node.ID, 0, need)
+		for len(out) < need {
+			progressed := false
+			for c := 0; c <= maxCab && len(out) < need; c++ {
+				if b := buckets[c]; len(b) > 0 {
+					out = append(out, b[0])
+					buckets[c] = b[1:]
+					progressed = true
+				}
+			}
+			if !progressed {
+				break
+			}
+		}
+		return out
+	}
+}
+
+// Scheduler owns job lifecycle and node load assignment.
+type Scheduler struct {
+	cfg   Config
+	nodes []*node.Node
+	byID  map[node.ID]*node.Node
+
+	queue    []workload.Request
+	running  map[workload.JobID]*workload.Job
+	jobOn    map[node.ID]workload.JobID
+	finished []*workload.Job
+	nextID   workload.JobID
+
+	started int
+}
+
+// New creates a scheduler over the given nodes.
+func New(nodes []*node.Node, cfg Config) (*Scheduler, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("scheduler: no nodes")
+	}
+	s := &Scheduler{
+		cfg:     cfg,
+		nodes:   nodes,
+		byID:    make(map[node.ID]*node.Node, len(nodes)),
+		running: make(map[workload.JobID]*workload.Job),
+		jobOn:   make(map[node.ID]workload.JobID),
+	}
+	for _, n := range nodes {
+		if _, dup := s.byID[n.ID()]; dup {
+			return nil, fmt.Errorf("scheduler: duplicate node id %d", n.ID())
+		}
+		s.byID[n.ID()] = n
+	}
+	return s, nil
+}
+
+// Submit places a request at the back of the queue.
+func (s *Scheduler) Submit(req workload.Request) { s.queue = append(s.queue, req) }
+
+// QueueLen reports the number of requests waiting.
+func (s *Scheduler) QueueLen() int { return len(s.queue) }
+
+// Running returns the currently running jobs, ordered by ID for
+// deterministic iteration.
+func (s *Scheduler) Running() []*workload.Job {
+	out := make([]*workload.Job, 0, len(s.running))
+	for _, j := range s.running {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID() < out[b].ID() })
+	return out
+}
+
+// Finished returns all completed jobs in completion order.
+func (s *Scheduler) Finished() []*workload.Job { return s.finished }
+
+// Started reports how many jobs have been started in total.
+func (s *Scheduler) Started() int { return s.started }
+
+// JobOn returns the job occupying the given node, or nil if the node is
+// free.
+func (s *Scheduler) JobOn(id node.ID) *workload.Job {
+	jid, ok := s.jobOn[id]
+	if !ok {
+		return nil
+	}
+	return s.running[jid]
+}
+
+// NodesNeeded returns how many nodes a request occupies: one process per
+// core, whole nodes only.
+func NodesNeeded(req workload.Request, coresPerNode int) int {
+	if coresPerNode <= 0 {
+		return req.NProcs
+	}
+	return (req.NProcs + coresPerNode - 1) / coresPerNode
+}
+
+// freeNodes returns the IDs of nodes without a job, in node order.
+func (s *Scheduler) freeNodes() []node.ID {
+	out := make([]node.ID, 0, len(s.nodes))
+	for _, n := range s.nodes {
+		if _, busy := s.jobOn[n.ID()]; !busy {
+			out = append(out, n.ID())
+		}
+	}
+	return out
+}
+
+// startOutcome reports what tryStart did with the queue head.
+type startOutcome int
+
+const (
+	startBlocked startOutcome = iota // head waits for resources
+	startDropped                     // head was undispatchable and removed
+	startLaunched
+)
+
+// tryStart launches the queue entry at idx if enough nodes are free.
+// idx 0 is plain FCFS; backfill probes later indices when the head is
+// blocked.
+func (s *Scheduler) tryStart(now time.Duration, idx int) startOutcome {
+	if idx >= len(s.queue) {
+		return startBlocked
+	}
+	req := s.queue[idx]
+	ppn := s.cfg.ProcsPerNode
+	if ppn <= 0 {
+		ppn = s.nodes[0].Model().CPU.Cores()
+	}
+	need := NodesNeeded(req, ppn)
+	if need > len(s.nodes) {
+		// Undispatchable request: drop it rather than wedge the queue.
+		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+		return startDropped
+	}
+	free := s.freeNodes()
+	if len(free) < need {
+		return startBlocked
+	}
+	place := s.cfg.Placement
+	if place == nil {
+		place = FirstFit
+	}
+	placed := place(free, need)
+	if len(placed) != need {
+		// A broken placement strategy must not corrupt the job; fall
+		// back to first-fit.
+		placed = free[:need]
+	}
+	s.nextID++
+	job, err := workload.NewJob(s.nextID, req, placed, now, s.cfg.JobConfig)
+	if err != nil {
+		// A request that cannot construct a job is malformed; drop it.
+		s.nextID--
+		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+		return startDropped
+	}
+	s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+	s.running[job.ID()] = job
+	for _, id := range placed {
+		s.jobOn[id] = job.ID()
+	}
+	if job.Privileged() {
+		// §II.A: nodes running urgent/high-priority tasks are privileged
+		// for the job's lifetime — restore them to full performance and
+		// pin them out of A_candidate.
+		for _, id := range placed {
+			n := s.byID[id]
+			if n.Controllable() {
+				_ = n.SetLevel(n.Levels() - 1)
+			}
+			n.SetPinned(true)
+		}
+	}
+	s.started++
+	return startLaunched
+}
+
+// Tick advances the whole job subsystem by dt ending at virtual time now:
+// finishes and starts jobs, refills the queue per the paper's protocol,
+// and installs per-node loads.
+func (s *Scheduler) Tick(now, dt time.Duration) {
+	prev := now - dt
+
+	// 1. Advance running jobs at their bottleneck pace; release nodes of
+	// finishing jobs.
+	for _, job := range s.Running() {
+		minSlow := 1.0
+		for _, id := range job.Nodes() {
+			if sf := s.byID[id].SlowdownFactor(); sf < minSlow {
+				minSlow = sf
+			}
+		}
+		if job.Advance(prev, dt, minSlow) {
+			s.finished = append(s.finished, job)
+			delete(s.running, job.ID())
+			for _, id := range job.Nodes() {
+				delete(s.jobOn, id)
+				if job.Privileged() {
+					s.byID[id].SetPinned(false)
+				}
+			}
+		}
+	}
+
+	// 2. Refill the queue whenever it is empty (§V.C), then start jobs
+	// while resources allow. Each successful start can empty the queue
+	// again, triggering another refill — matching "loaded as soon as the
+	// required hardware resource is available". Dropped (undispatchable)
+	// requests also make progress; a bounded drop budget prevents a
+	// misconfigured generator that only emits oversized requests from
+	// spinning forever.
+	drops := 0
+	for drops <= len(s.nodes)+len(s.queue)+8 {
+		if len(s.queue) == 0 {
+			if s.cfg.Generator == nil {
+				break
+			}
+			s.queue = append(s.queue, s.cfg.Generator())
+		}
+		out := s.tryStart(now, 0)
+		if out == startDropped {
+			drops++
+			continue
+		}
+		if out == startLaunched {
+			continue
+		}
+		// Head blocked: optionally backfill a later job that fits now.
+		if !s.cfg.Backfill || !s.backfillOne(now, &drops) {
+			break
+		}
+	}
+	s.installLoads(now)
+}
+
+// backfillOne probes the queue behind the head and starts the first job
+// that fits the currently free nodes. It reports whether progress was
+// made (a start or a drop).
+func (s *Scheduler) backfillOne(now time.Duration, drops *int) bool {
+	for i := 1; i < len(s.queue); i++ {
+		switch s.tryStart(now, i) {
+		case startLaunched:
+			return true
+		case startDropped:
+			*drops++
+			return true
+		}
+	}
+	return false
+}
+
+// installLoads sets every node's operating point for the next interval.
+func (s *Scheduler) installLoads(now time.Duration) {
+
+	// 3. Install operating points for the next interval.
+	for _, job := range s.Running() {
+		for i, id := range job.Nodes() {
+			s.byID[id].SetLoad(job.LoadAt(now, i))
+		}
+	}
+	for _, n := range s.nodes {
+		if s.JobOn(n.ID()) == nil {
+			n.SetLoad(s.cfg.IdleLoad)
+		}
+	}
+}

@@ -1,0 +1,440 @@
+package scheduler
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+func mkNodes(t *testing.T, n int) []*node.Node {
+	t.Helper()
+	out := make([]*node.Node, n)
+	for i := range out {
+		nd, err := node.New(node.ID(i), node.Config{Model: power.TianheNode(), Controllable: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = nd
+	}
+	return out
+}
+
+func spec(t *testing.T, name string) workload.Spec {
+	t.Helper()
+	s, err := workload.SpecByName(workload.NPB(workload.ClassC), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("empty node list accepted")
+	}
+	nodes := mkNodes(t, 2)
+	dup := []*node.Node{nodes[0], nodes[0]}
+	if _, err := New(dup, Config{}); err == nil {
+		t.Error("duplicate node IDs accepted")
+	}
+}
+
+func TestNodesNeeded(t *testing.T) {
+	cases := []struct {
+		nprocs, ppn, want int
+	}{
+		{8, 2, 4}, {256, 2, 128}, {16, 12, 2}, {13, 12, 2}, {12, 12, 1},
+		{5, 0, 5}, // non-positive ppn falls back to one proc per node
+	}
+	for _, c := range cases {
+		got := NodesNeeded(workload.Request{NProcs: c.nprocs}, c.ppn)
+		if got != c.want {
+			t.Errorf("NodesNeeded(%d procs, ppn %d) = %d, want %d", c.nprocs, c.ppn, got, c.want)
+		}
+	}
+}
+
+func TestSubmitAndPlacement(t *testing.T) {
+	nodes := mkNodes(t, 8)
+	s, err := New(nodes, Config{ProcsPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 8}) // 4 nodes
+	s.Tick(time.Second, time.Second)
+	if s.Started() != 1 {
+		t.Fatalf("started = %d", s.Started())
+	}
+	running := s.Running()
+	if len(running) != 1 || len(running[0].Nodes()) != 4 {
+		t.Fatalf("running = %v", running)
+	}
+	// The four placed nodes are attributed; others are free.
+	busy := 0
+	for _, n := range nodes {
+		if s.JobOn(n.ID()) != nil {
+			busy++
+		}
+	}
+	if busy != 4 {
+		t.Errorf("busy nodes = %d, want 4", busy)
+	}
+}
+
+func TestHeadOfLineBlocking(t *testing.T) {
+	nodes := mkNodes(t, 4)
+	s, _ := New(nodes, Config{ProcsPerNode: 2})
+	s.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 8}) // 4 nodes: fills cluster
+	s.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 8}) // must wait
+	s.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 2}) // 1 node, but behind
+	s.Tick(time.Second, time.Second)
+	if s.Started() != 1 {
+		t.Errorf("started = %d, want 1 (FCFS head-of-line)", s.Started())
+	}
+	if s.QueueLen() != 2 {
+		t.Errorf("queue = %d, want 2", s.QueueLen())
+	}
+}
+
+func TestOversizedRequestDropped(t *testing.T) {
+	nodes := mkNodes(t, 2)
+	s, _ := New(nodes, Config{ProcsPerNode: 2})
+	s.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 256}) // needs 128 nodes
+	s.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 2})
+	s.Tick(time.Second, time.Second)
+	if s.Started() != 1 {
+		t.Errorf("started = %d: oversized request should be dropped, next started", s.Started())
+	}
+}
+
+func TestJobLifecycleFreesNodes(t *testing.T) {
+	nodes := mkNodes(t, 2)
+	s, _ := New(nodes, Config{ProcsPerNode: 2})
+	s.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 4})
+	now := time.Second
+	s.Tick(now, time.Second)
+	job := s.Running()[0]
+	for !job.Done() {
+		now += time.Second
+		s.Tick(now, time.Second)
+		if now > time.Hour {
+			t.Fatal("job never finished")
+		}
+	}
+	if len(s.Running()) != 0 {
+		t.Error("finished job still running")
+	}
+	if len(s.Finished()) != 1 {
+		t.Error("finished job not recorded")
+	}
+	for _, n := range nodes {
+		if s.JobOn(n.ID()) != nil {
+			t.Error("node not freed after completion")
+		}
+	}
+}
+
+func TestGeneratorKeepsClusterBusy(t *testing.T) {
+	nodes := mkNodes(t, 16)
+	rng := rand.New(rand.NewSource(7))
+	s, _ := New(nodes, Config{
+		ProcsPerNode: 2,
+		Generator:    RandomGenerator(rng, workload.NPB(workload.ClassC)),
+	})
+	now := time.Duration(0)
+	for i := 0; i < 600; i++ {
+		now += time.Second
+		s.Tick(now, time.Second)
+	}
+	if s.Started() < 2 {
+		t.Errorf("only %d jobs started in 10 min", s.Started())
+	}
+	// The paper's protocol keeps the queue at most one deep.
+	if s.QueueLen() > 1 {
+		t.Errorf("queue grew to %d", s.QueueLen())
+	}
+	busy := 0
+	for _, n := range nodes {
+		if s.JobOn(n.ID()) != nil {
+			busy++
+		}
+	}
+	if busy == 0 {
+		t.Error("generator left the cluster idle")
+	}
+}
+
+func TestBottleneckCoupling(t *testing.T) {
+	// Degrading one member node slows the whole job exactly as much as
+	// degrading all of them (§IV.A).
+	run := func(degradeAll bool) time.Duration {
+		nodes := mkNodes(t, 4)
+		s, _ := New(nodes, Config{ProcsPerNode: 2})
+		s.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 8})
+		now := time.Second
+		s.Tick(now, time.Second)
+		if degradeAll {
+			for _, n := range nodes {
+				if err := n.SetLevel(3); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			if err := nodes[0].SetLevel(3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		job := s.Running()[0]
+		for !job.Done() {
+			now += time.Second
+			s.Tick(now, time.Second)
+		}
+		return job.ActualDuration()
+	}
+	one, all := run(false), run(true)
+	if one != all {
+		t.Errorf("one-node degrade %v != all-node degrade %v", one, all)
+	}
+}
+
+func TestLoadsInstalledOnNodes(t *testing.T) {
+	nodes := mkNodes(t, 4)
+	idle := node.Load{CPUUtil: 0.02}
+	s, _ := New(nodes, Config{ProcsPerNode: 2, IdleLoad: idle})
+	s.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 4}) // 2 nodes
+	s.Tick(time.Second, time.Second)
+	busyLoads, idleLoads := 0, 0
+	for _, n := range nodes {
+		if s.JobOn(n.ID()) != nil {
+			if n.Load().CPUUtil > 0.1 {
+				busyLoads++
+			}
+		} else if n.Load() == idle {
+			idleLoads++
+		}
+	}
+	if busyLoads != 2 {
+		t.Errorf("busy nodes with job load = %d, want 2", busyLoads)
+	}
+	if idleLoads != 2 {
+		t.Errorf("idle nodes with idle load = %d, want 2", idleLoads)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int, int) {
+		nodes := mkNodes(t, 16)
+		rng := rand.New(rand.NewSource(99))
+		s, _ := New(nodes, Config{
+			ProcsPerNode: 2,
+			Generator:    RandomGenerator(rng, workload.NPB(workload.ClassC)),
+			JobConfig:    workload.JobConfig{Rng: rand.New(rand.NewSource(5)), Jitter: 0.05},
+		})
+		now := time.Duration(0)
+		for i := 0; i < 1200; i++ {
+			now += time.Second
+			s.Tick(now, time.Second)
+		}
+		return s.Started(), len(s.Finished())
+	}
+	s1, f1 := run()
+	s2, f2 := run()
+	if s1 != s2 || f1 != f2 {
+		t.Errorf("non-deterministic: (%d,%d) vs (%d,%d)", s1, f1, s2, f2)
+	}
+}
+
+func TestPrivilegedJobPinsNodes(t *testing.T) {
+	nodes := mkNodes(t, 4)
+	s, _ := New(nodes, Config{ProcsPerNode: 2})
+	// Pre-degrade node 0, then start a privileged job over nodes 0-1.
+	if err := nodes[0].SetLevel(3); err != nil {
+		t.Fatal(err)
+	}
+	s.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 4, Priority: 1})
+	now := time.Second
+	s.Tick(now, time.Second)
+	job := s.Running()[0]
+	if !job.Privileged() {
+		t.Fatal("job not privileged")
+	}
+	for _, id := range job.Nodes() {
+		n := nodes[int(id)]
+		if !n.Pinned() {
+			t.Errorf("member node %d not pinned", id)
+		}
+		if n.Controllable() {
+			t.Errorf("pinned node %d still in A_candidate", id)
+		}
+		if !n.AtHighest() {
+			t.Errorf("privileged member %d not restored to full performance (level %d)", id, n.Level())
+		}
+		if err := n.SetLevel(0); err == nil {
+			t.Errorf("pinned node %d accepted a degrade command", id)
+		}
+	}
+	// Non-member nodes are unaffected.
+	for _, n := range nodes {
+		member := false
+		for _, id := range job.Nodes() {
+			if id == n.ID() {
+				member = true
+			}
+		}
+		if !member && n.Pinned() {
+			t.Errorf("non-member node %d pinned", n.ID())
+		}
+	}
+	// Run to completion: nodes must be unpinned and controllable again.
+	for !job.Done() {
+		now += time.Second
+		s.Tick(now, time.Second)
+	}
+	for _, id := range job.Nodes() {
+		if nodes[int(id)].Pinned() {
+			t.Errorf("node %d still pinned after job end", id)
+		}
+		if !nodes[int(id)].Controllable() {
+			t.Errorf("node %d not back in A_candidate", id)
+		}
+	}
+}
+
+func TestPriorityGeneratorFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	gen := PriorityGenerator(rng, workload.NPB(workload.ClassC), 0.5)
+	priv := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if gen().Privileged() {
+			priv++
+		}
+	}
+	frac := float64(priv) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("privileged fraction = %.3f, want ≈0.5", frac)
+	}
+	// Zero fraction yields none.
+	gen0 := PriorityGenerator(rng, workload.NPB(workload.ClassC), 0)
+	for i := 0; i < 100; i++ {
+		if gen0().Privileged() {
+			t.Fatal("zero fraction produced a privileged job")
+		}
+	}
+}
+
+func TestFirstFitPlacement(t *testing.T) {
+	free := []node.ID{0, 1, 5, 9}
+	got := FirstFit(free, 2)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("FirstFit = %v", got)
+	}
+}
+
+func TestCabinetSpreadPlacement(t *testing.T) {
+	// 2 cabinets of 4 nodes; all free. Spread must alternate cabinets.
+	free := []node.ID{0, 1, 2, 3, 4, 5, 6, 7}
+	place := CabinetSpread(4)
+	got := place(free, 4)
+	if len(got) != 4 {
+		t.Fatalf("placed %v", got)
+	}
+	cab0, cab1 := 0, 0
+	for _, id := range got {
+		if int(id) < 4 {
+			cab0++
+		} else {
+			cab1++
+		}
+	}
+	if cab0 != 2 || cab1 != 2 {
+		t.Errorf("spread = %d/%d, want 2/2 across cabinets: %v", cab0, cab1, got)
+	}
+	// Degenerate: zero cabinet size falls back to FirstFit.
+	if got := CabinetSpread(0)(free, 2); got[0] != 0 || got[1] != 1 {
+		t.Errorf("fallback = %v", got)
+	}
+	// Asking for everything returns everything.
+	if got := place(free, 8); len(got) != 8 {
+		t.Errorf("full placement = %v", got)
+	}
+}
+
+func TestSchedulerUsesPlacement(t *testing.T) {
+	nodes := mkNodes(t, 8)
+	s, _ := New(nodes, Config{
+		ProcsPerNode: 2,
+		Placement:    CabinetSpread(4),
+	})
+	s.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 8}) // 4 nodes
+	s.Tick(time.Second, time.Second)
+	job := s.Running()[0]
+	cab0, cab1 := 0, 0
+	for _, id := range job.Nodes() {
+		if int(id) < 4 {
+			cab0++
+		} else {
+			cab1++
+		}
+	}
+	if cab0 != 2 || cab1 != 2 {
+		t.Errorf("job placed %d/%d, want spread", cab0, cab1)
+	}
+}
+
+func TestBrokenPlacementFallsBack(t *testing.T) {
+	nodes := mkNodes(t, 4)
+	s, _ := New(nodes, Config{
+		ProcsPerNode: 2,
+		Placement:    func(free []node.ID, need int) []node.ID { return nil },
+	})
+	s.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 4})
+	s.Tick(time.Second, time.Second)
+	if s.Started() != 1 {
+		t.Error("broken placement wedged the scheduler")
+	}
+	if got := len(s.Running()[0].Nodes()); got != 2 {
+		t.Errorf("fallback placed %d nodes", got)
+	}
+}
+
+func TestBackfill(t *testing.T) {
+	nodes := mkNodes(t, 4)
+	s, _ := New(nodes, Config{ProcsPerNode: 2, Backfill: true})
+	s.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 4}) // 2 nodes: starts
+	s.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 8}) // 4 nodes: blocked
+	s.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 4}) // 2 nodes: backfills
+	s.Tick(time.Second, time.Second)
+	if s.Started() != 2 {
+		t.Errorf("started = %d, want 2 (first + backfilled third)", s.Started())
+	}
+	if s.QueueLen() != 1 {
+		t.Errorf("queue = %d, want the blocked 4-node job", s.QueueLen())
+	}
+	// Without backfill the same submission order starts only one job.
+	nodes2 := mkNodes(t, 4)
+	s2, _ := New(nodes2, Config{ProcsPerNode: 2})
+	s2.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 4})
+	s2.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 8})
+	s2.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 4})
+	s2.Tick(time.Second, time.Second)
+	if s2.Started() != 1 {
+		t.Errorf("FCFS started = %d, want 1", s2.Started())
+	}
+}
+
+func TestBackfillDropsOversizedBehindHead(t *testing.T) {
+	nodes := mkNodes(t, 2)
+	s, _ := New(nodes, Config{ProcsPerNode: 2, Backfill: true})
+	s.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 4})   // fills cluster
+	s.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 4})   // blocked head-of-rest
+	s.Submit(workload.Request{Spec: spec(t, "EP"), NProcs: 256}) // oversized: dropped during backfill scan
+	s.Tick(time.Second, time.Second)
+	if s.QueueLen() != 1 {
+		t.Errorf("queue = %d, want only the feasible blocked job", s.QueueLen())
+	}
+}

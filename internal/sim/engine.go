@@ -1,0 +1,180 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of events. Events
+// scheduled for the same instant fire in the order they were scheduled
+// (FIFO tie-break by sequence number), which makes runs fully reproducible.
+// Periodic activities — the power manager's control cycle, workload ticks,
+// threshold re-adjustment — are expressed with Every.
+//
+// Virtual time is carried as time.Duration offsets from the start of the run,
+// so a 12-hour experiment is simply RunUntil(12 * time.Hour).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Handler is a callback invoked when an event fires. It receives the engine
+// so it can schedule follow-up events and read the clock.
+type Handler func(e *Engine)
+
+// event is a scheduled callback.
+type event struct {
+	at     time.Duration
+	seq    uint64 // FIFO tie-break for events at the same instant
+	fn     Handler
+	cancel *bool // when non-nil and true, the event is skipped
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// engines with NewEngine.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now reports the current virtual time (offset from the start of the run).
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Fired reports how many events have fired so far; useful in tests.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// ErrPastEvent is returned by At when an event is scheduled before Now.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// Cancel is a handle that prevents a scheduled event from firing.
+type Cancel struct{ flag *bool }
+
+// Stop cancels the associated event. Calling Stop multiple times is safe.
+func (c Cancel) Stop() {
+	if c.flag != nil {
+		*c.flag = true
+	}
+}
+
+// At schedules fn to fire at absolute virtual time at. Scheduling in the
+// past is an error; scheduling exactly at Now fires after currently queued
+// events for that instant.
+func (e *Engine) At(at time.Duration, fn Handler) (Cancel, error) {
+	if at < e.now {
+		return Cancel{}, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, e.now)
+	}
+	flag := new(bool)
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn, cancel: flag})
+	return Cancel{flag: flag}, nil
+}
+
+// After schedules fn to fire d after the current virtual time. A negative d
+// is treated as zero.
+func (e *Engine) After(d time.Duration, fn Handler) Cancel {
+	if d < 0 {
+		d = 0
+	}
+	c, _ := e.At(e.now+d, fn)
+	return c
+}
+
+// Every schedules fn to fire every period, starting one period from now.
+// The returned Cancel stops the recurrence. A non-positive period panics:
+// it would wedge the simulation at a single instant.
+func (e *Engine) Every(period time.Duration, fn Handler) Cancel {
+	if period <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	flag := new(bool)
+	var tick Handler
+	tick = func(en *Engine) {
+		fn(en)
+		if !*flag {
+			en.seq++
+			heap.Push(&en.queue, &event{at: en.now + period, seq: en.seq, fn: tick, cancel: flag})
+		}
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now + period, seq: e.seq, fn: tick, cancel: flag})
+	return Cancel{flag: flag}
+}
+
+// Stop halts the run loop after the currently firing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the next queued event, advancing the clock to its timestamp.
+// It reports whether an event fired (false when the queue is empty or the
+// engine is stopped).
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancel != nil && *ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn(e)
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events until the next event would be after deadline, the
+// queue empties, or Stop is called. On return the clock is set to deadline
+// if the run reached it (i.e. was not stopped early with Stop).
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.cancel != nil && *next.cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run fires events until the queue empties or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}

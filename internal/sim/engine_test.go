@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyEngine(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step on empty queue reported an event")
+	}
+	e.RunUntil(time.Hour)
+	if e.Now() != time.Hour {
+		t.Errorf("RunUntil left clock at %v, want 1h", e.Now())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(3*time.Second, func(*Engine) { order = append(order, 3) })
+	e.After(1*time.Second, func(*Engine) { order = append(order, 1) })
+	e.After(2*time.Second, func(*Engine) { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("clock = %v, want 3s", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(time.Second, func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestAtPastRejected(t *testing.T) {
+	e := NewEngine()
+	e.After(time.Second, func(*Engine) {})
+	e.Run()
+	if _, err := e.At(0, func(*Engine) {}); err == nil {
+		t.Error("At in the past succeeded, want error")
+	}
+}
+
+func TestAfterNegativeClampsToNow(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.After(-5*time.Second, func(*Engine) { fired = true })
+	e.Run()
+	if !fired {
+		t.Error("negative After never fired")
+	}
+	if e.Now() != 0 {
+		t.Errorf("clock moved to %v", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	c := e.After(time.Second, func(*Engine) { fired = true })
+	c.Stop()
+	c.Stop() // double-stop is safe
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine()
+	var times []time.Duration
+	e.Every(time.Second, func(en *Engine) { times = append(times, en.Now()) })
+	e.RunUntil(5 * time.Second)
+	if len(times) != 5 {
+		t.Fatalf("got %d ticks, want 5: %v", len(times), times)
+	}
+	for i, at := range times {
+		want := time.Duration(i+1) * time.Second
+		if at != want {
+			t.Errorf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestEveryCancelFromInside(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var c Cancel
+	c = e.Every(time.Second, func(*Engine) {
+		n++
+		if n == 3 {
+			c.Stop()
+		}
+	})
+	e.RunUntil(time.Minute)
+	if n != 3 {
+		t.Errorf("ticks = %d, want 3", n)
+	}
+}
+
+func TestEveryZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Every(0) did not panic")
+		}
+	}()
+	NewEngine().Every(0, func(*Engine) {})
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Every(time.Second, func(en *Engine) {
+		n++
+		if n == 2 {
+			en.Stop()
+		}
+	})
+	e.RunUntil(time.Hour)
+	if n != 2 {
+		t.Errorf("events after Stop: n=%d", n)
+	}
+	if e.Now() != 2*time.Second {
+		t.Errorf("Stop should freeze clock at 2s, got %v", e.Now())
+	}
+}
+
+func TestRunUntilBoundary(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	e.After(time.Second, func(en *Engine) { fired = append(fired, en.Now()) })
+	e.After(2*time.Second, func(en *Engine) { fired = append(fired, en.Now()) })
+	e.After(3*time.Second, func(en *Engine) { fired = append(fired, en.Now()) })
+	e.RunUntil(2 * time.Second) // inclusive boundary
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 1s and 2s", fired)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	e.RunUntil(10 * time.Second)
+	if len(fired) != 3 {
+		t.Errorf("third event did not fire on resumed run")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var got []time.Duration
+	e.After(time.Second, func(en *Engine) {
+		en.After(time.Second, func(en2 *Engine) {
+			got = append(got, en2.Now())
+		})
+	})
+	e.Run()
+	if len(got) != 1 || got[0] != 2*time.Second {
+		t.Errorf("nested event fired at %v, want [2s]", got)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.After(time.Duration(i)*time.Millisecond, func(*Engine) {})
+	}
+	e.Run()
+	if e.Fired() != 7 {
+		t.Errorf("Fired = %d, want 7", e.Fired())
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in sorted order.
+func TestOrderingProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []time.Duration
+		for _, d := range delays {
+			e.After(time.Duration(d)*time.Millisecond, func(en *Engine) {
+				fired = append(fired, en.Now())
+			})
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitMix64KnownSequence(t *testing.T) {
+	// Reference values for seed 0 from the splitmix64 reference
+	// implementation (Vigna).
+	state := uint64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f,
+	}
+	for i, w := range want {
+		if got := SplitMix64(&state); got != w {
+			t.Fatalf("SplitMix64 #%d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestStreamsDeterministic(t *testing.T) {
+	a := NewStreams(42).Get("workload")
+	b := NewStreams(42).Get("workload")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same (seed,name) produced different sequences")
+		}
+	}
+}
+
+func TestStreamsIndependentOfRequestOrder(t *testing.T) {
+	s1 := NewStreams(7)
+	_ = s1.Get("other")
+	a := s1.Get("meter").Uint64()
+
+	s2 := NewStreams(7)
+	b := s2.Get("meter").Uint64()
+	if a != b {
+		t.Error("stream depends on request order")
+	}
+}
+
+func TestStreamsDistinctNames(t *testing.T) {
+	s := NewStreams(7)
+	if s.Get("a").Uint64() == s.Get("b").Uint64() {
+		t.Error("streams 'a' and 'b' start identically (suspicious)")
+	}
+}
+
+func TestStreamsDistinctSeeds(t *testing.T) {
+	if NewStreams(1).Get("x").Uint64() == NewStreams(2).Get("x").Uint64() {
+		t.Error("different seeds produced identical streams")
+	}
+}

@@ -1,0 +1,39 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func ExampleEngine_Every() {
+	e := sim.NewEngine()
+	e.Every(time.Second, func(en *sim.Engine) {
+		fmt.Printf("cycle at %v\n", en.Now())
+	})
+	e.RunUntil(3 * time.Second)
+	// Output:
+	// cycle at 1s
+	// cycle at 2s
+	// cycle at 3s
+}
+
+func ExampleEngine_After() {
+	e := sim.NewEngine()
+	e.After(90*time.Minute, func(en *sim.Engine) {
+		fmt.Println("training period over at", en.Now())
+	})
+	e.Run()
+	// Output: training period over at 1h30m0s
+}
+
+func ExampleStreams() {
+	// Independent deterministic random streams from one experiment seed:
+	// adding a stream never perturbs the others.
+	s := sim.NewStreams(42)
+	a := s.Get("workload")
+	b := sim.NewStreams(42).Get("workload")
+	fmt.Println(a.Intn(1000) == b.Intn(1000))
+	// Output: true
+}

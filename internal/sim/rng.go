@@ -1,0 +1,35 @@
+package sim
+
+import "math/rand"
+
+// SplitMix64 advances a 64-bit state and returns the next value of the
+// splitmix64 sequence. It is used to derive well-separated seeds for
+// independent random streams from a single experiment seed, so that adding
+// a new stream never perturbs existing ones.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Streams derives named deterministic random streams from one master seed.
+// Each distinct name yields an independent *rand.Rand whose sequence depends
+// only on (seed, name), never on the order streams are requested.
+type Streams struct {
+	seed uint64
+}
+
+// NewStreams returns a stream factory for the given master seed.
+func NewStreams(seed uint64) *Streams { return &Streams{seed: seed} }
+
+// Get returns the deterministic stream for name.
+func (s *Streams) Get(name string) *rand.Rand {
+	state := s.seed
+	for _, b := range []byte(name) {
+		state ^= uint64(b)
+		SplitMix64(&state)
+	}
+	return rand.New(rand.NewSource(int64(SplitMix64(&state))))
+}

@@ -1,0 +1,19 @@
+package thermal_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+func ExampleTracker() {
+	// One Tianhe node held at 350 W settles at 22 + 0.08·350 = 50 °C.
+	tr, _ := thermal.NewTracker(1, thermal.Tianhe())
+	for i := 0; i < 3600; i++ {
+		tr.Step(time.Second, []units.Watts{350})
+	}
+	fmt.Printf("steady state ≈ %.0f °C\n", tr.TempC(0))
+	// Output: steady state ≈ 50 °C
+}

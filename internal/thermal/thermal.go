@@ -1,0 +1,196 @@
+// Package thermal models the thermal consequences of power consumption
+// that motivate the paper (§I.A):
+//
+//   - node temperature follows power through a first-order RC model;
+//   - "the failure rate of a computing node doubles with every 10 °C
+//     increase in the temperature" (Feng, cited in §I.A);
+//   - "0.7 W energy is spent on cooling in order to dissipate every 1.0 W
+//     of power consumed" (the LLNL figure in §I.A);
+//   - the positive feedback loop between temperature and power: "a
+//     computer chipset with higher temperatures consumes more power while
+//     running identical computations at the same performance state".
+//
+// The paper's ΔP×T metric is defined as exactly this accumulated thermal
+// impact; the Tracker lets experiments report it in physical terms —
+// peak temperature, expected-failure multiplier, cooling energy — for
+// capped vs uncapped runs.
+package thermal
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Params describes one node's thermal model.
+type Params struct {
+	// AmbientC is the machine-room inlet temperature.
+	AmbientC float64
+	// ResistanceCPerW converts dissipated power to steady-state
+	// temperature rise: T_ss = Ambient + R·P.
+	ResistanceCPerW float64
+	// TimeConstant is the RC constant of the node's thermal mass.
+	TimeConstant time.Duration
+	// FailRefC is the reference temperature of the failure model; the
+	// failure rate doubles every FailDoubleC above it.
+	FailRefC    float64
+	FailDoubleC float64
+	// LeakagePerC is the fractional power increase per °C above FailRefC
+	// (the temperature→power positive feedback); 0 disables it.
+	LeakagePerC float64
+	// CoolingFactor is the cooling power spent per watt of IT power
+	// (0.7 on the paper's LLNL reference system).
+	CoolingFactor float64
+}
+
+// Tianhe returns thermal parameters for the testbed node: a ~350 W node
+// reaching ≈50 °C steady state in a 22 °C room, with a two-minute thermal
+// time constant.
+func Tianhe() Params {
+	return Params{
+		AmbientC:        22,
+		ResistanceCPerW: 0.08,
+		TimeConstant:    2 * time.Minute,
+		FailRefC:        40,
+		FailDoubleC:     10,
+		LeakagePerC:     0.002,
+		CoolingFactor:   0.7,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.ResistanceCPerW <= 0 {
+		return fmt.Errorf("thermal: thermal resistance must be positive")
+	}
+	if p.TimeConstant <= 0 {
+		return fmt.Errorf("thermal: time constant must be positive")
+	}
+	if p.FailDoubleC <= 0 {
+		return fmt.Errorf("thermal: failure doubling interval must be positive")
+	}
+	if p.LeakagePerC < 0 || p.CoolingFactor < 0 {
+		return fmt.Errorf("thermal: negative leakage or cooling factor")
+	}
+	return nil
+}
+
+// Tracker integrates node temperatures over a run.
+type Tracker struct {
+	p     Params
+	temps []float64 // per node, °C
+
+	peakC      float64
+	peakNode   int
+	failWeight float64 // ∫ 2^((T−ref)/double) dt, in node·seconds
+	refWeight  float64 // ∫ 1 dt per node — normalisation
+	coolJoules float64
+}
+
+// NewTracker creates a tracker for n nodes, all starting at ambient.
+func NewTracker(n int, p Params) (*Tracker, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("thermal: need at least one node")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Tracker{p: p, temps: make([]float64, n), peakC: p.AmbientC}
+	for i := range t.temps {
+		t.temps[i] = p.AmbientC
+	}
+	return t, nil
+}
+
+// Step advances every node's temperature by dt given its dissipated
+// power, and accumulates the failure and cooling integrals. The powers
+// slice must have one entry per node.
+func (t *Tracker) Step(dt time.Duration, powers []units.Watts) error {
+	if len(powers) != len(t.temps) {
+		return fmt.Errorf("thermal: %d powers for %d nodes", len(powers), len(t.temps))
+	}
+	sec := dt.Seconds()
+	alpha := sec / t.p.TimeConstant.Seconds()
+	if alpha > 1 {
+		alpha = 1
+	}
+	for i, pw := range powers {
+		tss := t.p.AmbientC + t.p.ResistanceCPerW*float64(pw)
+		t.temps[i] += alpha * (tss - t.temps[i])
+		if t.temps[i] > t.peakC {
+			t.peakC, t.peakNode = t.temps[i], i
+		}
+		t.failWeight += sec * math.Exp2((t.temps[i]-t.p.FailRefC)/t.p.FailDoubleC)
+		t.refWeight += sec
+		t.coolJoules += sec * t.p.CoolingFactor * float64(pw)
+	}
+	return nil
+}
+
+// TempC returns node i's current temperature.
+func (t *Tracker) TempC(i int) float64 { return t.temps[i] }
+
+// ResetAccumulators zeroes the peak and the failure/cooling integrals
+// while keeping the current temperatures — used at the end of a training
+// period so the summary covers only the measured window.
+func (t *Tracker) ResetAccumulators() {
+	t.peakC, t.peakNode = t.MeanC(), 0
+	for i, v := range t.temps {
+		if v > t.peakC {
+			t.peakC, t.peakNode = v, i
+		}
+	}
+	t.failWeight, t.refWeight, t.coolJoules = 0, 0, 0
+}
+
+// MeanC returns the current mean node temperature.
+func (t *Tracker) MeanC() float64 {
+	sum := 0.0
+	for _, v := range t.temps {
+		sum += v
+	}
+	return sum / float64(len(t.temps))
+}
+
+// LeakageFactor returns the temperature-driven power multiplier for node
+// i: 1 + LeakagePerC·max(0, T−FailRef). Node models multiply their draw
+// by it to close the §I.A positive feedback loop.
+func (t *Tracker) LeakageFactor(i int) float64 {
+	over := t.temps[i] - t.p.FailRefC
+	if over <= 0 || t.p.LeakagePerC == 0 {
+		return 1
+	}
+	return 1 + t.p.LeakagePerC*over
+}
+
+// Summary is the run's accumulated thermal outcome.
+type Summary struct {
+	// PeakC is the hottest temperature any node reached; PeakNode which.
+	PeakC    float64
+	PeakNode int
+	// MeanFinalC is the mean temperature at the end of the run.
+	MeanFinalC float64
+	// FailureMultiplier is the time-averaged failure-rate multiplier
+	// relative to a fleet pinned at FailRefC: 1.0 means reference
+	// reliability, 2.0 means failures arrive twice as fast.
+	FailureMultiplier float64
+	// CoolingEnergy is the energy the cooling plant spent removing the
+	// fleet's heat (CoolingFactor × IT energy).
+	CoolingEnergy units.Joules
+}
+
+// Summarise returns the accumulated outcome.
+func (t *Tracker) Summarise() Summary {
+	s := Summary{
+		PeakC:         t.peakC,
+		PeakNode:      t.peakNode,
+		MeanFinalC:    t.MeanC(),
+		CoolingEnergy: units.Joules(t.coolJoules),
+	}
+	if t.refWeight > 0 {
+		s.FailureMultiplier = t.failWeight / t.refWeight
+	}
+	return s
+}

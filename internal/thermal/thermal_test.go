@@ -1,0 +1,229 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := Tianhe().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Params){
+		func(p *Params) { p.ResistanceCPerW = 0 },
+		func(p *Params) { p.TimeConstant = 0 },
+		func(p *Params) { p.FailDoubleC = 0 },
+		func(p *Params) { p.LeakagePerC = -1 },
+		func(p *Params) { p.CoolingFactor = -1 },
+	}
+	for i, mutate := range cases {
+		p := Tianhe()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestNewTrackerValidation(t *testing.T) {
+	if _, err := NewTracker(0, Tianhe()); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	bad := Tianhe()
+	bad.TimeConstant = 0
+	if _, err := NewTracker(1, bad); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestStepSizeMismatch(t *testing.T) {
+	tr, _ := NewTracker(2, Tianhe())
+	if err := tr.Step(time.Second, []units.Watts{100}); err == nil {
+		t.Error("mismatched power slice accepted")
+	}
+}
+
+func TestSteadyStateTemperature(t *testing.T) {
+	p := Tianhe()
+	tr, _ := NewTracker(1, p)
+	// Hold 350 W until the RC settles: T_ss = 22 + 0.08·350 = 50 °C.
+	for i := 0; i < 2000; i++ {
+		if err := tr.Step(time.Second, []units.Watts{350}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.TempC(0); math.Abs(got-50) > 0.5 {
+		t.Errorf("steady state = %.2f °C, want ≈50", got)
+	}
+}
+
+func TestWarmupIsGradual(t *testing.T) {
+	tr, _ := NewTracker(1, Tianhe())
+	tr.Step(time.Second, []units.Watts{350})
+	if got := tr.TempC(0); got > 23 {
+		t.Errorf("temperature jumped to %.2f after 1 s (τ is 2 min)", got)
+	}
+	// One time constant in: ≈63% of the way to steady state.
+	tr2, _ := NewTracker(1, Tianhe())
+	for i := 0; i < 120; i++ {
+		tr2.Step(time.Second, []units.Watts{350})
+	}
+	rise := (tr2.TempC(0) - 22) / 28
+	if rise < 0.55 || rise < 0 || rise > 0.72 {
+		t.Errorf("rise after one τ = %.2f, want ≈0.63", rise)
+	}
+}
+
+func TestCoolingFollowsPowerDrop(t *testing.T) {
+	tr, _ := NewTracker(1, Tianhe())
+	for i := 0; i < 1000; i++ {
+		tr.Step(time.Second, []units.Watts{350})
+	}
+	hot := tr.TempC(0)
+	for i := 0; i < 1000; i++ {
+		tr.Step(time.Second, []units.Watts{140})
+	}
+	cool := tr.TempC(0)
+	if cool >= hot {
+		t.Errorf("temperature did not fall after throttling: %.1f → %.1f", hot, cool)
+	}
+	want := 22 + 0.08*140
+	if math.Abs(cool-want) > 0.5 {
+		t.Errorf("cool steady state = %.2f, want %.2f", cool, want)
+	}
+}
+
+func TestPeakTracking(t *testing.T) {
+	tr, _ := NewTracker(3, Tianhe())
+	powers := []units.Watts{100, 400, 200}
+	for i := 0; i < 3000; i++ {
+		tr.Step(time.Second, powers)
+	}
+	s := tr.Summarise()
+	if s.PeakNode != 1 {
+		t.Errorf("peak node = %d, want the 400 W node", s.PeakNode)
+	}
+	if s.PeakC < 50 {
+		t.Errorf("peak = %.1f °C, want ≈54", s.PeakC)
+	}
+}
+
+func TestFailureMultiplierDoubling(t *testing.T) {
+	// A fleet pinned exactly at FailRef+10 °C must report ≈2×.
+	p := Tianhe()
+	target := p.FailRefC + p.FailDoubleC // 50 °C
+	pw := units.Watts((target - p.AmbientC) / p.ResistanceCPerW)
+	tr, _ := NewTracker(2, p)
+	// Settle first, then reset accumulators so only the steady phase
+	// counts.
+	for i := 0; i < 5000; i++ {
+		tr.Step(time.Second, []units.Watts{pw, pw})
+	}
+	tr.ResetAccumulators()
+	for i := 0; i < 1000; i++ {
+		tr.Step(time.Second, []units.Watts{pw, pw})
+	}
+	s := tr.Summarise()
+	if math.Abs(s.FailureMultiplier-2) > 0.05 {
+		t.Errorf("failure multiplier = %.3f, want ≈2.0 at +10 °C", s.FailureMultiplier)
+	}
+}
+
+func TestCoolingEnergyLLNLFactor(t *testing.T) {
+	tr, _ := NewTracker(1, Tianhe())
+	for i := 0; i < 100; i++ {
+		tr.Step(time.Second, []units.Watts{300})
+	}
+	// 0.7 W cooling per IT watt: 100 s × 300 W × 0.7 = 21 kJ.
+	if got := float64(tr.Summarise().CoolingEnergy); math.Abs(got-21000) > 1 {
+		t.Errorf("cooling energy = %v, want 21 kJ", got)
+	}
+}
+
+func TestLeakageFactor(t *testing.T) {
+	tr, _ := NewTracker(1, Tianhe())
+	if tr.LeakageFactor(0) != 1 {
+		t.Error("cold node should have factor 1")
+	}
+	for i := 0; i < 5000; i++ {
+		tr.Step(time.Second, []units.Watts{400}) // T_ss = 54 °C
+	}
+	f := tr.LeakageFactor(0)
+	// 14 °C over the 40 °C reference × 0.2%/°C ≈ 1.028.
+	if f < 1.02 || f > 1.04 {
+		t.Errorf("leakage factor = %.4f, want ≈1.028", f)
+	}
+}
+
+func TestResetAccumulators(t *testing.T) {
+	tr, _ := NewTracker(1, Tianhe())
+	for i := 0; i < 100; i++ {
+		tr.Step(time.Second, []units.Watts{350})
+	}
+	before := tr.TempC(0)
+	tr.ResetAccumulators()
+	s := tr.Summarise()
+	if s.CoolingEnergy != 0 || s.FailureMultiplier != 0 {
+		t.Errorf("accumulators not reset: %+v", s)
+	}
+	if tr.TempC(0) != before {
+		t.Error("reset must keep temperatures")
+	}
+	if s.PeakC != before {
+		t.Errorf("peak after reset = %.2f, want current temp %.2f", s.PeakC, before)
+	}
+}
+
+// Property: temperatures stay within [ambient, ambient + R·maxP] for any
+// power sequence in range.
+func TestTemperatureEnvelopeProperty(t *testing.T) {
+	p := Tianhe()
+	f := func(powers []uint16) bool {
+		tr, err := NewTracker(1, p)
+		if err != nil {
+			return false
+		}
+		maxP := 0.0
+		for _, raw := range powers {
+			pw := float64(raw % 500)
+			if pw > maxP {
+				maxP = pw
+			}
+			tr.Step(10*time.Second, []units.Watts{units.Watts(pw)})
+			tc := tr.TempC(0)
+			if tc < p.AmbientC-1e-9 || tc > p.AmbientC+p.ResistanceCPerW*maxP+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hotter runs never report lower failure multipliers.
+func TestFailureMonotoneProperty(t *testing.T) {
+	p := Tianhe()
+	f := func(aRaw, bRaw uint8) bool {
+		lo, hi := float64(aRaw), float64(bRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		run := func(pw float64) float64 {
+			tr, _ := NewTracker(1, p)
+			for i := 0; i < 300; i++ {
+				tr.Step(10*time.Second, []units.Watts{units.Watts(pw)})
+			}
+			return tr.Summarise().FailureMultiplier
+		}
+		return run(hi)+1e-12 >= run(lo)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/units"
+)
+
+// sparkRunes are the eight block heights of a terminal sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a power series as a width-character terminal
+// sparkline, downsampling by taking the maximum of each bucket (peaks are
+// what power engineers look for). An optional threshold is marked: bucket
+// peaks at or above it are rendered in the overline row.
+func Sparkline(s *metrics.Series, width int) string {
+	if s.Len() < 2 || width <= 0 {
+		return ""
+	}
+	// Bucket by time, not by sample index, so irregular sampling does
+	// not skew the picture.
+	start, _ := s.At(0)
+	end, _ := s.At(s.Len() - 1)
+	span := end - start
+	if span <= 0 {
+		return ""
+	}
+	maxs := make([]float64, width)
+	seen := make([]bool, width)
+	lo, hi := 0.0, 0.0
+	first := true
+	for i := 0; i < s.Len(); i++ {
+		ts, p := s.At(i)
+		b := int(float64(width) * float64(ts-start) / float64(span))
+		if b >= width {
+			b = width - 1
+		}
+		v := float64(p)
+		if !seen[b] || v > maxs[b] {
+			maxs[b], seen[b] = v, true
+		}
+		if first || v < lo {
+			lo = v
+		}
+		if first || v > hi {
+			hi = v
+		}
+		first = false
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	var sb strings.Builder
+	prev := 0.0
+	for b := 0; b < width; b++ {
+		v := maxs[b]
+		if !seen[b] {
+			v = prev // carry forward through empty buckets
+		}
+		prev = v
+		idx := int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}
+
+// SparklineWithScale renders the sparkline with min/max labels, e.g.
+//
+//	28.1 kW ▁▂▃▅██▅▃▂▁ 39.4 kW
+func SparklineWithScale(s *metrics.Series, width int) string {
+	spark := Sparkline(s, width)
+	if spark == "" {
+		return ""
+	}
+	lo, hi := units.Watts(0), units.Watts(0)
+	for i := 0; i < s.Len(); i++ {
+		_, p := s.At(i)
+		if i == 0 || p < lo {
+			lo = p
+		}
+		if i == 0 || p > hi {
+			hi = p
+		}
+	}
+	return fmt.Sprintf("%v %s %v", lo, spark, hi)
+}

@@ -1,0 +1,27 @@
+package units_test
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+func ExampleParseWatts() {
+	w, _ := units.ParseWatts("37.5 kW")
+	fmt.Println(w)
+	// Output: 37.50 kW
+}
+
+func ExampleWatts_String() {
+	fmt.Println(units.MW(12.659)) // the K computer's peak draw
+	fmt.Println(units.Watts(350))
+	// Output:
+	// 12.66 MW
+	// 350.00 W
+}
+
+func ExampleJoules_KWh() {
+	e := units.KWh(2.5)
+	fmt.Printf("%.0f J = %.1f kWh\n", float64(e), e.KWh())
+	// Output: 9000000 J = 2.5 kWh
+}

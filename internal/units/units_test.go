@@ -1,0 +1,169 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructors(t *testing.T) {
+	if KW(40) != Watts(40000) {
+		t.Errorf("KW(40) = %v, want 40000 W", float64(KW(40)))
+	}
+	if MW(4.55) != Watts(4.55e6) {
+		t.Errorf("MW(4.55) = %v", float64(MW(4.55)))
+	}
+	if GHz(2.93) != Hertz(2.93e9) {
+		t.Errorf("GHz(2.93) = %v", float64(GHz(2.93)))
+	}
+	if MHz(1600) != GHz(1.6) {
+		t.Errorf("MHz(1600) = %v, want GHz(1.6)", float64(MHz(1600)))
+	}
+	if GB(4) != Bytes(4<<30) {
+		t.Errorf("GB(4) = %v", float64(GB(4)))
+	}
+	if MB(1024) != GB(1) {
+		t.Errorf("MB(1024) != GB(1)")
+	}
+	if KWh(1) != Joules(3.6e6) {
+		t.Errorf("KWh(1) = %v", float64(KWh(1)))
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	if got := KW(37.5).KW(); got != 37.5 {
+		t.Errorf("KW accessor = %v", got)
+	}
+	if got := GHz(1.6).GHz(); math.Abs(got-1.6) > 1e-12 {
+		t.Errorf("GHz accessor = %v", got)
+	}
+	if got := KWh(12.659).KWh(); math.Abs(got-12.659) > 1e-9 {
+		t.Errorf("KWh accessor = %v", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Watts(0).String(), "0 W"},
+		{Watts(350).String(), "350.00 W"},
+		{KW(40).String(), "40.00 kW"},
+		{MW(12.659).String(), "12.66 MW"},
+		{Watts(-350).String(), "-350.00 W"},
+		{Watts(0.25).String(), "0.2500 W"},
+		{GHz(2.93).String(), "2.93 GHz"},
+		{Joules(1.5e12).String(), "1.50 TJ"},
+		{GB(24).String(), "24.00 GiB"},
+		{Bytes(512).String(), "512 B"},
+		{MB(3.5).String(), "3.50 MiB"},
+		{Bytes(-2048).String(), "-2.00 KiB"},
+		{Bytes(2 << 40).String(), "2.00 TiB"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestParseWatts(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Watts
+	}{
+		{"40kW", KW(40)},
+		{"37.5 kW", KW(37.5)},
+		{"350W", Watts(350)},
+		{"1.2MW", MW(1.2)},
+		{"500mW", Watts(0.5)},
+		{" 2 kW ", KW(2)},
+	}
+	for _, c := range cases {
+		got, err := ParseWatts(c.in)
+		if err != nil {
+			t.Errorf("ParseWatts(%q) error: %v", c.in, err)
+			continue
+		}
+		if math.Abs(float64(got-c.want)) > 1e-9 {
+			t.Errorf("ParseWatts(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseWattsErrors(t *testing.T) {
+	for _, in := range []string{"", "40", "40 kJ", "abc W", "k W"} {
+		if _, err := ParseWatts(in); err == nil {
+			t.Errorf("ParseWatts(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseHertz(t *testing.T) {
+	got, err := ParseHertz("2.93GHz")
+	if err != nil || got != GHz(2.93) {
+		t.Errorf("ParseHertz(2.93GHz) = %v, %v", got, err)
+	}
+	got, err = ParseHertz("1600 MHz")
+	if err != nil || math.Abs(float64(got-GHz(1.6))) > 1e-3 {
+		t.Errorf("ParseHertz(1600 MHz) = %v, %v", got, err)
+	}
+	if _, err := ParseHertz("12 W"); err == nil {
+		t.Error("ParseHertz(12 W) succeeded, want error")
+	}
+}
+
+func TestParseRoundTripProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		w := Watts(float64(raw) / 16)
+		parsed, err := ParseWatts(w.String())
+		if err != nil {
+			return false
+		}
+		return ApproxEqual(float64(parsed), float64(w), 0.005)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 {
+		t.Error("Clamp above")
+	}
+	if Clamp(-5, 0, 1) != 0 {
+		t.Error("Clamp below")
+	}
+	if Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp inside")
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		if math.IsNaN(v) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		got := Clamp(v, lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(100, 100.4, 0.005) {
+		t.Error("100 vs 100.4 at 0.5% should be equal")
+	}
+	if ApproxEqual(100, 101, 0.005) {
+		t.Error("100 vs 101 at 0.5% should differ")
+	}
+	if !ApproxEqual(0, 0, 0.01) {
+		t.Error("zero vs zero")
+	}
+	if ApproxEqual(0, 1e-6, 0.01) {
+		t.Error("zero vs 1e-6 should differ (absolute floor)")
+	}
+}

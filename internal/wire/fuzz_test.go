@@ -1,0 +1,35 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzRecv feeds arbitrary bytes into the protocol decoder: it must never
+// panic, and every successfully decoded sample envelope must convert to a
+// reading without panicking.
+func FuzzRecv(f *testing.F) {
+	f.Add([]byte(`{"type":"sample","node":3,"level":9,"cpu_util":0.5,"interval_ms":1000}` + "\n"))
+	f.Add([]byte(`{"type":"hello","node":1,"max_level":9}` + "\n"))
+	f.Add([]byte("{}\n{}\n"))
+	f.Add([]byte(`{"type":"sample","interval_ms":-5}`))
+	f.Add([]byte{0xff, 0xfe, '\n'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewConn(nopCloser{bytes.NewReader(data)})
+		for i := 0; i < 16; i++ {
+			env, err := c.Recv()
+			if err != nil {
+				return
+			}
+			if env.Type == KindSample {
+				_ = env.Reading()
+			}
+		}
+	})
+}
+
+type nopCloser struct{ io.Reader }
+
+func (nopCloser) Write(p []byte) (int, error) { return len(p), nil }
+func (nopCloser) Close() error                { return nil }

@@ -1,0 +1,163 @@
+// Package wire defines the line protocol between per-node profiling agents
+// and the global power manager daemon: newline-delimited JSON messages over
+// TCP. One connection per agent, established agent→manager:
+//
+//	agent → manager: hello   (node identity, level table size)
+//	agent → manager: sample  (interval counters + current level, every τ)
+//	manager → agent: command (target power level)
+//	agent → manager: ack     (level actually applied)
+//
+// The protocol carries raw interval counters rather than watt estimates:
+// the power profile model runs centrally, so model updates never require
+// touching the fleet of agents.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/manager"
+	"repro/internal/node"
+	"repro/internal/procfs"
+	"repro/internal/workload"
+)
+
+// Message kinds.
+const (
+	KindHello   = "hello"
+	KindSample  = "sample"
+	KindCommand = "command"
+	KindAck     = "ack"
+	KindStatus  = "status" // powctl → manager: report stats
+)
+
+// Envelope is the one-size wire message; Type selects which fields are
+// meaningful. A single envelope type keeps decoding trivial and the
+// protocol evolvable (unknown fields are ignored by encoding/json).
+type Envelope struct {
+	Type string `json:"type"`
+	Node int    `json:"node,omitempty"`
+
+	// hello
+	MaxLevel int `json:"max_level,omitempty"`
+
+	// sample
+	Level      int     `json:"level"`
+	CPUUtil    float64 `json:"cpu_util,omitempty"`
+	MemUsed    uint64  `json:"mem_used,omitempty"`
+	MemTotal   uint64  `json:"mem_total,omitempty"`
+	NICBytes   uint64  `json:"nic_bytes,omitempty"`
+	IntervalMS int64   `json:"interval_ms,omitempty"`
+	Job        int     `json:"job,omitempty"`
+
+	// status reply
+	Stats *StatusReply `json:"stats,omitempty"`
+}
+
+// StatusReply is the manager's answer to a status request.
+type StatusReply struct {
+	Agents        int     `json:"agents"`
+	Cycles        int     `json:"cycles"`
+	GreenCycles   int     `json:"green_cycles"`
+	YellowCycles  int     `json:"yellow_cycles"`
+	RedCycles     int     `json:"red_cycles"`
+	RedEntries    int     `json:"red_entries"`
+	DegradeOps    int     `json:"degrade_ops"`
+	RestoreOps    int     `json:"restore_ops"`
+	BusyMicros    int64   `json:"busy_micros"`
+	CPUUtilise    float64 `json:"cpu_utilisation"`
+	LastPowerW    float64 `json:"last_power_w"`
+	ThresholdPLW  float64 `json:"pl_w"`
+	ThresholdPHW  float64 `json:"ph_w"`
+	DroppedStale  int     `json:"dropped_stale"`
+	CommandErrors int     `json:"command_errors"`
+}
+
+// SampleEnvelope builds a sample message from an agent reading.
+func SampleEnvelope(r manager.AgentReading) Envelope {
+	return Envelope{
+		Type:       KindSample,
+		Node:       int(r.ID),
+		Level:      r.Level,
+		MaxLevel:   r.MaxLevel,
+		CPUUtil:    r.Delta.CPUUtil,
+		MemUsed:    r.Delta.MemUsed,
+		MemTotal:   r.Delta.MemTotal,
+		NICBytes:   r.Delta.NICBytes,
+		IntervalMS: r.Delta.Interval.Milliseconds(),
+		Job:        int(r.Job),
+	}
+}
+
+// Reading converts a sample envelope back into an agent reading.
+func (e Envelope) Reading() manager.AgentReading {
+	return manager.AgentReading{
+		ID:       node.ID(e.Node),
+		Level:    e.Level,
+		MaxLevel: e.MaxLevel,
+		Delta: procfs.Delta{
+			Interval: time.Duration(e.IntervalMS) * time.Millisecond,
+			CPUUtil:  e.CPUUtil,
+			MemUsed:  e.MemUsed,
+			MemTotal: e.MemTotal,
+			NICBytes: e.NICBytes,
+		},
+		Job: workload.JobID(e.Job),
+	}
+}
+
+// Conn wraps a byte stream with the line protocol. Safe for one reader and
+// one writer goroutine concurrently (Encode and Decode each take their own
+// path); multiple concurrent writers must serialise externally.
+type Conn struct {
+	r   *bufio.Reader
+	w   *bufio.Writer
+	raw io.ReadWriteCloser
+}
+
+// NewConn wraps rw.
+func NewConn(rw io.ReadWriteCloser) *Conn {
+	return &Conn{r: bufio.NewReader(rw), w: bufio.NewWriter(rw), raw: rw}
+}
+
+// Send encodes one message and flushes it.
+func (c *Conn) Send(e Envelope) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if _, err := c.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Recv reads one message. io.EOF signals a clean close.
+func (c *Conn) Recv() (Envelope, error) {
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		if len(line) == 0 {
+			return Envelope{}, err
+		}
+		// A final unterminated line still decodes.
+	}
+	var e Envelope
+	if uerr := json.Unmarshal(line, &e); uerr != nil {
+		return Envelope{}, fmt.Errorf("wire: decode %q: %w", truncate(line), uerr)
+	}
+	return e, nil
+}
+
+// Close closes the underlying stream.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+func truncate(b []byte) string {
+	const max = 80
+	if len(b) > max {
+		return string(b[:max]) + "…"
+	}
+	return string(b)
+}

@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/manager"
+	"repro/internal/node"
+	"repro/internal/procfs"
+)
+
+// pipeConn adapts an in-memory pipe to io.ReadWriteCloser.
+type pipeConn struct {
+	io.Reader
+	io.Writer
+}
+
+func (pipeConn) Close() error { return nil }
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	r := manager.AgentReading{
+		ID: 42, Level: 7, MaxLevel: 9,
+		Delta: procfs.Delta{
+			Interval: 1500 * time.Millisecond,
+			CPUUtil:  0.625,
+			MemUsed:  1 << 33,
+			MemTotal: 48 << 30,
+			NICBytes: 123456789,
+		},
+		Job: 11,
+	}
+	got := SampleEnvelope(r).Reading()
+	if got != r {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestConnSendRecv(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(pipeConn{&buf, &buf})
+	msgs := []Envelope{
+		{Type: KindHello, Node: 3, MaxLevel: 9},
+		{Type: KindCommand, Node: 3, Level: 2},
+		{Type: KindStatus, Stats: &StatusReply{Agents: 5, CPUUtilise: 0.25}},
+	}
+	for _, m := range msgs {
+		if err := c.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != want.Type || got.Node != want.Node || got.Level != want.Level {
+			t.Errorf("msg %d: got %+v, want %+v", i, got, want)
+		}
+		if want.Stats != nil && (got.Stats == nil || got.Stats.Agents != 5) {
+			t.Errorf("stats lost: %+v", got.Stats)
+		}
+	}
+}
+
+func TestRecvEOF(t *testing.T) {
+	c := NewConn(pipeConn{bytes.NewReader(nil), io.Discard})
+	if _, err := c.Recv(); err != io.EOF {
+		t.Errorf("err = %v, want EOF", err)
+	}
+}
+
+func TestRecvGarbage(t *testing.T) {
+	c := NewConn(pipeConn{bytes.NewReader([]byte("{not json}\n")), io.Discard})
+	if _, err := c.Recv(); err == nil {
+		t.Error("garbage line accepted")
+	}
+}
+
+func TestRecvFinalUnterminatedLine(t *testing.T) {
+	c := NewConn(pipeConn{bytes.NewReader([]byte(`{"type":"ack","node":1}`)), io.Discard})
+	env, err := c.Recv()
+	if err != nil {
+		t.Fatalf("unterminated final line: %v", err)
+	}
+	if env.Type != KindAck || env.Node != 1 {
+		t.Errorf("env = %+v", env)
+	}
+}
+
+func TestConnOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan Envelope, 1)
+	go func() {
+		raw, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c := NewConn(raw)
+		env, _ := c.Recv()
+		done <- env
+		c.Close()
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConn(raw)
+	if err := c.Send(Envelope{Type: KindHello, Node: 9}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-done:
+		if env.Node != 9 {
+			t.Errorf("received %+v", env)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+	c.Close()
+}
+
+func TestReadingIdentity(t *testing.T) {
+	// Envelope → Reading must preserve node.ID typing.
+	e := Envelope{Type: KindSample, Node: 5, Level: 3, MaxLevel: 9, IntervalMS: 1000}
+	r := e.Reading()
+	if r.ID != node.ID(5) || r.Delta.Interval != time.Second {
+		t.Errorf("reading = %+v", r)
+	}
+}

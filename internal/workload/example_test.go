@@ -1,0 +1,51 @@
+package workload_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/workload"
+)
+
+func ExampleSpec_ReferenceDuration() {
+	cg, _ := workload.SpecByName(workload.NPB(workload.ClassD), "CG")
+	// T_j grows with NPROCS through the communication penalty.
+	fmt.Println(cg.ReferenceDuration(64))
+	fmt.Println(cg.ReferenceDuration(256))
+	// Output:
+	// 18m0s
+	// 21m36s
+}
+
+func ExampleJob_Rate() {
+	// Bottleneck coupling: a job's progress rate under throttling depends
+	// on its slowest member node and its frequency sensitivity α.
+	suite := workload.NPB(workload.ClassD)
+	ep, _ := workload.SpecByName(suite, "EP")
+	cg, _ := workload.SpecByName(suite, "CG")
+	mk := func(s workload.Spec) *workload.Job {
+		j, _ := workload.NewJob(1, workload.Request{Spec: s, NProcs: 8},
+			[]node.ID{0}, 0, workload.JobConfig{})
+		return j
+	}
+	slowdown := 1.60 / 2.93 // bottom DVFS level
+	fmt.Printf("EP at bottom level: %.2f of full speed\n", mk(ep).Rate(slowdown))
+	fmt.Printf("CG at bottom level: %.2f of full speed\n", mk(cg).Rate(slowdown))
+	// Output:
+	// EP at bottom level: 0.56 of full speed
+	// CG at bottom level: 0.88 of full speed
+}
+
+func ExampleJob_Advance() {
+	spec, _ := workload.SpecByName(workload.NPB(workload.ClassC), "EP")
+	j, _ := workload.NewJob(1, workload.Request{Spec: spec, NProcs: 64},
+		[]node.ID{0, 1, 2, 3}, 0, workload.JobConfig{})
+	now := time.Duration(0)
+	for !j.Done() {
+		j.Advance(now, time.Second, 1.0) // unthrottled
+		now += time.Second
+	}
+	fmt.Println(j.ActualDuration() == j.ReferenceDuration())
+	// Output: true
+}

@@ -1,0 +1,248 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/node"
+)
+
+// JobID identifies a job across the system.
+type JobID int
+
+// Job is a running parallel application occupying a set of nodes. The model
+// captures the three behaviours the capping architecture interacts with:
+//
+//   - bottleneck coupling (§IV.A): a well-balanced parallel job progresses
+//     at the pace of its slowest node, so degrading one member node slows
+//     the whole job as much as degrading all of them;
+//   - DVFS response: progress scales as (f/f_max)^α during compute phases
+//     while communication time is frequency-insensitive;
+//   - phase structure: compute and communication phases alternate, which
+//     both shapes per-device load (CPU-heavy vs NIC-heavy) and produces the
+//     power variability the controller has to chase.
+type Job struct {
+	id     JobID
+	req    Request
+	nodes  []node.ID
+	start  time.Duration
+	refDur time.Duration
+
+	phaseOffset time.Duration
+	rampUp      time.Duration
+	jitter      float64
+	rng         *rand.Rand
+
+	progress float64 // fraction of total work completed, [0,1]
+	done     bool
+	end      time.Duration
+}
+
+// JobConfig tunes job behaviour beyond the benchmark spec.
+type JobConfig struct {
+	// RampUp is how long the job takes to reach full power draw after
+	// start (initialisation, data load). Gives change-based policies a
+	// genuine rising edge to detect.
+	RampUp time.Duration
+	// Jitter is the relative amplitude of per-tick load noise.
+	Jitter float64
+	// Rng drives phase offset and jitter; nil gives a deterministic,
+	// jitter-free job.
+	Rng *rand.Rand
+}
+
+// NewJob creates a job from a request, placed on the given nodes, started
+// at virtual time start.
+func NewJob(id JobID, req Request, nodes []node.ID, start time.Duration, cfg JobConfig) (*Job, error) {
+	if err := req.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if req.NProcs <= 0 {
+		return nil, fmt.Errorf("workload: job %d has NProcs=%d", id, req.NProcs)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("workload: job %d has no nodes", id)
+	}
+	j := &Job{
+		id:     id,
+		req:    req,
+		nodes:  append([]node.ID(nil), nodes...),
+		start:  start,
+		refDur: req.Spec.ReferenceDuration(req.NProcs),
+		rampUp: cfg.RampUp,
+		jitter: cfg.Jitter,
+		rng:    cfg.Rng,
+	}
+	if cfg.Rng != nil {
+		j.phaseOffset = time.Duration(cfg.Rng.Int63n(int64(req.Spec.PhasePeriod)))
+	}
+	return j, nil
+}
+
+// ID returns the job identifier.
+func (j *Job) ID() JobID { return j.id }
+
+// Spec returns the benchmark spec the job runs.
+func (j *Job) Spec() Spec { return j.req.Spec }
+
+// NProcs returns the job's process count.
+func (j *Job) NProcs() int { return j.req.NProcs }
+
+// Priority returns the job's priority; Privileged reports whether its
+// nodes are pinned out of A_candidate while it runs (§II.A).
+func (j *Job) Priority() int { return j.req.Priority }
+
+// Privileged reports whether the job's member nodes must not be degraded.
+func (j *Job) Privileged() bool { return j.req.Privileged() }
+
+// Nodes returns the paper's Nodes(J): the nodes the job occupies.
+func (j *Job) Nodes() []node.ID { return j.nodes }
+
+// Start returns the virtual time the job was loaded onto the system.
+func (j *Job) Start() time.Duration { return j.start }
+
+// ReferenceDuration returns T_j, the full-frequency runtime.
+func (j *Job) ReferenceDuration() time.Duration { return j.refDur }
+
+// Progress returns the completed work fraction in [0,1].
+func (j *Job) Progress() float64 { return j.progress }
+
+// Done reports whether the job has finished.
+func (j *Job) Done() bool { return j.done }
+
+// End returns the completion time; zero until Done.
+func (j *Job) End() time.Duration { return j.end }
+
+// ActualDuration returns T_cap,j for a finished job.
+func (j *Job) ActualDuration() time.Duration {
+	if !j.done {
+		return 0
+	}
+	return j.end - j.start
+}
+
+// Lossless reports whether the finished job ran without performance loss:
+// its actual duration is within tol (relative) of the reference duration.
+// The paper's CPLJ metric counts these.
+func (j *Job) Lossless(tol float64) bool {
+	if !j.done {
+		return false
+	}
+	return float64(j.ActualDuration()) <= float64(j.refDur)*(1+tol)
+}
+
+// memberStagger is the fraction of the phase period across which the
+// member nodes of a job are spread. On a real machine the nodes of an MPI
+// job do not enter communication at exactly the same instant — network
+// contention and pipeline structure skew them — so the job's aggregate
+// power transitions over a few seconds instead of jumping in one tick.
+const memberStagger = 0.35
+
+// inCommPhase reports whether member node m of the job is in a
+// communication phase at the given virtual time.
+func (j *Job) inCommPhase(now time.Duration, member int) bool {
+	if j.req.Spec.CommDuty <= 0 {
+		return false
+	}
+	period := j.req.Spec.PhasePeriod
+	skew := time.Duration(0)
+	if n := len(j.nodes); n > 1 {
+		skew = time.Duration(memberStagger * float64(period) * float64(member) / float64(n))
+	}
+	pos := (now + j.phaseOffset + skew) % period
+	return float64(pos) < j.req.Spec.CommDuty*float64(period)
+}
+
+// rampFactor scales load during the start-up ramp.
+func (j *Job) rampFactor(now time.Duration) float64 {
+	if j.rampUp <= 0 {
+		return 1
+	}
+	el := now - j.start
+	if el >= j.rampUp {
+		return 1
+	}
+	// Start at 30% draw and rise linearly — initialisation still burns
+	// power, just less than the solve.
+	return 0.3 + 0.7*float64(el)/float64(j.rampUp)
+}
+
+// noise returns a multiplicative jitter factor around 1.
+func (j *Job) noise() float64 {
+	if j.rng == nil || j.jitter == 0 {
+		return 1
+	}
+	return 1 + (j.rng.Float64()*2-1)*j.jitter
+}
+
+// LoadAt computes the operating point the job imposes on its member-th
+// node at the given virtual time. Member nodes carry the same mean load
+// but their phase positions are staggered (see memberStagger).
+func (j *Job) LoadAt(now time.Duration, member int) node.Load {
+	if j.done {
+		return node.Load{}
+	}
+	s := j.req.Spec
+	ramp := j.rampFactor(now)
+	if j.inCommPhase(now, member) {
+		return node.Load{
+			CPUUtil: clamp01(0.35 * s.CPUUtil * ramp * j.noise()),
+			MemFrac: clamp01(s.MemFrac * ramp),
+			NICFrac: clamp01(s.NICFrac * ramp * j.noise()),
+		}
+	}
+	return node.Load{
+		CPUUtil: clamp01(s.CPUUtil * ramp * j.noise()),
+		MemFrac: clamp01(s.MemFrac * ramp),
+		NICFrac: clamp01(0.08 * s.NICFrac * ramp * j.noise()),
+	}
+}
+
+// Rate returns the job's instantaneous progress rate given the slowdown
+// factor of its slowest member node (f/f_max of the bottleneck). The
+// compute share scales as slowdown^α; the communication share is
+// frequency-insensitive:
+//
+//	rate = (1 − CommDuty)·s^α + CommDuty
+func (j *Job) Rate(minSlowdown float64) float64 {
+	s := clamp01(minSlowdown)
+	spec := j.req.Spec
+	return (1-spec.CommDuty)*math.Pow(s, spec.Alpha) + spec.CommDuty
+}
+
+// Advance progresses the job by dt of virtual time (the tick starting at
+// now) with the given bottleneck slowdown. When the remaining work
+// completes inside the tick, the completion instant is interpolated within
+// it, so job durations are not quantised to the tick period — an
+// unthrottled job finishes in exactly its reference duration. It returns
+// true if the job finished during this tick.
+func (j *Job) Advance(now, dt time.Duration, minSlowdown float64) bool {
+	if j.done {
+		return false
+	}
+	inc := float64(dt) / float64(j.refDur) * j.Rate(minSlowdown)
+	if j.progress+inc >= 1 {
+		frac := 1.0
+		if inc > 0 {
+			frac = (1 - j.progress) / inc
+		}
+		j.progress = 1
+		j.done = true
+		j.end = now + time.Duration(frac*float64(dt))
+		return true
+	}
+	j.progress += inc
+	return false
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,225 @@
+// Package workload models the evaluation workload of §V.B–C: the five NAS
+// Parallel Benchmarks used in the paper (EP, CG, LU, BT, SP) at CLASS D,
+// executed as jobs with NPROCS ∈ {8, 16, 32, 64, 128, 256}, generated at
+// random and enqueued whenever the job queue is empty.
+//
+// Each benchmark is described by a resource signature — CPU utilisation,
+// memory footprint, communication intensity — plus a phase structure that
+// alternates compute and communication (giving the power time-series its
+// spikes) and a frequency sensitivity exponent α that controls how much a
+// DVFS degrade slows the job: progress rate ∝ (f/f_max)^α. EP is almost
+// purely compute (α≈1); CG is memory/communication bound (small α), so
+// throttling hurts it less — exactly the asymmetry that makes target
+// selection policies interesting.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Class is an NPB problem class.
+type Class byte
+
+// Supported classes. The paper runs CLASS D.
+const (
+	ClassC Class = 'C'
+	ClassD Class = 'D'
+)
+
+// Spec is the resource signature of one benchmark.
+type Spec struct {
+	Name string
+	// CPUUtil is the busy fraction of all cores during compute phases.
+	CPUUtil float64
+	// MemFrac is the fraction of node memory resident while the job runs.
+	MemFrac float64
+	// CommDuty is the fraction of time spent in communication phases.
+	CommDuty float64
+	// NICFrac is the fraction of NIC bandwidth used during comm phases.
+	NICFrac float64
+	// Alpha is the frequency sensitivity: progress ∝ (f/f_max)^Alpha.
+	// 1 = perfectly CPU bound, 0 = insensitive to frequency.
+	Alpha float64
+	// PhasePeriod is the length of one compute+comm cycle.
+	PhasePeriod time.Duration
+	// BaseDuration is the class-D full-frequency runtime of the job at
+	// its reference process count (RefProcs); weak-ish scaling keeps the
+	// runtime in the same band across NPROCS, with a mild penalty for
+	// larger process counts (more communication).
+	BaseDuration time.Duration
+	RefProcs     int
+	// ScalePenalty is the extra runtime fraction per doubling of NPROCS
+	// above RefProcs (communication overhead growth).
+	ScalePenalty float64
+}
+
+// Validate checks the spec's ranges.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: spec without name")
+	}
+	inUnit := func(v float64) bool { return v >= 0 && v <= 1 }
+	if !inUnit(s.CPUUtil) || !inUnit(s.MemFrac) || !inUnit(s.CommDuty) || !inUnit(s.NICFrac) || !inUnit(s.Alpha) {
+		return fmt.Errorf("workload: spec %s has fractions outside [0,1]", s.Name)
+	}
+	if s.PhasePeriod <= 0 || s.BaseDuration <= 0 {
+		return fmt.Errorf("workload: spec %s needs positive durations", s.Name)
+	}
+	if s.RefProcs <= 0 {
+		return fmt.Errorf("workload: spec %s needs positive RefProcs", s.Name)
+	}
+	if s.ScalePenalty < 0 {
+		return fmt.Errorf("workload: spec %s has negative ScalePenalty", s.Name)
+	}
+	return nil
+}
+
+// ReferenceDuration returns the job's full-frequency runtime T_j for a
+// given process count — the paper's "time to finish the job with highest
+// node performance without any power capping".
+func (s Spec) ReferenceDuration(nprocs int) time.Duration {
+	if nprocs <= 0 {
+		nprocs = s.RefProcs
+	}
+	doublings := math.Log2(float64(nprocs) / float64(s.RefProcs))
+	factor := 1.0
+	if doublings > 0 {
+		factor += s.ScalePenalty * doublings
+	} else if doublings < 0 {
+		// Fewer processes than reference: slightly shorter jobs (less
+		// communication), floored so tiny runs stay meaningful.
+		factor = math.Max(0.6, 1+0.05*doublings)
+	}
+	return time.Duration(float64(s.BaseDuration) * factor)
+}
+
+// NPB returns the paper's five-benchmark suite at the given class. Class C
+// scales runtimes down ~16× (one NPB class step is ~16× work), which keeps
+// unit tests and short experiments fast while class D matches the paper.
+func NPB(c Class) []Spec {
+	scale := 1.0
+	if c == ClassC {
+		scale = 1.0 / 16
+	}
+	d := func(minutes float64) time.Duration {
+		return time.Duration(minutes * scale * float64(time.Minute))
+	}
+	return []Spec{
+		{
+			// EP: embarrassingly parallel, pure compute, near-zero
+			// communication, tiny memory. Fully frequency sensitive.
+			Name: "EP", CPUUtil: 0.98, MemFrac: 0.08, CommDuty: 0.02,
+			NICFrac: 0.10, Alpha: 1.00, PhasePeriod: 40 * time.Second,
+			BaseDuration: d(22), RefProcs: 64, ScalePenalty: 0.02,
+		},
+		{
+			// CG: irregular memory access and heavy communication;
+			// weakly frequency sensitive.
+			Name: "CG", CPUUtil: 0.60, MemFrac: 0.45, CommDuty: 0.42,
+			NICFrac: 0.60, Alpha: 0.40, PhasePeriod: 12 * time.Second,
+			BaseDuration: d(18), RefProcs: 64, ScalePenalty: 0.10,
+		},
+		{
+			// LU: pipelined solver, moderate communication.
+			Name: "LU", CPUUtil: 0.78, MemFrac: 0.35, CommDuty: 0.28,
+			NICFrac: 0.45, Alpha: 0.65, PhasePeriod: 18 * time.Second,
+			BaseDuration: d(26), RefProcs: 64, ScalePenalty: 0.06,
+		},
+		{
+			// BT: block tridiagonal, large memory footprint.
+			Name: "BT", CPUUtil: 0.88, MemFrac: 0.55, CommDuty: 0.18,
+			NICFrac: 0.35, Alpha: 0.75, PhasePeriod: 25 * time.Second,
+			BaseDuration: d(30), RefProcs: 64, ScalePenalty: 0.05,
+		},
+		{
+			// SP: scalar pentadiagonal, similar to BT with more
+			// communication.
+			Name: "SP", CPUUtil: 0.72, MemFrac: 0.50, CommDuty: 0.36,
+			NICFrac: 0.50, Alpha: 0.60, PhasePeriod: 20 * time.Second,
+			BaseDuration: d(24), RefProcs: 64, ScalePenalty: 0.08,
+		},
+	}
+}
+
+// NPBExtended returns the paper's suite plus three further NAS kernels
+// (FT, MG, IS) for studies beyond the paper's workload. Signatures follow
+// the kernels' published character: FT is all-to-all communication heavy,
+// MG strides memory with modest communication, IS is short and
+// bandwidth-bound.
+func NPBExtended(c Class) []Spec {
+	scale := 1.0
+	if c == ClassC {
+		scale = 1.0 / 16
+	}
+	d := func(minutes float64) time.Duration {
+		return time.Duration(minutes * scale * float64(time.Minute))
+	}
+	extra := []Spec{
+		{
+			Name: "FT", CPUUtil: 0.80, MemFrac: 0.65, CommDuty: 0.40,
+			NICFrac: 0.70, Alpha: 0.55, PhasePeriod: 15 * time.Second,
+			BaseDuration: d(20), RefProcs: 64, ScalePenalty: 0.12,
+		},
+		{
+			Name: "MG", CPUUtil: 0.75, MemFrac: 0.60, CommDuty: 0.22,
+			NICFrac: 0.35, Alpha: 0.55, PhasePeriod: 10 * time.Second,
+			BaseDuration: d(14), RefProcs: 64, ScalePenalty: 0.08,
+		},
+		{
+			Name: "IS", CPUUtil: 0.55, MemFrac: 0.40, CommDuty: 0.45,
+			NICFrac: 0.65, Alpha: 0.35, PhasePeriod: 8 * time.Second,
+			BaseDuration: d(8), RefProcs: 64, ScalePenalty: 0.15,
+		},
+	}
+	return append(NPB(c), extra...)
+}
+
+// SpecByName returns the named spec from suite, or an error.
+func SpecByName(suite []Spec, name string) (Spec, error) {
+	for _, s := range suite {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// NProcsChoices is the paper's NPROCS parameter domain.
+var NProcsChoices = []int{8, 16, 32, 64, 128, 256}
+
+// RandomRequest draws one evaluation job request per the paper's protocol:
+// a benchmark chosen uniformly from the suite and NPROCS uniform over
+// NProcsChoices.
+func RandomRequest(rng *rand.Rand, suite []Spec) Request {
+	return Request{
+		Spec:   suite[rng.Intn(len(suite))],
+		NProcs: NProcsChoices[rng.Intn(len(NProcsChoices))],
+	}
+}
+
+// Request describes a job waiting to be scheduled.
+type Request struct {
+	Spec   Spec
+	NProcs int
+	// Priority marks the job's importance. Priority > 0 means the job is
+	// urgent/high-priority in the §II.A sense: the nodes it occupies are
+	// privileged for its lifetime and must not be degraded.
+	Priority int
+}
+
+// Privileged reports whether the request's nodes must be pinned out of
+// A_candidate while it runs.
+func (r Request) Privileged() bool { return r.Priority > 0 }
+
+// PriorityRequest draws one request per the paper's protocol and marks it
+// high-priority with probability privFrac.
+func PriorityRequest(rng *rand.Rand, suite []Spec, privFrac float64) Request {
+	req := RandomRequest(rng, suite)
+	if privFrac > 0 && rng.Float64() < privFrac {
+		req.Priority = 1
+	}
+	return req
+}

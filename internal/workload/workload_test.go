@@ -1,0 +1,401 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/node"
+)
+
+func TestNPBSuite(t *testing.T) {
+	suite := NPB(ClassD)
+	if len(suite) != 5 {
+		t.Fatalf("suite has %d benchmarks, want 5 (EP CG LU BT SP)", len(suite))
+	}
+	names := map[string]bool{}
+	for _, s := range suite {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		names[s.Name] = true
+	}
+	for _, want := range []string{"EP", "CG", "LU", "BT", "SP"} {
+		if !names[want] {
+			t.Errorf("missing benchmark %s", want)
+		}
+	}
+}
+
+func TestNPBClassScaling(t *testing.T) {
+	d, _ := SpecByName(NPB(ClassD), "EP")
+	c, _ := SpecByName(NPB(ClassC), "EP")
+	ratio := float64(d.BaseDuration) / float64(c.BaseDuration)
+	if math.Abs(ratio-16) > 0.01 {
+		t.Errorf("class D/C runtime ratio = %v, want 16", ratio)
+	}
+}
+
+func TestEPIsFrequencySensitive(t *testing.T) {
+	ep, _ := SpecByName(NPB(ClassD), "EP")
+	cg, _ := SpecByName(NPB(ClassD), "CG")
+	if ep.Alpha <= cg.Alpha {
+		t.Errorf("EP (α=%v) should be more frequency sensitive than CG (α=%v)", ep.Alpha, cg.Alpha)
+	}
+	if ep.Alpha != 1.0 {
+		t.Errorf("EP α = %v, want 1.0 (pure compute)", ep.Alpha)
+	}
+}
+
+func TestSpecValidateErrors(t *testing.T) {
+	valid := NPB(ClassD)[0]
+	cases := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.CPUUtil = 1.5 },
+		func(s *Spec) { s.MemFrac = -0.1 },
+		func(s *Spec) { s.Alpha = 2 },
+		func(s *Spec) { s.PhasePeriod = 0 },
+		func(s *Spec) { s.BaseDuration = -1 },
+		func(s *Spec) { s.RefProcs = 0 },
+		func(s *Spec) { s.ScalePenalty = -1 },
+	}
+	for i, mutate := range cases {
+		s := valid
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestReferenceDurationScaling(t *testing.T) {
+	s, _ := SpecByName(NPB(ClassD), "CG")
+	base := s.ReferenceDuration(s.RefProcs)
+	if base != s.BaseDuration {
+		t.Errorf("ref at RefProcs = %v, want base %v", base, s.BaseDuration)
+	}
+	// More processes → longer (communication penalty).
+	if s.ReferenceDuration(256) <= base {
+		t.Error("256-proc run not longer than reference")
+	}
+	// Fewer processes → shorter, but floored.
+	small := s.ReferenceDuration(8)
+	if small >= base {
+		t.Error("8-proc run not shorter than reference")
+	}
+	if float64(small) < 0.6*float64(base) {
+		t.Error("small-proc floor violated")
+	}
+	// Zero/negative procs falls back to reference.
+	if s.ReferenceDuration(0) != base {
+		t.Error("zero procs should use RefProcs")
+	}
+}
+
+func TestSpecByNameUnknown(t *testing.T) {
+	if _, err := SpecByName(NPB(ClassD), "FT"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRandomRequestDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	suite := NPB(ClassD)
+	seenProcs := map[int]bool{}
+	seenBench := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		r := RandomRequest(rng, suite)
+		valid := false
+		for _, p := range NProcsChoices {
+			if r.NProcs == p {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("NProcs %d not in paper domain", r.NProcs)
+		}
+		seenProcs[r.NProcs] = true
+		seenBench[r.Spec.Name] = true
+	}
+	if len(seenProcs) != len(NProcsChoices) {
+		t.Errorf("only %d of %d NPROCS values drawn", len(seenProcs), len(NProcsChoices))
+	}
+	if len(seenBench) != len(suite) {
+		t.Errorf("only %d of %d benchmarks drawn", len(seenBench), len(suite))
+	}
+}
+
+func mkJob(t *testing.T, name string, nprocs int, nodes int, cfg JobConfig) *Job {
+	t.Helper()
+	spec, err := SpecByName(NPB(ClassD), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]node.ID, nodes)
+	for i := range ids {
+		ids[i] = node.ID(i)
+	}
+	j, err := NewJob(1, Request{Spec: spec, NProcs: nprocs}, ids, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestNewJobValidation(t *testing.T) {
+	spec := NPB(ClassD)[0]
+	if _, err := NewJob(1, Request{Spec: spec, NProcs: 0}, []node.ID{0}, 0, JobConfig{}); err == nil {
+		t.Error("zero NProcs accepted")
+	}
+	if _, err := NewJob(1, Request{Spec: spec, NProcs: 8}, nil, 0, JobConfig{}); err == nil {
+		t.Error("no nodes accepted")
+	}
+	if _, err := NewJob(1, Request{Spec: Spec{}, NProcs: 8}, []node.ID{0}, 0, JobConfig{}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestJobFinishesAtReferenceUnthrottled(t *testing.T) {
+	j := mkJob(t, "EP", 64, 8, JobConfig{})
+	ref := j.ReferenceDuration()
+	dt := time.Second
+	var now time.Duration
+	for !j.Done() {
+		j.Advance(now, dt, 1.0)
+		now += dt
+		if now > 2*ref {
+			t.Fatal("job did not finish in twice its reference time")
+		}
+	}
+	if j.ActualDuration() != ref {
+		t.Errorf("unthrottled duration = %v, want exactly ref %v (sub-tick interpolation)", j.ActualDuration(), ref)
+	}
+	if !j.Lossless(0.001) {
+		t.Error("unthrottled job not lossless")
+	}
+	if j.Progress() != 1 {
+		t.Errorf("progress = %v", j.Progress())
+	}
+}
+
+func TestJobThrottledSlowdown(t *testing.T) {
+	// EP at the bottom DVFS level (s = 1.6/2.93) should take ≈ 1/s times
+	// longer (α = 1, CommDuty ≈ 0).
+	j := mkJob(t, "EP", 64, 8, JobConfig{})
+	s := 1.60 / 2.93
+	dt := time.Second
+	var now time.Duration
+	for !j.Done() {
+		j.Advance(now, dt, s)
+		now += dt
+	}
+	wantRate := 0.98*s + 0.02
+	want := float64(j.ReferenceDuration()) / wantRate
+	if math.Abs(float64(j.ActualDuration())-want) > float64(time.Second) {
+		t.Errorf("throttled duration = %v, want ≈%v", j.ActualDuration(), time.Duration(want))
+	}
+	if j.Lossless(0.001) {
+		t.Error("heavily throttled job reported lossless")
+	}
+}
+
+func TestCGLessSensitiveThanEP(t *testing.T) {
+	ep := mkJob(t, "EP", 64, 8, JobConfig{})
+	cg := mkJob(t, "CG", 64, 8, JobConfig{})
+	s := 0.55
+	if ep.Rate(s) >= cg.Rate(s) {
+		t.Errorf("EP rate %v should drop below CG rate %v at slowdown", ep.Rate(s), cg.Rate(s))
+	}
+}
+
+func TestRateBounds(t *testing.T) {
+	j := mkJob(t, "LU", 64, 8, JobConfig{})
+	if j.Rate(1) != 1 {
+		t.Errorf("rate at full speed = %v, want 1", j.Rate(1))
+	}
+	if r := j.Rate(0); r < 0 || r > 1 {
+		t.Errorf("rate at slowdown 0 = %v", r)
+	}
+	if j.Rate(2) != 1 {
+		t.Error("slowdown above 1 not clamped")
+	}
+}
+
+func TestAdvanceAfterDone(t *testing.T) {
+	j := mkJob(t, "EP", 8, 1, JobConfig{})
+	var now time.Duration
+	for !j.Done() {
+		j.Advance(now, time.Minute, 1)
+		now += time.Minute
+	}
+	end := j.End()
+	if j.Advance(now, time.Minute, 1) {
+		t.Error("Advance returned true on finished job")
+	}
+	if j.End() != end {
+		t.Error("end time moved after completion")
+	}
+}
+
+func TestLoadComputeVsCommPhase(t *testing.T) {
+	j := mkJob(t, "CG", 64, 8, JobConfig{}) // no rng: phase offset 0
+	spec := j.Spec()
+	// At t=0 member 0 is at phase position 0 < CommDuty·period: comm.
+	comm := j.LoadAt(0, 0)
+	// Middle of the compute span.
+	computeAt := time.Duration((spec.CommDuty + (1-spec.CommDuty)/2) * float64(spec.PhasePeriod))
+	comp := j.LoadAt(computeAt, 0)
+	if comm.NICFrac <= comp.NICFrac {
+		t.Errorf("comm NIC %v not above compute NIC %v", comm.NICFrac, comp.NICFrac)
+	}
+	if comm.CPUUtil >= comp.CPUUtil {
+		t.Errorf("comm CPU %v not below compute CPU %v", comm.CPUUtil, comp.CPUUtil)
+	}
+}
+
+func TestMemberStagger(t *testing.T) {
+	j := mkJob(t, "CG", 256, 64, JobConfig{})
+	// Probe near the comm/compute boundary (CG: comm spans the first
+	// 5.04 s of a 12 s period; member skew spreads over 4.2 s): some
+	// members must be in comm and others in compute — the whole job
+	// never flips phase in lockstep.
+	inComm, inComp := 0, 0
+	for m := 0; m < 64; m++ {
+		l := j.LoadAt(4*time.Second, m)
+		if l.NICFrac > 0.3 {
+			inComm++
+		} else {
+			inComp++
+		}
+	}
+	if inComm == 0 || inComp == 0 {
+		t.Errorf("no phase spread across members: comm=%d comp=%d", inComm, inComp)
+	}
+}
+
+func TestRampUp(t *testing.T) {
+	j := mkJob(t, "EP", 64, 8, JobConfig{RampUp: time.Minute})
+	// EP's phase period is 40 s; 10 s and 130 s are at the same phase
+	// position (both compute), 10 s inside the ramp and 130 s after it.
+	early := j.LoadAt(10*time.Second, 0)
+	late := j.LoadAt(130*time.Second, 0)
+	if early.CPUUtil >= late.CPUUtil {
+		t.Errorf("ramp: early load %v not below steady load %v", early.CPUUtil, late.CPUUtil)
+	}
+	if early.CPUUtil < 0.2 {
+		t.Errorf("ramp floor too low: %v", early.CPUUtil)
+	}
+}
+
+func TestLoadAfterDoneIsZero(t *testing.T) {
+	j := mkJob(t, "EP", 8, 1, JobConfig{})
+	for now := time.Duration(0); !j.Done(); now += time.Minute {
+		j.Advance(now, time.Minute, 1)
+	}
+	if l := j.LoadAt(time.Hour, 0); l != (node.Load{}) {
+		t.Errorf("finished job still imposes load %+v", l)
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	j := mkJob(t, "EP", 64, 8, JobConfig{Jitter: 0.05, Rng: rng})
+	spec := j.Spec()
+	for i := 0; i < 1000; i++ {
+		l := j.LoadAt(time.Duration(i)*time.Second+10*time.Minute, 0)
+		if l.CPUUtil > spec.CPUUtil*1.051 {
+			t.Fatalf("jitter exceeded bound: %v", l.CPUUtil)
+		}
+	}
+}
+
+func TestLosslessUnfinished(t *testing.T) {
+	j := mkJob(t, "EP", 8, 1, JobConfig{})
+	if j.Lossless(1) {
+		t.Error("unfinished job reported lossless")
+	}
+	if j.ActualDuration() != 0 {
+		t.Error("unfinished job has nonzero actual duration")
+	}
+}
+
+// Property: progress is monotone and bounded for arbitrary slowdown
+// sequences.
+func TestProgressMonotoneProperty(t *testing.T) {
+	f := func(slows []uint8) bool {
+		j := mkJob(t, "SP", 64, 8, JobConfig{})
+		prev := 0.0
+		now := time.Duration(0)
+		for _, sRaw := range slows {
+			s := float64(sRaw) / 255
+			j.Advance(now, 30*time.Second, s)
+			now += 30 * time.Second
+			p := j.Progress()
+			if p < prev || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the faster of two identical jobs (higher slowdown factor)
+// never finishes later.
+func TestFasterNeverLaterProperty(t *testing.T) {
+	f := func(sa, sb uint8) bool {
+		fast, slow := float64(sa)/255, float64(sb)/255
+		if fast < slow {
+			fast, slow = slow, fast
+		}
+		j1 := mkJob(t, "BT", 64, 8, JobConfig{})
+		j2 := mkJob(t, "BT", 64, 8, JobConfig{})
+		now := time.Duration(0)
+		limit := 100 * j1.ReferenceDuration()
+		for (!j1.Done() || !j2.Done()) && now < limit {
+			j1.Advance(now, time.Minute, fast)
+			j2.Advance(now, time.Minute, slow)
+			now += time.Minute
+		}
+		if !j1.Done() {
+			// Both may stall at slowdown 0 only if CommDuty is 0.
+			return !j2.Done()
+		}
+		return !j2.Done() || j1.End() <= j2.End()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNPBExtended(t *testing.T) {
+	ext := NPBExtended(ClassD)
+	if len(ext) != 8 {
+		t.Fatalf("extended suite = %d, want 8", len(ext))
+	}
+	for _, name := range []string{"FT", "MG", "IS"} {
+		s, err := SpecByName(ext, name)
+		if err != nil {
+			t.Errorf("missing %s", name)
+			continue
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// The paper's five benchmarks are unchanged and come first.
+	if ext[0].Name != "EP" || ext[4].Name != "SP" {
+		t.Error("paper suite not preserved as prefix")
+	}
+	// Class scaling applies to the extensions too.
+	d, _ := SpecByName(NPBExtended(ClassD), "FT")
+	c, _ := SpecByName(NPBExtended(ClassC), "FT")
+	if math.Abs(float64(d.BaseDuration)/float64(c.BaseDuration)-16) > 0.01 {
+		t.Error("class scaling broken for extended suite")
+	}
+}
