@@ -1,12 +1,15 @@
 package repro_test
 
 import (
+	"bufio"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // buildOnce compiles the command binaries used by the CLI tests into a
@@ -119,6 +122,110 @@ func TestPowfiguresCLIMarkdown(t *testing.T) {
 	if err := exec.Command(filepath.Join(bin, "powfigures"), "-fig", "nope").Run(); err == nil {
 		t.Error("unknown figure accepted")
 	}
+}
+
+// fakeManager runs an in-test TCP server standing in for powmgrd whose
+// reply behaviour is scripted per connection: reply == "" means read the
+// request and go silent (client must hit its timeout); anything else is
+// written back verbatim as the status reply line.
+func fakeManager(t *testing.T, reply string) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				if _, err := r.ReadString('\n'); err != nil {
+					return
+				}
+				if reply == "" {
+					// Hold the connection open past any client
+					// timeout without answering.
+					time.Sleep(30 * time.Second)
+					return
+				}
+				_, _ = conn.Write([]byte(reply + "\n"))
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestPowctlQueryFailureModes drives the powctl binary through the
+// QueryStatus failure paths: a manager that never answers (timeout), one
+// that answers garbage (decode error), and one that answers with the
+// wrong envelope kind (unexpected reply) — then against a live powmgrd
+// for the success path.
+func TestPowctlQueryFailureModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI end-to-end")
+	}
+	bin := binaries(t)
+	powctl := filepath.Join(bin, "powctl")
+
+	cases := []struct {
+		name  string
+		reply string
+	}{
+		{"timeout", ""},
+		{"malformed", `{not json...`},
+		{"wrong-kind", `{"type":"command","node":1,"level":2}`},
+		{"missing-stats", `{"type":"status"}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addr := fakeManager(t, tc.reply)
+			start := time.Now()
+			out, err := exec.Command(powctl, "-addr", addr, "-timeout", "500ms").CombinedOutput()
+			if err == nil {
+				t.Fatalf("powctl against %s manager succeeded:\n%s", tc.name, out)
+			}
+			if d := time.Since(start); d > 10*time.Second {
+				t.Errorf("powctl took %v to fail; timeout not honoured", d)
+			}
+		})
+	}
+
+	// Success path against a live powmgrd with no agents connected.
+	t.Run("live-powmgrd", func(t *testing.T) {
+		const addr = "127.0.0.1:39717"
+		mgr := exec.Command(filepath.Join(bin, "powmgrd"),
+			"-addr", addr, "-pl", "400W", "-ph", "600W", "-period", "50ms")
+		if err := mgr.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			mgr.Process.Kill()
+			mgr.Wait()
+		}()
+		var lastOut []byte
+		var lastErr error
+		for i := 0; i < 40; i++ {
+			lastOut, lastErr = exec.Command(powctl, "-addr", addr, "-timeout", "2s").CombinedOutput()
+			if lastErr == nil {
+				break
+			}
+			time.Sleep(250 * time.Millisecond)
+		}
+		if lastErr != nil {
+			t.Fatalf("powctl never reached live powmgrd: %v\n%s", lastErr, lastOut)
+		}
+		text := string(lastOut)
+		for _, want := range []string{"agents          0", "thresholds", "command errors"} {
+			if !strings.Contains(text, want) {
+				t.Errorf("powctl output missing %q:\n%s", want, text)
+			}
+		}
+	})
 }
 
 func TestDaemonCLIRoundTrip(t *testing.T) {

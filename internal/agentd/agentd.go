@@ -32,6 +32,10 @@ type Config struct {
 	NodeID node.ID
 	// ManagerAddr is the TCP address of the global manager daemon.
 	ManagerAddr string
+	// Dial, when non-nil, replaces the TCP dial of ManagerAddr — the
+	// in-process harness routes agents through fault-injecting pipes
+	// this way. Each Run invocation calls it once.
+	Dial func(ctx context.Context) (net.Conn, error)
 	// SampleEvery is the sampling/push interval τ.
 	SampleEvery time.Duration
 	// TickEvery is the granularity at which the simulated node's load
@@ -182,26 +186,42 @@ func (a *Agent) RunWithReconnect(ctx context.Context, initialBackoff, maxBackoff
 
 // Run connects to the manager and serves until ctx is cancelled or the
 // connection drops. It returns the first terminal error (nil on clean
-// shutdown via ctx).
+// shutdown via ctx). On return the connection is closed and the reader
+// goroutine has exited — reconnect churn never accumulates goroutines.
 func (a *Agent) Run(ctx context.Context) error {
-	var d net.Dialer
-	raw, err := d.DialContext(ctx, "tcp", a.cfg.ManagerAddr)
+	var raw net.Conn
+	var err error
+	if a.cfg.Dial != nil {
+		raw, err = a.cfg.Dial(ctx)
+	} else {
+		var d net.Dialer
+		raw, err = d.DialContext(ctx, "tcp", a.cfg.ManagerAddr)
+	}
 	if err != nil {
 		return fmt.Errorf("agentd: dial manager: %w", err)
 	}
 	conn := wire.NewConn(raw)
-	defer conn.Close()
+
+	// Reader: apply commands as they arrive. Closing the conn is what
+	// unblocks a reader parked in Recv, so the join below must close
+	// first, then wait.
+	readErr := make(chan error, 1)
+	readDone := make(chan struct{})
+	defer func() {
+		conn.Close()
+		<-readDone
+	}()
 
 	if err := conn.Send(wire.Envelope{
 		Type: wire.KindHello, Node: int(a.cfg.NodeID),
 		MaxLevel: a.node.Levels() - 1,
 	}); err != nil {
+		close(readDone)
 		return err
 	}
 
-	// Reader: apply commands as they arrive.
-	readErr := make(chan error, 1)
 	go func() {
+		defer close(readDone)
 		for {
 			env, err := conn.Recv()
 			if err != nil {

@@ -1,0 +1,276 @@
+// Package faultnet is a deterministic fault-injecting network layer for
+// testing the agent/manager daemon plane under adversarial conditions.
+//
+// It provides two pieces:
+//
+//   - Conn: a net.Conn wrapper that injects configurable write latency and
+//     jitter, probabilistic message drops, mid-write connection kills, byte
+//     corruption and truncation, directional blackholes (for asymmetric
+//     partitions) and slow-reader throttling (backpressure).
+//   - Network: an in-memory listener/dialer pair built on net.Pipe, so an
+//     entire managerd+agentd cluster runs in one process with no sockets,
+//     every connection routed through fault-injecting wrappers.
+//
+// Every random decision is drawn from a *rand.Rand derived deterministically
+// from (network seed, connection key, dial attempt), so a failure sequence
+// replays exactly for a given seed regardless of wall-clock timing: the k-th
+// write on the j-th connection of agent i sees the same fault on every run.
+//
+// The wire protocol is newline-delimited JSON where one message is one
+// bufio flush, i.e. one Write call on the wrapped conn — so per-Write fault
+// rolls are per-message fault rolls.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Profile configures the fault behaviour of one direction of a connection
+// (the wrapped side's writes, plus its read throttle). The zero value is a
+// clean, transparent conn.
+type Profile struct {
+	// Latency is added to every delivered write; Jitter adds a further
+	// uniformly random [0, Jitter) on top.
+	Latency time.Duration
+	Jitter  time.Duration
+
+	// DropProb is the probability a write (= one protocol message) is
+	// silently discarded: the writer sees success, the peer sees nothing.
+	DropProb float64
+
+	// KillProb is the probability a write delivers only a prefix of its
+	// payload and then kills the connection (both directions), modelling a
+	// connection reset mid-message.
+	KillProb float64
+
+	// CorruptProb is the probability one random byte of a write is
+	// flipped before delivery.
+	CorruptProb float64
+
+	// TruncateProb is the probability a write delivers only a random
+	// proper prefix (the connection stays up, desynchronising the
+	// newline framing exactly as a half-delivered TCP segment would).
+	TruncateProb float64
+
+	// ReadBytesPerSec throttles this side's reads to roughly the given
+	// sustained rate (0 = unlimited). Because the underlying pipe is
+	// synchronous, a slow reader exerts real backpressure: the peer's
+	// writes block until the throttled reader drains them.
+	ReadBytesPerSec int
+
+	// FirstWriteClean exempts the connection's first write from drop,
+	// kill, corrupt and truncate rolls (latency still applies). The first
+	// write carries the protocol hello; protecting it keeps fault-rate
+	// accounting focused on the steady-state sample/command stream.
+	FirstWriteClean bool
+}
+
+// clean reports whether the profile injects no faults at all.
+func (p Profile) clean() bool {
+	return p.Latency == 0 && p.Jitter == 0 && p.DropProb == 0 && p.KillProb == 0 &&
+		p.CorruptProb == 0 && p.TruncateProb == 0 && p.ReadBytesPerSec == 0
+}
+
+// Stats counts the faults a Conn actually injected. Harness accounting
+// checks compare these against the daemon's own counters.
+type Stats struct {
+	Writes    int // writes attempted
+	Dropped   int // writes silently discarded
+	Killed    int // writes that killed the connection
+	Corrupted int // writes with a flipped byte
+	Truncated int // writes delivered as a proper prefix
+	Blackhole int // writes discarded by a partition
+}
+
+// add folds another counter set into s.
+func (s *Stats) add(o Stats) {
+	s.Writes += o.Writes
+	s.Dropped += o.Dropped
+	s.Killed += o.Killed
+	s.Corrupted += o.Corrupted
+	s.Truncated += o.Truncated
+	s.Blackhole += o.Blackhole
+}
+
+// Conn wraps a net.Conn with fault injection. It implements net.Conn;
+// deadlines pass through to the underlying conn (net.Pipe supports them).
+// One Conn wraps one side of a link: its Write faults model that side's
+// outbound path, its read throttle models that side's inbound drain rate.
+type Conn struct {
+	inner net.Conn
+
+	mu    sync.Mutex // guards rng, prof, stats
+	rng   *rand.Rand
+	prof  Profile
+	stats Stats
+	wrote bool
+
+	blackhole atomic.Bool // partition: discard writes silently
+	killed    atomic.Bool
+}
+
+// Wrap builds a fault-injecting wrapper around inner. The rng must be
+// dedicated to this conn; Conn serialises access to it internally.
+func Wrap(inner net.Conn, prof Profile, rng *rand.Rand) *Conn {
+	return &Conn{inner: inner, prof: prof, rng: rng}
+}
+
+// Stats returns a snapshot of the faults injected so far.
+func (c *Conn) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// SetProfile swaps the fault profile at runtime (e.g. turning a healthy
+// agent into a slow reader mid-soak).
+func (c *Conn) SetProfile(p Profile) {
+	c.mu.Lock()
+	c.prof = p
+	c.mu.Unlock()
+}
+
+// SetBlackhole silently discards (true) or delivers (false) this side's
+// writes: one direction of an asymmetric partition. The connection stays
+// established — exactly the failure a switch ACL or overflowing queue
+// produces, as opposed to a clean close.
+func (c *Conn) SetBlackhole(on bool) { c.blackhole.Store(on) }
+
+// Write applies the fault schedule to one outbound message.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.killed.Load() {
+		return 0, fmt.Errorf("faultnet: connection killed")
+	}
+	c.mu.Lock()
+	prof := c.prof
+	first := !c.wrote
+	c.wrote = true
+	c.stats.Writes++
+	// Draw every roll up front, under the lock, so the per-connection
+	// fault sequence depends only on the write index — never on timing.
+	var delay time.Duration
+	if prof.Latency > 0 || prof.Jitter > 0 {
+		delay = prof.Latency
+		if prof.Jitter > 0 {
+			delay += time.Duration(c.rng.Int63n(int64(prof.Jitter)))
+		}
+	}
+	roll := c.rng.Float64()
+	cut := 0
+	if len(p) > 1 {
+		cut = 1 + c.rng.Intn(len(p)-1)
+	}
+	flip := 0
+	if len(p) > 0 {
+		flip = c.rng.Intn(len(p))
+	}
+	if c.blackhole.Load() {
+		c.stats.Blackhole++
+		c.mu.Unlock()
+		return len(p), nil
+	}
+	if first && prof.FirstWriteClean {
+		roll = 2 // outside every probability band
+	}
+	// The bands partition [0,1): a write suffers at most one fault kind.
+	pDrop := prof.DropProb
+	pKill := pDrop + prof.KillProb
+	pCorrupt := pKill + prof.CorruptProb
+	pTrunc := pCorrupt + prof.TruncateProb
+	var fault string
+	switch {
+	case roll < pDrop:
+		fault = "drop"
+		c.stats.Dropped++
+	case roll < pKill:
+		fault = "kill"
+		c.stats.Killed++
+	case roll < pCorrupt:
+		fault = "corrupt"
+		c.stats.Corrupted++
+	case roll < pTrunc:
+		fault = "truncate"
+		c.stats.Truncated++
+	}
+	c.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	switch fault {
+	case "drop":
+		return len(p), nil
+	case "kill":
+		if cut > 0 {
+			_, _ = c.inner.Write(p[:cut])
+		}
+		c.killed.Store(true)
+		c.inner.Close()
+		return cut, fmt.Errorf("faultnet: connection killed mid-write")
+	case "corrupt":
+		q := make([]byte, len(p))
+		copy(q, p)
+		if len(q) > 0 {
+			q[flip] ^= 0x20
+		}
+		p = q
+	case "truncate":
+		if cut > 0 {
+			n, err := c.inner.Write(p[:cut])
+			if err != nil {
+				return n, err
+			}
+		}
+		// Report full delivery: the writer believes the message left,
+		// as with bytes parked in a kernel buffer at connection loss.
+		return len(p), nil
+	}
+	return c.inner.Write(p)
+}
+
+// Read delivers inbound bytes, throttled to the profile's read rate.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	rate := c.prof.ReadBytesPerSec
+	c.mu.Unlock()
+	if rate <= 0 {
+		return c.inner.Read(p)
+	}
+	// Read in small sips and sleep proportionally, so the synchronous
+	// pipe makes the peer's writes stall — genuine backpressure.
+	max := rate / 10
+	if max < 1 {
+		max = 1
+	}
+	if len(p) > max {
+		p = p[:max]
+	}
+	n, err := c.inner.Read(p)
+	if n > 0 {
+		time.Sleep(time.Duration(n) * time.Second / time.Duration(rate))
+	}
+	return n, err
+}
+
+// Close closes the underlying conn.
+func (c *Conn) Close() error { return c.inner.Close() }
+
+// LocalAddr returns the underlying local address.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr returns the underlying remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline passes through to the underlying conn.
+func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline passes through to the underlying conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline passes through to the underlying conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }

@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/power"
+)
+
+// chaosThresholds sits inside the band a 64-agent fleet can hold:
+// natural uncapped draw ≈ 16.7 kW, floored draw ≈ 10 kW.
+var chaosThresholds = power.Thresholds{PL: 12000, PH: 15000}
+
+// runChaos drives the acceptance scenario: 64 agents under 5% sample
+// drop, periodic 2-agent partitions, and one slow reader. The safety
+// invariant — estimated fleet power settles at/below P_H — must hold,
+// and the fault accounting must reflect the injected faults.
+func runChaos(t *testing.T, seed int64, rounds int) {
+	const agents = 64
+	const slowKey = uint64(agents - 1)
+	c := Start(t, Options{
+		Agents:         agents,
+		Seed:           seed,
+		Thresholds:     chaosThresholds,
+		CommandTimeout: 100 * time.Millisecond,
+		AgentProfile:   faultnet.Profile{DropProb: 0.05, FirstWriteClean: true},
+	})
+	c.AwaitAgents(agents, 20*time.Second)
+	// One agent stops draining its command socket for the whole soak.
+	c.Net.SetClientProfile(slowKey, faultnet.Profile{
+		DropProb: 0.05, FirstWriteClean: true, ReadBytesPerSec: 8,
+	})
+
+	// Periodic partitions: each round cuts a deterministic pair of
+	// agents off in both directions, holds, then heals.
+	for r := 0; r < rounds; r++ {
+		a := uint64(2*r) % (agents - 1) // never partition the slow reader
+		b := (a + 1) % (agents - 1)
+		c.Net.Partition(a, true, true)
+		c.Net.Partition(b, true, true)
+		time.Sleep(8 * c.Opt.ControlEvery)
+		c.Net.Heal(a)
+		c.Net.Heal(b)
+		time.Sleep(4 * c.Opt.ControlEvery)
+	}
+
+	// Safety: the estimated fleet power must settle at/below P_H and
+	// hold there for five consecutive control periods despite the
+	// ongoing drops and the stalled reader.
+	c.AwaitSettledBelow(float64(chaosThresholds.PH), 5, 30*time.Second)
+
+	// The cap must have been enforced by actual throttling, not luck.
+	if c.MinLevel() == 9 {
+		t.Error("power settled but no node was ever degraded")
+	}
+
+	// Liveness: every partitioned agent reconnects or resumes; the
+	// manager's fleet view heals to all 64.
+	WaitUntil(t, 20*time.Second, func() bool { return c.Status().Agents == agents },
+		"fleet never healed to %d agents (have %d)", agents, c.Status().Agents)
+
+	// Accounting: partitions produced stale drops; the slow reader
+	// produced command timeouts; injected drop counts are visible on the
+	// network side.
+	st := c.Status()
+	if st.DroppedStale == 0 {
+		t.Errorf("partitions ran but DroppedStale = 0: %+v", st)
+	}
+	if st.CommandErrors == 0 {
+		t.Errorf("slow reader ran but CommandErrors = 0: %+v", st)
+	}
+	ns := c.Net.Stats()
+	if ns.Dropped == 0 {
+		t.Errorf("5%% drop profile injected nothing: %+v", ns)
+	}
+	t.Logf("seed %d: status %+v", seed, st)
+	t.Logf("seed %d: faults %+v", seed, ns)
+}
+
+// TestChaosSoak is the acceptance scenario at two different seeds. It
+// must pass deterministically under -race for both.
+func TestChaosSoak(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) { runChaos(t, seed, 4) })
+	}
+}
+
+// TestChaosSoakLong is the extended soak: more partition rounds plus
+// corruption, truncation and random mid-write kills layered on top, so
+// reconnect churn runs against the full fault matrix. Skipped in -short
+// runs; the tier-1 suite runs it.
+func TestChaosSoakLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak")
+	}
+	const agents = 64
+	c := Start(t, Options{
+		Agents:         agents,
+		Seed:           3,
+		Thresholds:     chaosThresholds,
+		CommandTimeout: 100 * time.Millisecond,
+		AgentProfile: faultnet.Profile{
+			DropProb:        0.08,
+			CorruptProb:     0.003,
+			TruncateProb:    0.002,
+			KillProb:        0.002,
+			Jitter:          2 * time.Millisecond,
+			FirstWriteClean: true,
+		},
+	})
+	c.AwaitAgents(agents, 20*time.Second)
+	c.Net.SetClientProfile(uint64(agents-1), faultnet.Profile{
+		DropProb: 0.08, FirstWriteClean: true, ReadBytesPerSec: 8,
+	})
+	for r := 0; r < 10; r++ {
+		a := uint64(3*r) % (agents - 1)
+		b := (a + 7) % (agents - 1)
+		c.Net.Partition(a, true, true)
+		c.Net.Partition(b, false, true) // asymmetric: commands lost, samples flow
+		time.Sleep(8 * c.Opt.ControlEvery)
+		c.Net.Heal(a)
+		c.Net.Heal(b)
+		time.Sleep(4 * c.Opt.ControlEvery)
+	}
+	c.AwaitSettledBelow(float64(chaosThresholds.PH), 5, 30*time.Second)
+	WaitUntil(t, 30*time.Second, func() bool { return c.Status().Agents == agents },
+		"fleet never healed to %d agents (have %d)", agents, c.Status().Agents)
+	st := c.Status()
+	ns := c.Net.Stats()
+	if ns.Dropped == 0 || ns.Blackhole == 0 || ns.Killed == 0 {
+		t.Errorf("fault matrix not exercised: %+v", ns)
+	}
+	t.Logf("long soak: status %+v", st)
+	t.Logf("long soak: faults %+v", ns)
+}

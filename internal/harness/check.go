@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// WaitUntil polls cond every few milliseconds until it holds, failing the
+// test with the formatted message if the clock-bounded deadline passes.
+// Chaos tests use it instead of bare sleeps so every wait is bounded and
+// every failure says what it was waiting for.
+func WaitUntil(t testing.TB, timeout time.Duration, cond func() bool, format string, args ...any) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("harness: timed out after %v: "+format, append([]any{timeout}, args...)...)
+}
+
+// LeakCheck detects goroutines leaked between two points — typically
+// cluster start and post-stop. Reconnect churn is the classic source: an
+// agent Run that abandons its reader goroutine leaks one per redial.
+type LeakCheck struct{ before int }
+
+// StartLeakCheck snapshots the current goroutine count.
+func StartLeakCheck() *LeakCheck {
+	// Settle first so goroutines already dying from earlier tests do not
+	// inflate the baseline.
+	runtime.Gosched()
+	return &LeakCheck{before: runtime.NumGoroutine()}
+}
+
+// Check fails t if the goroutine count has not returned to the baseline
+// within the grace period. Exiting goroutines need a moment to be reaped,
+// so it polls rather than sampling once.
+func (l *LeakCheck) Check(t testing.TB, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= l.before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("harness: goroutine leak: %d before, %d after\n%s", l.before, now, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

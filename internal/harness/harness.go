@@ -1,0 +1,263 @@
+// Package harness boots an in-process agent/manager cluster — a real
+// managerd.Server plus N real agentd Agents — wired together over
+// internal/faultnet's deterministic fault-injecting in-memory transport
+// instead of loopback TCP.
+//
+// It exists so chaos and soak tests of the daemon plane (Figure 1's
+// distributed control loop) can inject connection kills, message drops,
+// asymmetric partitions and slow readers with replayable randomness, and
+// then assert the architecture's invariants:
+//
+//   - safety: estimated fleet power settles at/below P_H under sustained
+//     pressure despite faults (AwaitSettledBelow);
+//   - consistency: an agent's applied level survives reconnects — a redial
+//     never silently resets a throttle command (agentd keeps node state);
+//   - liveness: steady-green restore resumes once a partition heals;
+//   - accounting: DroppedStale/CommandErrors track the injected faults.
+//
+// Every cluster also carries a goroutine-leak check: Start snapshots the
+// goroutine count and the test fails if Stop does not return to it.
+package harness
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agentd"
+	"repro/internal/faultnet"
+	"repro/internal/managerd"
+	"repro/internal/node"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/wire"
+)
+
+// Options parametrises a harness cluster. Zero fields take the defaults
+// noted on each; the zero Options value is a small, fast, fault-free
+// cluster suitable for converting plain TCP daemon tests.
+type Options struct {
+	// Agents is the number of agent daemons (default 4).
+	Agents int
+	// Seed drives the fault network and, offset per agent, the synthetic
+	// load patterns (default 1).
+	Seed int64
+
+	// ControlEvery is the manager's control period τ (default 50ms).
+	ControlEvery time.Duration
+	// SampleEvery is the agents' sampling/push interval (default 50ms).
+	SampleEvery time.Duration
+	// TickEvery is the simulated nodes' load granularity (default 10ms).
+	TickEvery time.Duration
+	// Tg is the steady-green restore patience in cycles (default 3).
+	Tg int
+	// Thresholds are the operating thresholds (default a generous
+	// megawatt band: the cluster stays green and never throttles).
+	Thresholds power.Thresholds
+	// Policy selects yellow-state targets (default policy.MPCC{}).
+	Policy policy.Policy
+	// StaleAfter and CommandTimeout pass through to managerd.Config.
+	StaleAfter     time.Duration
+	CommandTimeout time.Duration
+
+	// AgentProfile is the fault profile of every agent's outbound path
+	// (sample stream) and read throttle; ManagerProfile is the manager's
+	// outbound path (command stream). Override one agent with
+	// Cluster.Net.SetClientProfile.
+	AgentProfile   faultnet.Profile
+	ManagerProfile faultnet.Profile
+
+	// InitialBackoff/MaxBackoff tune the agents' reconnect loop
+	// (defaults 10ms/80ms, so kills heal within a few control cycles).
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+}
+
+func (o *Options) fill() {
+	if o.Agents <= 0 {
+		o.Agents = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.ControlEvery <= 0 {
+		o.ControlEvery = 50 * time.Millisecond
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 50 * time.Millisecond
+	}
+	if o.TickEvery <= 0 {
+		o.TickEvery = 10 * time.Millisecond
+	}
+	if o.Tg <= 0 {
+		o.Tg = 3
+	}
+	if o.Thresholds == (power.Thresholds{}) {
+		o.Thresholds = power.Thresholds{PL: 1e6, PH: 2e6}
+	}
+	if o.Policy == nil {
+		o.Policy = policy.MPCC{}
+	}
+	if o.InitialBackoff <= 0 {
+		o.InitialBackoff = 10 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 80 * time.Millisecond
+	}
+}
+
+// Cluster is a running in-process cluster.
+type Cluster struct {
+	Opt    Options
+	Net    *faultnet.Network
+	Server *managerd.Server
+	Agents []*agentd.Agent
+
+	t        testing.TB
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+	leak     *LeakCheck
+}
+
+// Start boots a manager and Opt.Agents agents over a fresh fault network
+// and registers cleanup (stop + goroutine-leak check) on t. Agent i dials
+// with faultnet key i; fault profiles follow Options.
+func Start(t testing.TB, opt Options) *Cluster {
+	t.Helper()
+	opt.fill()
+	leak := StartLeakCheck()
+
+	n := faultnet.New(opt.Seed)
+	n.SetDefaultProfiles(opt.AgentProfile, opt.ManagerProfile)
+
+	srv, err := managerd.New(managerd.Config{
+		Listener:       n.Listener(),
+		Model:          power.TianheNode(),
+		Policy:         opt.Policy,
+		Tg:             opt.Tg,
+		ControlEvery:   opt.ControlEvery,
+		Thresholds:     opt.Thresholds,
+		StaleAfter:     opt.StaleAfter,
+		CommandTimeout: opt.CommandTimeout,
+	})
+	if err != nil {
+		t.Fatalf("harness: managerd.New: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatalf("harness: managerd.Start: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Cluster{Opt: opt, Net: n, Server: srv, t: t, cancel: cancel, leak: leak}
+	for i := 0; i < opt.Agents; i++ {
+		key := uint64(i)
+		a, err := agentd.New(agentd.Config{
+			NodeID:      node.ID(i),
+			SampleEvery: opt.SampleEvery,
+			TickEvery:   opt.TickEvery,
+			Model:       power.TianheNode(),
+			Seed:        opt.Seed + int64(i) + 1,
+			Dial: func(ctx context.Context) (net.Conn, error) {
+				return n.Dial(ctx, key)
+			},
+		})
+		if err != nil {
+			cancel()
+			t.Fatalf("harness: agentd.New(%d): %v", i, err)
+		}
+		c.Agents = append(c.Agents, a)
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			a.RunWithReconnect(ctx, opt.InitialBackoff, opt.MaxBackoff)
+		}()
+	}
+	t.Cleanup(func() {
+		c.Stop()
+		c.leak.Check(t, 5*time.Second)
+	})
+	return c
+}
+
+// Stop cancels the agents, waits for them, and shuts the manager and the
+// fault network down. Idempotent.
+func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() {
+		c.cancel()
+		c.wg.Wait()
+		c.Server.Stop()
+		c.Net.Close()
+	})
+}
+
+// Status returns the manager's counters.
+func (c *Cluster) Status() wire.StatusReply { return c.Server.Status() }
+
+// Levels returns every agent's current applied power level.
+func (c *Cluster) Levels() []int {
+	levels := make([]int, len(c.Agents))
+	for i, a := range c.Agents {
+		levels[i] = a.Level()
+	}
+	return levels
+}
+
+// MinLevel returns the lowest applied level across the fleet.
+func (c *Cluster) MinLevel() int {
+	min := int(^uint(0) >> 1)
+	for _, a := range c.Agents {
+		if l := a.Level(); l < min {
+			min = l
+		}
+	}
+	return min
+}
+
+// AwaitAgents waits until the manager sees exactly n connected agents.
+func (c *Cluster) AwaitAgents(n int, timeout time.Duration) {
+	c.t.Helper()
+	WaitUntil(c.t, timeout, func() bool { return c.Status().Agents == n },
+		"manager never saw %d agents (have %d)", n, c.Status().Agents)
+}
+
+// AwaitSettledBelow is the safety invariant: the manager's estimated fleet
+// power must reach and hold at/below limit for consecutive successive
+// polls (one control period apart) before the timeout.
+func (c *Cluster) AwaitSettledBelow(limit float64, consecutive int, timeout time.Duration) {
+	c.t.Helper()
+	deadline := time.Now().Add(timeout)
+	streak := 0
+	for time.Now().Before(deadline) {
+		st := c.Status()
+		if st.LastPowerW > 0 && st.LastPowerW <= limit {
+			streak++
+			if streak >= consecutive {
+				return
+			}
+		} else {
+			streak = 0
+		}
+		time.Sleep(c.Opt.ControlEvery)
+	}
+	c.t.Fatalf("harness: power never settled ≤ %.0f W for %d consecutive cycles (last %.0f W, levels %v)",
+		limit, consecutive, c.Status().LastPowerW, c.Levels())
+}
+
+// ForceReconnect kills agent key's current connection and waits for the
+// agent to redial and re-register with the manager. It returns false if
+// there was no live link to kill.
+func (c *Cluster) ForceReconnect(key uint64, timeout time.Duration) bool {
+	c.t.Helper()
+	old, _ := c.Net.Link(key)
+	if old == nil || !c.Net.Kill(key) {
+		return false
+	}
+	WaitUntil(c.t, timeout, func() bool {
+		cur, _ := c.Net.Link(key)
+		return cur != nil && cur != old && c.Status().Agents == c.Opt.Agents
+	}, "agent %d never reconnected after kill", key)
+	return true
+}

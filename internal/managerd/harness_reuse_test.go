@@ -1,0 +1,29 @@
+package managerd_test
+
+// The managerd end-to-end samples-flow test, converted from its original
+// loopback-TCP form to the in-process cluster harness: same daemon code,
+// same assertions, but the transport is internal/faultnet (here fault-free)
+// and the boilerplate — listener wiring, agent spawning, goroutine-leak
+// checking — lives in internal/harness. This is the reuse proof for the
+// harness: a daemon-plane test converts by deleting its scaffolding.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func TestEndToEndSamplesFlow(t *testing.T) {
+	// Generous (default megawatt-band) thresholds: system stays green,
+	// no commands needed.
+	c := harness.Start(t, harness.Options{Agents: 4})
+	c.AwaitAgents(4, 10*time.Second)
+	harness.WaitUntil(t, 10*time.Second, func() bool {
+		st := c.Status()
+		return st.Cycles >= 4 && st.LastPowerW > 0
+	}, "daemon never converged: %+v", c.Status())
+	if st := c.Status(); st.RedCycles != 0 || st.DegradeOps != 0 {
+		t.Errorf("unexpected throttling: %+v", st)
+	}
+}

@@ -29,6 +29,16 @@ type Config struct {
 	// Addr is the TCP listen address, e.g. "127.0.0.1:7077". Port 0
 	// selects an ephemeral port (see Server.Addr).
 	Addr string
+	// Listener, when non-nil, is served instead of binding Addr — the
+	// in-process harness hands the daemon a fault-injecting in-memory
+	// listener this way. The server takes ownership and closes it on Stop.
+	Listener net.Listener
+	// CommandTimeout bounds each actuator command send: a stalled agent
+	// connection (full TCP buffer, slow reader) fails the send after this
+	// long — counted in CommandErrors and the connection dropped — instead
+	// of blocking the control cycle inside SetNodeLevel. Zero defaults to
+	// the control period.
+	CommandTimeout time.Duration
 	// Model is the fleet's power profile model (formula 1 runs centrally).
 	Model power.Model
 	// Policy is the target set selection policy.
@@ -113,6 +123,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.StaleAfter <= 0 {
 		cfg.StaleAfter = 3 * cfg.ControlEvery
 	}
+	if cfg.CommandTimeout <= 0 {
+		cfg.CommandTimeout = cfg.ControlEvery
+	}
 	mgr, err := manager.New(manager.Config{Tg: cfg.Tg, Policy: cfg.Policy})
 	if err != nil {
 		return nil, err
@@ -141,11 +154,15 @@ func New(cfg Config) (*Server, error) {
 
 // Start binds the listener and launches the accept loop and control loop.
 func (s *Server) Start() error {
-	ln, err := net.Listen("tcp", s.cfg.Addr)
-	if err != nil {
-		return fmt.Errorf("managerd: listen: %w", err)
+	if s.cfg.Listener != nil {
+		s.ln = s.cfg.Listener
+	} else {
+		ln, err := net.Listen("tcp", s.cfg.Addr)
+		if err != nil {
+			return fmt.Errorf("managerd: listen: %w", err)
+		}
+		s.ln = ln
 	}
-	s.ln = ln
 	s.started = time.Now()
 	s.wg.Add(2)
 	go s.acceptLoop()
@@ -258,7 +275,11 @@ func (s *Server) serveConn(conn *wire.Conn) {
 // actuator routes manager commands to agent connections.
 type actuator struct{ s *Server }
 
-// SetNodeLevel implements manager.Actuator.
+// SetNodeLevel implements manager.Actuator. Each send carries a write
+// deadline: one agent that has stopped draining its socket (slow reader,
+// full TCP buffer) must cost the control cycle at most CommandTimeout,
+// not stall it indefinitely. A timed-out connection is closed — its write
+// stream is mid-message and unrecoverable — so the agent redials.
 func (a actuator) SetNodeLevel(id node.ID, level int) error {
 	a.s.mu.Lock()
 	ac, ok := a.s.agents[id]
@@ -270,12 +291,15 @@ func (a actuator) SetNodeLevel(id node.ID, level int) error {
 		return fmt.Errorf("managerd: no agent for node %d", id)
 	}
 	ac.sendMu.Lock()
+	_ = ac.conn.SetWriteDeadline(time.Now().Add(a.s.cfg.CommandTimeout))
 	err := ac.conn.Send(wire.Envelope{Type: wire.KindCommand, Node: int(id), Level: level})
+	_ = ac.conn.SetWriteDeadline(time.Time{})
 	ac.sendMu.Unlock()
 	if err != nil {
 		a.s.mu.Lock()
 		a.s.cmdErrs++
 		a.s.mu.Unlock()
+		ac.conn.Close()
 	}
 	return err
 }

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"io"
+	"strings"
 	"testing"
 )
 
@@ -15,6 +16,22 @@ func FuzzRecv(f *testing.F) {
 	f.Add([]byte("{}\n{}\n"))
 	f.Add([]byte(`{"type":"sample","interval_ms":-5}`))
 	f.Add([]byte{0xff, 0xfe, '\n'})
+	// Truncated JSON: a sample cut mid-field, as a mid-write connection
+	// kill or segment truncation produces.
+	f.Add([]byte(`{"type":"sample","node":3,"lev`))
+	f.Add([]byte(`{"type":"sample","node":3,"level":9,"cpu_util":0.` + "\n"))
+	// Oversized line: a single message far beyond any legitimate
+	// envelope (the reader must grow its buffer, not panic or stall).
+	f.Add([]byte(`{"type":"sample","node":1,"pad":"` + strings.Repeat("x", 64<<10) + `"}` + "\n"))
+	// Interleaved garbage: valid frames with junk between them, the
+	// steady state after a truncated write desynchronises the framing.
+	f.Add([]byte(`{"type":"hello","node":1}` + "\n" +
+		"\x00\x01binary-junk\x02\n" +
+		`{"type":"sample","node":1,"level":3}` + "\n"))
+	f.Add([]byte(`{"type":"command","node":2,"level":1}garbage-tail` + "\n" +
+		`{"type":"ack","node":2}` + "\n"))
+	// Status reply with every stats field present.
+	f.Add([]byte(`{"type":"status","stats":{"agents":1,"cycles":2,"dropped_stale":3,"command_errors":4}}` + "\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c := NewConn(nopCloser{bytes.NewReader(data)})
 		for i := 0; i < 16; i++ {

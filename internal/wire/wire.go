@@ -154,6 +154,19 @@ func (c *Conn) Recv() (Envelope, error) {
 // Close closes the underlying stream.
 func (c *Conn) Close() error { return c.raw.Close() }
 
+// SetWriteDeadline bounds subsequent Sends when the underlying stream
+// supports write deadlines (net.Conn does); on plain byte streams it is a
+// no-op. The manager daemon uses this to stop a stalled agent connection
+// from blocking the control cycle. After a deadline error the stream's
+// write state is undefined (a message may be half-flushed) — the caller
+// must close the connection rather than keep sending on it.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	if d, ok := c.raw.(interface{ SetWriteDeadline(time.Time) error }); ok {
+		return d.SetWriteDeadline(t)
+	}
+	return nil
+}
+
 func truncate(b []byte) string {
 	const max = 80
 	if len(b) > max {

@@ -126,6 +126,108 @@ func TestConnOverTCP(t *testing.T) {
 	c.Close()
 }
 
+// TestEnvelopeKindsRoundTrip sends one representative envelope of every
+// message kind through the line protocol and checks it decodes
+// field-for-field. Any new Kind* constant must be added here.
+func TestEnvelopeKindsRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		env  Envelope
+	}{
+		{"hello", Envelope{Type: KindHello, Node: 12, MaxLevel: 9}},
+		{"sample", Envelope{
+			Type: KindSample, Node: 12, Level: 4, MaxLevel: 9,
+			CPUUtil: 0.875, MemUsed: 3 << 30, MemTotal: 24 << 30,
+			NICBytes: 987654, IntervalMS: 1000, Job: 5,
+		}},
+		{"command", Envelope{Type: KindCommand, Node: 12, Level: 2}},
+		{"ack", Envelope{Type: KindAck, Node: 12, Level: 2}},
+		{"status", Envelope{Type: KindStatus, Stats: &StatusReply{Agents: 3}}},
+	}
+	kinds := map[string]bool{
+		KindHello: false, KindSample: false, KindCommand: false,
+		KindAck: false, KindStatus: false,
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			c := NewConn(pipeConn{&buf, &buf})
+			if err := c.Send(tc.env); err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.env.Stats != nil {
+				if got.Stats == nil || *got.Stats != *tc.env.Stats {
+					t.Fatalf("stats round trip: got %+v, want %+v", got.Stats, tc.env.Stats)
+				}
+				got.Stats, tc.env.Stats = nil, nil
+			}
+			if got != tc.env {
+				t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tc.env)
+			}
+		})
+		kinds[tc.env.Type] = true
+	}
+	for k, covered := range kinds {
+		if !covered {
+			t.Errorf("message kind %q has no round-trip case", k)
+		}
+	}
+}
+
+// TestStatusReplyFieldForField round-trips a StatusReply with every field
+// set to a distinct value, so a field added to the struct but dropped
+// from its JSON tags (or shadowed by a duplicate tag) cannot slip by.
+func TestStatusReplyFieldForField(t *testing.T) {
+	want := StatusReply{
+		Agents: 1, Cycles: 2, GreenCycles: 3, YellowCycles: 4,
+		RedCycles: 5, RedEntries: 6, DegradeOps: 7, RestoreOps: 8,
+		BusyMicros: 9, CPUUtilise: 0.625, LastPowerW: 11.5,
+		ThresholdPLW: 12.5, ThresholdPHW: 13.5, DroppedStale: 14,
+		CommandErrors: 15,
+	}
+	var buf bytes.Buffer
+	c := NewConn(pipeConn{&buf, &buf})
+	if err := c.Send(Envelope{Type: KindStatus, Stats: &want}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats == nil {
+		t.Fatal("stats lost")
+	}
+	if *got.Stats != want {
+		t.Errorf("field-for-field mismatch:\n got %+v\nwant %+v", *got.Stats, want)
+	}
+}
+
+// TestRecvToleratesUnknownFields is the forward-compatibility contract:
+// a newer peer adding envelope fields (even whole sub-objects) must not
+// break an older decoder, which ignores what it does not know.
+func TestRecvToleratesUnknownFields(t *testing.T) {
+	lines := []string{
+		`{"type":"sample","node":3,"level":9,"flux_capacitance":1.21,"vendor":{"model":"X5670"}}`,
+		`{"type":"hello","node":1,"max_level":9,"protocol_rev":7,"features":["batching","zstd"]}`,
+		`{"type":"command","node":1,"level":2,"deadline_ms":250}`,
+	}
+	for _, line := range lines {
+		c := NewConn(pipeConn{bytes.NewReader([]byte(line + "\n")), io.Discard})
+		env, err := c.Recv()
+		if err != nil {
+			t.Errorf("unknown fields rejected: %q: %v", line, err)
+			continue
+		}
+		if env.Type == "" || env.Node == 0 {
+			t.Errorf("known fields lost amid unknown ones: %+v from %q", env, line)
+		}
+	}
+}
+
 func TestReadingIdentity(t *testing.T) {
 	// Envelope → Reading must preserve node.ID typing.
 	e := Envelope{Type: KindSample, Node: 5, Level: 3, MaxLevel: 9, IntervalMS: 1000}
