@@ -31,6 +31,9 @@ func main() {
 		sample  = flag.Duration("sample", time.Second, "sampling/push interval τ")
 		tick    = flag.Duration("tick", 100*time.Millisecond, "simulated node tick")
 		seed    = flag.Int64("seed", 0, "synthetic load seed (0 = node id)")
+
+		failsafeAfter = flag.Int("failsafe-after", 0, "dead-man switch: silent sample periods before self-degrading (0 = disabled)")
+		failsafeLevel = flag.Int("failsafe-level", 0, "dead-man switch floor level")
 	)
 	flag.Parse()
 	if *seed == 0 {
@@ -38,12 +41,14 @@ func main() {
 	}
 
 	a, err := agentd.New(agentd.Config{
-		NodeID:      node.ID(*id),
-		ManagerAddr: *manager,
-		SampleEvery: *sample,
-		TickEvery:   *tick,
-		Model:       power.TianheNode(),
-		Seed:        *seed,
+		NodeID:        node.ID(*id),
+		ManagerAddr:   *manager,
+		SampleEvery:   *sample,
+		TickEvery:     *tick,
+		Model:         power.TianheNode(),
+		Seed:          *seed,
+		FailsafeAfter: *failsafeAfter,
+		FailsafeLevel: *failsafeLevel,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -57,6 +62,6 @@ func main() {
 	// Reconnect with backoff: a manager restart must not take the fleet
 	// of agents down with it.
 	a.RunWithReconnect(ctx, 200*time.Millisecond, 10*time.Second)
-	fmt.Printf("powagentd: node %d stopped after %d applied commands (level %d)\n",
-		*id, a.CommandsApplied(), a.Level())
+	fmt.Printf("powagentd: node %d stopped after %d applied commands (level %d, failsafe trips %d)\n",
+		*id, a.CommandsApplied(), a.Level(), a.FailsafeTrips())
 }

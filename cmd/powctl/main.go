@@ -35,7 +35,13 @@ func main() {
 	fmt.Printf("ops             degrade %d, restore %d\n", st.DegradeOps, st.RestoreOps)
 	fmt.Printf("last power      %.1f W\n", st.LastPowerW)
 	fmt.Printf("thresholds      PL %.1f W, PH %.1f W\n", st.ThresholdPLW, st.ThresholdPHW)
+	fmt.Printf("learner         trained %v, lifetime peak %.1f W\n", st.Trained, st.LifetimePeakW)
 	fmt.Printf("manager busy    %d µs (cpu utilisation %.4f)\n", st.BusyMicros, st.CPUUtilise)
 	fmt.Printf("stale dropped   %d\n", st.DroppedStale)
 	fmt.Printf("command errors  %d\n", st.CommandErrors)
+	fmt.Printf("commands        acks %d, retries %d, reconciles %d, drifted now %d\n",
+		st.CommandAcks, st.CommandRetries, st.Reconciles, st.Drifted)
+	fmt.Printf("node health     healthy %d, stale %d, lost %d, quarantined %d (quarantines %d)\n",
+		st.HealthyNodes, st.StaleNodes, st.LostNodes, st.QuarantinedNodes, st.Quarantines)
+	fmt.Printf("journal writes  %d\n", st.JournalWrites)
 }

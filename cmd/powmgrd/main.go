@@ -35,6 +35,14 @@ func main() {
 		tg      = flag.Int("tg", 10, "steady-green patience T_g (cycles)")
 		train   = flag.Duration("learn", 0, "enable §III.A threshold learning with this training window (0 = fixed thresholds)")
 		pmaxStr = flag.String("pmax", "40kW", "provision capability seeding the learner (with -learn)")
+
+		journal      = flag.String("journal", "", "crash-recovery journal path (empty = disabled)")
+		journalEvery = flag.Int("journal-every", 0, "journal snapshot period in cycles (0 = learner adjustment period)")
+		heartbeat    = flag.Int("heartbeat-every", 1, "agent heartbeat period in cycles (-1 = disabled)")
+		lostAfter    = flag.Duration("lost-after", 0, "mark silent nodes lost after this (0 = 3× stale window)")
+		flapWindow   = flag.Duration("flap-window", 15*time.Second, "reconnect-flap detection window")
+		flapLimit    = flag.Int("flap-limit", 6, "reconnects within the flap window before quarantine (-1 = disabled)")
+		quarantine   = flag.Duration("quarantine", 30*time.Second, "minimum quarantine duration")
 	)
 	flag.Parse()
 
@@ -51,12 +59,19 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := managerd.Config{
-		Addr:         *addr,
-		Model:        power.TianheNode(),
-		Policy:       pol,
-		Tg:           *tg,
-		ControlEvery: *period,
-		Thresholds:   power.Thresholds{PL: pl, PH: ph},
+		Addr:           *addr,
+		Model:          power.TianheNode(),
+		Policy:         pol,
+		Tg:             *tg,
+		ControlEvery:   *period,
+		Thresholds:     power.Thresholds{PL: pl, PH: ph},
+		JournalPath:    *journal,
+		JournalEvery:   *journalEvery,
+		HeartbeatEvery: *heartbeat,
+		LostAfter:      *lostAfter,
+		FlapWindow:     *flapWindow,
+		FlapLimit:      *flapLimit,
+		Quarantine:     *quarantine,
 	}
 	if *train > 0 {
 		pm, err := units.ParseWatts(*pmaxStr)

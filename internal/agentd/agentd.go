@@ -45,6 +45,18 @@ type Config struct {
 	Model power.Model
 	// Seed drives the synthetic load pattern.
 	Seed int64
+
+	// FailsafeAfter arms the dead-man switch: after this many sample
+	// periods without any manager traffic (disconnected, partitioned, or
+	// a silent manager), the agent self-degrades to FailsafeLevel so the
+	// cluster cap holds with zero managers alive. Zero disables the
+	// switch. The watchdog runs under RunWithReconnect and inside Run's
+	// tick loop, so a connected-but-silent manager trips it too.
+	FailsafeAfter int
+	// FailsafeLevel is the floor level the dead-man switch degrades to
+	// (default 0, the lowest power state). The switch only ever lowers
+	// the level — a node already below the floor stays where it is.
+	FailsafeLevel int
 }
 
 // Agent is a running profiling agent.
@@ -58,6 +70,11 @@ type Agent struct {
 	havePrev bool
 	applied  int // commands applied
 	job      workload.JobID
+
+	// dead-man switch state
+	lastContact time.Time // last traffic received from a manager
+	tripped     bool      // currently at the failsafe floor by our own hand
+	trips       int       // lifetime trip count
 
 	// synthetic load state
 	loadUntil time.Duration
@@ -74,10 +91,14 @@ func New(cfg Config) (*Agent, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.FailsafeAfter > 0 && (cfg.FailsafeLevel < 0 || cfg.FailsafeLevel >= n.Levels()) {
+		return nil, fmt.Errorf("agentd: failsafe level %d outside [0,%d)", cfg.FailsafeLevel, n.Levels())
+	}
 	return &Agent{
-		cfg:  cfg,
-		node: n,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		cfg:         cfg,
+		node:        n,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		lastContact: time.Now(),
 	}, nil
 }
 
@@ -93,6 +114,56 @@ func (a *Agent) Level() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.node.Level()
+}
+
+// FailsafeTrips reports how many times the dead-man switch has fired.
+func (a *Agent) FailsafeTrips() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.trips
+}
+
+// Tripped reports whether the agent currently sits at the failsafe floor
+// by its own decision (no manager contact). It clears on the next manager
+// traffic; the level itself stays until the manager reconciles it.
+func (a *Agent) Tripped() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tripped
+}
+
+// touchContact records manager traffic: it re-arms the dead-man switch
+// and clears the tripped flag. The node's level is left alone — a
+// returning manager sees the floor level in the agent's samples and
+// reconciles by explicit command rather than the agent guessing.
+func (a *Agent) touchContact() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.lastContact = time.Now()
+	a.tripped = false
+}
+
+// failsafeCheck trips the dead-man switch when the silence grace
+// (FailsafeAfter sample periods) has elapsed: the node self-degrades to
+// the failsafe floor so the facility cap holds with no manager alive.
+func (a *Agent) failsafeCheck() {
+	if a.cfg.FailsafeAfter <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.tripped {
+		return
+	}
+	grace := time.Duration(a.cfg.FailsafeAfter) * a.cfg.SampleEvery
+	if time.Since(a.lastContact) < grace {
+		return
+	}
+	a.tripped = true
+	a.trips++
+	if a.node.Level() > a.cfg.FailsafeLevel {
+		_ = a.node.SetLevel(a.cfg.FailsafeLevel)
+	}
 }
 
 // step advances the synthetic workload pattern by one tick: the node
@@ -162,6 +233,28 @@ func (a *Agent) RunWithReconnect(ctx context.Context, initialBackoff, maxBackoff
 	if maxBackoff < initialBackoff {
 		maxBackoff = 10 * initialBackoff
 	}
+	// Dead-man watchdog: ticks once per sample period for the whole
+	// reconnect loop, so the switch fires even while the agent sits in
+	// dial backoff with no connection (and therefore no tick loop).
+	if a.cfg.FailsafeAfter > 0 {
+		a.touchContact() // grace counts from run start, not agent creation
+		wdone := make(chan struct{})
+		defer close(wdone)
+		go func() {
+			t := time.NewTicker(a.cfg.SampleEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-wdone:
+					return
+				case <-t.C:
+					a.failsafeCheck()
+				}
+			}
+		}()
+	}
 	backoff := initialBackoff
 	for ctx.Err() == nil {
 		err := a.Run(ctx)
@@ -202,6 +295,29 @@ func (a *Agent) Run(ctx context.Context) error {
 	}
 	conn := wire.NewConn(raw)
 
+	// Watcher: a cancelled ctx must unblock a send parked on a dead pipe
+	// (e.g. a dial accepted into a crashed manager's queue, or a stalled
+	// manager reader) — closing the conn is the only lever that works
+	// mid-write.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-watchDone:
+		}
+	}()
+
+	// Sends come from two goroutines (samples below, acks in the reader),
+	// and wire.Conn requires external write serialisation.
+	var sendMu sync.Mutex
+	send := func(e wire.Envelope) error {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		return conn.Send(e)
+	}
+
 	// Reader: apply commands as they arrive. Closing the conn is what
 	// unblocks a reader parked in Recv, so the join below must close
 	// first, then wait.
@@ -212,9 +328,13 @@ func (a *Agent) Run(ctx context.Context) error {
 		<-readDone
 	}()
 
-	if err := conn.Send(wire.Envelope{
+	// Hello carries the node's current level: a reconnecting throttled
+	// agent must not look full-power to the manager until its first
+	// sample arrives.
+	if err := send(wire.Envelope{
 		Type: wire.KindHello, Node: int(a.cfg.NodeID),
 		MaxLevel: a.node.Levels() - 1,
+		Level:    a.Level(),
 	}); err != nil {
 		close(readDone)
 		return err
@@ -228,10 +348,20 @@ func (a *Agent) Run(ctx context.Context) error {
 				readErr <- err
 				return
 			}
+			// Any manager traffic (command, ping) re-arms the dead-man
+			// switch.
+			a.touchContact()
 			if env.Type != wire.KindCommand {
 				continue
 			}
 			_ = a.apply(env.Level)
+			// Ack with the level actually in force: on an invalid
+			// command the manager learns the real level instead of
+			// assuming the command took.
+			_ = send(wire.Envelope{
+				Type: wire.KindAck, Node: int(a.cfg.NodeID),
+				Seq: env.Seq, Level: a.Level(),
+			})
 		}
 	}()
 
@@ -251,9 +381,13 @@ func (a *Agent) Run(ctx context.Context) error {
 			a.step()
 			clock := a.clock
 			a.mu.Unlock()
+			// A connected-but-silent manager (e.g. wedged control loop,
+			// asymmetric partition on the command path) must trip the
+			// switch too, not just a broken connection.
+			a.failsafeCheck()
 			if clock >= nextSample {
 				nextSample += a.cfg.SampleEvery
-				if err := conn.Send(wire.SampleEnvelope(a.sample())); err != nil {
+				if err := send(wire.SampleEnvelope(a.sample())); err != nil {
 					return err
 				}
 			}

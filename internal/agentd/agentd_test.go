@@ -114,6 +114,207 @@ func TestAgentProtocol(t *testing.T) {
 	t.Fatalf("command not applied: level=%d applied=%d", a.Level(), a.CommandsApplied())
 }
 
+// TestCommandAckAndHelloLevel: a command must be acknowledged with its
+// sequence number and the applied level, and a reconnect's hello must
+// carry the throttled level rather than implying full power.
+func TestCommandAckAndHelloLevel(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type round struct {
+		hello wire.Envelope
+		ack   wire.Envelope
+	}
+	rounds := make(chan round, 2)
+	go func() {
+		for {
+			raw, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c := wire.NewConn(raw)
+			var r round
+			r.hello, _ = c.Recv()
+			// Throttle to level 4 with a distinctive sequence number,
+			// then wait for the ack (skipping samples).
+			_ = c.Send(wire.Envelope{Type: wire.KindCommand, Level: 4, Seq: 99})
+			for {
+				env, err := c.Recv()
+				if err != nil {
+					return
+				}
+				if env.Type == wire.KindAck {
+					r.ack = env
+					break
+				}
+			}
+			rounds <- r
+			c.Close() // slam shut: force the agent to redial
+		}
+	}()
+
+	a, err := New(Config{
+		NodeID: 5, ManagerAddr: ln.Addr().String(),
+		SampleEvery: 20 * time.Millisecond, TickEvery: 5 * time.Millisecond,
+		Model: power.TianheNode(), Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go a.RunWithReconnect(ctx, 10*time.Millisecond, 50*time.Millisecond)
+
+	get := func() round {
+		select {
+		case r := <-rounds:
+			return r
+		case <-time.After(10 * time.Second):
+			t.Fatal("no round completed")
+			return round{}
+		}
+	}
+	first := get()
+	if first.hello.Level != 9 {
+		t.Errorf("first hello level = %d, want full power 9", first.hello.Level)
+	}
+	if first.ack.Seq != 99 || first.ack.Level != 4 || first.ack.Node != 5 {
+		t.Errorf("ack = %+v, want seq 99 level 4 node 5", first.ack)
+	}
+	second := get()
+	// The reconnect hello must report the throttled level.
+	if second.hello.Level != 4 {
+		t.Errorf("reconnect hello level = %d, want 4", second.hello.Level)
+	}
+}
+
+// TestDeadManSwitchTripsWhileDisconnected: with no manager listening, the
+// dead-man switch must self-degrade the node to the failsafe floor within
+// the grace window, and report the trip.
+func TestDeadManSwitchTripsWhileDisconnected(t *testing.T) {
+	a, err := New(Config{
+		NodeID: 1, ManagerAddr: "127.0.0.1:1",
+		SampleEvery: 20 * time.Millisecond, TickEvery: 5 * time.Millisecond,
+		Model: power.TianheNode(), Seed: 1,
+		FailsafeAfter: 3, FailsafeLevel: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		a.RunWithReconnect(ctx, 10*time.Millisecond, 50*time.Millisecond)
+		close(done)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if a.Tripped() && a.Level() == 0 && a.FailsafeTrips() == 1 {
+			cancel()
+			<-done
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("dead-man switch never tripped: level=%d tripped=%v trips=%d",
+		a.Level(), a.Tripped(), a.FailsafeTrips())
+}
+
+// TestDeadManSwitchSilentManagerAndRecovery: a connected manager that
+// never sends anything must trip the switch; a ping re-arms it without
+// moving the level (reconciliation is the manager's job).
+func TestDeadManSwitchSilentManagerAndRecovery(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	connCh := make(chan *wire.Conn, 1)
+	go func() {
+		raw, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c := wire.NewConn(raw)
+		// Drain the agent's stream so writes never block, but stay silent.
+		go func() {
+			for {
+				if _, err := c.Recv(); err != nil {
+					return
+				}
+			}
+		}()
+		connCh <- c
+	}()
+
+	a, err := New(Config{
+		NodeID: 2, ManagerAddr: ln.Addr().String(),
+		SampleEvery: 20 * time.Millisecond, TickEvery: 5 * time.Millisecond,
+		Model: power.TianheNode(), Seed: 4,
+		FailsafeAfter: 3, FailsafeLevel: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go a.RunWithReconnect(ctx, 10*time.Millisecond, 50*time.Millisecond)
+
+	var mconn *wire.Conn
+	select {
+	case mconn = <-connCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("agent never connected")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if a.Tripped() {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !a.Tripped() || a.Level() != 1 {
+		t.Fatalf("silent manager did not trip switch: level=%d tripped=%v", a.Level(), a.Tripped())
+	}
+
+	// A heartbeat re-arms the switch; the level stays at the floor until
+	// the manager reconciles with an explicit command.
+	if err := mconn.Send(wire.Envelope{Type: wire.KindPing}); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if !a.Tripped() {
+			if got := a.Level(); got != 1 {
+				t.Errorf("ping moved the level to %d; reconciliation is the manager's job", got)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("ping never re-armed the dead-man switch")
+}
+
+func TestFailsafeConfigValidation(t *testing.T) {
+	bad := Config{
+		NodeID: 1, SampleEvery: time.Second, TickEvery: time.Millisecond,
+		Model: power.TianheNode(), FailsafeAfter: 2, FailsafeLevel: 99,
+	}
+	if _, err := New(bad); err == nil {
+		t.Error("out-of-range failsafe level accepted")
+	}
+	bad.FailsafeLevel = -1
+	if _, err := New(bad); err == nil {
+		t.Error("negative failsafe level accepted")
+	}
+}
+
 func TestSyntheticLoadVaries(t *testing.T) {
 	a, err := New(Config{
 		NodeID: 1, SampleEvery: 100 * time.Millisecond, TickEvery: 10 * time.Millisecond,

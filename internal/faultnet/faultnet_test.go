@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -349,6 +350,41 @@ func TestDialAfterCloseFails(t *testing.T) {
 		t.Error("dial on closed network succeeded")
 	}
 	n.Close() // idempotent
+}
+
+// TestListenerCloseKeepsNetworkAlive is the manager-restart contract:
+// closing one listener stops its Accept with net.ErrClosed but leaves the
+// network dialable, and a dial parked while no listener was accepting is
+// delivered to the next listener — so agents that redialled during a
+// manager crash are picked up by the restarted manager.
+func TestListenerCloseKeepsNetworkAlive(t *testing.T) {
+	n := New(53)
+	defer n.Close()
+
+	ln1 := n.Listener()
+	errCh := make(chan error, 1)
+	go func() { _, err := ln1.Accept(); errCh <- err }()
+	ln1.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("closed listener Accept err = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Accept did not return after listener close")
+	}
+
+	// Dial with the manager "down": the connection parks in the accept
+	// queue.
+	c := dial(t, n, 9)
+	go fmt.Fprint(c, "hello-from-downtime\n")
+
+	// The "restarted manager" opens a fresh listener and receives it.
+	lines := startEcho(t, n.Listener())
+	got := collect(lines, 2*time.Second)
+	if len(got) != 1 || got[0] != "hello-from-downtime" {
+		t.Errorf("restarted listener got %v", got)
+	}
 }
 
 func TestDialCancelledContext(t *testing.T) {

@@ -211,7 +211,12 @@ func (n *Network) Stats() Stats {
 }
 
 // Listener exposes the accepted side of the network as a net.Listener.
-func (n *Network) Listener() net.Listener { return &listener{n: n} }
+// Each call returns an independent listener: closing one stops its Accept
+// without tearing the network down, so a crashed-and-restarted manager can
+// open a fresh listener over the same network while agents keep redialling.
+func (n *Network) Listener() net.Listener {
+	return &listener{n: n, done: make(chan struct{})}
+}
 
 // Close shuts the network down: pending and future Dials fail and the
 // listener's Accept returns an error.
@@ -231,21 +236,31 @@ func (n *Network) Close() {
 	}
 }
 
-type listener struct{ n *Network }
+type listener struct {
+	n    *Network
+	done chan struct{}
+	once sync.Once
+}
 
-// Accept returns the server side of the next dialled connection.
+// Accept returns the server side of the next dialled connection. It
+// returns net.ErrClosed once the listener or the network is closed, so
+// accept loops can distinguish shutdown from transient faults.
 func (l *listener) Accept() (net.Conn, error) {
 	select {
 	case c := <-l.n.accept:
 		return c, nil
 	case <-l.n.done:
-		return nil, fmt.Errorf("faultnet: listener closed")
+		return nil, net.ErrClosed
+	case <-l.done:
+		return nil, net.ErrClosed
 	}
 }
 
-// Close closes the network.
+// Close closes this listener only; the network, its live links and any
+// other listeners stay up. Dials made while no listener is accepting park
+// in the accept queue until a new listener drains them.
 func (l *listener) Close() error {
-	l.n.Close()
+	l.once.Do(func() { close(l.done) })
 	return nil
 }
 

@@ -73,6 +73,53 @@ type Options struct {
 	// (defaults 10ms/80ms, so kills heal within a few control cycles).
 	InitialBackoff time.Duration
 	MaxBackoff     time.Duration
+
+	// FailsafeAfter/FailsafeLevel arm every agent's dead-man switch (see
+	// agentd.Config); zero FailsafeAfter leaves it off.
+	FailsafeAfter int
+	FailsafeLevel int
+
+	// JournalPath/JournalEvery enable the manager's crash-recovery journal
+	// (see managerd.Config); empty JournalPath leaves it off.
+	JournalPath  string
+	JournalEvery int
+
+	// LostAfter, FlapWindow, FlapLimit, Quarantine and HeartbeatEvery pass
+	// through to the manager's health state machine and heartbeat loop.
+	LostAfter      time.Duration
+	FlapWindow     time.Duration
+	FlapLimit      int
+	Quarantine     time.Duration
+	HeartbeatEvery int
+
+	// Learn enables manager-side threshold learning.
+	Learn *managerd.LearnConfig
+}
+
+// serverConfig assembles the managerd.Config this cluster's options
+// describe, over the given listener. StartManager reuses it so a restarted
+// manager comes up with the same parameters (modulo any Opt mutation the
+// test made in between, e.g. lengthening the training window to prove a
+// journal restore skipped it).
+func (o Options) serverConfig(ln net.Listener) managerd.Config {
+	return managerd.Config{
+		Listener:       ln,
+		Model:          power.TianheNode(),
+		Policy:         o.Policy,
+		Tg:             o.Tg,
+		ControlEvery:   o.ControlEvery,
+		Thresholds:     o.Thresholds,
+		StaleAfter:     o.StaleAfter,
+		CommandTimeout: o.CommandTimeout,
+		LostAfter:      o.LostAfter,
+		FlapWindow:     o.FlapWindow,
+		FlapLimit:      o.FlapLimit,
+		Quarantine:     o.Quarantine,
+		HeartbeatEvery: o.HeartbeatEvery,
+		JournalPath:    o.JournalPath,
+		JournalEvery:   o.JournalEvery,
+		Learn:          o.Learn,
+	}
 }
 
 func (o *Options) fill() {
@@ -133,16 +180,7 @@ func Start(t testing.TB, opt Options) *Cluster {
 	n := faultnet.New(opt.Seed)
 	n.SetDefaultProfiles(opt.AgentProfile, opt.ManagerProfile)
 
-	srv, err := managerd.New(managerd.Config{
-		Listener:       n.Listener(),
-		Model:          power.TianheNode(),
-		Policy:         opt.Policy,
-		Tg:             opt.Tg,
-		ControlEvery:   opt.ControlEvery,
-		Thresholds:     opt.Thresholds,
-		StaleAfter:     opt.StaleAfter,
-		CommandTimeout: opt.CommandTimeout,
-	})
+	srv, err := managerd.New(opt.serverConfig(n.Listener()))
 	if err != nil {
 		t.Fatalf("harness: managerd.New: %v", err)
 	}
@@ -155,11 +193,13 @@ func Start(t testing.TB, opt Options) *Cluster {
 	for i := 0; i < opt.Agents; i++ {
 		key := uint64(i)
 		a, err := agentd.New(agentd.Config{
-			NodeID:      node.ID(i),
-			SampleEvery: opt.SampleEvery,
-			TickEvery:   opt.TickEvery,
-			Model:       power.TianheNode(),
-			Seed:        opt.Seed + int64(i) + 1,
+			NodeID:        node.ID(i),
+			SampleEvery:   opt.SampleEvery,
+			TickEvery:     opt.TickEvery,
+			Model:         power.TianheNode(),
+			Seed:          opt.Seed + int64(i) + 1,
+			FailsafeAfter: opt.FailsafeAfter,
+			FailsafeLevel: opt.FailsafeLevel,
 			Dial: func(ctx context.Context) (net.Conn, error) {
 				return n.Dial(ctx, key)
 			},
@@ -191,6 +231,28 @@ func (c *Cluster) Stop() {
 		c.Server.Stop()
 		c.Net.Close()
 	})
+}
+
+// StopManager kills only the manager daemon — the control-plane half of a
+// manager-crash chaos scenario. The agents keep running against the dead
+// control plane: their redials park in the fault network's accept queue
+// and, if armed, their dead-man switches trip. Pair with StartManager.
+func (c *Cluster) StopManager() { c.Server.Stop() }
+
+// StartManager boots a fresh manager instance on a new listener over the
+// same fault network, completing a crash-restart. Parked agent redials are
+// accepted immediately. Options mutated between StopManager and
+// StartManager (e.g. the learner's training window) take effect here.
+func (c *Cluster) StartManager() {
+	c.t.Helper()
+	srv, err := managerd.New(c.Opt.serverConfig(c.Net.Listener()))
+	if err != nil {
+		c.t.Fatalf("harness: managerd.New (restart): %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		c.t.Fatalf("harness: managerd.Start (restart): %v", err)
+	}
+	c.Server = srv
 }
 
 // Status returns the manager's counters.

@@ -89,6 +89,14 @@ func (m *Manager) Stats() Stats { return m.stats }
 // Degraded returns the current size of A_degraded.
 func (m *Manager) Degraded() int { return len(m.degraded) }
 
+// Adopt inserts a node into A_degraded without issuing a command. The
+// reconciliation layer uses it for nodes found below their top level with
+// no command on record — a journal-recovered restart, or an agent whose
+// dead-man switch self-degraded it during a manager outage — so the
+// steady-green restore path lifts them back instead of orphaning them at
+// a low level forever.
+func (m *Manager) Adopt(id node.ID) { m.degraded[id] = true }
+
 // Policy returns the configured selection policy.
 func (m *Manager) Policy() policy.Policy { return m.cfg.Policy }
 

@@ -1,0 +1,138 @@
+package managerd
+
+import (
+	"time"
+
+	"repro/internal/node"
+)
+
+// Node health state machine. The manager classifies every node it has
+// ever seen (or recovered from the journal) into one of four states each
+// control cycle:
+//
+//	healthy     fresh sample within StaleAfter
+//	stale       connected, but the newest sample is older than StaleAfter
+//	lost        disconnected, or silent beyond LostAfter
+//	quarantined reconnect-flapping: ≥ FlapLimit connects within FlapWindow
+//
+// Quarantined nodes are excluded from the candidate set — the §II.A
+// controllability assumption treats them as A_uncontrollable: their power
+// still counts toward the system estimate, but the manager stops sending
+// them commands a flapping link would lose anyway. Quarantine carries
+// hysteresis: it lasts at least Quarantine, and is extended while the
+// connect rate stays above the flap limit, so a link that keeps bouncing
+// cannot oscillate in and out of the candidate set.
+type healthState int
+
+const (
+	healthHealthy healthState = iota
+	healthStale
+	healthLost
+	healthQuarantined
+)
+
+func (s healthState) String() string {
+	switch s {
+	case healthHealthy:
+		return "healthy"
+	case healthStale:
+		return "stale"
+	case healthLost:
+		return "lost"
+	case healthQuarantined:
+		return "quarantined"
+	default:
+		return "unknown"
+	}
+}
+
+// healthRec is one node's health record. It outlives the node's
+// connection: a disconnected node stays in the table as lost, and its
+// reconnect history survives redials — that is what makes flap detection
+// possible. All access is under Server.mu.
+type healthRec struct {
+	state         healthState
+	connects      []time.Time // connect times within the flap window
+	quarantinedAt time.Time
+}
+
+// pruneConnects drops connect records older than the flap window.
+func (h *healthRec) pruneConnects(now time.Time, window time.Duration) {
+	cut := now.Add(-window)
+	i := 0
+	for i < len(h.connects) && h.connects[i].Before(cut) {
+		i++
+	}
+	h.connects = h.connects[i:]
+}
+
+// noteConnect records a (re)connect for id and quarantines the node when
+// the connect rate crosses the flap limit. Caller holds s.mu.
+func (s *Server) noteConnect(id node.ID, now time.Time) {
+	rec := s.health[id]
+	if rec == nil {
+		rec = &healthRec{state: healthHealthy}
+		s.health[id] = rec
+	}
+	rec.connects = append(rec.connects, now)
+	rec.pruneConnects(now, s.cfg.FlapWindow)
+	if s.cfg.FlapLimit > 0 && len(rec.connects) >= s.cfg.FlapLimit && rec.state != healthQuarantined {
+		rec.state = healthQuarantined
+		rec.quarantinedAt = now
+		s.quarantines++
+	}
+}
+
+// updateHealth re-evaluates every known node's state. Caller holds s.mu.
+func (s *Server) updateHealth(now time.Time) {
+	for id, rec := range s.health {
+		if rec.state == healthQuarantined {
+			if now.Sub(rec.quarantinedAt) < s.cfg.Quarantine {
+				continue
+			}
+			rec.pruneConnects(now, s.cfg.FlapWindow)
+			if s.cfg.FlapLimit > 0 && len(rec.connects) >= s.cfg.FlapLimit {
+				// Still flapping: extend the quarantine (hysteresis).
+				rec.quarantinedAt = now
+				continue
+			}
+			// Quarantine served and the link has settled; fall through to
+			// the freshness-based classification.
+		}
+		ac, connected := s.agents[id]
+		switch {
+		case !connected:
+			rec.state = healthLost
+		case now.Sub(ac.lastAt) > s.cfg.LostAfter:
+			rec.state = healthLost
+		case now.Sub(ac.lastAt) > s.cfg.StaleAfter:
+			rec.state = healthStale
+		default:
+			rec.state = healthHealthy
+		}
+	}
+}
+
+// quarantined reports whether id is currently quarantined. Caller holds
+// s.mu.
+func (s *Server) quarantined(id node.ID) bool {
+	rec, ok := s.health[id]
+	return ok && rec.state == healthQuarantined
+}
+
+// healthCounts tallies nodes per state. Caller holds s.mu.
+func (s *Server) healthCounts() (healthy, stale, lost, quarantined int) {
+	for _, rec := range s.health {
+		switch rec.state {
+		case healthHealthy:
+			healthy++
+		case healthStale:
+			stale++
+		case healthLost:
+			lost++
+		case healthQuarantined:
+			quarantined++
+		}
+	}
+	return
+}

@@ -1,0 +1,88 @@
+package managerd
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/power"
+)
+
+// Crash-recovery journal. Every JournalEvery control cycles (and once on
+// clean shutdown) the manager snapshots the state a restart cannot
+// re-derive from the fleet — the learner's lifetime peak and trained
+// flag, the thresholds in force, and the last level it commanded each
+// node to — into a JSON file replaced by atomic rename. A restarted
+// manager reloads it, resumes capping immediately without a fresh
+// training window, and reconciles agent-reported levels against the
+// journaled commands instead of guessing.
+//
+// The journal is advisory, never load-bearing for safety: a missing,
+// truncated or corrupted file falls back to a cold start (the agents'
+// dead-man switches keep the cap holding in the meantime), and a
+// snapshot that fails validation is rejected wholesale rather than
+// partially applied.
+
+// journalLevel records the last commanded level for one node.
+type journalLevel struct {
+	Node  int `json:"node"`
+	Level int `json:"level"`
+}
+
+// journalState is the on-disk schema.
+type journalState struct {
+	SavedAtCycle int                 `json:"saved_at_cycle"`
+	ThrPLW       float64             `json:"pl_w"`
+	ThrPHW       float64             `json:"ph_w"`
+	Learner      *power.LearnerState `json:"learner,omitempty"`
+	Levels       []journalLevel      `json:"levels"`
+}
+
+// saveJournal writes the snapshot atomically: marshal, write a sibling
+// temp file, rename over the target. A crash mid-write leaves the
+// previous journal intact.
+func saveJournal(path string, js journalState) error {
+	sort.Slice(js.Levels, func(a, b int) bool { return js.Levels[a].Node < js.Levels[b].Node })
+	b, err := json.MarshalIndent(js, "", "  ")
+	if err != nil {
+		return fmt.Errorf("managerd: journal marshal: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("managerd: journal write: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("managerd: journal rename: %w", err)
+	}
+	return nil
+}
+
+// loadJournal reads and validates a snapshot. Any defect — unreadable
+// file, bad JSON, negative cycle or level, absurd node id — rejects the
+// whole journal so the caller cold-starts cleanly.
+func loadJournal(path string) (*journalState, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var js journalState
+	if err := json.Unmarshal(b, &js); err != nil {
+		return nil, fmt.Errorf("managerd: journal decode: %w", err)
+	}
+	if js.SavedAtCycle < 0 {
+		return nil, fmt.Errorf("managerd: journal: negative cycle %d", js.SavedAtCycle)
+	}
+	seen := make(map[int]bool, len(js.Levels))
+	for _, l := range js.Levels {
+		if l.Level < 0 || l.Node < 0 {
+			return nil, fmt.Errorf("managerd: journal: invalid level entry %+v", l)
+		}
+		if seen[l.Node] {
+			return nil, fmt.Errorf("managerd: journal: duplicate node %d", l.Node)
+		}
+		seen[l.Node] = true
+	}
+	return &js, nil
+}

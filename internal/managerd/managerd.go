@@ -7,6 +7,16 @@
 // The daemon accounts its own busy time per cycle; Figure 5's management
 // cost curve is this measured collect+estimate+select time as a fraction
 // of the control period, at increasing candidate set sizes.
+//
+// On top of the control loop sits a fail-safe layer for control-plane
+// faults: commands carry sequence numbers and are retried until the agent
+// acknowledges them; agent-reported levels are reconciled against the
+// last acknowledged command; node health is classified each cycle
+// (healthy/stale/lost/quarantined, see health.go) with reconnect-flapping
+// nodes quarantined out of the candidate set; periodic heartbeats let
+// agents' dead-man switches distinguish a live-but-green manager from a
+// dead one; and a crash-recovery journal (journal.go) lets a restarted
+// manager resume capping without a fresh training window.
 package managerd
 
 import (
@@ -50,9 +60,35 @@ type Config struct {
 	// Thresholds are the administrator-set operating thresholds, used as
 	// long as Learn is nil.
 	Thresholds power.Thresholds
-	// StaleAfter drops samples older than this from the cycle's view;
-	// zero defaults to 3 control periods.
+	// StaleAfter marks samples older than this stale (dropped from the
+	// cycle's view); zero defaults to 3 control periods.
 	StaleAfter time.Duration
+	// LostAfter marks a node lost when its newest sample is older than
+	// this (a disconnected node is lost immediately). Zero defaults to
+	// 3×StaleAfter; values below StaleAfter are clamped up to it.
+	LostAfter time.Duration
+	// FlapWindow and FlapLimit drive quarantine: FlapLimit or more
+	// (re)connects within FlapWindow quarantines the node. Zero FlapWindow
+	// defaults to 15s; zero FlapLimit defaults to 6; negative FlapLimit
+	// disables quarantine.
+	FlapWindow time.Duration
+	FlapLimit  int
+	// Quarantine is the minimum time a quarantined node stays excluded
+	// from the candidate set; zero defaults to 30s.
+	Quarantine time.Duration
+	// HeartbeatEvery sends a ping to every agent each this many control
+	// cycles, so agent dead-man switches see manager liveness even through
+	// long green stretches with no commands. Zero defaults to 1; negative
+	// disables heartbeats.
+	HeartbeatEvery int
+	// JournalPath, when non-empty, enables the crash-recovery journal:
+	// learner state and last-commanded levels are snapshotted there every
+	// JournalEvery cycles (and on clean Stop), and reloaded by New.
+	JournalPath string
+	// JournalEvery is the journal snapshot period in control cycles; zero
+	// defaults to the learner's adjustment period (or 60 without a
+	// learner).
+	JournalEvery int
 	// Learn, when non-nil, enables §III.A threshold learning: the daemon
 	// starts from Thresholds, observes the fleet's peak for Training of
 	// wall time, then re-derives the thresholds from the lifetime peak
@@ -81,6 +117,20 @@ type agentConn struct {
 	seen   bool
 }
 
+// cmdState tracks the lifecycle of the newest command issued to one node.
+// A command stays in flight (acked=false) until the agent echoes its
+// sequence number; unacked commands are retried each cycle, and an acked
+// level that later disagrees with the agent's reported level triggers
+// reconciliation under a fresh sequence number. All access under
+// Server.mu.
+type cmdState struct {
+	level     int
+	seq       uint64
+	sentCycle int
+	acked     bool
+	retries   int
+}
+
 // Server is a running manager daemon.
 type Server struct {
 	cfg Config
@@ -88,6 +138,8 @@ type Server struct {
 
 	mu      sync.Mutex
 	agents  map[node.ID]*agentConn
+	cmds    map[node.ID]*cmdState
+	health  map[node.ID]*healthRec
 	builder *manager.Builder
 
 	// mgrMu guards mgr (the control loop cycles it while Status reads
@@ -96,20 +148,33 @@ type Server struct {
 	mgrMu sync.Mutex
 	mgr   *manager.Manager
 
-	busy    time.Duration
-	lastP   units.Watts
-	thr     power.Thresholds
-	learner *power.Learner
-	started time.Time
-	stale   int
-	cmdErrs int
+	busy          time.Duration
+	lastP         units.Watts
+	thr           power.Thresholds
+	learner       *power.Learner // touched only by the control-loop goroutine (and New/Stop)
+	trained       bool           // cached learner.Trained() for Status, under mu
+	peakW         float64        // cached lifetime peak for Status, under mu
+	started       time.Time
+	cycleN        int
+	seq           uint64
+	stale         int
+	cmdErrs       int
+	cmdAcks       int
+	cmdRetries    int
+	reconciles    int
+	quarantines   int
+	journalWrites int
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	wg       sync.WaitGroup
 }
 
-// New validates the configuration and creates an unstarted server.
+// New validates the configuration and creates an unstarted server. When
+// JournalPath names a readable journal, the learner state and
+// last-commanded levels are restored from it — the daemon resumes capping
+// without a fresh training window and reconciles reconnecting agents
+// against the journaled levels.
 func New(cfg Config) (*Server, error) {
 	if cfg.ControlEvery <= 0 {
 		return nil, fmt.Errorf("managerd: need positive control period")
@@ -123,6 +188,24 @@ func New(cfg Config) (*Server, error) {
 	if cfg.StaleAfter <= 0 {
 		cfg.StaleAfter = 3 * cfg.ControlEvery
 	}
+	if cfg.LostAfter <= 0 {
+		cfg.LostAfter = 3 * cfg.StaleAfter
+	}
+	if cfg.LostAfter < cfg.StaleAfter {
+		cfg.LostAfter = cfg.StaleAfter
+	}
+	if cfg.FlapWindow <= 0 {
+		cfg.FlapWindow = 15 * time.Second
+	}
+	if cfg.FlapLimit == 0 {
+		cfg.FlapLimit = 6
+	}
+	if cfg.Quarantine <= 0 {
+		cfg.Quarantine = 30 * time.Second
+	}
+	if cfg.HeartbeatEvery == 0 {
+		cfg.HeartbeatEvery = 1
+	}
 	if cfg.CommandTimeout <= 0 {
 		cfg.CommandTimeout = cfg.ControlEvery
 	}
@@ -133,26 +216,62 @@ func New(cfg Config) (*Server, error) {
 	srv := &Server{
 		cfg:     cfg,
 		agents:  make(map[node.ID]*agentConn),
+		cmds:    make(map[node.ID]*cmdState),
+		health:  make(map[node.ID]*healthRec),
 		builder: manager.NewBuilder(cfg.Model),
 		mgr:     mgr,
 		thr:     cfg.Thresholds,
+		trained: true, // fixed thresholds cap from the first cycle
 		stopCh:  make(chan struct{}),
 	}
+	adj := 60
 	if cfg.Learn != nil {
-		adj := cfg.Learn.AdjustEvery
-		if adj <= 0 {
-			adj = 60
+		if cfg.Learn.AdjustEvery > 0 {
+			adj = cfg.Learn.AdjustEvery
 		}
 		learner, err := power.NewLearner(cfg.Learn.PMax, cfg.Learn.Training, adj)
 		if err != nil {
 			return nil, err
 		}
 		srv.learner = learner
+		srv.trained = learner.Trained()
+	}
+	if srv.cfg.JournalEvery <= 0 {
+		srv.cfg.JournalEvery = adj
+	}
+	if srv.cfg.JournalPath != "" {
+		// The journal is advisory: any load or validation error (missing
+		// file included) just means a cold start.
+		if js, err := loadJournal(srv.cfg.JournalPath); err == nil {
+			srv.restoreFromJournal(js)
+		}
 	}
 	return srv, nil
 }
 
-// Start binds the listener and launches the accept loop and control loop.
+// restoreFromJournal applies a validated journal snapshot to a freshly
+// constructed server (no locking needed; nothing is running yet).
+func (s *Server) restoreFromJournal(js *journalState) {
+	if s.learner != nil && js.Learner != nil {
+		if err := s.learner.Restore(*js.Learner); err == nil {
+			s.thr = s.learner.Thresholds()
+			s.trained = s.learner.Trained()
+			s.peakW = js.Learner.LifetimePeakW
+		}
+	}
+	s.cycleN = js.SavedAtCycle
+	for _, l := range js.Levels {
+		id := node.ID(l.Node)
+		// Journaled commands count as acked at sentCycle zero: as soon as
+		// the node reconnects and reports a different level, the
+		// reconciliation path reissues the journaled one.
+		s.cmds[id] = &cmdState{level: l.Level, acked: true}
+		s.health[id] = &healthRec{state: healthLost}
+	}
+}
+
+// Start binds the listener and launches the accept, control and heartbeat
+// loops.
 func (s *Server) Start() error {
 	if s.cfg.Listener != nil {
 		s.ln = s.cfg.Listener
@@ -167,6 +286,10 @@ func (s *Server) Start() error {
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.controlLoop()
+	if s.cfg.HeartbeatEvery > 0 {
+		s.wg.Add(1)
+		go s.heartbeatLoop()
+	}
 	return nil
 }
 
@@ -178,7 +301,9 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Stop shuts the daemon down and waits for its goroutines.
+// Stop shuts the daemon down, waits for its goroutines, and writes a
+// final journal snapshot so a clean restart resumes exactly where this
+// instance left off.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() {
 		close(s.stopCh)
@@ -192,10 +317,23 @@ func (s *Server) Stop() {
 		s.mu.Unlock()
 	})
 	s.wg.Wait()
+	if s.cfg.JournalPath != "" {
+		s.writeJournal()
+	}
 }
 
+// acceptLoop accepts agent and status connections until the server stops.
+// Transient Accept failures (accept queue hiccups, temporary resource
+// exhaustion, injected timeouts) are retried under capped exponential
+// backoff rather than busy-spinning or killing the daemon; only a stop or
+// the listener actually closing ends the loop.
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	const (
+		backoffMin = 5 * time.Millisecond
+		backoffMax = 500 * time.Millisecond
+	)
+	backoff := backoffMin
 	for {
 		raw, err := s.ln.Accept()
 		if err != nil {
@@ -204,20 +342,28 @@ func (s *Server) acceptLoop() {
 				return
 			default:
 			}
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() {
-				continue
+			if errors.Is(err, net.ErrClosed) {
+				return
 			}
-			return
+			select {
+			case <-s.stopCh:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > backoffMax {
+				backoff = backoffMax
+			}
+			continue
 		}
+		backoff = backoffMin
 		s.wg.Add(1)
 		go s.serveConn(wire.NewConn(raw))
 	}
 }
 
 // serveConn handles one inbound connection: agents send hello then a
-// stream of samples; control clients send a status request and get one
-// reply.
+// stream of samples and command acks; control clients send a status
+// request and get one reply.
 func (s *Server) serveConn(conn *wire.Conn) {
 	defer s.wg.Done()
 	first, err := conn.Recv()
@@ -240,11 +386,26 @@ func (s *Server) serveConn(conn *wire.Conn) {
 
 	id := node.ID(first.Node)
 	ac := &agentConn{conn: conn, maxLevel: first.MaxLevel}
+	// Seed the record from the hello's self-reported level: a manager
+	// coming back from a crash learns every node's actual level before
+	// the first sample arrives, so reconciliation can start immediately.
+	lvl := first.Level
+	if lvl < 0 {
+		lvl = 0
+	}
+	if lvl > ac.maxLevel {
+		lvl = ac.maxLevel
+	}
+	now := time.Now()
+	ac.last = manager.AgentReading{ID: id, Level: lvl, MaxLevel: ac.maxLevel}
+	ac.lastAt = now
+	ac.seen = true
 	s.mu.Lock()
 	if old, ok := s.agents[id]; ok {
 		old.conn.Close()
 	}
 	s.agents[id] = ac
+	s.noteConnect(id, now)
 	s.mu.Unlock()
 
 	for {
@@ -261,7 +422,16 @@ func (s *Server) serveConn(conn *wire.Conn) {
 			ac.last, ac.lastAt, ac.seen = r, time.Now(), true
 			s.mu.Unlock()
 		case wire.KindAck:
-			// informational
+			s.mu.Lock()
+			if cs := s.cmds[id]; cs != nil && env.Seq != 0 && cs.seq == env.Seq {
+				if !cs.acked {
+					s.cmdAcks++
+				}
+				cs.acked = true
+				cs.level = env.Level
+				ac.last.Level = env.Level
+			}
+			s.mu.Unlock()
 		}
 	}
 	s.mu.Lock()
@@ -275,30 +445,50 @@ func (s *Server) serveConn(conn *wire.Conn) {
 // actuator routes manager commands to agent connections.
 type actuator struct{ s *Server }
 
-// SetNodeLevel implements manager.Actuator. Each send carries a write
-// deadline: one agent that has stopped draining its socket (slow reader,
-// full TCP buffer) must cost the control cycle at most CommandTimeout,
-// not stall it indefinitely. A timed-out connection is closed — its write
-// stream is mid-message and unrecoverable — so the agent redials.
+// SetNodeLevel implements manager.Actuator: assign a sequence number,
+// record the command in flight, and send it. Unacked commands are retried
+// by maintainCommands on subsequent cycles.
 func (a actuator) SetNodeLevel(id node.ID, level int) error {
-	a.s.mu.Lock()
-	ac, ok := a.s.agents[id]
-	a.s.mu.Unlock()
+	s := a.s
+	s.mu.Lock()
+	if _, ok := s.agents[id]; !ok {
+		s.cmdErrs++
+		s.mu.Unlock()
+		return fmt.Errorf("managerd: no agent for node %d", id)
+	}
+	s.seq++
+	seq := s.seq
+	s.cmds[id] = &cmdState{level: level, seq: seq, sentCycle: s.cycleN}
+	s.mu.Unlock()
+	return s.sendCommand(id, level, seq)
+}
+
+// sendCommand writes one level command to a node's connection. Each send
+// carries a write deadline: one agent that has stopped draining its
+// socket (slow reader, full TCP buffer) must cost at most CommandTimeout,
+// not stall the caller indefinitely. A timed-out connection is closed —
+// its write stream is mid-message and unrecoverable — so the agent
+// redials; the in-flight command stays recorded and is retried once the
+// node is back.
+func (s *Server) sendCommand(id node.ID, level int, seq uint64) error {
+	s.mu.Lock()
+	ac, ok := s.agents[id]
+	s.mu.Unlock()
 	if !ok {
-		a.s.mu.Lock()
-		a.s.cmdErrs++
-		a.s.mu.Unlock()
+		s.mu.Lock()
+		s.cmdErrs++
+		s.mu.Unlock()
 		return fmt.Errorf("managerd: no agent for node %d", id)
 	}
 	ac.sendMu.Lock()
-	_ = ac.conn.SetWriteDeadline(time.Now().Add(a.s.cfg.CommandTimeout))
-	err := ac.conn.Send(wire.Envelope{Type: wire.KindCommand, Node: int(id), Level: level})
+	_ = ac.conn.SetWriteDeadline(time.Now().Add(s.cfg.CommandTimeout))
+	err := ac.conn.Send(wire.Envelope{Type: wire.KindCommand, Node: int(id), Level: level, Seq: seq})
 	_ = ac.conn.SetWriteDeadline(time.Time{})
 	ac.sendMu.Unlock()
 	if err != nil {
-		a.s.mu.Lock()
-		a.s.cmdErrs++
-		a.s.mu.Unlock()
+		s.mu.Lock()
+		s.cmdErrs++
+		s.mu.Unlock()
 		ac.conn.Close()
 	}
 	return err
@@ -318,25 +508,75 @@ func (s *Server) controlLoop() {
 	}
 }
 
+// heartbeatLoop pings every connected agent each HeartbeatEvery control
+// cycles. The pings carry no payload; their only job is to feed the
+// agents' dead-man switches so a node behind a live manager never
+// self-degrades just because the fleet has been green (no commands) for a
+// long stretch. Runs outside the control loop so a slow reader stalls
+// heartbeats, not capping.
+func (s *Server) heartbeatLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(time.Duration(s.cfg.HeartbeatEvery) * s.cfg.ControlEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-tick.C:
+			s.mu.Lock()
+			conns := make([]*agentConn, 0, len(s.agents))
+			for _, ac := range s.agents {
+				conns = append(conns, ac)
+			}
+			s.mu.Unlock()
+			for _, ac := range conns {
+				ac.sendMu.Lock()
+				_ = ac.conn.SetWriteDeadline(time.Now().Add(s.cfg.CommandTimeout))
+				err := ac.conn.Send(wire.Envelope{Type: wire.KindPing})
+				_ = ac.conn.SetWriteDeadline(time.Time{})
+				ac.sendMu.Unlock()
+				if err != nil {
+					s.mu.Lock()
+					s.cmdErrs++
+					s.mu.Unlock()
+					ac.conn.Close()
+				}
+			}
+		}
+	}
+}
+
 // cycle runs one control cycle: gather fresh readings, estimate system
 // power, classify, select and command. The daemon has no facility meter,
 // so system power is the sum of per-node estimates — the documented
 // substitution for deployments without a meter (the Observability
 // assumption allows estimation "to a sufficient accuracy").
+//
+// Quarantined nodes contribute to the power estimate but are excluded
+// from the policy snapshot: per §II.A they are treated as
+// A_uncontrollable — their consumption is real, but commands down a
+// flapping link are wasted.
 func (s *Server) cycle() {
 	t0 := time.Now()
 
 	s.mu.Lock()
+	s.cycleN++
+	cycleN := s.cycleN
+	s.updateHealth(t0)
 	readings := make([]manager.AgentReading, 0, len(s.agents))
-	for _, ac := range s.agents {
+	candidates := make([]manager.AgentReading, 0, len(s.agents))
+	for id, ac := range s.agents {
 		if !ac.seen {
 			continue
 		}
-		if time.Since(ac.lastAt) > s.cfg.StaleAfter {
+		if t0.Sub(ac.lastAt) > s.cfg.StaleAfter {
 			s.stale++
 			continue
 		}
 		readings = append(readings, ac.last)
+		if !s.quarantined(id) {
+			candidates = append(candidates, ac.last)
+		}
 	}
 	s.mu.Unlock()
 
@@ -352,12 +592,27 @@ func (s *Server) cycle() {
 	}
 	s.mu.Lock()
 	s.thr = thr
+	if s.learner != nil {
+		s.trained = capping
+		s.peakW = float64(s.learner.LifetimePeak())
+	} else if float64(p) > s.peakW {
+		s.peakW = float64(p)
+	}
 	s.mu.Unlock()
-	snap := s.builder.Build(p, thr.PL, readings)
+
+	// Command upkeep runs before Algorithm 1 so retries and reconciles
+	// reflect last cycle's state, not commands issued moments ago.
+	s.maintainCommands(cycleN)
+
+	snap := s.builder.Build(p, thr.PL, candidates)
 	if capping {
 		s.mgrMu.Lock()
 		_, _, _ = s.mgr.Cycle(p, thr, snap, actuator{s})
 		s.mgrMu.Unlock()
+	}
+
+	if s.cfg.JournalPath != "" && cycleN%s.cfg.JournalEvery == 0 {
+		s.writeJournal()
 	}
 
 	s.mu.Lock()
@@ -366,29 +621,145 @@ func (s *Server) cycle() {
 	s.mu.Unlock()
 }
 
+// maintainCommands is the per-cycle command lifecycle sweep:
+//
+//   - commands unacked since a previous cycle are retried under the same
+//     sequence number (the command is idempotent, the ack will match);
+//   - acked commands whose level disagrees with the node's reported level
+//     are reconciled — reissued at the commanded level under a fresh
+//     sequence number (with a two-cycle grace so an ack in flight is not
+//     mistaken for drift);
+//   - every node commanded below its top level is (re)adopted into
+//     A_degraded. For nodes this manager instance degraded itself that is
+//     a no-op; for nodes inherited from the journal or found self-degraded
+//     by their dead-man switch (including the no-drift case where the
+//     journaled and reported levels agree at the floor) it is what makes
+//     the steady-green restore path lift them instead of orphaning them.
+func (s *Server) maintainCommands(cycleN int) {
+	type resend struct {
+		id    node.ID
+		level int
+		seq   uint64
+	}
+	var resends []resend
+	var adopts []node.ID
+
+	s.mu.Lock()
+	for id, ac := range s.agents {
+		if !ac.seen || s.quarantined(id) {
+			continue
+		}
+		cs := s.cmds[id]
+		if cs == nil {
+			if ac.last.Level < ac.maxLevel {
+				s.cmds[id] = &cmdState{level: ac.last.Level, acked: true, sentCycle: cycleN}
+				adopts = append(adopts, id)
+			}
+			continue
+		}
+		switch {
+		case !cs.acked && cycleN > cs.sentCycle:
+			cs.retries++
+			cs.sentCycle = cycleN
+			s.cmdRetries++
+			resends = append(resends, resend{id, cs.level, cs.seq})
+		case cs.acked && ac.last.Level != cs.level && cycleN >= cs.sentCycle+2:
+			s.seq++
+			cs.seq = s.seq
+			cs.acked = false
+			cs.sentCycle = cycleN
+			s.reconciles++
+			resends = append(resends, resend{id, cs.level, cs.seq})
+		}
+		if cs.level < ac.maxLevel {
+			adopts = append(adopts, id)
+		}
+	}
+	s.mu.Unlock()
+
+	if len(adopts) > 0 {
+		s.mgrMu.Lock()
+		for _, id := range adopts {
+			s.mgr.Adopt(id)
+		}
+		s.mgrMu.Unlock()
+	}
+	for _, r := range resends {
+		_ = s.sendCommand(r.id, r.level, r.seq)
+	}
+}
+
+// writeJournal snapshots the recovery state to JournalPath. Called only
+// from the control-loop goroutine (or Stop, after the loops have exited),
+// which is what makes the lock-free learner access safe.
+func (s *Server) writeJournal() {
+	var js journalState
+	if s.learner != nil {
+		st := s.learner.State()
+		js.Learner = &st
+	}
+	s.mu.Lock()
+	js.SavedAtCycle = s.cycleN
+	js.ThrPLW = float64(s.thr.PL)
+	js.ThrPHW = float64(s.thr.PH)
+	js.Levels = make([]journalLevel, 0, len(s.cmds))
+	for id, cs := range s.cmds {
+		js.Levels = append(js.Levels, journalLevel{Node: int(id), Level: cs.level})
+	}
+	s.mu.Unlock()
+	if err := saveJournal(s.cfg.JournalPath, js); err == nil {
+		s.mu.Lock()
+		s.journalWrites++
+		s.mu.Unlock()
+	}
+}
+
 // Status reports the daemon's counters, including the measured management
-// cost (busy time over elapsed control time).
+// cost (busy time over elapsed control time) and the fail-safe layer's
+// health and command-lifecycle counters.
 func (s *Server) Status() wire.StatusReply {
 	s.mgrMu.Lock()
 	st := s.mgr.Stats()
 	s.mgrMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	drifted := 0
+	for id, ac := range s.agents {
+		if !ac.seen {
+			continue
+		}
+		if cs := s.cmds[id]; cs != nil && ac.last.Level != cs.level {
+			drifted++
+		}
+	}
+	healthy, staleN, lost, quar := s.healthCounts()
 	rep := wire.StatusReply{
-		Agents:        len(s.agents),
-		Cycles:        st.Cycles,
-		GreenCycles:   st.GreenCycles,
-		YellowCycles:  st.YellowCycles,
-		RedCycles:     st.RedCycles,
-		RedEntries:    st.RedEntries,
-		DegradeOps:    st.DegradeOps,
-		RestoreOps:    st.RestoreOps,
-		BusyMicros:    s.busy.Microseconds(),
-		LastPowerW:    float64(s.lastP),
-		ThresholdPLW:  float64(s.thr.PL),
-		ThresholdPHW:  float64(s.thr.PH),
-		DroppedStale:  s.stale,
-		CommandErrors: s.cmdErrs,
+		Agents:           len(s.agents),
+		Cycles:           st.Cycles,
+		GreenCycles:      st.GreenCycles,
+		YellowCycles:     st.YellowCycles,
+		RedCycles:        st.RedCycles,
+		RedEntries:       st.RedEntries,
+		DegradeOps:       st.DegradeOps,
+		RestoreOps:       st.RestoreOps,
+		BusyMicros:       s.busy.Microseconds(),
+		LastPowerW:       float64(s.lastP),
+		ThresholdPLW:     float64(s.thr.PL),
+		ThresholdPHW:     float64(s.thr.PH),
+		DroppedStale:     s.stale,
+		CommandErrors:    s.cmdErrs,
+		Trained:          s.trained,
+		LifetimePeakW:    s.peakW,
+		CommandAcks:      s.cmdAcks,
+		CommandRetries:   s.cmdRetries,
+		Reconciles:       s.reconciles,
+		Drifted:          drifted,
+		HealthyNodes:     healthy,
+		StaleNodes:       staleN,
+		LostNodes:        lost,
+		QuarantinedNodes: quar,
+		Quarantines:      s.quarantines,
+		JournalWrites:    s.journalWrites,
 	}
 	if st.Cycles > 0 {
 		rep.CPUUtilise = float64(s.busy) / float64(time.Duration(st.Cycles)*s.cfg.ControlEvery)

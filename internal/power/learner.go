@@ -109,6 +109,57 @@ func (l *Learner) adopt() {
 	}
 }
 
+// LearnerState is the serialisable snapshot of a Learner — everything a
+// restarted manager needs to resume capping without a fresh training
+// window: the lifetime peak, the trained flag, the position inside the
+// t_p adjustment cycle, and the thresholds currently in force. JSON tags
+// match the manager daemon's crash-recovery journal format.
+type LearnerState struct {
+	LifetimePeakW float64 `json:"lifetime_peak_w"`
+	Trained       bool    `json:"trained"`
+	AdjustCycles  int     `json:"adjust_cycles"` // cycles into the current t_p window
+	PLW           float64 `json:"pl_w"`
+	PHW           float64 `json:"ph_w"`
+}
+
+// State snapshots the learner for persistence.
+func (l *Learner) State() LearnerState {
+	return LearnerState{
+		LifetimePeakW: float64(l.lifetime),
+		Trained:       l.trained,
+		AdjustCycles:  l.cycles,
+		PLW:           float64(l.thr.PL),
+		PHW:           float64(l.thr.PH),
+	}
+}
+
+// Restore reloads a snapshot taken by State, replacing the learner's
+// lifetime peak, trained flag, adjustment position and thresholds. A
+// restored trained flag suppresses the training window entirely: the
+// manager resumes capping on its first cycle. Invalid snapshots (negative
+// peak, inverted thresholds) are rejected so a corrupted journal falls
+// back to a cold start instead of poisoning the controller.
+func (l *Learner) Restore(st LearnerState) error {
+	if st.LifetimePeakW < 0 {
+		return fmt.Errorf("power: learner restore: negative lifetime peak %v", st.LifetimePeakW)
+	}
+	thr := Thresholds{PL: units.Watts(st.PLW), PH: units.Watts(st.PHW)}
+	if err := thr.Validate(); err != nil {
+		return fmt.Errorf("power: learner restore: %w", err)
+	}
+	if thr.PH <= 0 {
+		return fmt.Errorf("power: learner restore: non-positive P_H %v", thr.PH)
+	}
+	if st.AdjustCycles < 0 || st.AdjustCycles >= l.adjustEvery {
+		return fmt.Errorf("power: learner restore: adjust position %d outside [0,%d)", st.AdjustCycles, l.adjustEvery)
+	}
+	l.lifetime = units.Watts(st.LifetimePeakW)
+	l.trained = st.Trained || l.manual
+	l.cycles = st.AdjustCycles
+	l.thr = thr
+	return nil
+}
+
 // Trained reports whether the training period has completed.
 func (l *Learner) Trained() bool { return l.trained }
 

@@ -1,0 +1,119 @@
+package power
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// TestLearnerStateRoundTrip drives a learner through training and part of
+// an adjustment window, snapshots it, restores into a cold learner with
+// the same configuration, and checks the restored learner behaves
+// identically: trained immediately, same thresholds, same position inside
+// the t_p cycle.
+func TestLearnerStateRoundTrip(t *testing.T) {
+	const adjust = 10
+	l, err := NewLearner(units.KW(40), time.Minute, adjust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train: observe a 30 kW peak during the training window, complete it.
+	l.Observe(30*time.Second, units.KW(30))
+	l.Observe(time.Minute, units.KW(25))
+	if !l.Trained() {
+		t.Fatal("learner not trained after window")
+	}
+	// Advance 3 cycles into the adjustment window.
+	for i := 0; i < 3; i++ {
+		l.Observe(time.Minute+time.Duration(i)*time.Second, units.KW(20))
+	}
+	st := l.State()
+	if !st.Trained || st.LifetimePeakW != 30000 || st.AdjustCycles != 3 {
+		t.Fatalf("snapshot = %+v", st)
+	}
+
+	fresh, err := NewLearner(units.KW(40), time.Minute, adjust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	// No new training window: trained right away even though the restored
+	// learner never saw its training period elapse.
+	if !fresh.Trained() {
+		t.Error("restored learner not trained")
+	}
+	if fresh.Thresholds() != l.Thresholds() {
+		t.Errorf("thresholds: restored %+v, original %+v", fresh.Thresholds(), l.Thresholds())
+	}
+	if fresh.LifetimePeak() != l.LifetimePeak() {
+		t.Errorf("lifetime peak: restored %v, original %v", fresh.LifetimePeak(), l.LifetimePeak())
+	}
+	// The adjust-cycle position must carry over: the original adopts new
+	// thresholds after adjust-3 = 7 more cycles; so must the restored one.
+	var adoptedOrig, adoptedFresh int
+	for i := 0; i < adjust; i++ {
+		now := 2*time.Minute + time.Duration(i)*time.Second
+		// A higher peak forces the next adoption to move the thresholds.
+		before := l.Thresholds()
+		if l.Observe(now, units.KW(35)) != before && adoptedOrig == 0 {
+			adoptedOrig = i + 1
+		}
+		beforeF := fresh.Thresholds()
+		if fresh.Observe(now, units.KW(35)) != beforeF && adoptedFresh == 0 {
+			adoptedFresh = i + 1
+		}
+	}
+	if adoptedOrig == 0 || adoptedOrig != adoptedFresh {
+		t.Errorf("adjustment position drifted: original adopted at cycle %d, restored at %d", adoptedOrig, adoptedFresh)
+	}
+}
+
+// TestLearnerRestoreRejectsGarbage checks that a snapshot decoded from a
+// corrupted journal cannot poison the learner — every invalid shape is
+// rejected and the learner keeps its cold-start state.
+func TestLearnerRestoreRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name string
+		st   LearnerState
+	}{
+		{"negative peak", LearnerState{LifetimePeakW: -1, PLW: 100, PHW: 200}},
+		{"inverted thresholds", LearnerState{PLW: 200, PHW: 100}},
+		{"zero PH", LearnerState{PLW: 0, PHW: 0}},
+		{"negative adjust position", LearnerState{PLW: 100, PHW: 200, AdjustCycles: -1}},
+		{"adjust position past window", LearnerState{PLW: 100, PHW: 200, AdjustCycles: 10}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l, err := NewLearner(units.KW(40), time.Minute, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold := l.Thresholds()
+			if err := l.Restore(tc.st); err == nil {
+				t.Fatal("garbage snapshot accepted")
+			}
+			if l.Trained() || l.Thresholds() != cold || l.LifetimePeak() != 0 {
+				t.Errorf("failed restore mutated learner: trained=%v thr=%+v peak=%v",
+					l.Trained(), l.Thresholds(), l.LifetimePeak())
+			}
+		})
+	}
+}
+
+// TestLearnerRestoreManualMode: a manual-mode learner (zero training) is
+// always trained; restoring an untrained snapshot must not disarm it.
+func TestLearnerRestoreManualMode(t *testing.T) {
+	l, err := NewLearner(units.KW(40), 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Restore(LearnerState{PLW: 100, PHW: 200, Trained: false}); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Trained() {
+		t.Error("manual-mode learner disarmed by restore")
+	}
+}

@@ -2,10 +2,12 @@
 // and the global power manager daemon: newline-delimited JSON messages over
 // TCP. One connection per agent, established agent→manager:
 //
-//	agent → manager: hello   (node identity, level table size)
+//	agent → manager: hello   (node identity, level table size, current level)
 //	agent → manager: sample  (interval counters + current level, every τ)
-//	manager → agent: command (target power level)
-//	agent → manager: ack     (level actually applied)
+//	manager → agent: command (target power level, sequence number)
+//	agent → manager: ack     (sequence number + level actually applied)
+//	manager → agent: ping    (liveness heartbeat feeding the agent's
+//	                          dead-man switch; carries no payload)
 //
 // The protocol carries raw interval counters rather than watt estimates:
 // the power profile model runs centrally, so model updates never require
@@ -31,6 +33,7 @@ const (
 	KindSample  = "sample"
 	KindCommand = "command"
 	KindAck     = "ack"
+	KindPing    = "ping"   // manager → agent: liveness heartbeat
 	KindStatus  = "status" // powctl → manager: report stats
 )
 
@@ -43,6 +46,11 @@ type Envelope struct {
 
 	// hello
 	MaxLevel int `json:"max_level,omitempty"`
+
+	// command / ack: the command's sequence number, echoed back by the
+	// ack so the manager can match acks to in-flight commands and retry
+	// the unacknowledged ones.
+	Seq uint64 `json:"seq,omitempty"`
 
 	// sample
 	Level      int     `json:"level"`
@@ -74,6 +82,20 @@ type StatusReply struct {
 	ThresholdPHW  float64 `json:"ph_w"`
 	DroppedStale  int     `json:"dropped_stale"`
 	CommandErrors int     `json:"command_errors"`
+
+	// Fail-safe layer counters.
+	Trained          bool    `json:"trained"`           // capping armed (learner trained, or fixed thresholds)
+	LifetimePeakW    float64 `json:"lifetime_peak_w"`   // learner's lifetime observed peak
+	CommandAcks      int     `json:"command_acks"`      // commands acknowledged by agents
+	CommandRetries   int     `json:"command_retries"`   // unacked commands re-sent
+	Reconciles       int     `json:"reconciles"`        // drifted levels re-commanded
+	Drifted          int     `json:"drifted"`           // connected agents whose reported level ≠ last commanded
+	HealthyNodes     int     `json:"healthy_nodes"`     // fresh sample within StaleAfter
+	StaleNodes       int     `json:"stale_nodes"`       // connected but sample older than StaleAfter
+	LostNodes        int     `json:"lost_nodes"`        // disconnected or silent beyond LostAfter
+	QuarantinedNodes int     `json:"quarantined_nodes"` // reconnect-flapping, excluded from A_candidate
+	Quarantines      int     `json:"quarantines"`       // quarantine entries over the run
+	JournalWrites    int     `json:"journal_writes"`    // crash-recovery snapshots persisted
 }
 
 // SampleEnvelope builds a sample message from an agent reading.

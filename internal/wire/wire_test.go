@@ -65,6 +65,57 @@ func TestConnSendRecv(t *testing.T) {
 	}
 }
 
+// TestSeqAndPingRoundTrip covers the fail-safe additions: commands carry a
+// sequence number the ack must echo, and pings survive the trip unchanged.
+func TestSeqAndPingRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(pipeConn{&buf, &buf})
+	msgs := []Envelope{
+		{Type: KindCommand, Node: 4, Level: 3, Seq: 17},
+		{Type: KindAck, Node: 4, Level: 3, Seq: 17},
+		{Type: KindPing},
+		{Type: KindHello, Node: 4, MaxLevel: 9, Level: 2}, // reconnecting throttled agent
+	}
+	for _, m := range msgs {
+		if err := c.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != want.Type || got.Seq != want.Seq || got.Level != want.Level || got.Node != want.Node {
+			t.Errorf("msg %d: got %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// TestStatusReplyFailSafeFields checks the health/ack/journal counters
+// survive encoding — a powctl from this version against a manager of the
+// same version must see every fail-safe counter.
+func TestStatusReplyFailSafeFields(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(pipeConn{&buf, &buf})
+	st := StatusReply{
+		Trained: true, LifetimePeakW: 12345.5,
+		CommandAcks: 7, CommandRetries: 3, Reconciles: 2, Drifted: 1,
+		HealthyNodes: 4, StaleNodes: 1, LostNodes: 2, QuarantinedNodes: 1,
+		Quarantines: 5, JournalWrites: 9,
+	}
+	if err := c.Send(Envelope{Type: KindStatus, Stats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats == nil || *got.Stats != st {
+		t.Errorf("status reply mangled: got %+v, want %+v", got.Stats, st)
+	}
+}
+
 func TestRecvEOF(t *testing.T) {
 	c := NewConn(pipeConn{bytes.NewReader(nil), io.Discard})
 	if _, err := c.Recv(); err != io.EOF {
