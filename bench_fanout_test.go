@@ -1,0 +1,233 @@
+// Fan-out benchmarks for the manager's concurrent actuation path: a real
+// managerd.Server against N lightweight fake agents over faultnet, held in
+// sustained red so every stepped cycle commands the entire fleet. They
+// sweep N ∈ {128, 512, 1024, 4096} and persist their headline numbers to
+// BENCH_fanout.json (merged across runs, sorted) so later PRs inherit a
+// perf trajectory for the control plane.
+//
+//	BenchmarkCycleFanout     – one full control cycle incl. fan-out completion
+//	BenchmarkStatusUnderLoad – Status() while the control loop is cycling
+package repro_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/manager"
+	"repro/internal/managerd"
+	"repro/internal/node"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/procfs"
+	"repro/internal/wire"
+)
+
+// fanoutSweep is the fleet-size axis shared by both benchmarks.
+var fanoutSweep = []int{128, 512, 1024, 4096}
+
+// benchFleet is a manager plus N connected fake agents. The agents send a
+// hello and one busy sample, then only drain their read side — they never
+// ack, so every cycle's red floor re-commands the full fleet and the
+// benchmark measures a complete N-node fan-out per step.
+type benchFleet struct {
+	srv *managerd.Server
+	nw  *faultnet.Network
+}
+
+func startBenchFleet(b *testing.B, agents int) *benchFleet {
+	b.Helper()
+	nw := faultnet.New(1)
+	srv, err := managerd.New(managerd.Config{
+		Listener:       nw.Listener(),
+		Model:          power.TianheNode(),
+		Policy:         policy.MPCC{},
+		Tg:             3,
+		ControlEvery:   time.Hour, // cycles driven explicitly via StepCycle
+		Thresholds:     power.Thresholds{PL: 1, PH: 2},
+		StaleAfter:     time.Hour,
+		CommandTimeout: 5 * time.Second,
+		HeartbeatEvery: -1,
+		Shards:         128,
+		FanoutWorkers:  4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	f := &benchFleet{srv: srv, nw: nw}
+	b.Cleanup(func() {
+		srv.Stop()
+		nw.Close()
+	})
+
+	for i := 0; i < agents; i++ {
+		raw, err := nw.Dial(context.Background(), uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := wire.NewConn(raw)
+		if err := c.Send(wire.Envelope{Type: wire.KindHello, Node: i, MaxLevel: 9, Level: 9}); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Send(wire.SampleEnvelope(manager.AgentReading{
+			ID: node.ID(i), Level: 9, MaxLevel: 9,
+			Delta: procfs.Delta{Interval: time.Second, CPUUtil: 0.8,
+				MemUsed: 24 << 30, MemTotal: 48 << 30},
+		})); err != nil {
+			b.Fatal(err)
+		}
+		go func() { // drain commands/pings so writes never block
+			for {
+				if _, err := c.Recv(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for f.srv.Status().Agents != agents {
+		if time.Now().After(deadline) {
+			b.Fatalf("only %d of %d agents registered", f.srv.Status().Agents, agents)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Warm-up cycle: absorbs the last in-flight sample decodes and proves
+	// the fleet classifies red before timing starts.
+	f.srv.StepCycle()
+	if st := f.srv.Status(); st.RedCycles == 0 {
+		b.Fatalf("bench fleet not in sustained red: %+v", st)
+	}
+	return f
+}
+
+// BenchmarkCycleFanout measures one full control cycle — sense, classify,
+// Algorithm 1, and the complete N-node command fan-out — per iteration.
+func BenchmarkCycleFanout(b *testing.B) {
+	for _, n := range fanoutSweep {
+		n := n
+		b.Run("n"+itoa(n), func(b *testing.B) {
+			f := startBenchFleet(b, n)
+			b.ResetTimer()
+			var fanout time.Duration
+			for i := 0; i < b.N; i++ {
+				fanout += f.srv.StepCycle()
+			}
+			b.StopTimer()
+			st := f.srv.Status()
+			fanoutUS := fanout.Microseconds() / int64(b.N)
+			b.ReportMetric(float64(fanoutUS), "fanout_us/op")
+			recordBench(benchEntry{
+				Bench: "CycleFanout", Agents: n,
+				NsPerOp:       float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				FanoutUS:      fanoutUS,
+				MaxFanoutUS:   st.MaxFanoutMicros,
+				CoalescedCmds: st.CoalescedCmds,
+			})
+		})
+	}
+}
+
+// BenchmarkStatusUnderLoad measures Status() — the powctl/observability
+// read path — while the control loop is continuously fanning out to the
+// fleet, pinning the cost of the shard sweep under actuation contention.
+func BenchmarkStatusUnderLoad(b *testing.B) {
+	for _, n := range fanoutSweep {
+		n := n
+		b.Run("n"+itoa(n), func(b *testing.B) {
+			f := startBenchFleet(b, n)
+			var stop atomic.Bool
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for !stop.Load() {
+					f.srv.StepCycle()
+				}
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = f.srv.Status()
+			}
+			b.StopTimer()
+			stop.Store(true)
+			<-done
+			recordBench(benchEntry{
+				Bench: "StatusUnderLoad", Agents: n,
+				NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			})
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// BENCH_fanout.json persistence.
+
+// benchEntry is one benchmark outcome persisted to BENCH_fanout.json.
+type benchEntry struct {
+	Bench         string  `json:"bench"`
+	Agents        int     `json:"agents"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	FanoutUS      int64   `json:"fanout_us,omitempty"`
+	MaxFanoutUS   int64   `json:"max_fanout_us,omitempty"`
+	CoalescedCmds int     `json:"coalesced_cmds,omitempty"`
+}
+
+var (
+	benchMu      sync.Mutex
+	benchResults []benchEntry
+)
+
+func recordBench(e benchEntry) {
+	benchMu.Lock()
+	benchResults = append(benchResults, e)
+	benchMu.Unlock()
+}
+
+// writeBenchJSON merges this run's entries over any existing
+// BENCH_fanout.json (newer result for the same bench/agents pair wins),
+// sorts, and writes the file back. No-op when no benchmark ran.
+func writeBenchJSON() {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if len(benchResults) == 0 {
+		return
+	}
+	const path = "BENCH_fanout.json"
+	merged := map[[2]interface{}]benchEntry{}
+	var prior []benchEntry
+	if raw, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(raw, &prior)
+	}
+	for _, e := range append(prior, benchResults...) {
+		merged[[2]interface{}{e.Bench, e.Agents}] = e
+	}
+	out := make([]benchEntry, 0, len(merged))
+	for _, e := range merged {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench < out[j].Bench
+		}
+		return out[i].Agents < out[j].Agents
+	})
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	writeBenchJSON()
+	os.Exit(code)
+}

@@ -34,6 +34,9 @@ func main() {
 
 		failsafeAfter = flag.Int("failsafe-after", 0, "dead-man switch: silent sample periods before self-degrading (0 = disabled)")
 		failsafeLevel = flag.Int("failsafe-level", 0, "dead-man switch floor level")
+
+		initialBackoff = flag.Duration("initial-backoff", 200*time.Millisecond, "reconnect backoff floor")
+		maxBackoff     = flag.Duration("max-backoff", 10*time.Second, "reconnect backoff ceiling")
 	)
 	flag.Parse()
 	if *seed == 0 {
@@ -61,7 +64,7 @@ func main() {
 	fmt.Printf("powagentd: node %d → %s (τ %v)\n", *id, *manager, *sample)
 	// Reconnect with backoff: a manager restart must not take the fleet
 	// of agents down with it.
-	a.RunWithReconnect(ctx, 200*time.Millisecond, 10*time.Second)
+	a.RunWithReconnect(ctx, *initialBackoff, *maxBackoff)
 	fmt.Printf("powagentd: node %d stopped after %d applied commands (level %d, failsafe trips %d)\n",
 		*id, a.CommandsApplied(), a.Level(), a.FailsafeTrips())
 }

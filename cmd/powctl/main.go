@@ -38,9 +38,12 @@ func main() {
 	fmt.Printf("learner         trained %v, lifetime peak %.1f W\n", st.Trained, st.LifetimePeakW)
 	fmt.Printf("manager busy    %d µs (cpu utilisation %.4f)\n", st.BusyMicros, st.CPUUtilise)
 	fmt.Printf("stale dropped   %d\n", st.DroppedStale)
-	fmt.Printf("command errors  %d\n", st.CommandErrors)
+	fmt.Printf("command errors  %d (stale-conn %d)\n", st.CommandErrors, st.StaleConnErrors)
 	fmt.Printf("commands        acks %d, retries %d, reconciles %d, drifted now %d\n",
 		st.CommandAcks, st.CommandRetries, st.Reconciles, st.Drifted)
+	fmt.Printf("fan-out         coalesced %d (%d shards)\n", st.CoalescedCmds, st.Shards)
+	fmt.Printf("cycle latency   last %d µs, max %d µs (fan-out last %d µs, max %d µs)\n",
+		st.LastCycleMicros, st.MaxCycleMicros, st.LastFanoutMicros, st.MaxFanoutMicros)
 	fmt.Printf("node health     healthy %d, stale %d, lost %d, quarantined %d (quarantines %d)\n",
 		st.HealthyNodes, st.StaleNodes, st.LostNodes, st.QuarantinedNodes, st.Quarantines)
 	fmt.Printf("journal writes  %d\n", st.JournalWrites)

@@ -43,6 +43,9 @@ func main() {
 		flapWindow   = flag.Duration("flap-window", 15*time.Second, "reconnect-flap detection window")
 		flapLimit    = flag.Int("flap-limit", 6, "reconnects within the flap window before quarantine (-1 = disabled)")
 		quarantine   = flag.Duration("quarantine", 30*time.Second, "minimum quarantine duration")
+
+		shards  = flag.Int("shards", 0, "node-state shards, rounded up to a power of two (0 = default)")
+		workers = flag.Int("fanout-workers", 0, "command fan-out/retry worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -72,6 +75,8 @@ func main() {
 		FlapWindow:     *flapWindow,
 		FlapLimit:      *flapLimit,
 		Quarantine:     *quarantine,
+		Shards:         *shards,
+		FanoutWorkers:  *workers,
 	}
 	if *train > 0 {
 		pm, err := units.ParseWatts(*pmaxStr)

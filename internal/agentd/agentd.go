@@ -340,20 +340,20 @@ func (a *Agent) Run(ctx context.Context) error {
 		return err
 	}
 
-	go func() {
-		defer close(readDone)
-		for {
-			env, err := conn.Recv()
-			if err != nil {
-				readErr <- err
+	// handle processes one manager message; batch frames (the manager's
+	// coalesced command+heartbeat writes) unwrap one level deep — batches
+	// do not nest, so a Batch inside a Batch is dropped.
+	var handle func(env wire.Envelope, depth int)
+	handle = func(env wire.Envelope, depth int) {
+		switch env.Type {
+		case wire.KindBatch:
+			if depth > 0 {
 				return
 			}
-			// Any manager traffic (command, ping) re-arms the dead-man
-			// switch.
-			a.touchContact()
-			if env.Type != wire.KindCommand {
-				continue
+			for _, inner := range env.Batch {
+				handle(inner, depth+1)
 			}
+		case wire.KindCommand:
 			_ = a.apply(env.Level)
 			// Ack with the level actually in force: on an invalid
 			// command the manager learns the real level instead of
@@ -362,6 +362,21 @@ func (a *Agent) Run(ctx context.Context) error {
 				Type: wire.KindAck, Node: int(a.cfg.NodeID),
 				Seq: env.Seq, Level: a.Level(),
 			})
+		}
+	}
+
+	go func() {
+		defer close(readDone)
+		for {
+			env, err := conn.Recv()
+			if err != nil {
+				readErr <- err
+				return
+			}
+			// Any manager traffic (command, ping, batch) re-arms the
+			// dead-man switch.
+			a.touchContact()
+			handle(env, 0)
 		}
 	}()
 

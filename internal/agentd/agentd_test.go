@@ -191,6 +191,80 @@ func TestCommandAckAndHelloLevel(t *testing.T) {
 	}
 }
 
+// TestBatchedCommandApplied: a command arriving inside a batch frame (the
+// manager's coalesced command+heartbeat write) must be applied and acked
+// exactly like a bare command, and the ping in the same frame must count
+// as manager contact. Batches must not nest: a command wrapped two levels
+// deep is ignored.
+func TestBatchedCommandApplied(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	acks := make(chan wire.Envelope, 4)
+	go func() {
+		raw, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c := wire.NewConn(raw)
+		_, _ = c.Recv() // hello
+		_ = c.SendBatch([]wire.Envelope{
+			{Type: wire.KindCommand, Level: 3, Seq: 7},
+			{Type: wire.KindPing},
+		})
+		// Nested batch: the inner command must NOT be applied.
+		_ = c.Send(wire.Envelope{Type: wire.KindBatch, Batch: []wire.Envelope{
+			{Type: wire.KindBatch, Batch: []wire.Envelope{
+				{Type: wire.KindCommand, Level: 0, Seq: 8},
+			}},
+		}})
+		for {
+			env, err := c.Recv()
+			if err != nil {
+				return
+			}
+			if env.Type == wire.KindAck {
+				acks <- env
+			}
+		}
+	}()
+
+	a, err := New(Config{
+		NodeID: 6, ManagerAddr: ln.Addr().String(),
+		SampleEvery: 20 * time.Millisecond, TickEvery: 5 * time.Millisecond,
+		Model: power.TianheNode(), Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = a.Run(ctx) }()
+
+	select {
+	case ack := <-acks:
+		if ack.Seq != 7 || ack.Level != 3 {
+			t.Errorf("ack = %+v, want seq 7 level 3", ack)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("batched command never acked")
+	}
+	// The nested command would ack seq 8 and floor the node; give it a
+	// moment to (not) happen.
+	time.Sleep(100 * time.Millisecond)
+	if lvl := a.Level(); lvl != 3 {
+		t.Errorf("level = %d, want 3 (nested batch command must be ignored)", lvl)
+	}
+	select {
+	case ack := <-acks:
+		t.Errorf("nested batch command acked: %+v", ack)
+	default:
+	}
+}
+
 // TestDeadManSwitchTripsWhileDisconnected: with no manager listening, the
 // dead-man switch must self-degrade the node to the failsafe floor within
 // the grace window, and report the trip.

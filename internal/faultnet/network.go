@@ -61,8 +61,10 @@ func New(seed int64) *Network {
 		links:      make(map[uint64]*link),
 		attempts:   make(map[uint64]uint64),
 		parts:      make(map[uint64]partition),
-		accept:     make(chan net.Conn, 64),
-		done:       make(chan struct{}),
+		// Accept queue sized for the scale harness: a full 1024-agent herd
+		// may dial before the accept loop drains anyone.
+		accept: make(chan net.Conn, 1024),
+		done:   make(chan struct{}),
 	}
 }
 

@@ -92,6 +92,12 @@ type Options struct {
 	Quarantine     time.Duration
 	HeartbeatEvery int
 
+	// Shards and FanoutWorkers pass through to the manager's sharded node
+	// store and per-cycle worker pool (see managerd.Config); zero keeps
+	// the daemon defaults. Scale tests raise both.
+	Shards        int
+	FanoutWorkers int
+
 	// Learn enables manager-side threshold learning.
 	Learn *managerd.LearnConfig
 }
@@ -118,6 +124,8 @@ func (o Options) serverConfig(ln net.Listener) managerd.Config {
 		HeartbeatEvery: o.HeartbeatEvery,
 		JournalPath:    o.JournalPath,
 		JournalEvery:   o.JournalEvery,
+		Shards:         o.Shards,
+		FanoutWorkers:  o.FanoutWorkers,
 		Learn:          o.Learn,
 	}
 }

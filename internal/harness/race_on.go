@@ -1,0 +1,9 @@
+//go:build race
+
+package harness
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// 1024-agent scale measurements skip themselves under -race: the
+// detector's per-access overhead turns timing measurements into noise
+// (the 512-agent smoke is the -race scale test).
+const RaceEnabled = true

@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/power"
+)
+
+// Scale tests: hundreds to a thousand in-process agents against one
+// manager, with a slice of the fleet turned into slow readers. They pin
+// the property the concurrent actuation path exists for — command fan-out
+// bounded by the slowest single node, not the sum of the slow ones — at
+// fleet sizes where the old serial path would need minutes.
+//
+// The thresholds are a few watts, so the fleet is in sustained red from
+// the first cycle: every agent gets a floor command (full fan-out), the
+// slow readers drag their writes out, and retries keep hitting them until
+// the floor is acked.
+
+// markSlowReaders throttles the read path of the first fraction of the
+// fleet to bytesPerSec — the manager's command writes to those agents
+// pace at the reader, exactly like a host with a wedged control process
+// and a full socket buffer. Returns the number of slowed agents.
+func markSlowReaders(c *Cluster, fraction float64, bytesPerSec int) int {
+	n := int(float64(c.Opt.Agents) * fraction)
+	for i := 0; i < n; i++ {
+		c.Net.SetClientProfile(uint64(i), faultnet.Profile{ReadBytesPerSec: bytesPerSec})
+	}
+	return n
+}
+
+// scaleOptions is the shared cluster shape for the scale tests: sustained
+// red, timings slackened so a single-core CI box can push the message
+// volume, and the manager's fan-out layer explicitly sharded.
+func scaleOptions(agents int) Options {
+	return Options{
+		Agents:         agents,
+		Seed:           42,
+		ControlEvery:   250 * time.Millisecond,
+		SampleEvery:    400 * time.Millisecond,
+		TickEvery:      200 * time.Millisecond,
+		StaleAfter:     5 * time.Second,
+		CommandTimeout: 500 * time.Millisecond,
+		Thresholds:     power.Thresholds{PL: 1, PH: 2},
+		Shards:         64,
+		FanoutWorkers:  4,
+	}
+}
+
+// awaitFloored waits until every agent has applied the red-state floor.
+func awaitFloored(t testing.TB, c *Cluster, timeout time.Duration) {
+	t.Helper()
+	WaitUntil(t, timeout, func() bool {
+		for _, a := range c.Agents {
+			if a.Level() != 0 {
+				return false
+			}
+		}
+		return true
+	}, "fleet never floored under sustained red (levels %v...)", c.Levels()[:8])
+}
+
+// TestScaleSmoke512 is the CI race-mode scale smoke: 512 agents, 20% slow
+// readers, sustained red. It asserts liveness (everyone connects, everyone
+// floors) and that the fan-out instrumentation is alive; the timing
+// measurements live in TestScaleFanoutE10.
+func TestScaleSmoke512(t *testing.T) {
+	const agents = 512
+	c := Start(t, scaleOptions(agents))
+	slowed := markSlowReaders(c, 0.20, 4096)
+	c.AwaitAgents(agents, 60*time.Second)
+	awaitFloored(t, c, 120*time.Second)
+
+	st := c.Status()
+	if st.RedCycles == 0 {
+		t.Errorf("fleet under watt-level thresholds never classified red: %+v", st)
+	}
+	if st.CommandAcks < agents {
+		t.Errorf("only %d acks for a %d-agent floor fan-out", st.CommandAcks, agents)
+	}
+	if st.Shards == 0 || st.MaxFanoutMicros == 0 || st.MaxCycleMicros == 0 {
+		t.Errorf("fan-out instrumentation dead: shards=%d maxFanout=%dus maxCycle=%dus",
+			st.Shards, st.MaxFanoutMicros, st.MaxCycleMicros)
+	}
+	t.Logf("512-agent smoke (%d slow readers): maxCycle=%dus maxFanout=%dus coalesced=%d cmdErrs=%d staleConnErrs=%d",
+		slowed, st.MaxCycleMicros, st.MaxFanoutMicros, st.CoalescedCmds, st.CommandErrors, st.StaleConnErrors)
+}
+
+// fanoutMeasurement is one scale scenario's outcome (see EXPERIMENTS.md
+// E10 for measured values).
+type fanoutMeasurement struct {
+	agents, slowed     int
+	medCycle, maxCycle time.Duration // control-cycle critical path
+	maxFanout          time.Duration // worst command fan-out completion
+}
+
+// measureScale boots a cluster, drives it through the red-entry fan-out
+// burst to the floor, then samples the steady-state cycle cost.
+func measureScale(t *testing.T, agents int, slowFrac float64, bytesPerSec int) fanoutMeasurement {
+	t.Helper()
+	c := Start(t, scaleOptions(agents))
+	defer c.Stop()
+	slowed := markSlowReaders(c, slowFrac, bytesPerSec)
+	c.AwaitAgents(agents, 60*time.Second)
+	awaitFloored(t, c, 120*time.Second)
+
+	// Steady state: sample the per-cycle critical path for ~16 cycles.
+	var cycles []time.Duration
+	for i := 0; i < 16; i++ {
+		time.Sleep(c.Opt.ControlEvery)
+		cycles = append(cycles, time.Duration(c.Status().LastCycleMicros)*time.Microsecond)
+	}
+	sort.Slice(cycles, func(a, b int) bool { return cycles[a] < cycles[b] })
+	st := c.Status()
+	m := fanoutMeasurement{
+		agents:    agents,
+		slowed:    slowed,
+		medCycle:  cycles[len(cycles)/2],
+		maxCycle:  time.Duration(st.MaxCycleMicros) * time.Microsecond,
+		maxFanout: time.Duration(st.MaxFanoutMicros) * time.Microsecond,
+	}
+	t.Logf("%d agents (%d slow @%dB/s): medCycle=%v maxCycle=%v maxFanout=%v coalesced=%d acks=%d",
+		agents, slowed, bytesPerSec, m.medCycle, m.maxCycle, m.maxFanout, st.CoalescedCmds, st.CommandAcks)
+	return m
+}
+
+// TestScaleFanoutE10 is the experiment behind EXPERIMENTS.md E10: the
+// 1024-agent fleet with 20% slow readers must complete its full red-state
+// fan-out inside two control periods — the fault-free 128-agent deployment
+// reacts within one ControlEvery, so this is the "< 2× the fault-free
+// 128-agent cycle latency" acceptance — where the serial write path would
+// have needed ≈ slowed × write-pacing (tens of seconds).
+func TestScaleFanoutE10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale measurement; run without -short")
+	}
+	if RaceEnabled {
+		t.Skip("timing measurement; race detector overhead drowns it (see TestScaleSmoke512)")
+	}
+
+	base := measureScale(t, 128, 0, 0)
+	big := measureScale(t, 1024, 0.20, 2048)
+
+	// The acceptance bound: fan-out at 1024 agents with 20% slow readers
+	// completes within twice the fault-free 128-agent cycle latency (one
+	// control period, the latency at which that deployment reacts).
+	budget := 2 * scaleOptions(128).ControlEvery
+	if big.maxFanout >= budget {
+		t.Errorf("1024-agent fan-out with slow readers took %v, budget %v (2× the fault-free 128-agent cycle latency)",
+			big.maxFanout, budget)
+	}
+	// And it must not degenerate toward the serial bound: each slow write
+	// paces at ≥ ~30ms, so the old one-write-at-a-time path would need
+	// ≥ slowed × 30ms for the burst.
+	serial := time.Duration(big.slowed) * 30 * time.Millisecond
+	if big.maxFanout >= serial/4 {
+		t.Errorf("1024-agent fan-out %v is within 4× of the serial bound %v; senders not concurrent?",
+			big.maxFanout, serial)
+	}
+	// The sharded cycle path scales: the 8× fleet must not cost 8× the
+	// critical path of the 128-agent baseline with generous slack for a
+	// loaded single-core runner.
+	if base.medCycle > 0 && big.medCycle > 16*base.medCycle {
+		t.Errorf("median cycle grew from %v (128 agents) to %v (1024 agents); worse than linear",
+			base.medCycle, big.medCycle)
+	}
+}

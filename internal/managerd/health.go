@@ -1,6 +1,7 @@
 package managerd
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/node"
@@ -49,11 +50,14 @@ func (s healthState) String() string {
 // healthRec is one node's health record. It outlives the node's
 // connection: a disconnected node stays in the table as lost, and its
 // reconnect history survives redials — that is what makes flap detection
-// possible. All access is under Server.mu.
+// possible. All access is under the owning shard's mutex; a node's health
+// record lives in the same shard as its connection and command state, so
+// one lock covers all three.
 type healthRec struct {
 	state         healthState
 	connects      []time.Time // connect times within the flap window
 	quarantinedAt time.Time
+	sendErrs      int // failed writes charged to this node (current conn only)
 }
 
 // pruneConnects drops connect records older than the flap window.
@@ -67,31 +71,34 @@ func (h *healthRec) pruneConnects(now time.Time, window time.Duration) {
 }
 
 // noteConnect records a (re)connect for id and quarantines the node when
-// the connect rate crosses the flap limit. Caller holds s.mu.
-func (s *Server) noteConnect(id node.ID, now time.Time) {
-	rec := s.health[id]
+// the connect rate crosses the flap limit. Caller holds sh.mu; id must
+// belong to sh. quarantines is the server-wide entry counter.
+func noteConnect(sh *shard, id node.ID, now time.Time, cfg *Config, quarantines *atomic.Int64) {
+	rec := sh.health[id]
 	if rec == nil {
 		rec = &healthRec{state: healthHealthy}
-		s.health[id] = rec
+		sh.health[id] = rec
 	}
 	rec.connects = append(rec.connects, now)
-	rec.pruneConnects(now, s.cfg.FlapWindow)
-	if s.cfg.FlapLimit > 0 && len(rec.connects) >= s.cfg.FlapLimit && rec.state != healthQuarantined {
+	rec.pruneConnects(now, cfg.FlapWindow)
+	if cfg.FlapLimit > 0 && len(rec.connects) >= cfg.FlapLimit && rec.state != healthQuarantined {
 		rec.state = healthQuarantined
 		rec.quarantinedAt = now
-		s.quarantines++
+		quarantines.Add(1)
 	}
 }
 
-// updateHealth re-evaluates every known node's state. Caller holds s.mu.
-func (s *Server) updateHealth(now time.Time) {
-	for id, rec := range s.health {
+// updateHealth re-evaluates the state of every node in sh. Caller holds
+// sh.mu; the per-shard sweeps run concurrently on the cycle's worker
+// pool, which is safe because a node's whole record lives in one shard.
+func updateHealth(sh *shard, now time.Time, cfg *Config) {
+	for id, rec := range sh.health {
 		if rec.state == healthQuarantined {
-			if now.Sub(rec.quarantinedAt) < s.cfg.Quarantine {
+			if now.Sub(rec.quarantinedAt) < cfg.Quarantine {
 				continue
 			}
-			rec.pruneConnects(now, s.cfg.FlapWindow)
-			if s.cfg.FlapLimit > 0 && len(rec.connects) >= s.cfg.FlapLimit {
+			rec.pruneConnects(now, cfg.FlapWindow)
+			if cfg.FlapLimit > 0 && len(rec.connects) >= cfg.FlapLimit {
 				// Still flapping: extend the quarantine (hysteresis).
 				rec.quarantinedAt = now
 				continue
@@ -99,13 +106,13 @@ func (s *Server) updateHealth(now time.Time) {
 			// Quarantine served and the link has settled; fall through to
 			// the freshness-based classification.
 		}
-		ac, connected := s.agents[id]
+		ac, connected := sh.agents[id]
 		switch {
 		case !connected:
 			rec.state = healthLost
-		case now.Sub(ac.lastAt) > s.cfg.LostAfter:
+		case now.Sub(ac.lastAt) > cfg.LostAfter:
 			rec.state = healthLost
-		case now.Sub(ac.lastAt) > s.cfg.StaleAfter:
+		case now.Sub(ac.lastAt) > cfg.StaleAfter:
 			rec.state = healthStale
 		default:
 			rec.state = healthHealthy
@@ -113,16 +120,16 @@ func (s *Server) updateHealth(now time.Time) {
 	}
 }
 
-// quarantined reports whether id is currently quarantined. Caller holds
-// s.mu.
-func (s *Server) quarantined(id node.ID) bool {
-	rec, ok := s.health[id]
+// quarantinedIn reports whether id (a node of sh) is currently
+// quarantined. Caller holds sh.mu.
+func quarantinedIn(sh *shard, id node.ID) bool {
+	rec, ok := sh.health[id]
 	return ok && rec.state == healthQuarantined
 }
 
-// healthCounts tallies nodes per state. Caller holds s.mu.
-func (s *Server) healthCounts() (healthy, stale, lost, quarantined int) {
-	for _, rec := range s.health {
+// healthCounts tallies sh's nodes per state. Caller holds sh.mu.
+func healthCounts(sh *shard) (healthy, stale, lost, quarantined int) {
+	for _, rec := range sh.health {
 		switch rec.state {
 		case healthHealthy:
 			healthy++

@@ -17,13 +17,22 @@
 // agents' dead-man switches distinguish a live-but-green manager from a
 // dead one; and a crash-recovery journal (journal.go) lets a restarted
 // manager resume capping without a fresh training window.
+//
+// The actuation path is concurrent: node state is sharded (store.go) so
+// sample readers, the health scanner and the control loop stop contending
+// on one mutex, per-cycle shard sweeps run on a bounded worker pool, and
+// commands are enqueued to per-connection sender goroutines (sender.go)
+// rather than written synchronously — the cycle's fan-out cost is bounded
+// by the slowest single node, not the sum of the slow ones.
 package managerd
 
 import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/manager"
@@ -43,11 +52,11 @@ type Config struct {
 	// in-process harness hands the daemon a fault-injecting in-memory
 	// listener this way. The server takes ownership and closes it on Stop.
 	Listener net.Listener
-	// CommandTimeout bounds each actuator command send: a stalled agent
-	// connection (full TCP buffer, slow reader) fails the send after this
-	// long — counted in CommandErrors and the connection dropped — instead
-	// of blocking the control cycle inside SetNodeLevel. Zero defaults to
-	// the control period.
+	// CommandTimeout bounds each outbound command/heartbeat write: a
+	// stalled agent connection (full TCP buffer, slow reader) fails the
+	// write after this long — counted in CommandErrors and the connection
+	// dropped — instead of wedging its sender goroutine indefinitely. Zero
+	// defaults to the control period.
 	CommandTimeout time.Duration
 	// Model is the fleet's power profile model (formula 1 runs centrally).
 	Model power.Model
@@ -89,6 +98,14 @@ type Config struct {
 	// defaults to the learner's adjustment period (or 60 without a
 	// learner).
 	JournalEvery int
+	// Shards is the number of node-state shards, rounded up to a power of
+	// two. More shards cut contention between agent readers, the health
+	// scanner and the control loop at large fleets; zero defaults to 32.
+	Shards int
+	// FanoutWorkers bounds the worker pool sweeping the shards each
+	// control cycle (health scan, sample collection, command upkeep).
+	// Zero defaults to GOMAXPROCS.
+	FanoutWorkers int
 	// Learn, when non-nil, enables §III.A threshold learning: the daemon
 	// starts from Thresholds, observes the fleet's peak for Training of
 	// wall time, then re-derives the thresholds from the lifetime peak
@@ -106,23 +123,32 @@ type LearnConfig struct {
 	AdjustEvery int
 }
 
-// agentConn is one connected agent.
+// agentConn is one connected agent: the connection, the freshest reading,
+// and the outbox feeding the connection's sender goroutine (sender.go).
 type agentConn struct {
+	id       node.ID
 	conn     *wire.Conn
-	sendMu   sync.Mutex
 	maxLevel int
 
+	// Freshest reading; guarded by the owning shard's mutex.
 	last   manager.AgentReading
 	lastAt time.Time
 	seen   bool
+
+	// Outbox; guarded by obMu (ordered strictly below shard mutexes).
+	obMu     sync.Mutex
+	obCmd    *pendingCmd
+	obPing   bool
+	obClosed bool
+	wake     chan struct{}
 }
 
 // cmdState tracks the lifecycle of the newest command issued to one node.
 // A command stays in flight (acked=false) until the agent echoes its
 // sequence number; unacked commands are retried each cycle, and an acked
 // level that later disagrees with the agent's reported level triggers
-// reconciliation under a fresh sequence number. All access under
-// Server.mu.
+// reconciliation under a fresh sequence number. All access under the
+// owning shard's mutex.
 type cmdState struct {
 	level     int
 	seq       uint64
@@ -136,34 +162,46 @@ type Server struct {
 	cfg Config
 	ln  net.Listener
 
-	mu      sync.Mutex
-	agents  map[node.ID]*agentConn
-	cmds    map[node.ID]*cmdState
-	health  map[node.ID]*healthRec
+	// nodes is the sharded per-node state (connections, in-flight
+	// commands, health records); see store.go for the locking contract.
+	nodes *store
+
+	// builder is touched only by the control-loop goroutine.
 	builder *manager.Builder
 
-	// mgrMu guards mgr (the control loop cycles it while Status reads
-	// its counters). It must never be held while taking mu: the
-	// actuator locks mu during Cycle.
+	// mgrMu guards mgr (the control loop cycles it while Status reads its
+	// counters). It may be held while taking a shard mutex (the actuator
+	// does, inside Cycle); never the reverse.
 	mgrMu sync.Mutex
 	mgr   *manager.Manager
 
-	busy          time.Duration
-	lastP         units.Watts
-	thr           power.Thresholds
-	learner       *power.Learner // touched only by the control-loop goroutine (and New/Stop)
-	trained       bool           // cached learner.Trained() for Status, under mu
-	peakW         float64        // cached lifetime peak for Status, under mu
-	started       time.Time
-	cycleN        int
-	seq           uint64
-	stale         int
-	cmdErrs       int
-	cmdAcks       int
-	cmdRetries    int
-	reconciles    int
-	quarantines   int
-	journalWrites int
+	// stateMu guards the control-plane scalars below.
+	stateMu sync.Mutex
+	busy    time.Duration
+	lastP   units.Watts
+	thr     power.Thresholds
+	trained bool    // cached learner.Trained() for Status
+	peakW   float64 // cached lifetime peak for Status
+
+	learner *power.Learner // touched only by the control-loop goroutine (and New/Stop)
+	started time.Time
+
+	cycleN        atomic.Int64
+	seq           atomic.Uint64
+	stale         atomic.Int64
+	cmdErrs       atomic.Int64
+	staleConnErrs atomic.Int64
+	cmdAcks       atomic.Int64
+	cmdRetries    atomic.Int64
+	reconciles    atomic.Int64
+	quarantines   atomic.Int64
+	journalWrites atomic.Int64
+	coalesced     atomic.Int64
+
+	lastCycleMicros  atomic.Int64
+	maxCycleMicros   atomic.Int64
+	lastFanoutMicros atomic.Int64
+	maxFanoutMicros  atomic.Int64
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -184,6 +222,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if err := cfg.Model.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards < 0 || cfg.FanoutWorkers < 0 {
+		return nil, fmt.Errorf("managerd: negative shard/worker count")
 	}
 	if cfg.StaleAfter <= 0 {
 		cfg.StaleAfter = 3 * cfg.ControlEvery
@@ -209,15 +250,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CommandTimeout <= 0 {
 		cfg.CommandTimeout = cfg.ControlEvery
 	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 32
+	}
+	if cfg.FanoutWorkers == 0 {
+		cfg.FanoutWorkers = runtime.GOMAXPROCS(0)
+	}
 	mgr, err := manager.New(manager.Config{Tg: cfg.Tg, Policy: cfg.Policy})
 	if err != nil {
 		return nil, err
 	}
 	srv := &Server{
 		cfg:     cfg,
-		agents:  make(map[node.ID]*agentConn),
-		cmds:    make(map[node.ID]*cmdState),
-		health:  make(map[node.ID]*healthRec),
+		nodes:   newStore(cfg.Shards),
 		builder: manager.NewBuilder(cfg.Model),
 		mgr:     mgr,
 		thr:     cfg.Thresholds,
@@ -259,14 +304,15 @@ func (s *Server) restoreFromJournal(js *journalState) {
 			s.peakW = js.Learner.LifetimePeakW
 		}
 	}
-	s.cycleN = js.SavedAtCycle
+	s.cycleN.Store(int64(js.SavedAtCycle))
 	for _, l := range js.Levels {
 		id := node.ID(l.Node)
+		sh := s.nodes.of(id)
 		// Journaled commands count as acked at sentCycle zero: as soon as
 		// the node reconnects and reports a different level, the
 		// reconciliation path reissues the journaled one.
-		s.cmds[id] = &cmdState{level: l.Level, acked: true}
-		s.health[id] = &healthRec{state: healthLost}
+		sh.cmds[id] = &cmdState{level: l.Level, acked: true}
+		sh.health[id] = &healthRec{state: healthLost}
 	}
 }
 
@@ -310,11 +356,20 @@ func (s *Server) Stop() {
 		if s.ln != nil {
 			s.ln.Close()
 		}
-		s.mu.Lock()
-		for _, a := range s.agents {
-			a.conn.Close()
+		for _, sh := range s.nodes.shards {
+			sh.mu.Lock()
+			acs := make([]*agentConn, 0, len(sh.agents))
+			for _, ac := range sh.agents {
+				acs = append(acs, ac)
+			}
+			sh.mu.Unlock()
+			// Closing the conn unblocks both the reader (serveConn) and a
+			// sender mid-write; each path retires the outbox on its way out.
+			for _, ac := range acs {
+				ac.conn.Close()
+				s.retireOutbox(ac)
+			}
 		}
-		s.mu.Unlock()
 	})
 	s.wg.Wait()
 	if s.cfg.JournalPath != "" {
@@ -385,7 +440,7 @@ func (s *Server) serveConn(conn *wire.Conn) {
 	}
 
 	id := node.ID(first.Node)
-	ac := &agentConn{conn: conn, maxLevel: first.MaxLevel}
+	ac := &agentConn{id: id, conn: conn, maxLevel: first.MaxLevel, wake: make(chan struct{}, 1)}
 	// Seed the record from the hello's self-reported level: a manager
 	// coming back from a crash learns every node's actual level before
 	// the first sample arrives, so reconciliation can start immediately.
@@ -400,13 +455,21 @@ func (s *Server) serveConn(conn *wire.Conn) {
 	ac.last = manager.AgentReading{ID: id, Level: lvl, MaxLevel: ac.maxLevel}
 	ac.lastAt = now
 	ac.seen = true
-	s.mu.Lock()
-	if old, ok := s.agents[id]; ok {
+	sh := s.nodes.of(id)
+	sh.mu.Lock()
+	old := sh.agents[id]
+	sh.agents[id] = ac
+	noteConnect(sh, id, now, &s.cfg, &s.quarantines)
+	sh.mu.Unlock()
+	if old != nil {
+		// A redial replaced the connection: retire the old epoch so its
+		// sender exits and any failure it still surfaces is not charged to
+		// the node (see noteSendError).
 		old.conn.Close()
+		s.retireOutbox(old)
 	}
-	s.agents[id] = ac
-	s.noteConnect(id, now)
-	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.runSender(ac)
 
 	for {
 		env, err := conn.Recv()
@@ -418,80 +481,80 @@ func (s *Server) serveConn(conn *wire.Conn) {
 			r := env.Reading()
 			r.ID = id // trust the connection identity, not the payload
 			r.MaxLevel = ac.maxLevel
-			s.mu.Lock()
+			sh.mu.Lock()
 			ac.last, ac.lastAt, ac.seen = r, time.Now(), true
-			s.mu.Unlock()
+			sh.mu.Unlock()
 		case wire.KindAck:
-			s.mu.Lock()
-			if cs := s.cmds[id]; cs != nil && env.Seq != 0 && cs.seq == env.Seq {
+			sh.mu.Lock()
+			if cs := sh.cmds[id]; cs != nil && env.Seq != 0 && cs.seq == env.Seq {
 				if !cs.acked {
-					s.cmdAcks++
+					s.cmdAcks.Add(1)
 				}
 				cs.acked = true
 				cs.level = env.Level
 				ac.last.Level = env.Level
 			}
-			s.mu.Unlock()
+			sh.mu.Unlock()
 		}
 	}
-	s.mu.Lock()
-	if s.agents[id] == ac {
-		delete(s.agents, id)
+	sh.mu.Lock()
+	if sh.agents[id] == ac {
+		delete(sh.agents, id)
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
+	s.retireOutbox(ac)
 	conn.Close()
 }
 
-// actuator routes manager commands to agent connections.
-type actuator struct{ s *Server }
-
-// SetNodeLevel implements manager.Actuator: assign a sequence number,
-// record the command in flight, and send it. Unacked commands are retried
-// by maintainCommands on subsequent cycles.
-func (a actuator) SetNodeLevel(id node.ID, level int) error {
-	s := a.s
-	s.mu.Lock()
-	if _, ok := s.agents[id]; !ok {
-		s.cmdErrs++
-		s.mu.Unlock()
-		return fmt.Errorf("managerd: no agent for node %d", id)
-	}
-	s.seq++
-	seq := s.seq
-	s.cmds[id] = &cmdState{level: level, seq: seq, sentCycle: s.cycleN}
-	s.mu.Unlock()
-	return s.sendCommand(id, level, seq)
+// actuator routes manager commands to agent connections, tagging each
+// dispatch with the issuing cycle's fan-out tracker.
+type actuator struct {
+	s   *Server
+	fan *fanout
 }
 
-// sendCommand writes one level command to a node's connection. Each send
-// carries a write deadline: one agent that has stopped draining its
-// socket (slow reader, full TCP buffer) must cost at most CommandTimeout,
-// not stall the caller indefinitely. A timed-out connection is closed —
-// its write stream is mid-message and unrecoverable — so the agent
-// redials; the in-flight command stays recorded and is retried once the
-// node is back.
-func (s *Server) sendCommand(id node.ID, level int, seq uint64) error {
-	s.mu.Lock()
-	ac, ok := s.agents[id]
-	s.mu.Unlock()
+// SetNodeLevel implements manager.Actuator: assign a sequence number,
+// record the command in flight, and enqueue it to the node's sender.
+// Recording happens before the enqueue, so the journal (which reads cmds
+// under the shard locks) always sees the newest commanded level — a
+// snapshot taken mid-fan-out can never persist a superseded one. Unacked
+// commands are retried by maintainCommands on subsequent cycles.
+func (a actuator) SetNodeLevel(id node.ID, level int) error {
+	s := a.s
+	sh := s.nodes.of(id)
+	sh.mu.Lock()
+	ac, ok := sh.agents[id]
 	if !ok {
-		s.mu.Lock()
-		s.cmdErrs++
-		s.mu.Unlock()
+		sh.mu.Unlock()
+		s.cmdErrs.Add(1)
 		return fmt.Errorf("managerd: no agent for node %d", id)
 	}
-	ac.sendMu.Lock()
-	_ = ac.conn.SetWriteDeadline(time.Now().Add(s.cfg.CommandTimeout))
-	err := ac.conn.Send(wire.Envelope{Type: wire.KindCommand, Node: int(id), Level: level, Seq: seq})
-	_ = ac.conn.SetWriteDeadline(time.Time{})
-	ac.sendMu.Unlock()
-	if err != nil {
-		s.mu.Lock()
-		s.cmdErrs++
-		s.mu.Unlock()
-		ac.conn.Close()
+	seq := s.seq.Add(1)
+	sh.cmds[id] = &cmdState{level: level, seq: seq, sentCycle: int(s.cycleN.Load())}
+	sh.mu.Unlock()
+	s.dispatch(ac, level, seq, a.fan)
+	return nil
+}
+
+// dispatch hands one command to a node's sender, claiming a fan-out slot
+// for it. An outbox closed mid-teardown just drops the write — the
+// command stays recorded in cmds and the retry path re-sends it once the
+// node redials.
+func (s *Server) dispatch(ac *agentConn, level int, seq uint64, fan *fanout) {
+	pc := &pendingCmd{level: level, seq: seq, fan: fan}
+	if fan != nil {
+		fan.add()
 	}
-	return err
+	ok, superseded := ac.enqueueCommand(pc)
+	if !ok {
+		if fan != nil {
+			fan.complete()
+		}
+		return
+	}
+	if superseded {
+		s.coalesced.Add(1)
+	}
 }
 
 func (s *Server) controlLoop() {
@@ -508,12 +571,12 @@ func (s *Server) controlLoop() {
 	}
 }
 
-// heartbeatLoop pings every connected agent each HeartbeatEvery control
-// cycles. The pings carry no payload; their only job is to feed the
-// agents' dead-man switches so a node behind a live manager never
-// self-degrades just because the fleet has been green (no commands) for a
-// long stretch. Runs outside the control loop so a slow reader stalls
-// heartbeats, not capping.
+// heartbeatLoop raises the ping flag on every connected agent's outbox
+// each HeartbeatEvery control cycles. The pings carry no payload; their
+// only job is to feed the agents' dead-man switches so a node behind a
+// live manager never self-degrades just because the fleet has been green
+// (no commands) for a long stretch. The senders fold a pending ping into
+// their next write, so a slow reader stalls only its own heartbeat.
 func (s *Server) heartbeatLoop() {
 	defer s.wg.Done()
 	tick := time.NewTicker(time.Duration(s.cfg.HeartbeatEvery) * s.cfg.ControlEvery)
@@ -523,27 +586,53 @@ func (s *Server) heartbeatLoop() {
 		case <-s.stopCh:
 			return
 		case <-tick.C:
-			s.mu.Lock()
-			conns := make([]*agentConn, 0, len(s.agents))
-			for _, ac := range s.agents {
-				conns = append(conns, ac)
-			}
-			s.mu.Unlock()
-			for _, ac := range conns {
-				ac.sendMu.Lock()
-				_ = ac.conn.SetWriteDeadline(time.Now().Add(s.cfg.CommandTimeout))
-				err := ac.conn.Send(wire.Envelope{Type: wire.KindPing})
-				_ = ac.conn.SetWriteDeadline(time.Time{})
-				ac.sendMu.Unlock()
-				if err != nil {
-					s.mu.Lock()
-					s.cmdErrs++
-					s.mu.Unlock()
-					ac.conn.Close()
+			for _, sh := range s.nodes.shards {
+				sh.mu.Lock()
+				acs := make([]*agentConn, 0, len(sh.agents))
+				for _, ac := range sh.agents {
+					acs = append(acs, ac)
+				}
+				sh.mu.Unlock()
+				for _, ac := range acs {
+					ac.enqueuePing()
 				}
 			}
 		}
 	}
+}
+
+// forEachShard sweeps every shard through fn on a bounded worker pool
+// (FanoutWorkers wide). fn receives distinct shards concurrently, never
+// the same shard twice, so per-shard results can be written to a slice
+// indexed by shard without locking.
+func (s *Server) forEachShard(fn func(i int, sh *shard)) {
+	n := len(s.nodes.shards)
+	workers := s.cfg.FanoutWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, sh := range s.nodes.shards {
+			fn(i, sh)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i, s.nodes.shards[i])
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // cycle runs one control cycle: gather fresh readings, estimate system
@@ -556,41 +645,68 @@ func (s *Server) heartbeatLoop() {
 // from the policy snapshot: per §II.A they are treated as
 // A_uncontrollable — their consumption is real, but commands down a
 // flapping link are wasted.
-func (s *Server) cycle() {
+//
+// The returned fan-out tracker completes once every command the cycle
+// issued has been written or abandoned; the cycle itself does not wait
+// for it (the senders run concurrently).
+func (s *Server) cycle() *fanout {
 	t0 := time.Now()
+	cycleN := int(s.cycleN.Add(1))
+	fan := s.newFanout(t0)
 
-	s.mu.Lock()
-	s.cycleN++
-	cycleN := s.cycleN
-	s.updateHealth(t0)
-	readings := make([]manager.AgentReading, 0, len(s.agents))
-	candidates := make([]manager.AgentReading, 0, len(s.agents))
-	for id, ac := range s.agents {
-		if !ac.seen {
-			continue
-		}
-		if t0.Sub(ac.lastAt) > s.cfg.StaleAfter {
-			s.stale++
-			continue
-		}
-		readings = append(readings, ac.last)
-		if !s.quarantined(id) {
-			candidates = append(candidates, ac.last)
-		}
+	type part struct {
+		candidates []manager.AgentReading
+		p          units.Watts
+		stale      int
 	}
-	s.mu.Unlock()
-
+	parts := make([]part, len(s.nodes.shards))
+	s.forEachShard(func(i int, sh *shard) {
+		g := &parts[i]
+		var readings []manager.AgentReading
+		sh.mu.Lock()
+		updateHealth(sh, t0, &s.cfg)
+		for id, ac := range sh.agents {
+			if !ac.seen {
+				continue
+			}
+			if t0.Sub(ac.lastAt) > s.cfg.StaleAfter {
+				g.stale++
+				continue
+			}
+			readings = append(readings, ac.last)
+			if !quarantinedIn(sh, id) {
+				g.candidates = append(g.candidates, ac.last)
+			}
+		}
+		sh.mu.Unlock()
+		// Model evaluation outside the shard lock: it is the cycle's CPU
+		// bulk and needs nothing but the copied readings.
+		for _, r := range readings {
+			g.p += s.cfg.Model.Estimate(r.Delta, r.Level)
+		}
+	})
 	var p units.Watts
-	for _, r := range readings {
-		p += s.cfg.Model.Estimate(r.Delta, r.Level)
+	nCand, nStale := 0, 0
+	for i := range parts {
+		p += parts[i].p
+		nCand += len(parts[i].candidates)
+		nStale += parts[i].stale
 	}
+	if nStale > 0 {
+		s.stale.Add(int64(nStale))
+	}
+	candidates := make([]manager.AgentReading, 0, nCand)
+	for i := range parts {
+		candidates = append(candidates, parts[i].candidates...)
+	}
+
 	thr := s.cfg.Thresholds
 	capping := true
 	if s.learner != nil {
 		thr = s.learner.Observe(time.Since(s.started), p)
 		capping = s.learner.Trained()
 	}
-	s.mu.Lock()
+	s.stateMu.Lock()
 	s.thr = thr
 	if s.learner != nil {
 		s.trained = capping
@@ -598,30 +714,48 @@ func (s *Server) cycle() {
 	} else if float64(p) > s.peakW {
 		s.peakW = float64(p)
 	}
-	s.mu.Unlock()
+	s.stateMu.Unlock()
 
 	// Command upkeep runs before Algorithm 1 so retries and reconciles
 	// reflect last cycle's state, not commands issued moments ago.
-	s.maintainCommands(cycleN)
+	s.maintainCommands(cycleN, fan)
 
 	snap := s.builder.Build(p, thr.PL, candidates)
 	if capping {
 		s.mgrMu.Lock()
-		_, _, _ = s.mgr.Cycle(p, thr, snap, actuator{s})
+		_, _, _ = s.mgr.Cycle(p, thr, snap, actuator{s, fan})
 		s.mgrMu.Unlock()
 	}
+	fan.finishEnqueue()
 
 	if s.cfg.JournalPath != "" && cycleN%s.cfg.JournalEvery == 0 {
 		s.writeJournal()
 	}
 
-	s.mu.Lock()
+	busy := time.Since(t0)
+	us := busy.Microseconds()
+	s.lastCycleMicros.Store(us)
+	atomicMax(&s.maxCycleMicros, us)
+	s.stateMu.Lock()
 	s.lastP = p
-	s.busy += time.Since(t0)
-	s.mu.Unlock()
+	s.busy += busy
+	s.stateMu.Unlock()
+	return fan
 }
 
-// maintainCommands is the per-cycle command lifecycle sweep:
+// StepCycle runs one control cycle synchronously and blocks until its
+// command fan-out completes (every command handed to a sender was written
+// or abandoned to the retry path), returning the fan-out completion
+// latency. It is a test and benchmark hook: drive it with a very long
+// ControlEvery so the ticker-driven loop stays out of the way.
+func (s *Server) StepCycle() time.Duration {
+	fan := s.cycle()
+	<-fan.done
+	return fan.dur
+}
+
+// maintainCommands is the per-cycle command lifecycle sweep (run across
+// the shards on the worker pool):
 //
 //   - commands unacked since a previous cycle are retried under the same
 //     sequence number (the command is idempotent, the ack will match);
@@ -635,48 +769,56 @@ func (s *Server) cycle() {
 //     by their dead-man switch (including the no-drift case where the
 //     journaled and reported levels agree at the floor) it is what makes
 //     the steady-green restore path lift them instead of orphaning them.
-func (s *Server) maintainCommands(cycleN int) {
+func (s *Server) maintainCommands(cycleN int, fan *fanout) {
 	type resend struct {
-		id    node.ID
+		ac    *agentConn
 		level int
 		seq   uint64
 	}
-	var resends []resend
-	var adopts []node.ID
-
-	s.mu.Lock()
-	for id, ac := range s.agents {
-		if !ac.seen || s.quarantined(id) {
-			continue
-		}
-		cs := s.cmds[id]
-		if cs == nil {
-			if ac.last.Level < ac.maxLevel {
-				s.cmds[id] = &cmdState{level: ac.last.Level, acked: true, sentCycle: cycleN}
+	nsh := len(s.nodes.shards)
+	resendParts := make([][]resend, nsh)
+	adoptParts := make([][]node.ID, nsh)
+	s.forEachShard(func(i int, sh *shard) {
+		var resends []resend
+		var adopts []node.ID
+		sh.mu.Lock()
+		for id, ac := range sh.agents {
+			if !ac.seen || quarantinedIn(sh, id) {
+				continue
+			}
+			cs := sh.cmds[id]
+			if cs == nil {
+				if ac.last.Level < ac.maxLevel {
+					sh.cmds[id] = &cmdState{level: ac.last.Level, acked: true, sentCycle: cycleN}
+					adopts = append(adopts, id)
+				}
+				continue
+			}
+			switch {
+			case !cs.acked && cycleN > cs.sentCycle:
+				cs.retries++
+				cs.sentCycle = cycleN
+				s.cmdRetries.Add(1)
+				resends = append(resends, resend{ac, cs.level, cs.seq})
+			case cs.acked && ac.last.Level != cs.level && cycleN >= cs.sentCycle+2:
+				cs.seq = s.seq.Add(1)
+				cs.acked = false
+				cs.sentCycle = cycleN
+				s.reconciles.Add(1)
+				resends = append(resends, resend{ac, cs.level, cs.seq})
+			}
+			if cs.level < ac.maxLevel {
 				adopts = append(adopts, id)
 			}
-			continue
 		}
-		switch {
-		case !cs.acked && cycleN > cs.sentCycle:
-			cs.retries++
-			cs.sentCycle = cycleN
-			s.cmdRetries++
-			resends = append(resends, resend{id, cs.level, cs.seq})
-		case cs.acked && ac.last.Level != cs.level && cycleN >= cs.sentCycle+2:
-			s.seq++
-			cs.seq = s.seq
-			cs.acked = false
-			cs.sentCycle = cycleN
-			s.reconciles++
-			resends = append(resends, resend{id, cs.level, cs.seq})
-		}
-		if cs.level < ac.maxLevel {
-			adopts = append(adopts, id)
-		}
-	}
-	s.mu.Unlock()
+		sh.mu.Unlock()
+		resendParts[i], adoptParts[i] = resends, adopts
+	})
 
+	var adopts []node.ID
+	for _, a := range adoptParts {
+		adopts = append(adopts, a...)
+	}
 	if len(adopts) > 0 {
 		s.mgrMu.Lock()
 		for _, id := range adopts {
@@ -684,33 +826,39 @@ func (s *Server) maintainCommands(cycleN int) {
 		}
 		s.mgrMu.Unlock()
 	}
-	for _, r := range resends {
-		_ = s.sendCommand(r.id, r.level, r.seq)
+	for _, rs := range resendParts {
+		for _, r := range rs {
+			s.dispatch(r.ac, r.level, r.seq, fan)
+		}
 	}
 }
 
 // writeJournal snapshots the recovery state to JournalPath. Called only
 // from the control-loop goroutine (or Stop, after the loops have exited),
-// which is what makes the lock-free learner access safe.
+// which is what makes the lock-free learner access safe. Because
+// SetNodeLevel records a command in cmds before enqueueing the write, a
+// snapshot racing the sender goroutines still captures the newest
+// commanded level for every node, never one superseded by coalescing.
 func (s *Server) writeJournal() {
 	var js journalState
 	if s.learner != nil {
 		st := s.learner.State()
 		js.Learner = &st
 	}
-	s.mu.Lock()
-	js.SavedAtCycle = s.cycleN
+	js.SavedAtCycle = int(s.cycleN.Load())
+	s.stateMu.Lock()
 	js.ThrPLW = float64(s.thr.PL)
 	js.ThrPHW = float64(s.thr.PH)
-	js.Levels = make([]journalLevel, 0, len(s.cmds))
-	for id, cs := range s.cmds {
-		js.Levels = append(js.Levels, journalLevel{Node: int(id), Level: cs.level})
+	s.stateMu.Unlock()
+	for _, sh := range s.nodes.shards {
+		sh.mu.Lock()
+		for id, cs := range sh.cmds {
+			js.Levels = append(js.Levels, journalLevel{Node: int(id), Level: cs.level})
+		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 	if err := saveJournal(s.cfg.JournalPath, js); err == nil {
-		s.mu.Lock()
-		s.journalWrites++
-		s.mu.Unlock()
+		s.journalWrites.Add(1)
 	}
 }
 
@@ -721,20 +869,35 @@ func (s *Server) Status() wire.StatusReply {
 	s.mgrMu.Lock()
 	st := s.mgr.Stats()
 	s.mgrMu.Unlock()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	drifted := 0
-	for id, ac := range s.agents {
-		if !ac.seen {
-			continue
+	agents, drifted := 0, 0
+	var healthy, staleN, lost, quar int
+	for _, sh := range s.nodes.shards {
+		sh.mu.Lock()
+		agents += len(sh.agents)
+		for id, ac := range sh.agents {
+			if !ac.seen {
+				continue
+			}
+			if cs := sh.cmds[id]; cs != nil && ac.last.Level != cs.level {
+				drifted++
+			}
 		}
-		if cs := s.cmds[id]; cs != nil && ac.last.Level != cs.level {
-			drifted++
-		}
+		h, sn, l, q := healthCounts(sh)
+		healthy += h
+		staleN += sn
+		lost += l
+		quar += q
+		sh.mu.Unlock()
 	}
-	healthy, staleN, lost, quar := s.healthCounts()
+	s.stateMu.Lock()
+	busy := s.busy
+	lastP := s.lastP
+	thr := s.thr
+	trained := s.trained
+	peakW := s.peakW
+	s.stateMu.Unlock()
 	rep := wire.StatusReply{
-		Agents:           len(s.agents),
+		Agents:           agents,
 		Cycles:           st.Cycles,
 		GreenCycles:      st.GreenCycles,
 		YellowCycles:     st.YellowCycles,
@@ -742,27 +905,34 @@ func (s *Server) Status() wire.StatusReply {
 		RedEntries:       st.RedEntries,
 		DegradeOps:       st.DegradeOps,
 		RestoreOps:       st.RestoreOps,
-		BusyMicros:       s.busy.Microseconds(),
-		LastPowerW:       float64(s.lastP),
-		ThresholdPLW:     float64(s.thr.PL),
-		ThresholdPHW:     float64(s.thr.PH),
-		DroppedStale:     s.stale,
-		CommandErrors:    s.cmdErrs,
-		Trained:          s.trained,
-		LifetimePeakW:    s.peakW,
-		CommandAcks:      s.cmdAcks,
-		CommandRetries:   s.cmdRetries,
-		Reconciles:       s.reconciles,
+		BusyMicros:       busy.Microseconds(),
+		LastPowerW:       float64(lastP),
+		ThresholdPLW:     float64(thr.PL),
+		ThresholdPHW:     float64(thr.PH),
+		DroppedStale:     int(s.stale.Load()),
+		CommandErrors:    int(s.cmdErrs.Load()),
+		Trained:          trained,
+		LifetimePeakW:    peakW,
+		CommandAcks:      int(s.cmdAcks.Load()),
+		CommandRetries:   int(s.cmdRetries.Load()),
+		Reconciles:       int(s.reconciles.Load()),
 		Drifted:          drifted,
 		HealthyNodes:     healthy,
 		StaleNodes:       staleN,
 		LostNodes:        lost,
 		QuarantinedNodes: quar,
-		Quarantines:      s.quarantines,
-		JournalWrites:    s.journalWrites,
+		Quarantines:      int(s.quarantines.Load()),
+		JournalWrites:    int(s.journalWrites.Load()),
+		CoalescedCmds:    int(s.coalesced.Load()),
+		StaleConnErrors:  int(s.staleConnErrs.Load()),
+		Shards:           len(s.nodes.shards),
+		LastCycleMicros:  s.lastCycleMicros.Load(),
+		MaxCycleMicros:   s.maxCycleMicros.Load(),
+		LastFanoutMicros: s.lastFanoutMicros.Load(),
+		MaxFanoutMicros:  s.maxFanoutMicros.Load(),
 	}
 	if st.Cycles > 0 {
-		rep.CPUUtilise = float64(s.busy) / float64(time.Duration(st.Cycles)*s.cfg.ControlEvery)
+		rep.CPUUtilise = float64(busy) / float64(time.Duration(st.Cycles)*s.cfg.ControlEvery)
 	}
 	return rep
 }

@@ -1,0 +1,223 @@
+package managerd
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Per-node outbound senders. The old actuation path wrote commands
+// synchronously from the control loop: one agent that stopped draining
+// its socket cost the cycle a full CommandTimeout, and N slow nodes cost
+// N timeouts back to back — head-of-line blocking exactly where
+// Algorithm 1's red-state reaction time matters most. Now every
+// connection owns a sender goroutine fed by a coalescing outbox: the
+// control loop enqueues (O(1), never blocks on the network) and the
+// senders write concurrently, so the cycle's actuation cost is bounded
+// by the slowest single node, not the sum of the slow ones.
+//
+// The outbox is deliberately one command deep: a newer command for a
+// node supersedes an unsent older one (the level to hold is a state, not
+// a log — only the newest matters), with supersessions counted in
+// CoalescedCmds. A pending heartbeat rides in the same write as a queued
+// command via the wire batch frame, so a slow cycle costs one write per
+// node regardless of how much the control plane tried to tell it.
+
+// pendingCmd is one level command queued in a node's outbox.
+type pendingCmd struct {
+	level int
+	seq   uint64
+	fan   *fanout // fan-out tracker of the issuing cycle; nil outside cycles
+}
+
+// enqueueCommand queues pc, superseding any unsent older command. It
+// reports whether the outbox accepted it (false: connection mid-teardown)
+// and whether an older command was superseded. The superseded command's
+// fan-out slot is released here; its delivery is owed to the retry path,
+// not this write.
+func (ac *agentConn) enqueueCommand(pc *pendingCmd) (ok, superseded bool) {
+	ac.obMu.Lock()
+	if ac.obClosed {
+		ac.obMu.Unlock()
+		return false, false
+	}
+	old := ac.obCmd
+	ac.obCmd = pc
+	ac.obMu.Unlock()
+	if old != nil && old.fan != nil {
+		old.fan.complete()
+	}
+	ac.wakeSender()
+	return true, old != nil
+}
+
+// enqueuePing raises the outbox's heartbeat flag; the sender folds it
+// into its next write.
+func (ac *agentConn) enqueuePing() {
+	ac.obMu.Lock()
+	if ac.obClosed {
+		ac.obMu.Unlock()
+		return
+	}
+	ac.obPing = true
+	ac.obMu.Unlock()
+	ac.wakeSender()
+}
+
+// wakeSender nudges the sender goroutine; a token already in flight is
+// enough, so this never blocks.
+func (ac *agentConn) wakeSender() {
+	select {
+	case ac.wake <- struct{}{}:
+	default:
+	}
+}
+
+// closeOutbox marks the outbox closed and returns the command it was
+// still holding, if any (nil when empty or already closed). The caller
+// releases the dropped command's fan-out slot.
+func (ac *agentConn) closeOutbox() *pendingCmd {
+	ac.obMu.Lock()
+	if ac.obClosed {
+		ac.obMu.Unlock()
+		return nil
+	}
+	ac.obClosed = true
+	pc := ac.obCmd
+	ac.obCmd, ac.obPing = nil, false
+	ac.obMu.Unlock()
+	ac.wakeSender()
+	return pc
+}
+
+// retireOutbox closes ac's outbox and releases any queued command's
+// fan-out slot — the teardown half of the sender lifecycle, called when
+// the connection dies, is replaced by a redial, or the server stops.
+func (s *Server) retireOutbox(ac *agentConn) {
+	if pc := ac.closeOutbox(); pc != nil && pc.fan != nil {
+		pc.fan.complete()
+	}
+}
+
+// runSender is one connection's sender goroutine: it drains the outbox,
+// writing whatever accumulated (newest command, pending ping) as a single
+// deadline-bounded batch write. A write failure retires the connection —
+// after a deadline the stream is mid-message and unrecoverable — and the
+// in-flight command stays recorded in cmds for the retry path.
+func (s *Server) runSender(ac *agentConn) {
+	defer s.wg.Done()
+	for {
+		ac.obMu.Lock()
+		pc, ping, closed := ac.obCmd, ac.obPing, ac.obClosed
+		ac.obCmd, ac.obPing = nil, false
+		ac.obMu.Unlock()
+
+		if pc == nil && !ping {
+			if closed {
+				return
+			}
+			<-ac.wake
+			continue
+		}
+
+		envs := make([]wire.Envelope, 0, 2)
+		if pc != nil {
+			envs = append(envs, wire.Envelope{
+				Type: wire.KindCommand, Node: int(ac.id), Level: pc.level, Seq: pc.seq,
+			})
+		}
+		if ping {
+			envs = append(envs, wire.Envelope{Type: wire.KindPing})
+		}
+		_ = ac.conn.SetWriteDeadline(time.Now().Add(s.cfg.CommandTimeout))
+		err := ac.conn.SendBatch(envs)
+		_ = ac.conn.SetWriteDeadline(time.Time{})
+		if err != nil {
+			// Account the failure before releasing the fan-out slot, so a
+			// caller unblocked by fan-out completion observes the error
+			// counters already settled.
+			s.noteSendError(ac)
+			ac.conn.Close()
+		}
+		if pc != nil && pc.fan != nil {
+			pc.fan.complete()
+		}
+		if err != nil {
+			s.retireOutbox(ac)
+			return
+		}
+	}
+}
+
+// noteSendError accounts one failed outbound write. The error is charged
+// to the node's CommandErrors only if ac is still the node's current
+// connection: during a reconnect flap the agent may already have redialled,
+// and a timeout surfacing on the superseded connection says nothing about
+// the fresh one — charging it would mis-attribute a dead epoch's failure
+// to a healthy node (and, via health accounting, to whoever reads it).
+// Such late failures are counted separately in StaleConnErrors.
+func (s *Server) noteSendError(ac *agentConn) {
+	sh := s.nodes.of(ac.id)
+	sh.mu.Lock()
+	current := sh.agents[ac.id] == ac
+	if current {
+		if rec := sh.health[ac.id]; rec != nil {
+			rec.sendErrs++
+		}
+	}
+	sh.mu.Unlock()
+	if current {
+		s.cmdErrs.Add(1)
+	} else {
+		s.staleConnErrs.Add(1)
+	}
+}
+
+// fanout tracks one control cycle's command fan-out: every command handed
+// to a sender holds a slot, and the cycle itself holds one until its
+// enqueue phase ends. When the last slot releases, the fan-out is
+// complete — every command of the cycle was written or abandoned to the
+// retry path — and the latency is recorded. StepCycle blocks on done.
+type fanout struct {
+	s       *Server
+	t0      time.Time
+	pending atomic.Int64
+	dur     time.Duration
+	done    chan struct{}
+}
+
+func (s *Server) newFanout(t0 time.Time) *fanout {
+	f := &fanout{s: s, t0: t0, done: make(chan struct{})}
+	f.pending.Store(1) // the cycle's own slot, released by finishEnqueue
+	return f
+}
+
+// add claims a slot for one dispatched command.
+func (f *fanout) add() { f.pending.Add(1) }
+
+// complete releases one slot; the last release stamps the latency.
+func (f *fanout) complete() {
+	if f.pending.Add(-1) != 0 {
+		return
+	}
+	f.dur = time.Since(f.t0)
+	us := f.dur.Microseconds()
+	f.s.lastFanoutMicros.Store(us)
+	atomicMax(&f.s.maxFanoutMicros, us)
+	close(f.done)
+}
+
+// finishEnqueue releases the cycle's own slot: all commands this cycle
+// will ever issue have been dispatched.
+func (f *fanout) finishEnqueue() { f.complete() }
+
+// atomicMax raises a to at least v.
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

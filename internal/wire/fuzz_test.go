@@ -32,6 +32,18 @@ func FuzzRecv(f *testing.F) {
 		`{"type":"ack","node":2}` + "\n"))
 	// Status reply with every stats field present.
 	f.Add([]byte(`{"type":"status","stats":{"agents":1,"cycles":2,"dropped_stale":3,"command_errors":4}}` + "\n"))
+	// Batched-command frames: the manager's coalesced command+ping write.
+	f.Add([]byte(`{"type":"batch","batch":[{"type":"command","node":3,"level":2,"seq":17},{"type":"ping"}]}` + "\n"))
+	// Degenerate batches: empty, null, and one truncated mid-frame.
+	f.Add([]byte(`{"type":"batch","batch":[]}` + "\n" + `{"type":"batch"}` + "\n"))
+	f.Add([]byte(`{"type":"batch","batch":[{"type":"command","node":1,"lev`))
+	// Nested batches (the protocol says they do not nest; the decoder must
+	// still survive arbitrary nesting depth without panicking).
+	f.Add([]byte(`{"type":"batch","batch":[{"type":"batch","batch":[{"type":"command","level":1}]}]}` + "\n"))
+	// A batch carrying samples and junk kinds between two commands.
+	f.Add([]byte(`{"type":"batch","batch":[{"type":"command","node":2,"level":0,"seq":9},` +
+		`{"type":"sample","node":2,"level":4,"interval_ms":50},{"type":"???"},` +
+		`{"type":"command","node":2,"level":1,"seq":10}]}` + "\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c := NewConn(nopCloser{bytes.NewReader(data)})
 		for i := 0; i < 16; i++ {
@@ -41,6 +53,11 @@ func FuzzRecv(f *testing.F) {
 			}
 			if env.Type == KindSample {
 				_ = env.Reading()
+			}
+			for _, inner := range env.Batch {
+				if inner.Type == KindSample {
+					_ = inner.Reading()
+				}
 			}
 		}
 	})

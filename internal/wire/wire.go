@@ -35,6 +35,7 @@ const (
 	KindAck     = "ack"
 	KindPing    = "ping"   // manager → agent: liveness heartbeat
 	KindStatus  = "status" // powctl → manager: report stats
+	KindBatch   = "batch"  // several messages in one frame (one flush, one fault roll)
 )
 
 // Envelope is the one-size wire message; Type selects which fields are
@@ -63,6 +64,13 @@ type Envelope struct {
 
 	// status reply
 	Stats *StatusReply `json:"stats,omitempty"`
+
+	// batch: the nested messages of a KindBatch frame. The manager's
+	// per-node senders use it to coalesce a level command and a pending
+	// heartbeat into one write — one bufio flush, and over faultnet one
+	// fault roll instead of two. Receivers process the nested envelopes in
+	// order; batches do not nest (a Batch inside a Batch is ignored).
+	Batch []Envelope `json:"batch,omitempty"`
 }
 
 // StatusReply is the manager's answer to a status request.
@@ -96,6 +104,15 @@ type StatusReply struct {
 	QuarantinedNodes int     `json:"quarantined_nodes"` // reconnect-flapping, excluded from A_candidate
 	Quarantines      int     `json:"quarantines"`       // quarantine entries over the run
 	JournalWrites    int     `json:"journal_writes"`    // crash-recovery snapshots persisted
+
+	// Fan-out layer counters (the concurrent actuation path).
+	CoalescedCmds    int   `json:"coalesced_cmds"`     // queued commands superseded before the write
+	StaleConnErrors  int   `json:"stale_conn_errors"`  // send failures on already-replaced connections
+	Shards           int   `json:"shards"`             // node-state shards
+	LastCycleMicros  int64 `json:"last_cycle_micros"`  // last control cycle's critical-path time
+	MaxCycleMicros   int64 `json:"max_cycle_micros"`   // worst control cycle so far
+	LastFanoutMicros int64 `json:"last_fanout_micros"` // last cycle's command fan-out completion time
+	MaxFanoutMicros  int64 `json:"max_fanout_micros"`  // worst fan-out so far
 }
 
 // SampleEnvelope builds a sample message from an agent reading.
@@ -155,6 +172,22 @@ func (c *Conn) Send(e Envelope) error {
 		return err
 	}
 	return c.w.Flush()
+}
+
+// SendBatch encodes several messages as one wire frame and flushes once.
+// A single-element batch is sent as a plain envelope (no wrapping); an
+// empty batch is a no-op. This is the manager's batched encode path: the
+// per-node sender goroutines hand it whatever accumulated in the node's
+// outbox (newest command, pending ping) so a slow cycle costs one write
+// per node, never one write per queued message.
+func (c *Conn) SendBatch(envs []Envelope) error {
+	switch len(envs) {
+	case 0:
+		return nil
+	case 1:
+		return c.Send(envs[0])
+	}
+	return c.Send(Envelope{Type: KindBatch, Batch: envs})
 }
 
 // Recv reads one message. io.EOF signals a clean close.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"net"
+	"reflect"
 	"testing"
 	"time"
 
@@ -116,6 +117,76 @@ func TestStatusReplyFailSafeFields(t *testing.T) {
 	}
 }
 
+// TestSendBatch covers the batched encode path: several messages in one
+// frame, one flush; single-element batches unwrap to a plain envelope and
+// empty batches write nothing.
+func TestSendBatch(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(pipeConn{&buf, &buf})
+	if err := c.SendBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty batch wrote %d bytes", buf.Len())
+	}
+	if err := c.SendBatch([]Envelope{{Type: KindPing}}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != KindPing || len(env.Batch) != 0 {
+		t.Errorf("single-element batch not unwrapped: %+v", env)
+	}
+
+	batch := []Envelope{
+		{Type: KindCommand, Node: 7, Level: 2, Seq: 41},
+		{Type: KindPing},
+	}
+	if err := c.SendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	env, err = c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != KindBatch || len(env.Batch) != 2 {
+		t.Fatalf("batch frame mangled: %+v", env)
+	}
+	if cmd := env.Batch[0]; cmd.Type != KindCommand || cmd.Node != 7 || cmd.Level != 2 || cmd.Seq != 41 {
+		t.Errorf("batched command mangled: %+v", cmd)
+	}
+	if env.Batch[1].Type != KindPing {
+		t.Errorf("batched ping mangled: %+v", env.Batch[1])
+	}
+}
+
+// TestSendBatchOneWrite pins the whole point of batching: a multi-message
+// batch reaches the underlying stream as exactly one Write (one faultnet
+// fault roll), not one per message.
+func TestSendBatchOneWrite(t *testing.T) {
+	cw := &countingWriter{}
+	c := NewConn(pipeConn{bytes.NewReader(nil), cw})
+	if err := c.SendBatch([]Envelope{
+		{Type: KindCommand, Node: 1, Level: 0, Seq: 1},
+		{Type: KindCommand, Node: 1, Level: 3, Seq: 2},
+		{Type: KindPing},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if cw.writes != 1 {
+		t.Errorf("batch of 3 took %d writes, want 1", cw.writes)
+	}
+}
+
+type countingWriter struct{ writes int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return len(p), nil
+}
+
 func TestRecvEOF(t *testing.T) {
 	c := NewConn(pipeConn{bytes.NewReader(nil), io.Discard})
 	if _, err := c.Recv(); err != io.EOF {
@@ -194,10 +265,12 @@ func TestEnvelopeKindsRoundTrip(t *testing.T) {
 		{"command", Envelope{Type: KindCommand, Node: 12, Level: 2}},
 		{"ack", Envelope{Type: KindAck, Node: 12, Level: 2}},
 		{"status", Envelope{Type: KindStatus, Stats: &StatusReply{Agents: 3}}},
+		{"ping", Envelope{Type: KindPing}},
 	}
 	kinds := map[string]bool{
 		KindHello: false, KindSample: false, KindCommand: false,
-		KindAck: false, KindStatus: false,
+		KindAck: false, KindStatus: false, KindPing: false,
+		KindBatch: true, // covered by TestSendBatch (slice field breaks == comparison)
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -216,7 +289,7 @@ func TestEnvelopeKindsRoundTrip(t *testing.T) {
 				}
 				got.Stats, tc.env.Stats = nil, nil
 			}
-			if got != tc.env {
+			if !reflect.DeepEqual(got, tc.env) {
 				t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tc.env)
 			}
 		})
