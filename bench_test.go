@@ -21,6 +21,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/manager"
@@ -335,7 +336,7 @@ func BenchmarkControlCycleSimulated(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sys.Engine().RunUntil(time.Duration(i+1) * time.Second)
+		sys.Backend().(*backend.Sim).Engine().RunUntil(time.Duration(i+1) * time.Second)
 	}
 }
 

@@ -3,12 +3,15 @@
 // manager's own measured CPU cost.
 //
 //	powctl -addr 127.0.0.1:7077
+//	powctl -addr 127.0.0.1:7077 -json | jq .command_acks
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/managerd"
@@ -21,12 +24,21 @@ func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:7077", "manager daemon address")
 		timeout = flag.Duration("timeout", 3*time.Second, "query timeout")
+		asJSON  = flag.Bool("json", false, "print the full status reply as one JSON object")
 	)
 	flag.Parse()
 
 	st, err := managerd.QueryStatus(*addr, *timeout)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	fmt.Printf("agents          %d\n", st.Agents)
 	fmt.Printf("cycles          %d (green %d, yellow %d, red %d)\n",
@@ -37,6 +49,7 @@ func main() {
 	fmt.Printf("thresholds      PL %.1f W, PH %.1f W\n", st.ThresholdPLW, st.ThresholdPHW)
 	fmt.Printf("learner         trained %v, lifetime peak %.1f W\n", st.Trained, st.LifetimePeakW)
 	fmt.Printf("manager busy    %d µs (cpu utilisation %.4f)\n", st.BusyMicros, st.CPUUtilise)
+	fmt.Printf("samples         %d received over the wire\n", st.SamplesReceived)
 	fmt.Printf("stale dropped   %d\n", st.DroppedStale)
 	fmt.Printf("command errors  %d (stale-conn %d)\n", st.CommandErrors, st.StaleConnErrors)
 	fmt.Printf("commands        acks %d, retries %d, reconciles %d, drifted now %d\n",

@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/replay"
@@ -28,6 +29,8 @@ func main() {
 	log.SetPrefix("powersim: ")
 
 	var (
+		backendName = flag.String("backend", "sim", "cluster backend: sim (in-process) or daemon (managerd/agentd over the wire)")
+
 		policy     = flag.String("policy", "mpc", "target set selection policy (mpc, mpc-c, lpc, lpc-c, bfp, hri, hri-c, none, all, random)")
 		nodes      = flag.Int("nodes", 128, "total nodes |A_total|")
 		privileged = flag.Int("privileged", 0, "permanently uncontrollable nodes")
@@ -53,6 +56,7 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := core.DefaultConfig()
+	cfg.Backend = *backendName
 	cfg.Seed = *seed
 	cfg.Nodes = *nodes
 	cfg.Privileged = *privileged
@@ -90,12 +94,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Close()
 	fmt.Printf("cluster: %d nodes, P_thy %v, provision %v\n",
-		cfg.Nodes, sys.Cluster().TheoreticalPeak(), pm)
+		cfg.Nodes, sys.Traits().TheoreticalPeak, pm)
 	fmt.Println("assumptions (§II.D):")
 	fmt.Println(core.FormatAssumptions(sys.CheckAssumptions()))
-	fmt.Printf("running: policy=%s class=%c training=%v eval=%v seed=%d\n",
-		*policy, cfg.Class, *training, *eval, *seed)
+	fmt.Printf("running: backend=%s policy=%s class=%c training=%v eval=%v seed=%d\n",
+		cfg.Backend, *policy, cfg.Class, *training, *eval, *seed)
 
 	start := time.Now()
 	res, err := sys.Run(*eval)
@@ -122,6 +127,11 @@ func main() {
 	fmt.Printf("  ops           degrade=%d restore=%d\n", st.DegradeOps, st.RestoreOps)
 	if res.DroppedReadings > 0 {
 		fmt.Printf("  faults        %d readings dropped\n", res.DroppedReadings)
+	}
+	if d, ok := sys.Backend().(*backend.Daemon); ok {
+		dst := d.Status()
+		fmt.Printf("  transport     samples=%d acks=%d retries=%d reconciles=%d\n",
+			dst.SamplesReceived, dst.CommandAcks, dst.CommandRetries, dst.Reconciles)
 	}
 
 	if *seriesOut != "" {

@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"bufio"
+	"encoding/json"
 	"net"
 	"os"
 	"os/exec"
@@ -10,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // buildOnce compiles the command binaries used by the CLI tests into a
@@ -224,6 +227,19 @@ func TestPowctlQueryFailureModes(t *testing.T) {
 			if !strings.Contains(text, want) {
 				t.Errorf("powctl output missing %q:\n%s", want, text)
 			}
+		}
+
+		// -json prints the full StatusReply as one decodable object.
+		out, err := exec.Command(powctl, "-addr", addr, "-timeout", "2s", "-json").CombinedOutput()
+		if err != nil {
+			t.Fatalf("powctl -json: %v\n%s", err, out)
+		}
+		var st wire.StatusReply
+		if err := json.Unmarshal(out, &st); err != nil {
+			t.Fatalf("powctl -json output not a StatusReply: %v\n%s", err, out)
+		}
+		if st.ThresholdPLW != 400 || st.ThresholdPHW != 600 {
+			t.Errorf("decoded thresholds PL=%v PH=%v, want 400/600", st.ThresholdPLW, st.ThresholdPHW)
 		}
 	})
 }

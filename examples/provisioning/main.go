@@ -32,7 +32,7 @@ func run(policy string) (*metrics.Series, units.Watts, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	return res.Series, sys.Cluster().TheoreticalPeak(), nil
+	return res.Series, sys.Traits().TheoreticalPeak, nil
 }
 
 func main() {

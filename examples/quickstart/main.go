@@ -26,7 +26,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("cluster: %d nodes, theoretical peak %v, provision %v\n",
-		cfg.Nodes, sys.Cluster().TheoreticalPeak(), cfg.PMax)
+		cfg.Nodes, sys.Traits().TheoreticalPeak, cfg.PMax)
 
 	res, err := sys.Run(2 * time.Hour) // virtual hours, not wall time
 	if err != nil {

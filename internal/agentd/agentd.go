@@ -57,6 +57,25 @@ type Config struct {
 	// (default 0, the lowest power state). The switch only ever lowers
 	// the level — a node already below the floor stays where it is.
 	FailsafeLevel int
+
+	// Passive turns the agent into a stateless relay for an externally
+	// owned node: no simulated node, no tick loop, no self-sampling.
+	// The external driver pushes samples through PushReading on its own
+	// clock, and commands are applied through the Apply callback. The
+	// wire behaviour (hello, acks, batch unwrapping, dead-man switch) is
+	// identical to an active agent — the manager cannot tell them apart.
+	Passive bool
+	// MaxLevel is the passive node's top power level (levels-1),
+	// reported in the hello. Passive mode only.
+	MaxLevel int
+	// InitialLevel is the passive node's level when the agent starts.
+	// Passive mode only.
+	InitialLevel int
+	// Apply executes a level command against the external node and
+	// returns the level actually in force afterwards (valid even when
+	// err is non-nil, so acks report the real level on a rejected
+	// command). Required in passive mode.
+	Apply func(level int) (applied int, err error)
 }
 
 // Agent is a running profiling agent.
@@ -80,12 +99,35 @@ type Agent struct {
 	loadUntil time.Duration
 	load      node.Load
 	clock     time.Duration
+
+	// passive-mode state: the cached level of the external node (kept in
+	// sync by Apply returns and pushed readings) and the live connection's
+	// serialised send function for PushReading (nil when disconnected).
+	curLevel int
+	send     func(wire.Envelope) error
 }
 
-// New constructs an agent with a freshly simulated node at full power.
+// New constructs an agent: with a freshly simulated node at full power,
+// or (Passive) as a relay for an externally owned node.
 func New(cfg Config) (*Agent, error) {
 	if cfg.SampleEvery <= 0 || cfg.TickEvery <= 0 {
 		return nil, fmt.Errorf("agentd: need positive intervals")
+	}
+	if cfg.Passive {
+		if cfg.Apply == nil {
+			return nil, fmt.Errorf("agentd: passive mode needs an Apply callback")
+		}
+		if cfg.MaxLevel < 0 || cfg.InitialLevel < 0 || cfg.InitialLevel > cfg.MaxLevel {
+			return nil, fmt.Errorf("agentd: passive levels invalid: initial %d, max %d", cfg.InitialLevel, cfg.MaxLevel)
+		}
+		if cfg.FailsafeAfter > 0 && (cfg.FailsafeLevel < 0 || cfg.FailsafeLevel > cfg.MaxLevel) {
+			return nil, fmt.Errorf("agentd: failsafe level %d outside [0,%d]", cfg.FailsafeLevel, cfg.MaxLevel)
+		}
+		return &Agent{
+			cfg:         cfg,
+			curLevel:    cfg.InitialLevel,
+			lastContact: time.Now(),
+		}, nil
 	}
 	n, err := node.New(cfg.NodeID, node.Config{Model: cfg.Model, Controllable: true})
 	if err != nil {
@@ -113,6 +155,9 @@ func (a *Agent) CommandsApplied() int {
 func (a *Agent) Level() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.cfg.Passive {
+		return a.curLevel
+	}
 	return a.node.Level()
 }
 
@@ -161,6 +206,14 @@ func (a *Agent) failsafeCheck() {
 	}
 	a.tripped = true
 	a.trips++
+	if a.cfg.Passive {
+		if a.curLevel > a.cfg.FailsafeLevel {
+			if lvl, err := a.cfg.Apply(a.cfg.FailsafeLevel); err == nil {
+				a.curLevel = lvl
+			}
+		}
+		return
+	}
 	if a.node.Level() > a.cfg.FailsafeLevel {
 		_ = a.node.SetLevel(a.cfg.FailsafeLevel)
 	}
@@ -215,11 +268,37 @@ func (a *Agent) sample() manager.AgentReading {
 func (a *Agent) apply(level int) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.cfg.Passive {
+		lvl, err := a.cfg.Apply(level)
+		a.curLevel = lvl
+		if err != nil {
+			return err
+		}
+		a.applied++
+		return nil
+	}
 	if err := a.node.SetLevel(level); err != nil {
 		return err
 	}
 	a.applied++
 	return nil
+}
+
+// PushReading sends one externally supplied sample to the manager over
+// the live connection. Passive mode only — the external driver owns the
+// sampling clock. The reading's level refreshes the cached level so
+// hello-after-reconnect and ack replies stay truthful.
+func (a *Agent) PushReading(r manager.AgentReading) error {
+	a.mu.Lock()
+	send := a.send
+	if send != nil {
+		a.curLevel = r.Level
+	}
+	a.mu.Unlock()
+	if send == nil {
+		return fmt.Errorf("agentd: node %d not connected", a.cfg.NodeID)
+	}
+	return send(wire.SampleEnvelope(r))
 }
 
 // RunWithReconnect runs the agent, redialling the manager with capped
@@ -331,9 +410,13 @@ func (a *Agent) Run(ctx context.Context) error {
 	// Hello carries the node's current level: a reconnecting throttled
 	// agent must not look full-power to the manager until its first
 	// sample arrives.
+	maxLevel := a.cfg.MaxLevel
+	if !a.cfg.Passive {
+		maxLevel = a.node.Levels() - 1
+	}
 	if err := send(wire.Envelope{
 		Type: wire.KindHello, Node: int(a.cfg.NodeID),
-		MaxLevel: a.node.Levels() - 1,
+		MaxLevel: maxLevel,
 		Level:    a.Level(),
 	}); err != nil {
 		close(readDone)
@@ -379,6 +462,36 @@ func (a *Agent) Run(ctx context.Context) error {
 			handle(env, 0)
 		}
 	}()
+
+	// Passive mode: no synthetic node to tick and no sampling clock of
+	// our own — expose the send path for PushReading and wait for the
+	// connection to end. The dead-man switch still runs on wall time.
+	if a.cfg.Passive {
+		a.mu.Lock()
+		a.send = send
+		a.mu.Unlock()
+		defer func() {
+			a.mu.Lock()
+			a.send = nil
+			a.mu.Unlock()
+		}()
+		var watchdog <-chan time.Time
+		if a.cfg.FailsafeAfter > 0 {
+			t := time.NewTicker(a.cfg.SampleEvery)
+			defer t.Stop()
+			watchdog = t.C
+		}
+		for {
+			select {
+			case <-ctx.Done():
+				return nil
+			case err := <-readErr:
+				return err
+			case <-watchdog:
+				a.failsafeCheck()
+			}
+		}
+	}
 
 	// Writer: tick the node and push samples. Sends are serialised on
 	// this goroutine only.

@@ -3,9 +3,11 @@ package agentd
 import (
 	"context"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/manager"
 	"repro/internal/power"
 	"repro/internal/wire"
 )
@@ -468,5 +470,183 @@ func TestRunWithReconnect(t *testing.T) {
 	case <-done:
 	case <-time.After(5 * time.Second):
 		t.Fatal("RunWithReconnect did not stop on cancel")
+	}
+}
+
+func TestPassiveConfigValidation(t *testing.T) {
+	apply := func(level int) (int, error) { return level, nil }
+	base := Config{
+		NodeID: 1, ManagerAddr: "127.0.0.1:1",
+		SampleEvery: time.Second, TickEvery: time.Second,
+		Model: power.TianheNode(),
+	}
+	cases := map[string]func(*Config){
+		"nil Apply":         func(c *Config) { c.Passive = true },
+		"negative max":      func(c *Config) { c.Passive = true; c.Apply = apply; c.MaxLevel = -1 },
+		"initial above max": func(c *Config) { c.Passive = true; c.Apply = apply; c.MaxLevel = 5; c.InitialLevel = 6 },
+		"failsafe above max": func(c *Config) {
+			c.Passive = true
+			c.Apply = apply
+			c.MaxLevel = 5
+			c.FailsafeAfter = 3
+			c.FailsafeLevel = 6
+		},
+		"negative failsafe lvl": func(c *Config) {
+			c.Passive = true
+			c.Apply = apply
+			c.MaxLevel = 5
+			c.FailsafeAfter = 3
+			c.FailsafeLevel = -1
+		},
+	}
+	for name, mutate := range cases {
+		cfg := base
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	cfg := base
+	cfg.Passive, cfg.Apply, cfg.MaxLevel, cfg.InitialLevel = true, apply, 9, 7
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Level() != 7 {
+		t.Errorf("Level = %d, want InitialLevel 7", a.Level())
+	}
+}
+
+func TestPassivePushReadingRequiresConnection(t *testing.T) {
+	a, err := New(Config{
+		NodeID: 1, ManagerAddr: "127.0.0.1:1",
+		SampleEvery: time.Second, TickEvery: time.Second,
+		Model:   power.TianheNode(),
+		Passive: true, MaxLevel: 9,
+		Apply: func(level int) (int, error) { return level, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PushReading(manager.AgentReading{ID: 1, Level: 9, MaxLevel: 9}); err == nil {
+		t.Error("PushReading succeeded while disconnected")
+	}
+}
+
+// TestPassiveProtocol drives a passive relay agent against a bare TCP
+// stand-in manager: the hello must advertise the external node's levels,
+// PushReading must surface as a wire sample, and a command must round-trip
+// through the Apply callback into an ack carrying the applied level.
+func TestPassiveProtocol(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	helloCh := make(chan wire.Envelope, 1)
+	sampleCh := make(chan wire.Envelope, 1)
+	ackCh := make(chan wire.Envelope, 1)
+	connCh := make(chan *wire.Conn, 1)
+	go func() {
+		raw, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c := wire.NewConn(raw)
+		connCh <- c
+		for {
+			env, err := c.Recv()
+			if err != nil {
+				return
+			}
+			switch env.Type {
+			case wire.KindHello:
+				helloCh <- env
+			case wire.KindSample:
+				sampleCh <- env
+			case wire.KindAck:
+				ackCh <- env
+			}
+		}
+	}()
+
+	var mu sync.Mutex
+	extLevel := 7 // the externally owned node's actual state
+	a, err := New(Config{
+		NodeID: 4, ManagerAddr: ln.Addr().String(),
+		SampleEvery: time.Hour, TickEvery: time.Hour, // no self-paced traffic
+		Model:   power.TianheNode(),
+		Passive: true, MaxLevel: 9, InitialLevel: 7,
+		Apply: func(level int) (int, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			extLevel = level
+			return extLevel, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = a.Run(ctx) }()
+
+	var conn *wire.Conn
+	select {
+	case hello := <-helloCh:
+		if hello.Node != 4 || hello.MaxLevel != 9 || hello.Level != 7 {
+			t.Fatalf("hello = %+v, want node 4 max 9 level 7", hello)
+		}
+		conn = <-connCh
+	case <-time.After(5 * time.Second):
+		t.Fatal("no hello")
+	}
+
+	// Push one reading on the driver's clock.
+	r := manager.AgentReading{ID: 4, Level: 7, MaxLevel: 9, Job: 2}
+	r.Delta.CPUUtil = 0.9
+	r.Delta.Interval = 250 * time.Millisecond
+	waitFor := time.Now().Add(5 * time.Second)
+	for {
+		if err := a.PushReading(r); err == nil {
+			break
+		} else if time.Now().After(waitFor) {
+			t.Fatalf("PushReading never connected: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case s := <-sampleCh:
+		if s.Node != 4 || s.Level != 7 || s.CPUUtil != 0.9 || s.IntervalMS != 250 || s.Job != 2 {
+			t.Errorf("sample = %+v", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no sample")
+	}
+
+	// Command level 3: Apply mutates the external node, ack reports it.
+	if err := conn.Send(wire.Envelope{Type: wire.KindCommand, Node: 4, Level: 3, Seq: 11}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ack := <-ackCh:
+		if ack.Seq != 11 || ack.Level != 3 {
+			t.Errorf("ack = %+v, want seq 11 level 3", ack)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no ack")
+	}
+	mu.Lock()
+	got := extLevel
+	mu.Unlock()
+	if got != 3 {
+		t.Errorf("external node level = %d, want 3", got)
+	}
+	if a.Level() != 3 {
+		t.Errorf("agent cached level = %d, want 3", a.Level())
+	}
+	if a.CommandsApplied() != 1 {
+		t.Errorf("CommandsApplied = %d, want 1", a.CommandsApplied())
 	}
 }

@@ -1,0 +1,108 @@
+package backend
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/manager"
+	"repro/internal/node"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Sim is the in-process simulation backend: the plant driven directly by
+// a discrete-event engine, sensed by the in-process Collector and
+// actuated by direct node state changes. It reproduces the pre-seam
+// core.System wiring exactly — same event registration order, same
+// stream names — so results are bit-identical for the same seed.
+type Sim struct {
+	*plant
+	engine  *sim.Engine
+	coll    *manager.Collector
+	started bool
+}
+
+// NewSim constructs the simulation backend.
+func NewSim(cfg Config) (*Sim, error) {
+	p, err := newPlant(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Sim{
+		plant:  p,
+		engine: sim.NewEngine(),
+		coll:   manager.NewCollector(p.cluster, p.sched),
+	}, nil
+}
+
+// Start registers the plant tick and the control callback. Order
+// matters: the tick event must fire before the control event at shared
+// instants, so the manager sees counters that include the latest
+// interval.
+func (s *Sim) Start(control func(now time.Duration)) error {
+	if s.started {
+		return fmt.Errorf("backend: Start called twice")
+	}
+	s.started = true
+	s.engine.Every(s.cfg.TickPeriod, func(e *sim.Engine) { s.tick(e.Now()) })
+	s.engine.Every(s.cfg.ControlPeriod, func(e *sim.Engine) { control(e.Now()) })
+	return nil
+}
+
+// RunUntil advances virtual time to t.
+func (s *Sim) RunUntil(t time.Duration) error {
+	s.engine.RunUntil(t)
+	return nil
+}
+
+// Now reports the current virtual time.
+func (s *Sim) Now() time.Duration { return s.engine.Now() }
+
+// ReadMeter samples the facility meter.
+func (s *Sim) ReadMeter() units.Watts { return s.readMeter() }
+
+// Sense samples every candidate node at virtual time now (node-ID
+// order, the Collector's iteration order).
+func (s *Sim) Sense(now time.Duration) []manager.AgentReading {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.coll.Collect(now)
+}
+
+// SetNodeLevel implements manager.Actuator by direct node actuation.
+func (s *Sim) SetNodeLevel(id node.ID, level int) error {
+	n := s.cluster.Node(id)
+	if n == nil {
+		return &manager.UnknownNodeError{ID: id}
+	}
+	return n.SetLevel(level)
+}
+
+// Stream returns the named deterministic random stream.
+func (s *Sim) Stream(name string) *rand.Rand { return s.streams.Get(name) }
+
+// BeginMeasurement resets the measured-window accumulators.
+func (s *Sim) BeginMeasurement() { s.beginMeasurement() }
+
+// Traits reports the plant's static aggregate properties.
+func (s *Sim) Traits() Traits { return s.traits() }
+
+// Info reads the run's accumulated outcomes.
+func (s *Sim) Info() Info { return s.info() }
+
+// Close is a no-op: the Sim backend owns no goroutines or sockets.
+func (s *Sim) Close() error { return nil }
+
+// Cluster exposes the underlying cluster for tests, examples and
+// benchmarks that inspect node state directly.
+func (s *Sim) Cluster() *cluster.Cluster { return s.cluster }
+
+// Scheduler exposes the job subsystem.
+func (s *Sim) Scheduler() *scheduler.Scheduler { return s.sched }
+
+// Engine exposes the simulation engine (custom instrumentation, e.g.
+// sampling extra series on a schedule before calling Run).
+func (s *Sim) Engine() *sim.Engine { return s.engine }

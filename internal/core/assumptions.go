@@ -31,19 +31,18 @@ type Assumption struct {
 //     checked structurally as provision above the all-idle floor plus
 //     one fully-loaded job's worth of headroom.
 //
-// Call it after New and before Run; it inspects configuration and
-// cluster state only.
+// Call it after New and before Run; it inspects configuration and the
+// backend's static traits only.
 func (s *System) CheckAssumptions() []Assumption {
 	var out []Assumption
+	tr := s.backend.Traits()
 
 	// Controllability.
-	err := s.cluster.CheckControllability(s.cfg.PMax)
-	floored := flooredWorstCase(s)
 	out = append(out, Assumption{
 		Name:  "controllability",
-		Holds: err == nil,
+		Holds: tr.FlooredWorstCase <= s.cfg.PMax,
 		Detail: fmt.Sprintf("floored worst case %v vs provision %v (|A_candidate|=%d)",
-			floored, s.cfg.PMax, len(s.cluster.Candidates())),
+			tr.FlooredWorstCase, s.cfg.PMax, tr.Candidates),
 	})
 
 	// Observability.
@@ -55,21 +54,19 @@ func (s *System) CheckAssumptions() []Assumption {
 	})
 
 	// Necessity.
-	pthy := s.cluster.TheoreticalPeak()
 	out = append(out, Assumption{
 		Name:   "necessity",
-		Holds:  s.cfg.PMax < pthy,
-		Detail: fmt.Sprintf("provision %v vs P_thy %v", s.cfg.PMax, pthy),
+		Holds:  s.cfg.PMax < tr.TheoreticalPeak,
+		Detail: fmt.Sprintf("provision %v vs P_thy %v", s.cfg.PMax, tr.TheoreticalPeak),
 	})
 
 	// Operability: the floor plus one saturated 128-proc job must fit —
 	// otherwise the system throttles permanently rather than
 	// "occasionally" (§II.D).
-	floor := s.cluster.FloorPower()
 	var oneJob units.Watts
-	if n := s.cluster.Nodes(); len(n) > 0 {
-		m := n[0].Model()
-		nodesPerJob := len(n) / 2 // a mid-size job on half the machine
+	if tr.Nodes > 0 {
+		m := tr.NodeModel
+		nodesPerJob := tr.Nodes / 2 // a mid-size job on half the machine
 		if nodesPerJob < 1 {
 			nodesPerJob = 1
 		}
@@ -77,26 +74,13 @@ func (s *System) CheckAssumptions() []Assumption {
 		oneJob = units.Watts(float64(nodesPerJob) *
 			float64(m.Instant(0.9, 0.5, 0.2, top)-m.MinPower()))
 	}
-	need := floor + oneJob
+	need := tr.FloorPower + oneJob
 	out = append(out, Assumption{
 		Name:   "operability",
 		Holds:  s.cfg.PMax > need,
-		Detail: fmt.Sprintf("provision %v vs idle floor %v + half-machine job %v", s.cfg.PMax, floor, oneJob),
+		Detail: fmt.Sprintf("provision %v vs idle floor %v + half-machine job %v", s.cfg.PMax, tr.FloorPower, oneJob),
 	})
 	return out
-}
-
-func flooredWorstCase(s *System) units.Watts {
-	var sum units.Watts
-	for _, n := range s.cluster.Nodes() {
-		m := n.Model()
-		if n.Controllable() {
-			sum += m.Instant(1, 1, 1, 0)
-		} else {
-			sum += m.MaxPower()
-		}
-	}
-	return sum
 }
 
 // FormatAssumptions renders the checklist compactly.

@@ -19,7 +19,7 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/cluster"
+	"repro/internal/backend"
 	"repro/internal/feedback"
 	"repro/internal/manager"
 	"repro/internal/metrics"
@@ -29,8 +29,6 @@ import (
 	"repro/internal/policy"
 	"repro/internal/power"
 	"repro/internal/replay"
-	"repro/internal/scheduler"
-	"repro/internal/sim"
 	"repro/internal/thermal"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -43,6 +41,13 @@ type Config struct {
 	// Seed drives every random stream in the run (workload draws, phase
 	// offsets, meter noise, node model error). Same seed, same run.
 	Seed uint64
+
+	// Backend selects the cluster transport: "" or "sim" runs the
+	// in-process simulation path; "daemon" runs the same simulated plant
+	// behind a real managerd/agentd daemon plane, sensing and actuating
+	// over the wire (see internal/backend). The control law is identical
+	// on both — one control law, two transports.
+	Backend string
 
 	// Nodes is |A_total|; Privileged nodes are permanently uncontrollable.
 	Nodes      int
@@ -206,6 +211,11 @@ func (c Config) Validate() error {
 	if c.PrivilegedJobFraction < 0 || c.PrivilegedJobFraction > 1 {
 		return fmt.Errorf("core: PrivilegedJobFraction %v outside [0,1]", c.PrivilegedJobFraction)
 	}
+	switch c.Backend {
+	case "", "sim", "daemon":
+	default:
+		return fmt.Errorf("core: unknown backend %q (want sim or daemon)", c.Backend)
+	}
 	switch c.Controller {
 	case "", "capping", "feedback", "twolevel":
 	default:
@@ -233,154 +243,109 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// System is a fully wired experiment instance.
+// System is a fully wired experiment instance: the control plane
+// (learner, sensing builder, Algorithm 1 manager) over a cluster
+// backend that owns the plant, the clock and the transport.
 type System struct {
 	cfg     Config
-	engine  *sim.Engine
-	cluster *cluster.Cluster
-	sched   *scheduler.Scheduler
-	meter   *power.Meter
+	backend backend.Backend
 	learner *power.Learner
 	builder *manager.Builder
-	coll    *manager.Collector
 	mgr     *manager.Manager
-	act     manager.Actuator
-	streams *sim.Streams
 
 	series    *metrics.Series
 	events    trace.EventLog
 	lastState power.State
 	haveState bool
 	recording bool
+	ran       bool
 	senseTime time.Duration
 	faultRng  func() float64 // nil when no faults
 	dropped   int
 
-	therm    *thermal.Tracker // nil when thermal modelling is off
-	thermBuf []units.Watts
-
 	fb       *feedback.Controller // non-nil when Controller == "feedback"
 	twolevel *nodemgr.Controller  // non-nil when Controller == "twolevel"
-	recorder *replay.Recorder     // non-nil when RecordTrace
-
-	cabinets *pdist.Monitor // nil unless Cabinets > 0
-	cabBuf   []units.Watts
 }
 
-// New constructs a System.
+// backendConfig extracts the plant half of the configuration.
+func (c Config) backendConfig() backend.Config {
+	return backend.Config{
+		Seed:                  c.Seed,
+		Nodes:                 c.Nodes,
+		Privileged:            c.Privileged,
+		CandidateCount:        c.CandidateCount,
+		Model:                 c.Model,
+		ModelFor:              c.ModelFor,
+		ModelError:            c.ModelError,
+		PowerJitter:           c.PowerJitter,
+		Class:                 c.Class,
+		Benchmarks:            c.Benchmarks,
+		ProcsPerNode:          c.ProcsPerNode,
+		PrivilegedJobFraction: c.PrivilegedJobFraction,
+		WorkloadTrace:         c.WorkloadTrace,
+		RecordTrace:           c.RecordTrace,
+		JobRampUp:             c.JobRampUp,
+		JobJitter:             c.JobJitter,
+		IdleLoad:              c.IdleLoad,
+		Placement:             c.Placement,
+		Cabinets:              c.Cabinets,
+		CabinetBreaker:        c.CabinetBreaker,
+		PMax:                  c.PMax,
+		MeterOverhead:         c.MeterOverhead,
+		MeterNoise:            c.MeterNoise,
+		ThermalEnabled:        c.ThermalEnabled,
+		Thermal:               c.Thermal,
+		ControlPeriod:         c.ControlPeriod,
+		TickPeriod:            c.TickPeriod,
+	}
+}
+
+// New constructs a System over the configured backend.
 func New(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	streams := sim.NewStreams(cfg.Seed)
-
-	cl, err := cluster.New(cluster.Config{
-		Nodes:       cfg.Nodes,
-		Model:       cfg.Model,
-		ModelFor:    cfg.ModelFor,
-		Privileged:  cfg.Privileged,
-		ModelError:  cfg.ModelError,
-		JitterSigma: cfg.PowerJitter,
-		Rng:         streams.Get("nodes"),
-	})
+	b, err := backend.New(cfg.Backend, cfg.backendConfig())
 	if err != nil {
 		return nil, err
 	}
-	if cfg.CandidateCount >= 0 {
-		if err := cl.SetCandidateCount(cfg.CandidateCount); err != nil {
-			return nil, err
-		}
-	}
-
-	suite := workload.NPB(cfg.Class)
-	if len(cfg.Benchmarks) > 0 {
-		var filtered []workload.Spec
-		for _, name := range cfg.Benchmarks {
-			s, err := workload.SpecByName(suite, name)
-			if err != nil {
-				return nil, err
-			}
-			filtered = append(filtered, s)
-		}
-		suite = filtered
-	}
-	gen := scheduler.RandomGenerator(streams.Get("workload"), suite)
-	if cfg.PrivilegedJobFraction > 0 {
-		gen = scheduler.PriorityGenerator(streams.Get("workload"), suite, cfg.PrivilegedJobFraction)
-	}
-	if cfg.WorkloadTrace != nil {
-		player, err := replay.NewPlayer(cfg.WorkloadTrace, suite, gen)
-		if err != nil {
-			return nil, err
-		}
-		gen = player.Generator()
-	}
-	var recorder *replay.Recorder
-	if cfg.RecordTrace {
-		recorder = replay.NewRecorder(gen, replay.Header{
-			Suite:   "NPB-" + string(cfg.Class),
-			Comment: fmt.Sprintf("recorded by core.System seed=%d", cfg.Seed),
-		})
-		gen = recorder.Generator()
-	}
-	var placement scheduler.Placement
-	if cfg.Placement == "spread" {
-		placement = scheduler.CabinetSpread(cfg.Nodes / cfg.Cabinets)
-	}
-	sched, err := scheduler.New(cl.Nodes(), scheduler.Config{
-		Generator: gen,
-		JobConfig: workload.JobConfig{
-			RampUp: cfg.JobRampUp,
-			Jitter: cfg.JobJitter,
-			Rng:    streams.Get("jobs"),
-		},
-		IdleLoad:     cfg.IdleLoad,
-		ProcsPerNode: cfg.ProcsPerNode,
-		Placement:    placement,
-	})
-	if err != nil {
+	fail := func(err error) (*System, error) {
+		_ = b.Close()
 		return nil, err
 	}
 
-	pol, err := policy.New(cfg.PolicyName, streams.Get("policy"))
+	pol, err := policy.New(cfg.PolicyName, b.Stream("policy"))
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	mgr, err := manager.New(manager.Config{Tg: cfg.Tg, Policy: pol})
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	learner, err := power.NewLearner(cfg.PMax, cfg.Training, cfg.AdjustEvery)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	if err := learner.SetMargins(cfg.MarginL, cfg.MarginH); err != nil {
-		return nil, err
+		return fail(err)
 	}
 
 	s := &System{
 		cfg:     cfg,
-		engine:  sim.NewEngine(),
-		cluster: cl,
-		sched:   sched,
-		meter:   power.NewMeter(cl, cfg.MeterOverhead, cfg.MeterNoise, streams.Get("meter")),
+		backend: b,
 		learner: learner,
-		builder: newBuilder(cfg, cl),
-		coll:    manager.NewCollector(cl, sched),
+		builder: newBuilder(cfg),
 		mgr:     mgr,
-		act:     manager.ClusterActuator{Cluster: cl},
-		streams: streams,
 		series:  &metrics.Series{},
 	}
 	if cfg.AgentDropRate > 0 {
-		rng := streams.Get("faults")
+		rng := b.Stream("faults")
 		s.faultRng = rng.Float64
 	}
-	s.recorder = recorder
 	if cfg.Controller == "feedback" {
 		fb, err := feedback.New(feedback.Default(cfg.PMax))
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		s.fb = fb
 	}
@@ -391,89 +356,32 @@ func New(cfg Config) (*System, error) {
 		}
 		tl, err := nodemgr.New(nodemgr.Config{Budget: cfg.PMax, Division: div, Model: cfg.Model})
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		s.twolevel = tl
 	}
-	if cfg.Cabinets > 0 {
-		breaker := cfg.CabinetBreaker
-		if breaker == 0 {
-			breaker = units.Watts(1.15 * float64(cfg.PMax) / float64(cfg.Cabinets))
-		}
-		mon, err := pdist.NewMonitor(pdist.Layout{
-			Cabinets: cfg.Cabinets,
-			NodesPer: cfg.Nodes / cfg.Cabinets,
-		}, breaker)
-		if err != nil {
-			return nil, err
-		}
-		s.cabinets = mon
-		s.cabBuf = make([]units.Watts, cfg.Nodes)
-	}
-	if cfg.ThermalEnabled {
-		params := cfg.Thermal
-		if params == (thermal.Params{}) {
-			params = thermal.Tianhe()
-		}
-		tr, err := thermal.NewTracker(cfg.Nodes, params)
-		if err != nil {
-			return nil, err
-		}
-		s.therm = tr
-		s.thermBuf = make([]units.Watts, cfg.Nodes)
-	}
 
-	// Order matters: the tick event must fire before the control event at
-	// shared instants, so the manager sees counters that include the
-	// latest interval.
-	s.engine.Every(cfg.TickPeriod, s.tick)
-	s.engine.Every(cfg.ControlPeriod, s.control)
+	if err := b.Start(s.control); err != nil {
+		return fail(err)
+	}
 	return s, nil
 }
 
 // newBuilder creates the sensing snapshot builder, registering per-node
 // profile models on heterogeneous clusters.
-func newBuilder(cfg Config, cl *cluster.Cluster) *manager.Builder {
+func newBuilder(cfg Config) *manager.Builder {
 	b := manager.NewBuilder(cfg.Model)
 	if cfg.ModelFor != nil {
-		for _, n := range cl.Nodes() {
-			b.SetNodeModel(n.ID(), n.Model())
+		for i := 0; i < cfg.Nodes; i++ {
+			b.SetNodeModel(node.ID(i), cfg.ModelFor(i))
 		}
 	}
 	return b
 }
 
-// tick advances physics and workload by one TickPeriod.
-func (s *System) tick(e *sim.Engine) {
-	dt := s.cfg.TickPeriod
-	s.cluster.Tick(dt)        // account the previous interval's load
-	s.sched.Tick(e.Now(), dt) // finish/start jobs, install new loads
-	if s.cabinets != nil {
-		for i, n := range s.cluster.Nodes() {
-			s.cabBuf[i] = n.TruePower()
-		}
-		if err := s.cabinets.Observe(dt, s.cabBuf); err != nil {
-			panic(err) // sizes match by construction
-		}
-	}
-	if s.therm != nil {
-		for i, n := range s.cluster.Nodes() {
-			s.thermBuf[i] = n.TruePower()
-		}
-		if err := s.therm.Step(dt, s.thermBuf); err != nil {
-			panic(err) // sizes match by construction
-		}
-		// Close the §I.A positive feedback loop: hotter nodes draw more.
-		for i, n := range s.cluster.Nodes() {
-			n.SetThermalFactor(s.therm.LeakageFactor(i))
-		}
-	}
-}
-
 // control runs one manager cycle.
-func (s *System) control(e *sim.Engine) {
-	now := e.Now()
-	p := s.meter.Read()
+func (s *System) control(now time.Duration) {
+	p := s.backend.ReadMeter()
 	thr := s.learner.Observe(now, p)
 	if s.recording {
 		_ = s.series.Add(now, p)
@@ -491,7 +399,7 @@ func (s *System) control(e *sim.Engine) {
 	s.lastState, s.haveState = st, true
 
 	t0 := time.Now()
-	readings := s.coll.Collect(now)
+	readings := s.backend.Sense(now)
 	if s.faultRng != nil {
 		kept := readings[:0]
 		for _, r := range readings {
@@ -515,14 +423,14 @@ func (s *System) control(e *sim.Engine) {
 		// The feedback baseline regulates to the same P_L Algorithm 1
 		// would hold, for a fair comparison.
 		s.fb.SetSetpoint(thr.PL)
-		s.fb.Cycle(p, snap, s.act)
+		s.fb.Cycle(p, snap, s.backend)
 		return
 	}
 	if s.twolevel != nil {
 		// The two-level baseline divides the same P_L into per-node
 		// budgets enforced locally.
 		s.twolevel.SetBudget(thr.PL)
-		s.twolevel.Cycle(readings, s.act)
+		s.twolevel.Cycle(readings, s.backend)
 		return
 	}
 	// The "none" policy is the fully uncapped baseline — Algorithm 1's
@@ -531,7 +439,7 @@ func (s *System) control(e *sim.Engine) {
 	if s.cfg.PolicyName == "none" {
 		return
 	}
-	if _, _, err := s.mgr.Cycle(p, thr, snap, s.act); err != nil {
+	if _, _, err := s.mgr.Cycle(p, thr, snap, s.backend); err != nil {
 		// Threshold validation cannot fail here by construction; a
 		// failure would indicate a learner bug worth surfacing loudly.
 		panic(err)
@@ -586,26 +494,27 @@ func (s *System) Run(eval time.Duration) (*Result, error) {
 	if eval <= 0 {
 		return nil, fmt.Errorf("core: evaluation duration must be positive")
 	}
-	if s.engine.Now() > 0 {
+	if s.ran {
 		return nil, fmt.Errorf("core: Run may only be called once")
 	}
+	s.ran = true
 	if s.cfg.Training > 0 {
-		s.engine.RunUntil(s.cfg.Training)
+		if err := s.backend.RunUntil(s.cfg.Training); err != nil {
+			return nil, err
+		}
 	}
-	trainEnd := s.engine.Now()
+	trainEnd := s.backend.Now()
 	s.recording = true
-	if s.therm != nil {
-		// The thermal summary covers the measured window only; the
-		// (identical, uncapped) training period would dilute it.
-		s.therm.ResetAccumulators()
+	// The thermal and cabinet summaries cover the measured window only;
+	// the (identical, uncapped) training period would dilute them.
+	s.backend.BeginMeasurement()
+	if err := s.backend.RunUntil(trainEnd + eval); err != nil {
+		return nil, err
 	}
-	if s.cabinets != nil {
-		s.cabinets.Reset()
-	}
-	s.engine.RunUntil(trainEnd + eval)
 
+	info := s.backend.Info()
 	var jobs []*workload.Job
-	for _, j := range s.sched.Finished() {
+	for _, j := range info.FinishedJobs {
 		if j.End() >= trainEnd {
 			jobs = append(jobs, j)
 		}
@@ -619,29 +528,14 @@ func (s *System) Run(eval time.Duration) (*Result, error) {
 		TrainingPeak:    s.learner.LifetimePeak(),
 		SenseTime:       s.senseTime,
 		DroppedReadings: s.dropped,
-		TheoreticalPeak: s.cluster.TheoreticalPeak(),
-		Thermal:         thermalSummary(s.therm),
+		TheoreticalPeak: info.TheoreticalPeak,
+		Thermal:         info.Thermal,
 		FeedbackStats:   feedbackStats(s.fb),
 		TwoLevelStats:   twoLevelStats(s.twolevel),
-		Trace:           recordedTrace(s.recorder),
-		Cabinets:        cabinetSummary(s.cabinets),
+		Trace:           info.Trace,
+		Cabinets:        info.Cabinets,
 		Events:          &s.events,
 	}, nil
-}
-
-func cabinetSummary(m *pdist.Monitor) *pdist.Summary {
-	if m == nil {
-		return nil
-	}
-	sum := m.Summarise()
-	return &sum
-}
-
-func recordedTrace(r *replay.Recorder) *replay.Trace {
-	if r == nil {
-		return nil
-	}
-	return r.Trace()
 }
 
 func feedbackStats(fb *feedback.Controller) *feedback.Stats {
@@ -660,19 +554,14 @@ func twoLevelStats(tl *nodemgr.Controller) *nodemgr.Stats {
 	return &st
 }
 
-func thermalSummary(t *thermal.Tracker) *thermal.Summary {
-	if t == nil {
-		return nil
-	}
-	sum := t.Summarise()
-	return &sum
-}
+// Backend exposes the cluster backend. Tests, examples and benchmarks
+// that need sim-only internals (the cluster, the engine) type-assert it
+// to *backend.Sim.
+func (s *System) Backend() backend.Backend { return s.backend }
 
-// Cluster exposes the underlying cluster (examples and experiments).
-func (s *System) Cluster() *cluster.Cluster { return s.cluster }
-
-// Scheduler exposes the job subsystem.
-func (s *System) Scheduler() *scheduler.Scheduler { return s.sched }
+// Traits reports the plant's static aggregate properties (P_thy, floor
+// power, candidate count) without reaching through the backend seam.
+func (s *System) Traits() backend.Traits { return s.backend.Traits() }
 
 // Manager exposes the power manager.
 func (s *System) Manager() *manager.Manager { return s.mgr }
@@ -680,6 +569,7 @@ func (s *System) Manager() *manager.Manager { return s.mgr }
 // Learner exposes the threshold learner.
 func (s *System) Learner() *power.Learner { return s.learner }
 
-// Engine exposes the simulation engine (for custom instrumentation, e.g.
-// sampling extra series on a schedule before calling Run).
-func (s *System) Engine() *sim.Engine { return s.engine }
+// Close releases backend resources — a no-op on the sim backend, daemon
+// shutdown (agents, manager, fault network) on the daemon backend. Safe
+// to call more than once.
+func (s *System) Close() error { return s.backend.Close() }

@@ -6,6 +6,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/backend"
+	"repro/internal/cluster"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -17,6 +19,17 @@ func quickCfg(pol string, seed uint64) Config {
 	cfg.PolicyName = pol
 	cfg.Training = 30 * time.Minute
 	return cfg
+}
+
+// simCluster reaches through the backend seam to the simulated cluster;
+// only valid on the (default) sim backend.
+func simCluster(t *testing.T, sys *System) *cluster.Cluster {
+	t.Helper()
+	sb, ok := sys.Backend().(*backend.Sim)
+	if !ok {
+		t.Fatalf("backend is %T, want *backend.Sim", sys.Backend())
+	}
+	return sb.Cluster()
 }
 
 func TestConfigValidation(t *testing.T) {
@@ -220,14 +233,14 @@ func TestCandidateCountRestrictsThrottling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(sys.Cluster().Candidates()); got != 8 {
+	if got := len(simCluster(t, sys).Candidates()); got != 8 {
 		t.Fatalf("candidates = %d", got)
 	}
 	if _, err := sys.Run(time.Hour); err != nil {
 		t.Fatal(err)
 	}
 	// Only candidate nodes may end below the top level.
-	for _, n := range sys.Cluster().Nodes() {
+	for _, n := range simCluster(t, sys).Nodes() {
 		if !n.Controllable() && !n.AtHighest() {
 			t.Errorf("non-candidate node %d at level %d", n.ID(), n.Level())
 		}
@@ -244,7 +257,7 @@ func TestPrivilegedNodesNeverThrottled(t *testing.T) {
 	if _, err := sys.Run(time.Hour); err != nil {
 		t.Fatal(err)
 	}
-	for _, n := range sys.Cluster().Nodes() {
+	for _, n := range simCluster(t, sys).Nodes() {
 		if !n.Controllable() && !n.AtHighest() {
 			t.Errorf("privileged node %d was throttled to level %d", n.ID(), n.Level())
 		}
@@ -533,7 +546,7 @@ func TestSoak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, n := range sys.Cluster().Nodes() {
+	for _, n := range simCluster(t, sys).Nodes() {
 		if n.Level() < 0 || n.Level() >= n.Levels() {
 			t.Errorf("node %d at level %d of %d", n.ID(), n.Level(), n.Levels())
 		}
@@ -568,5 +581,53 @@ func TestSoak(t *testing.T) {
 	}
 	if res.Summary.JobsDone < 500 {
 		t.Errorf("only %d jobs finished in 46 virtual hours", res.Summary.JobsDone)
+	}
+}
+
+func TestUnknownBackendNameRejected(t *testing.T) {
+	cfg := quickCfg("mpc", 1)
+	cfg.Backend = "carrier-pigeon"
+	if _, err := New(cfg); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+// TestDaemonBackendSmoke runs the full control law over the daemon
+// transport and asserts it behaves: thresholds learned, capping active,
+// samples and acks actually crossing the wire.
+func TestDaemonBackendSmoke(t *testing.T) {
+	cfg := quickCfg("mpc", 5)
+	cfg.Backend = "daemon"
+	cfg.Nodes = 16
+	cfg.PMax = units.KW(4)
+	cfg.Training = 10 * time.Minute
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	res, err := sys.Run(20 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Thresholds.PL <= 0 || res.Thresholds.PH <= res.Thresholds.PL {
+		t.Errorf("bad thresholds: %+v", res.Thresholds)
+	}
+	if res.Summary.JobsDone == 0 {
+		t.Error("no jobs finished")
+	}
+	d, ok := sys.Backend().(*backend.Daemon)
+	if !ok {
+		t.Fatalf("backend is %T, want *backend.Daemon", sys.Backend())
+	}
+	st := d.Status()
+	wantSamples := int64(cfg.Nodes) * int64((10*time.Minute+20*time.Minute)/cfg.ControlPeriod)
+	if st.SamplesReceived != wantSamples {
+		t.Errorf("samples received = %d, want %d", st.SamplesReceived, wantSamples)
+	}
+	if res.ManagerStats.DegradeOps == 0 {
+		t.Error("capping inert over the daemon transport")
+	} else if st.CommandAcks == 0 {
+		t.Error("degrade ops issued but no command acks on the wire")
 	}
 }

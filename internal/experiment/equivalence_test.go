@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBackendEquivalence is the E11 acceptance test: one seeded scenario
+// scored on the sim and daemon backends must agree on the headline
+// metrics within the documented tolerances. Under -short it runs the CI
+// smoke scale (minutes of virtual time) so the race detector stays cheap;
+// otherwise the full Quick scale.
+func TestBackendEquivalence(t *testing.T) {
+	sc := Quick()
+	if testing.Short() {
+		sc = ShortEquivalenceScale()
+	}
+	r, err := BackendEquivalence(sc, "mpc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := EquivalenceTable(r).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", buf.String())
+	if vs := r.Violations(); len(vs) > 0 {
+		t.Errorf("backends diverge beyond tolerance: %v", vs)
+	}
+	if r.Samples == 0 || r.Acks == 0 {
+		t.Errorf("daemon transport unused: samples=%d acks=%d", r.Samples, r.Acks)
+	}
+	if r.Sim.JobsDone == 0 || r.Daemon.JobsDone == 0 {
+		t.Errorf("no jobs finished: sim=%.0f daemon=%.0f", r.Sim.JobsDone, r.Daemon.JobsDone)
+	}
+}
+
+func TestRelDelta(t *testing.T) {
+	cases := []struct {
+		a, b, floor, want float64
+	}{
+		{100, 102, 1, 0.02},
+		{0, 0, 1e-4, 0},
+		{0, 5e-5, 1e-4, 0.5},
+		{-10, -11, 1, 0.1},
+	}
+	for _, c := range cases {
+		if got := relDelta(c.a, c.b, c.floor); !approxEq(got, c.want) {
+			t.Errorf("relDelta(%v,%v,%v) = %v, want %v", c.a, c.b, c.floor, got, c.want)
+		}
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	return d < 1e-12 && d > -1e-12
+}

@@ -21,6 +21,7 @@ package harness
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -100,6 +101,21 @@ type Options struct {
 
 	// Learn enables manager-side threshold learning.
 	Learn *managerd.LearnConfig
+
+	// Model is the power model the manager estimates fleet power with
+	// (default power.TianheNode()).
+	Model power.Model
+
+	// External runs the manager in external-control mode: the transport
+	// stack comes up but no internal control loop — the caller drives
+	// cycles through managerd.Server.StartExternalCycle. Used by the
+	// daemon cluster backend, where core's manager owns the control law.
+	External bool
+
+	// AgentSetup, when non-nil, mutates each agent's config just before
+	// agentd.New — the daemon backend uses it to make agents passive
+	// relays for the simulated plant's nodes.
+	AgentSetup func(i int, cfg *agentd.Config)
 }
 
 // serverConfig assembles the managerd.Config this cluster's options
@@ -109,24 +125,25 @@ type Options struct {
 // journal restore skipped it).
 func (o Options) serverConfig(ln net.Listener) managerd.Config {
 	return managerd.Config{
-		Listener:       ln,
-		Model:          power.TianheNode(),
-		Policy:         o.Policy,
-		Tg:             o.Tg,
-		ControlEvery:   o.ControlEvery,
-		Thresholds:     o.Thresholds,
-		StaleAfter:     o.StaleAfter,
-		CommandTimeout: o.CommandTimeout,
-		LostAfter:      o.LostAfter,
-		FlapWindow:     o.FlapWindow,
-		FlapLimit:      o.FlapLimit,
-		Quarantine:     o.Quarantine,
-		HeartbeatEvery: o.HeartbeatEvery,
-		JournalPath:    o.JournalPath,
-		JournalEvery:   o.JournalEvery,
-		Shards:         o.Shards,
-		FanoutWorkers:  o.FanoutWorkers,
-		Learn:          o.Learn,
+		Listener:        ln,
+		Model:           o.Model,
+		Policy:          o.Policy,
+		Tg:              o.Tg,
+		ControlEvery:    o.ControlEvery,
+		Thresholds:      o.Thresholds,
+		StaleAfter:      o.StaleAfter,
+		CommandTimeout:  o.CommandTimeout,
+		LostAfter:       o.LostAfter,
+		FlapWindow:      o.FlapWindow,
+		FlapLimit:       o.FlapLimit,
+		Quarantine:      o.Quarantine,
+		HeartbeatEvery:  o.HeartbeatEvery,
+		JournalPath:     o.JournalPath,
+		JournalEvery:    o.JournalEvery,
+		Shards:          o.Shards,
+		FanoutWorkers:   o.FanoutWorkers,
+		Learn:           o.Learn,
+		ExternalControl: o.External,
 	}
 }
 
@@ -161,6 +178,9 @@ func (o *Options) fill() {
 	if o.MaxBackoff <= 0 {
 		o.MaxBackoff = 80 * time.Millisecond
 	}
+	if len(o.Model.CPU.Freqs) == 0 { // zero Model: no DVFS table
+		o.Model = power.TianheNode()
+	}
 }
 
 // Cluster is a running in-process cluster.
@@ -177,44 +197,50 @@ type Cluster struct {
 	leak     *LeakCheck
 }
 
-// Start boots a manager and Opt.Agents agents over a fresh fault network
-// and registers cleanup (stop + goroutine-leak check) on t. Agent i dials
-// with faultnet key i; fault profiles follow Options.
-func Start(t testing.TB, opt Options) *Cluster {
-	t.Helper()
+// New boots a manager and Opt.Agents agents over a fresh fault network.
+// Agent i dials with faultnet key i; fault profiles follow Options. The
+// caller owns the cluster and must Stop it; test helpers that need a
+// testing.TB (AwaitAgents etc.) panic on a New-built cluster — use Start
+// in tests. On error everything already started is torn down.
+func New(opt Options) (*Cluster, error) {
 	opt.fill()
-	leak := StartLeakCheck()
 
 	n := faultnet.New(opt.Seed)
 	n.SetDefaultProfiles(opt.AgentProfile, opt.ManagerProfile)
 
 	srv, err := managerd.New(opt.serverConfig(n.Listener()))
 	if err != nil {
-		t.Fatalf("harness: managerd.New: %v", err)
+		n.Close()
+		return nil, fmt.Errorf("harness: managerd.New: %w", err)
 	}
 	if err := srv.Start(); err != nil {
-		t.Fatalf("harness: managerd.Start: %v", err)
+		n.Close()
+		return nil, fmt.Errorf("harness: managerd.Start: %w", err)
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
-	c := &Cluster{Opt: opt, Net: n, Server: srv, t: t, cancel: cancel, leak: leak}
+	c := &Cluster{Opt: opt, Net: n, Server: srv, cancel: cancel}
 	for i := 0; i < opt.Agents; i++ {
 		key := uint64(i)
-		a, err := agentd.New(agentd.Config{
+		acfg := agentd.Config{
 			NodeID:        node.ID(i),
 			SampleEvery:   opt.SampleEvery,
 			TickEvery:     opt.TickEvery,
-			Model:         power.TianheNode(),
+			Model:         opt.Model,
 			Seed:          opt.Seed + int64(i) + 1,
 			FailsafeAfter: opt.FailsafeAfter,
 			FailsafeLevel: opt.FailsafeLevel,
 			Dial: func(ctx context.Context) (net.Conn, error) {
 				return n.Dial(ctx, key)
 			},
-		})
+		}
+		if opt.AgentSetup != nil {
+			opt.AgentSetup(i, &acfg)
+		}
+		a, err := agentd.New(acfg)
 		if err != nil {
-			cancel()
-			t.Fatalf("harness: agentd.New(%d): %v", i, err)
+			c.Stop()
+			return nil, fmt.Errorf("harness: agentd.New(%d): %w", i, err)
 		}
 		c.Agents = append(c.Agents, a)
 		c.wg.Add(1)
@@ -223,11 +249,34 @@ func Start(t testing.TB, opt Options) *Cluster {
 			a.RunWithReconnect(ctx, opt.InitialBackoff, opt.MaxBackoff)
 		}()
 	}
+	return c, nil
+}
+
+// Start boots a cluster via New and registers cleanup (stop +
+// goroutine-leak check) on t.
+func Start(t testing.TB, opt Options) *Cluster {
+	t.Helper()
+	leak := StartLeakCheck()
+	c, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.t = t
+	c.leak = leak
 	t.Cleanup(func() {
 		c.Stop()
 		c.leak.Check(t, 5*time.Second)
 	})
 	return c
+}
+
+// tb returns the cluster's testing handle, panicking with a clear message
+// when the cluster was built with New rather than Start.
+func (c *Cluster) tb() testing.TB {
+	if c.t == nil {
+		panic("harness: test helper called on a New-built cluster (use Start)")
+	}
+	return c.t
 }
 
 // Stop cancels the agents, waits for them, and shuts the manager and the
@@ -252,13 +301,14 @@ func (c *Cluster) StopManager() { c.Server.Stop() }
 // accepted immediately. Options mutated between StopManager and
 // StartManager (e.g. the learner's training window) take effect here.
 func (c *Cluster) StartManager() {
-	c.t.Helper()
+	t := c.tb()
+	t.Helper()
 	srv, err := managerd.New(c.Opt.serverConfig(c.Net.Listener()))
 	if err != nil {
-		c.t.Fatalf("harness: managerd.New (restart): %v", err)
+		t.Fatalf("harness: managerd.New (restart): %v", err)
 	}
 	if err := srv.Start(); err != nil {
-		c.t.Fatalf("harness: managerd.Start (restart): %v", err)
+		t.Fatalf("harness: managerd.Start (restart): %v", err)
 	}
 	c.Server = srv
 }
@@ -288,8 +338,9 @@ func (c *Cluster) MinLevel() int {
 
 // AwaitAgents waits until the manager sees exactly n connected agents.
 func (c *Cluster) AwaitAgents(n int, timeout time.Duration) {
-	c.t.Helper()
-	WaitUntil(c.t, timeout, func() bool { return c.Status().Agents == n },
+	t := c.tb()
+	t.Helper()
+	WaitUntil(t, timeout, func() bool { return c.Status().Agents == n },
 		"manager never saw %d agents (have %d)", n, c.Status().Agents)
 }
 
@@ -297,7 +348,8 @@ func (c *Cluster) AwaitAgents(n int, timeout time.Duration) {
 // power must reach and hold at/below limit for consecutive successive
 // polls (one control period apart) before the timeout.
 func (c *Cluster) AwaitSettledBelow(limit float64, consecutive int, timeout time.Duration) {
-	c.t.Helper()
+	t := c.tb()
+	t.Helper()
 	deadline := time.Now().Add(timeout)
 	streak := 0
 	for time.Now().Before(deadline) {
@@ -312,7 +364,7 @@ func (c *Cluster) AwaitSettledBelow(limit float64, consecutive int, timeout time
 		}
 		time.Sleep(c.Opt.ControlEvery)
 	}
-	c.t.Fatalf("harness: power never settled ≤ %.0f W for %d consecutive cycles (last %.0f W, levels %v)",
+	t.Fatalf("harness: power never settled ≤ %.0f W for %d consecutive cycles (last %.0f W, levels %v)",
 		limit, consecutive, c.Status().LastPowerW, c.Levels())
 }
 
@@ -320,12 +372,13 @@ func (c *Cluster) AwaitSettledBelow(limit float64, consecutive int, timeout time
 // agent to redial and re-register with the manager. It returns false if
 // there was no live link to kill.
 func (c *Cluster) ForceReconnect(key uint64, timeout time.Duration) bool {
-	c.t.Helper()
+	t := c.tb()
+	t.Helper()
 	old, _ := c.Net.Link(key)
 	if old == nil || !c.Net.Kill(key) {
 		return false
 	}
-	WaitUntil(c.t, timeout, func() bool {
+	WaitUntil(t, timeout, func() bool {
 		cur, _ := c.Net.Link(key)
 		return cur != nil && cur != old && c.Status().Agents == c.Opt.Agents
 	}, "agent %d never reconnected after kill", key)

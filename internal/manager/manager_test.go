@@ -234,6 +234,54 @@ func TestRestoreKeepsMissingNodes(t *testing.T) {
 	}
 }
 
+func TestRestoreRetainsAbsentNodeAcrossManyCycles(t *testing.T) {
+	// Stronger skip-and-retain: a degraded node that stays absent from
+	// the snapshot for many steady-green restore rounds (several
+	// multiples of Tg) must neither be forgotten nor commanded, and must
+	// be lifted back to its top level once its readings return.
+	const tg = 3
+	m, _ := New(Config{Tg: tg, Policy: policy.MPC{}})
+	act := newFake()
+	m.Cycle(units.KW(32), thr(), mkSnap(2, 9), act) // degrade nodes 0,1 to 8
+
+	// Node 1 goes dark. Node 0 reports at level 8 and is restored to top
+	// on the first steady-green round; after that only node 1 remains,
+	// and every subsequent round must skip it without dropping it.
+	snapMissing := mkSnap(1, 8)
+	for cycle := 0; cycle < 4*tg; cycle++ {
+		_, actions, err := m.Cycle(units.KW(28), thr(), snapMissing, act)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range actions {
+			if a.Node == 1 {
+				t.Fatalf("cycle %d: absent node commanded: %+v", cycle, a)
+			}
+		}
+		if m.Degraded() < 1 {
+			t.Fatalf("cycle %d: absent node dropped from A_degraded", cycle)
+		}
+	}
+	if got := m.Stats().RestoreOps; got != 1 {
+		t.Errorf("RestoreOps = %d, want 1 (node 0 only)", got)
+	}
+
+	// Node 1 reappears still at level 8: the next steady-green round
+	// restores it to top and A_degraded finally empties.
+	full := mkSnap(2, 8)
+	full.Nodes = full.Nodes[1:] // drop node 0 (already at top, not degraded)
+	_, actions, _ := m.Cycle(units.KW(28), thr(), full, act)
+	if len(actions) != 1 || actions[0].Node != 1 || actions[0].Level != 9 {
+		t.Fatalf("actions = %v, want node 1 restored to 9", actions)
+	}
+	if m.Degraded() != 0 {
+		t.Errorf("A_degraded = %d after return, want 0", m.Degraded())
+	}
+	if lvl := act.levels[1]; lvl != 9 {
+		t.Errorf("actuated level = %d, want 9", lvl)
+	}
+}
+
 func TestInvalidThresholdsRejected(t *testing.T) {
 	m, _ := New(Config{Tg: 10, Policy: policy.MPC{}})
 	bad := power.Thresholds{PL: units.KW(34), PH: units.KW(31)}

@@ -111,6 +111,13 @@ type Config struct {
 	// wall time, then re-derives the thresholds from the lifetime peak
 	// every AdjustEvery cycles.
 	Learn *LearnConfig
+	// ExternalControl turns the daemon into a transport gateway: the
+	// wall-clock control loop is not started, and an external driver runs
+	// the control law by pushing sense epochs and cycling through
+	// StartExternalCycle (external.go). The daemon backend uses this to
+	// run core's Algorithm 1 — the one control law — over the wire on a
+	// virtual clock.
+	ExternalControl bool
 }
 
 // LearnConfig parametrises daemon-side threshold learning.
@@ -130,10 +137,14 @@ type agentConn struct {
 	conn     *wire.Conn
 	maxLevel int
 
-	// Freshest reading; guarded by the owning shard's mutex.
-	last   manager.AgentReading
-	lastAt time.Time
-	seen   bool
+	// Freshest reading; guarded by the owning shard's mutex. lastEpoch
+	// stamps which external sense epoch the reading arrived in (zero for
+	// readings outside any epoch, e.g. the hello seed); the external
+	// cycle's collect filters on it instead of wall-clock staleness.
+	last      manager.AgentReading
+	lastAt    time.Time
+	seen      bool
+	lastEpoch uint64
 
 	// Outbox; guarded by obMu (ordered strictly below shard mutexes).
 	obMu     sync.Mutex
@@ -188,6 +199,8 @@ type Server struct {
 
 	cycleN        atomic.Int64
 	seq           atomic.Uint64
+	extEpoch      atomic.Uint64 // current external sense epoch (external.go)
+	samplesRecv   atomic.Int64  // samples accepted over the wire
 	stale         atomic.Int64
 	cmdErrs       atomic.Int64
 	staleConnErrs atomic.Int64
@@ -329,9 +342,12 @@ func (s *Server) Start() error {
 		s.ln = ln
 	}
 	s.started = time.Now()
-	s.wg.Add(2)
+	s.wg.Add(1)
 	go s.acceptLoop()
-	go s.controlLoop()
+	if !s.cfg.ExternalControl {
+		s.wg.Add(1)
+		go s.controlLoop()
+	}
 	if s.cfg.HeartbeatEvery > 0 {
 		s.wg.Add(1)
 		go s.heartbeatLoop()
@@ -481,9 +497,12 @@ func (s *Server) serveConn(conn *wire.Conn) {
 			r := env.Reading()
 			r.ID = id // trust the connection identity, not the payload
 			r.MaxLevel = ac.maxLevel
+			epoch := s.extEpoch.Load()
 			sh.mu.Lock()
 			ac.last, ac.lastAt, ac.seen = r, time.Now(), true
+			ac.lastEpoch = epoch
 			sh.mu.Unlock()
+			s.samplesRecv.Add(1)
 		case wire.KindAck:
 			sh.mu.Lock()
 			if cs := sh.cmds[id]; cs != nil && env.Seq != 0 && cs.seq == env.Seq {
@@ -926,6 +945,7 @@ func (s *Server) Status() wire.StatusReply {
 		CoalescedCmds:    int(s.coalesced.Load()),
 		StaleConnErrors:  int(s.staleConnErrs.Load()),
 		Shards:           len(s.nodes.shards),
+		SamplesReceived:  s.samplesRecv.Load(),
 		LastCycleMicros:  s.lastCycleMicros.Load(),
 		MaxCycleMicros:   s.maxCycleMicros.Load(),
 		LastFanoutMicros: s.lastFanoutMicros.Load(),

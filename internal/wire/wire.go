@@ -109,6 +109,7 @@ type StatusReply struct {
 	CoalescedCmds    int   `json:"coalesced_cmds"`     // queued commands superseded before the write
 	StaleConnErrors  int   `json:"stale_conn_errors"`  // send failures on already-replaced connections
 	Shards           int   `json:"shards"`             // node-state shards
+	SamplesReceived  int64 `json:"samples_received"`   // agent samples accepted over the wire
 	LastCycleMicros  int64 `json:"last_cycle_micros"`  // last control cycle's critical-path time
 	MaxCycleMicros   int64 `json:"max_cycle_micros"`   // worst control cycle so far
 	LastFanoutMicros int64 `json:"last_fanout_micros"` // last cycle's command fan-out completion time

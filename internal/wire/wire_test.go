@@ -311,7 +311,7 @@ func TestStatusReplyFieldForField(t *testing.T) {
 		RedCycles: 5, RedEntries: 6, DegradeOps: 7, RestoreOps: 8,
 		BusyMicros: 9, CPUUtilise: 0.625, LastPowerW: 11.5,
 		ThresholdPLW: 12.5, ThresholdPHW: 13.5, DroppedStale: 14,
-		CommandErrors: 15,
+		CommandErrors: 15, SamplesReceived: 16,
 	}
 	var buf bytes.Buffer
 	c := NewConn(pipeConn{&buf, &buf})
