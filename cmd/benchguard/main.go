@@ -1,0 +1,132 @@
+// Command benchguard compares a freshly measured BENCH_fanout.json
+// against a committed baseline and fails when any guarded benchmark has
+// regressed beyond the allowed ratio. CI runs it after the fan-out
+// benchmarks so a control-plane slowdown fails the build instead of
+// silently shifting the perf trajectory.
+//
+//	benchguard -baseline BENCH_baseline.json -candidate BENCH_fanout.json \
+//	    -bench CycleFanout -agents 128,512 -max-ratio 2.0
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// entry mirrors the benchEntry schema persisted by the repo's fan-out
+// benchmarks; unknown fields are ignored.
+type entry struct {
+	Bench   string  `json:"bench"`
+	Agents  int     `json:"agents"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchguard: ")
+
+	var (
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "committed baseline results")
+		candidate = flag.String("candidate", "BENCH_fanout.json", "freshly measured results")
+		benches   = flag.String("bench", "CycleFanout", "comma-separated benchmark names to guard")
+		agents    = flag.String("agents", "128,512", "comma-separated fleet sizes to guard")
+		maxRatio  = flag.Float64("max-ratio", 2.0, "fail when candidate ns/op exceeds baseline by this factor")
+	)
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cand, err := load(*candidate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizes, err := parseAgents(*agents)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := guard(base, cand, strings.Split(*benches, ","), sizes, *maxRatio)
+	for _, line := range report {
+		fmt.Println(line)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func load(path string) ([]entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var es []entry
+	if err := json.Unmarshal(raw, &es); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return es, nil
+}
+
+func parseAgents(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("-agents: %w", err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// find returns the entry for a bench/agents pair.
+func find(es []entry, bench string, agents int) (entry, bool) {
+	for _, e := range es {
+		if e.Bench == bench && e.Agents == agents {
+			return e, true
+		}
+	}
+	return entry{}, false
+}
+
+// guard compares every guarded bench/agents pair and returns the report
+// lines plus an error naming the first failure class encountered. A pair
+// missing from either file is a failure: a renamed or dropped benchmark
+// must update the guard, not silently evade it.
+func guard(base, cand []entry, benches []string, agents []int, maxRatio float64) ([]string, error) {
+	var report []string
+	var regressed, missing []string
+	for _, bench := range benches {
+		bench = strings.TrimSpace(bench)
+		for _, n := range agents {
+			name := fmt.Sprintf("%s/n%d", bench, n)
+			b, okB := find(base, bench, n)
+			c, okC := find(cand, bench, n)
+			if !okB || !okC {
+				report = append(report, fmt.Sprintf("%-24s MISSING (baseline %v, candidate %v)", name, okB, okC))
+				missing = append(missing, name)
+				continue
+			}
+			ratio := c.NsPerOp / b.NsPerOp
+			verdict := "ok"
+			if ratio > maxRatio {
+				verdict = "REGRESSED"
+				regressed = append(regressed, name)
+			}
+			report = append(report, fmt.Sprintf("%-24s %12.0f → %12.0f ns/op  (%.2fx, limit %.2fx)  %s",
+				name, b.NsPerOp, c.NsPerOp, ratio, maxRatio, verdict))
+		}
+	}
+	switch {
+	case len(missing) > 0:
+		return report, fmt.Errorf("missing results: %s", strings.Join(missing, ", "))
+	case len(regressed) > 0:
+		return report, fmt.Errorf("regressed beyond %.2fx: %s", maxRatio, strings.Join(regressed, ", "))
+	}
+	return report, nil
+}

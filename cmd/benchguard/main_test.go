@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var (
+	baseEntries = []entry{
+		{Bench: "CycleFanout", Agents: 128, NsPerOp: 1000},
+		{Bench: "CycleFanout", Agents: 512, NsPerOp: 4000},
+	}
+	within = []entry{
+		{Bench: "CycleFanout", Agents: 128, NsPerOp: 1900},
+		{Bench: "CycleFanout", Agents: 512, NsPerOp: 3000},
+	}
+)
+
+func TestGuardPasses(t *testing.T) {
+	report, err := guard(baseEntries, within, []string{"CycleFanout"}, []int{128, 512}, 2.0)
+	if err != nil {
+		t.Fatalf("unexpected failure: %v\n%s", err, strings.Join(report, "\n"))
+	}
+	if len(report) != 2 || !strings.Contains(report[0], "ok") {
+		t.Errorf("report = %v", report)
+	}
+}
+
+func TestGuardCatchesRegression(t *testing.T) {
+	slow := []entry{
+		{Bench: "CycleFanout", Agents: 128, NsPerOp: 2100},
+		{Bench: "CycleFanout", Agents: 512, NsPerOp: 3000},
+	}
+	report, err := guard(baseEntries, slow, []string{"CycleFanout"}, []int{128, 512}, 2.0)
+	if err == nil || !strings.Contains(err.Error(), "CycleFanout/n128") {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(strings.Join(report, "\n"), "REGRESSED") {
+		t.Errorf("report = %v", report)
+	}
+}
+
+func TestGuardCatchesMissingEntry(t *testing.T) {
+	_, err := guard(baseEntries, within, []string{"CycleFanout"}, []int{128, 1024}, 2.0)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadAgainstCommittedBaseline(t *testing.T) {
+	// The committed BENCH_fanout.json must stay loadable and keep the
+	// guarded pairs, or the CI guard would fail on a phantom "missing".
+	es, err := load(filepath.Join("..", "..", "BENCH_fanout.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := guard(es, es, []string{"CycleFanout"}, []int{128, 512}, 2.0); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+}
+
+func TestLoadRejectsBadJSON(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(p, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(p); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParseAgents(t *testing.T) {
+	got, err := parseAgents("128, 512")
+	if err != nil || len(got) != 2 || got[0] != 128 || got[1] != 512 {
+		t.Errorf("got %v, %v", got, err)
+	}
+	if _, err := parseAgents("128,many"); err == nil {
+		t.Error("bad size accepted")
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -18,6 +20,7 @@ import (
 
 	"repro/internal/agentd"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/power"
 )
 
@@ -37,6 +40,8 @@ func main() {
 
 		initialBackoff = flag.Duration("initial-backoff", 200*time.Millisecond, "reconnect backoff floor")
 		maxBackoff     = flag.Duration("max-backoff", 10*time.Second, "reconnect backoff ceiling")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
 	)
 	flag.Parse()
 	if *seed == 0 {
@@ -60,6 +65,17 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	go func() { <-sig; cancel() }()
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		msrv := &http.Server{Handler: obs.NewMux(a.Registry(), nil, nil)}
+		go func() { _ = msrv.Serve(ln) }()
+		defer msrv.Close()
+		fmt.Printf("powagentd: metrics on http://%s/metrics\n", ln.Addr())
+	}
 
 	fmt.Printf("powagentd: node %d → %s (τ %v)\n", *id, *manager, *sample)
 	// Reconnect with backoff: a manager restart must not take the fleet

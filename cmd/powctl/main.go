@@ -4,6 +4,11 @@
 //
 //	powctl -addr 127.0.0.1:7077
 //	powctl -addr 127.0.0.1:7077 -json | jq .command_acks
+//	powctl -addr 127.0.0.1:7077 -watch 1s -samples 60
+//
+// -watch polls the manager every interval and renders the recent history
+// of the cycle-stage latencies (collection, selection, fan-out, whole
+// cycle) and the estimated fleet power as terminal sparklines.
 package main
 
 import (
@@ -15,6 +20,10 @@ import (
 	"time"
 
 	"repro/internal/managerd"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -25,8 +34,17 @@ func main() {
 		addr    = flag.String("addr", "127.0.0.1:7077", "manager daemon address")
 		timeout = flag.Duration("timeout", 3*time.Second, "query timeout")
 		asJSON  = flag.Bool("json", false, "print the full status reply as one JSON object")
+		watch   = flag.Duration("watch", 0, "poll every interval and render latency sparklines (0 = one-shot)")
+		samples = flag.Int("samples", 60, "polls per -watch render window; also how many polls before exiting")
 	)
 	flag.Parse()
+
+	if *watch > 0 {
+		if err := watchLoop(*addr, *timeout, *watch, *samples); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	st, err := managerd.QueryStatus(*addr, *timeout)
 	if err != nil {
@@ -49,6 +67,8 @@ func main() {
 	fmt.Printf("thresholds      PL %.1f W, PH %.1f W\n", st.ThresholdPLW, st.ThresholdPHW)
 	fmt.Printf("learner         trained %v, lifetime peak %.1f W\n", st.Trained, st.LifetimePeakW)
 	fmt.Printf("manager busy    %d µs (cpu utilisation %.4f)\n", st.BusyMicros, st.CPUUtilise)
+	fmt.Printf("select time     %d µs accumulated\n", st.SelectMicros)
+	fmt.Printf("collection      last %d µs, %d µs accumulated\n", st.LastCollectMicros, st.CollectMicros)
 	fmt.Printf("samples         %d received over the wire\n", st.SamplesReceived)
 	fmt.Printf("stale dropped   %d\n", st.DroppedStale)
 	fmt.Printf("command errors  %d (stale-conn %d)\n", st.CommandErrors, st.StaleConnErrors)
@@ -60,4 +80,82 @@ func main() {
 	fmt.Printf("node health     healthy %d, stale %d, lost %d, quarantined %d (quarantines %d)\n",
 		st.HealthyNodes, st.StaleNodes, st.LostNodes, st.QuarantinedNodes, st.Quarantines)
 	fmt.Printf("journal writes  %d\n", st.JournalWrites)
+}
+
+// sparkWidth is the character width of the -watch sparklines.
+const sparkWidth = 40
+
+// track is one watched quantity: a status-reply projection accumulated
+// into a series, rendered as a sparkline with a min/max scale.
+type track struct {
+	name string
+	unit string
+	get  func(st wire.StatusReply) float64
+	s    *metrics.Series
+}
+
+// watchLoop polls the manager n times, every interval, printing after
+// each poll a block of sparklines over the history gathered so far. The
+// fixed poll count makes the command a bounded observation window rather
+// than an open-ended UI — run it again for a fresh window.
+func watchLoop(addr string, timeout, every time.Duration, n int) error {
+	if n <= 0 {
+		n = 60
+	}
+	var prevSelect int64
+	tracks := []*track{
+		{name: "power", unit: "W", get: func(st wire.StatusReply) float64 { return st.LastPowerW }},
+		{name: "cycle", unit: "µs", get: func(st wire.StatusReply) float64 { return float64(st.LastCycleMicros) }},
+		{name: "collect", unit: "µs", get: func(st wire.StatusReply) float64 { return float64(st.LastCollectMicros) }},
+		{name: "fan-out", unit: "µs", get: func(st wire.StatusReply) float64 { return float64(st.LastFanoutMicros) }},
+		// Selection time is accumulated by the manager; the per-poll delta
+		// is what tracks the current policy cost.
+		{name: "select Δ", unit: "µs", get: func(st wire.StatusReply) float64 { return float64(st.SelectMicros - prevSelect) }},
+	}
+	for _, tr := range tracks {
+		tr.s = &metrics.Series{}
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			time.Sleep(every)
+		}
+		st, err := managerd.QueryStatus(addr, timeout)
+		if err != nil {
+			return err
+		}
+		at := time.Duration(i) * every
+		for _, tr := range tracks {
+			if err := tr.s.Add(at, units.Watts(tr.get(st))); err != nil {
+				return err
+			}
+		}
+		prevSelect = st.SelectMicros
+
+		fmt.Printf("poll %d/%d  cycles %d (g/y/r %d/%d/%d)  agents %d\n",
+			i+1, n, st.Cycles, st.GreenCycles, st.YellowCycles, st.RedCycles, st.Agents)
+		for _, tr := range tracks {
+			lo, hi := seriesMinMax(tr.s)
+			spark := trace.Sparkline(tr.s, sparkWidth)
+			if spark == "" {
+				spark = "(gathering)"
+			}
+			fmt.Printf("  %-9s %12.1f %s %.1f %s\n", tr.name, lo, spark, hi, tr.unit)
+		}
+	}
+	return nil
+}
+
+// seriesMinMax scans a series' raw values.
+func seriesMinMax(s *metrics.Series) (lo, hi float64) {
+	for i := 0; i < s.Len(); i++ {
+		_, p := s.At(i)
+		v := float64(p)
+		if i == 0 || v < lo {
+			lo = v
+		}
+		if i == 0 || v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
 }

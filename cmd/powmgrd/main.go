@@ -46,6 +46,9 @@ func main() {
 
 		shards  = flag.Int("shards", 0, "node-state shards, rounded up to a power of two (0 = default)")
 		workers = flag.Int("fanout-workers", 0, "command fan-out/retry worker pool size (0 = GOMAXPROCS)")
+
+		metricsAddr  = flag.String("metrics-addr", "", "serve GET /metrics and GET /debug/cycles on this address (empty = disabled)")
+		cycleHistory = flag.Int("cycle-history", 0, "staged cycle timelines retained for /debug/cycles (0 = default)")
 	)
 	flag.Parse()
 
@@ -77,6 +80,8 @@ func main() {
 		Quarantine:     *quarantine,
 		Shards:         *shards,
 		FanoutWorkers:  *workers,
+		MetricsAddr:    *metricsAddr,
+		CycleHistory:   *cycleHistory,
 	}
 	if *train > 0 {
 		pm, err := units.ParseWatts(*pmaxStr)
@@ -94,6 +99,9 @@ func main() {
 	}
 	fmt.Printf("powmgrd: listening on %s (policy %s, PL %v, PH %v, τ %v)\n",
 		srv.Addr(), *polName, pl, ph, *period)
+	if ma := srv.MetricsAddr(); ma != "" {
+		fmt.Printf("powmgrd: metrics on http://%s/metrics (cycles on /debug/cycles)\n", ma)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -3,7 +3,9 @@ package repro_test
 import (
 	"bufio"
 	"encoding/json"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -242,6 +244,121 @@ func TestPowctlQueryFailureModes(t *testing.T) {
 			t.Errorf("decoded thresholds PL=%v PH=%v, want 400/600", st.ThresholdPLW, st.ThresholdPHW)
 		}
 	})
+}
+
+// httpGetRetry fetches a URL, retrying while the daemon boots.
+func httpGetRetry(t *testing.T, url string) string {
+	t.Helper()
+	var lastErr error
+	for i := 0; i < 40; i++ {
+		resp, err := http.Get(url)
+		if err == nil {
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err == nil && resp.StatusCode == http.StatusOK {
+				return string(body)
+			}
+			lastErr = err
+		} else {
+			lastErr = err
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	t.Fatalf("GET %s never succeeded: %v", url, lastErr)
+	return ""
+}
+
+// TestMetricsEndpointsCLI boots powmgrd and powagentd with -metrics-addr
+// and scrapes both observability endpoints over HTTP: the manager's
+// /metrics and /debug/cycles, and the agent's /metrics.
+func TestMetricsEndpointsCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI end-to-end")
+	}
+	bin := binaries(t)
+	const (
+		addr       = "127.0.0.1:39727"
+		mgrMetrics = "127.0.0.1:39728"
+		agtMetrics = "127.0.0.1:39729"
+	)
+	mgr := exec.Command(filepath.Join(bin, "powmgrd"),
+		"-addr", addr, "-pl", "400W", "-ph", "600W", "-period", "50ms",
+		"-metrics-addr", mgrMetrics)
+	if err := mgr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		mgr.Process.Kill()
+		mgr.Wait()
+	}()
+	agent := exec.Command(filepath.Join(bin, "powagentd"),
+		"-manager", addr, "-node", "7", "-sample", "50ms", "-tick", "10ms",
+		"-metrics-addr", agtMetrics)
+	if err := agent.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		agent.Process.Kill()
+		agent.Wait()
+	}()
+
+	// Manager /debug/cycles: poll until the control loop has run so the
+	// staged timelines (and their registry histograms) exist.
+	var reply struct {
+		Cycles int64 `json:"cycles"`
+		Spans  []struct {
+			Stages []struct {
+				Stage string `json:"stage"`
+			} `json:"stages"`
+		} `json:"spans"`
+	}
+	for i := 0; i < 40; i++ {
+		cyc := httpGetRetry(t, "http://"+mgrMetrics+"/debug/cycles")
+		if err := json.Unmarshal([]byte(cyc), &reply); err != nil {
+			t.Fatalf("/debug/cycles not JSON: %v\n%s", err, cyc)
+		}
+		if reply.Cycles > 0 && len(reply.Spans) > 0 {
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	if reply.Cycles == 0 || len(reply.Spans) == 0 {
+		t.Fatalf("/debug/cycles never showed a cycle: %+v", reply)
+	}
+	if st := reply.Spans[0].Stages; len(st) == 0 || st[0].Stage != "sense" {
+		t.Errorf("first cycle does not open with sense: %+v", st)
+	}
+
+	// Manager /metrics: registry samples including the staged-cycle
+	// histograms, live with the control loop.
+	body := httpGetRetry(t, "http://"+mgrMetrics+"/metrics")
+	for _, want := range []string{"cycles ", "agents ", "cycle_stage_sense_micros_count", "pl_w 400"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("manager /metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// Agent /metrics: its own counters, samples flowing.
+	abody := httpGetRetry(t, "http://"+agtMetrics+"/metrics")
+	for _, want := range []string{"samples_pushed", "commands_applied", "failsafe_trips"} {
+		if !strings.Contains(abody, want) {
+			t.Errorf("agent /metrics missing %q:\n%s", want, abody)
+		}
+	}
+
+	// powctl -watch renders bounded sparkline polls against the live
+	// manager and exits on its own.
+	out, err := exec.Command(filepath.Join(bin, "powctl"),
+		"-addr", addr, "-watch", "100ms", "-samples", "4").CombinedOutput()
+	if err != nil {
+		t.Fatalf("powctl -watch: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"poll 4/4", "power", "collect", "fan-out", "select Δ", "µs"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("powctl -watch output missing %q:\n%s", want, text)
+		}
+	}
 }
 
 func TestDaemonCLIRoundTrip(t *testing.T) {

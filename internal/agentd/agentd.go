@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/manager"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/procfs"
 	"repro/internal/wire"
@@ -76,6 +77,12 @@ type Config struct {
 	// err is non-nil, so acks report the real level on a rejected
 	// command). Required in passive mode.
 	Apply func(level int) (applied int, err error)
+
+	// Obs is the instrument registry the agent publishes its counters
+	// into (samples pushed, commands applied, acks sent, failsafe trips,
+	// reconnects). Nil gets a private registry; the powagentd command
+	// passes one shared with its -metrics-addr endpoint.
+	Obs *obs.Registry
 }
 
 // Agent is a running profiling agent.
@@ -87,13 +94,20 @@ type Agent struct {
 	mu       sync.Mutex
 	prevSnap procfs.Snapshot
 	havePrev bool
-	applied  int // commands applied
 	job      workload.JobID
 
 	// dead-man switch state
 	lastContact time.Time // last traffic received from a manager
 	tripped     bool      // currently at the failsafe floor by our own hand
-	trips       int       // lifetime trip count
+
+	// Instruments (same names the /metrics endpoint exposes).
+	reg           *obs.Registry
+	samplesPushed *obs.Counter // samples sent to the manager
+	cmdsApplied   *obs.Counter // level commands applied
+	applyErrs     *obs.Counter // commands rejected by the node
+	acksSent      *obs.Counter // acks written back
+	failsafeTrips *obs.Counter // dead-man switch firings
+	reconnects    *obs.Counter // redials after a dropped connection
 
 	// synthetic load state
 	loadUntil time.Duration
@@ -113,6 +127,7 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.SampleEvery <= 0 || cfg.TickEvery <= 0 {
 		return nil, fmt.Errorf("agentd: need positive intervals")
 	}
+	a := &Agent{cfg: cfg, lastContact: time.Now()}
 	if cfg.Passive {
 		if cfg.Apply == nil {
 			return nil, fmt.Errorf("agentd: passive mode needs an Apply callback")
@@ -123,33 +138,37 @@ func New(cfg Config) (*Agent, error) {
 		if cfg.FailsafeAfter > 0 && (cfg.FailsafeLevel < 0 || cfg.FailsafeLevel > cfg.MaxLevel) {
 			return nil, fmt.Errorf("agentd: failsafe level %d outside [0,%d]", cfg.FailsafeLevel, cfg.MaxLevel)
 		}
-		return &Agent{
-			cfg:         cfg,
-			curLevel:    cfg.InitialLevel,
-			lastContact: time.Now(),
-		}, nil
+		a.curLevel = cfg.InitialLevel
+	} else {
+		n, err := node.New(cfg.NodeID, node.Config{Model: cfg.Model, Controllable: true})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.FailsafeAfter > 0 && (cfg.FailsafeLevel < 0 || cfg.FailsafeLevel >= n.Levels()) {
+			return nil, fmt.Errorf("agentd: failsafe level %d outside [0,%d)", cfg.FailsafeLevel, n.Levels())
+		}
+		a.node = n
+		a.rng = rand.New(rand.NewSource(cfg.Seed))
 	}
-	n, err := node.New(cfg.NodeID, node.Config{Model: cfg.Model, Controllable: true})
-	if err != nil {
-		return nil, err
+	a.reg = cfg.Obs
+	if a.reg == nil {
+		a.reg = obs.NewRegistry()
 	}
-	if cfg.FailsafeAfter > 0 && (cfg.FailsafeLevel < 0 || cfg.FailsafeLevel >= n.Levels()) {
-		return nil, fmt.Errorf("agentd: failsafe level %d outside [0,%d)", cfg.FailsafeLevel, n.Levels())
-	}
-	return &Agent{
-		cfg:         cfg,
-		node:        n,
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
-		lastContact: time.Now(),
-	}, nil
+	a.samplesPushed = a.reg.Counter("samples_pushed")
+	a.cmdsApplied = a.reg.Counter("commands_applied")
+	a.applyErrs = a.reg.Counter("apply_errors")
+	a.acksSent = a.reg.Counter("acks_sent")
+	a.failsafeTrips = a.reg.Counter("failsafe_trips")
+	a.reconnects = a.reg.Counter("reconnects")
+	return a, nil
 }
 
+// Registry exposes the agent's instruments; powagentd serves them on its
+// -metrics-addr endpoint.
+func (a *Agent) Registry() *obs.Registry { return a.reg }
+
 // CommandsApplied reports how many level commands the agent has applied.
-func (a *Agent) CommandsApplied() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.applied
-}
+func (a *Agent) CommandsApplied() int { return int(a.cmdsApplied.Value()) }
 
 // Level reports the node's current power level.
 func (a *Agent) Level() int {
@@ -162,11 +181,7 @@ func (a *Agent) Level() int {
 }
 
 // FailsafeTrips reports how many times the dead-man switch has fired.
-func (a *Agent) FailsafeTrips() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.trips
-}
+func (a *Agent) FailsafeTrips() int { return int(a.failsafeTrips.Value()) }
 
 // Tripped reports whether the agent currently sits at the failsafe floor
 // by its own decision (no manager contact). It clears on the next manager
@@ -205,7 +220,7 @@ func (a *Agent) failsafeCheck() {
 		return
 	}
 	a.tripped = true
-	a.trips++
+	a.failsafeTrips.Inc()
 	if a.cfg.Passive {
 		if a.curLevel > a.cfg.FailsafeLevel {
 			if lvl, err := a.cfg.Apply(a.cfg.FailsafeLevel); err == nil {
@@ -272,15 +287,17 @@ func (a *Agent) apply(level int) error {
 		lvl, err := a.cfg.Apply(level)
 		a.curLevel = lvl
 		if err != nil {
+			a.applyErrs.Inc()
 			return err
 		}
-		a.applied++
+		a.cmdsApplied.Inc()
 		return nil
 	}
 	if err := a.node.SetLevel(level); err != nil {
+		a.applyErrs.Inc()
 		return err
 	}
-	a.applied++
+	a.cmdsApplied.Inc()
 	return nil
 }
 
@@ -298,7 +315,11 @@ func (a *Agent) PushReading(r manager.AgentReading) error {
 	if send == nil {
 		return fmt.Errorf("agentd: node %d not connected", a.cfg.NodeID)
 	}
-	return send(wire.SampleEnvelope(r))
+	if err := send(wire.SampleEnvelope(r)); err != nil {
+		return err
+	}
+	a.samplesPushed.Inc()
+	return nil
 }
 
 // RunWithReconnect runs the agent, redialling the manager with capped
@@ -335,7 +356,12 @@ func (a *Agent) RunWithReconnect(ctx context.Context, initialBackoff, maxBackoff
 		}()
 	}
 	backoff := initialBackoff
+	first := true
 	for ctx.Err() == nil {
+		if !first {
+			a.reconnects.Inc()
+		}
+		first = false
 		err := a.Run(ctx)
 		if ctx.Err() != nil {
 			return
@@ -441,10 +467,12 @@ func (a *Agent) Run(ctx context.Context) error {
 			// Ack with the level actually in force: on an invalid
 			// command the manager learns the real level instead of
 			// assuming the command took.
-			_ = send(wire.Envelope{
+			if send(wire.Envelope{
 				Type: wire.KindAck, Node: int(a.cfg.NodeID),
 				Seq: env.Seq, Level: a.Level(),
-			})
+			}) == nil {
+				a.acksSent.Inc()
+			}
 		}
 	}
 
@@ -518,6 +546,7 @@ func (a *Agent) Run(ctx context.Context) error {
 				if err := send(wire.SampleEnvelope(a.sample())); err != nil {
 					return err
 				}
+				a.samplesPushed.Inc()
 			}
 		}
 	}

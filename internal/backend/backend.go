@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/manager"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/pdist"
 	"repro/internal/power"
 	"repro/internal/replay"
@@ -156,6 +157,12 @@ type Info struct {
 type Backend interface {
 	manager.Actuator
 
+	// Observe attaches the staged-cycle recorder: the backend brackets
+	// every control cycle with Begin/End and records its transport
+	// stages (settle) into it, so both transports emit the same staged
+	// timeline for the same control law. Call before Start; nil (or not
+	// calling at all) disables recording.
+	Observe(rec *obs.CycleRecorder)
 	// Start registers the control callback; call exactly once.
 	Start(control func(now time.Duration)) error
 	// RunUntil advances virtual time to t.

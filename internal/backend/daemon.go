@@ -10,6 +10,7 @@ import (
 	"repro/internal/manager"
 	"repro/internal/managerd"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/wire"
@@ -44,6 +45,7 @@ type Daemon struct {
 	coll       *manager.Collector
 	hc         *harness.Cluster
 	cycle      *managerd.ExternalCycle
+	rec        *obs.CycleRecorder
 	err        error
 	ackTimeout time.Duration
 	started    bool
@@ -102,6 +104,9 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 	return d, nil
 }
 
+// Observe attaches the staged-cycle recorder. Call before Start.
+func (d *Daemon) Observe(rec *obs.CycleRecorder) { d.rec = rec }
+
 // Start registers the plant tick and the bridged control event; as in
 // the sim backend, the tick fires first at shared instants.
 func (d *Daemon) Start(control func(now time.Duration)) error {
@@ -144,9 +149,16 @@ func (d *Daemon) controlEvent(now time.Duration, control func(now time.Duration)
 
 	cyc := d.hc.Server.StartExternalCycle()
 	d.cycle = cyc
+	span := d.rec.Begin()
 	control(now)
 	d.cycle = nil
-	if err := cyc.Finish(d.ackTimeout); err != nil {
+	t0 := time.Now()
+	err := cyc.Finish(d.ackTimeout)
+	// Settle is the wire transport's real cost: command fan-out plus every
+	// ack, which the sim backend gets for free (its settle is zero).
+	span.Stage(obs.StageSettle, time.Since(t0), "")
+	span.End()
+	if err != nil {
 		d.err = err
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/manager"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -22,6 +23,7 @@ type Sim struct {
 	*plant
 	engine  *sim.Engine
 	coll    *manager.Collector
+	rec     *obs.CycleRecorder
 	started bool
 }
 
@@ -38,6 +40,9 @@ func NewSim(cfg Config) (*Sim, error) {
 	}, nil
 }
 
+// Observe attaches the staged-cycle recorder. Call before Start.
+func (s *Sim) Observe(rec *obs.CycleRecorder) { s.rec = rec }
+
 // Start registers the plant tick and the control callback. Order
 // matters: the tick event must fire before the control event at shared
 // instants, so the manager sees counters that include the latest
@@ -48,7 +53,14 @@ func (s *Sim) Start(control func(now time.Duration)) error {
 	}
 	s.started = true
 	s.engine.Every(s.cfg.TickPeriod, func(e *sim.Engine) { s.tick(e.Now()) })
-	s.engine.Every(s.cfg.ControlPeriod, func(e *sim.Engine) { control(e.Now()) })
+	s.engine.Every(s.cfg.ControlPeriod, func(e *sim.Engine) {
+		span := s.rec.Begin()
+		control(e.Now())
+		// Direct node actuation is synchronous: commands are in force the
+		// moment SetNodeLevel returns, so settling costs nothing.
+		span.Stage(obs.StageSettle, 0, "")
+		span.End()
+	})
 	return nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/node"
 	"repro/internal/nodemgr"
+	"repro/internal/obs"
 	"repro/internal/pdist"
 	"repro/internal/policy"
 	"repro/internal/power"
@@ -155,6 +156,10 @@ type Config struct {
 	// Thermal overrides the thermal parameters; the zero value selects
 	// the Tianhe defaults.
 	Thermal thermal.Params
+
+	// CycleHistory is how many staged cycle timelines the run retains
+	// (Result.CycleSpans); zero selects obs.DefaultCycleHistory.
+	CycleHistory int
 }
 
 // DefaultConfig returns the paper's experiment environment: 128 Tianhe-1A
@@ -253,6 +258,9 @@ type System struct {
 	builder *manager.Builder
 	mgr     *manager.Manager
 
+	reg   *obs.Registry
+	trace *obs.CycleRecorder
+
 	series    *metrics.Series
 	events    trace.EventLog
 	lastState power.State
@@ -318,7 +326,13 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return fail(err)
 	}
-	mgr, err := manager.New(manager.Config{Tg: cfg.Tg, Policy: pol})
+	// One registry and one staged-cycle recorder span the whole run: the
+	// manager's classify/select/actuate stages, core's sense stage and
+	// the backend's settle stage all land on the same timeline.
+	reg := obs.NewRegistry()
+	rec := obs.NewCycleRecorder(cfg.CycleHistory, reg)
+	b.Observe(rec)
+	mgr, err := manager.New(manager.Config{Tg: cfg.Tg, Policy: pol, Obs: reg, Trace: rec})
 	if err != nil {
 		return fail(err)
 	}
@@ -336,6 +350,8 @@ func New(cfg Config) (*System, error) {
 		learner: learner,
 		builder: newBuilder(cfg),
 		mgr:     mgr,
+		reg:     reg,
+		trace:   rec,
 		series:  &metrics.Series{},
 	}
 	if cfg.AgentDropRate > 0 {
@@ -412,7 +428,9 @@ func (s *System) control(now time.Duration) {
 		readings = kept
 	}
 	snap := s.builder.Build(p, thr.PL, readings)
-	s.senseTime += time.Since(t0)
+	dSense := time.Since(t0)
+	s.senseTime += dSense
+	s.trace.Stage(obs.StageSense, dSense, fmt.Sprintf("readings=%d", len(readings)))
 
 	// During the training period the system runs uncapped (§V.C): sense
 	// to keep history warm, but do not actuate.
@@ -485,6 +503,11 @@ type Result struct {
 	// Events logs the control loop's state transitions over the
 	// evaluation window.
 	Events *trace.EventLog
+	// CycleSpans are the retained staged cycle timelines (sense →
+	// classify → select → actuate → settle), newest last. Both backends
+	// emit the same stage sequence for the same seed; durations are host
+	// time and differ by transport.
+	CycleSpans []obs.CycleSpan
 }
 
 // Run executes the configured training period followed by an evaluation
@@ -535,6 +558,7 @@ func (s *System) Run(eval time.Duration) (*Result, error) {
 		Trace:           info.Trace,
 		Cabinets:        info.Cabinets,
 		Events:          &s.events,
+		CycleSpans:      s.trace.Spans(0),
 	}, nil
 }
 
@@ -565,6 +589,13 @@ func (s *System) Traits() backend.Traits { return s.backend.Traits() }
 
 // Manager exposes the power manager.
 func (s *System) Manager() *manager.Manager { return s.mgr }
+
+// Obs exposes the run's instrument registry (counters, gauges and
+// cycle-stage histograms shared with the manager).
+func (s *System) Obs() *obs.Registry { return s.reg }
+
+// CycleTrace exposes the staged cycle recorder.
+func (s *System) CycleTrace() *obs.CycleRecorder { return s.trace }
 
 // Learner exposes the threshold learner.
 func (s *System) Learner() *power.Learner { return s.learner }

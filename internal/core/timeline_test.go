@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// timelineCfg is a short capped run small enough to drive over the wire:
+// no training period (thresholds derive from PMax immediately), so every
+// cycle runs the full Algorithm 1 stage sequence.
+func timelineCfg(backendName string, seed uint64) Config {
+	cfg := DefaultConfig()
+	cfg.Backend = backendName
+	cfg.Seed = seed
+	cfg.Nodes = 16
+	cfg.Class = workload.ClassC
+	cfg.PolicyName = "mpc"
+	cfg.PMax = units.KW(4)
+	cfg.Training = 0
+	return cfg
+}
+
+// stageKeys flattens one run's cycle spans into comparable per-cycle
+// strings: stage names and outcome labels only. Durations are host time
+// and legitimately differ between transports; what must match is the
+// staged shape of the control law — which stages ran, in what order,
+// classifying what, selecting and actuating how many nodes.
+func stageKeys(spans []obs.CycleSpan) []string {
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		var b strings.Builder
+		fmt.Fprintf(&b, "cycle=%d", sp.Cycle)
+		for _, sg := range sp.Stages {
+			fmt.Fprintf(&b, " %s(%s)", sg.Stage, sg.Outcome)
+		}
+		out[i] = b.String()
+	}
+	return out
+}
+
+// TestBackendsEmitIdenticalStagedTimeline is the tentpole's equivalence
+// check: the same seeded workload driven through the in-process sim
+// backend and the managerd/agentd wire backend must produce the same
+// staged cycle timeline — same stages, same order, same classify/select/
+// actuate outcomes — because there is one control law and the transports
+// merely carry it.
+func TestBackendsEmitIdenticalStagedTimeline(t *testing.T) {
+	const eval = 90 * time.Second
+	run := func(name string) []obs.CycleSpan {
+		t.Helper()
+		sys, err := New(timelineCfg(name, 17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		res, err := sys.Run(eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CycleSpans
+	}
+
+	simSpans := run("sim")
+	daemonSpans := run("daemon")
+
+	if len(simSpans) == 0 {
+		t.Fatal("sim run recorded no cycle spans")
+	}
+	simKeys, daemonKeys := stageKeys(simSpans), stageKeys(daemonSpans)
+	if len(simKeys) != len(daemonKeys) {
+		t.Fatalf("cycle counts differ: sim %d, daemon %d", len(simKeys), len(daemonKeys))
+	}
+	for i := range simKeys {
+		if simKeys[i] != daemonKeys[i] {
+			t.Fatalf("timelines diverge at cycle %d:\nsim    %s\ndaemon %s",
+				i+1, simKeys[i], daemonKeys[i])
+		}
+	}
+
+	// Sanity on the shape itself: capped cycles carry the full five-stage
+	// sequence ending in settle.
+	want := []string{"sense", "classify", "select", "actuate", "settle"}
+	last := simSpans[len(simSpans)-1]
+	var got []string
+	for _, sg := range last.Stages {
+		got = append(got, sg.Stage)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("last cycle stages = %v, want %v", got, want)
+	}
+}
+
+// TestCycleSpansFeedRegistryHistograms pins the registry side of the
+// recorder: a run's stage durations must be queryable as quantiles after
+// the ring has rotated past them.
+func TestCycleSpansFeedRegistryHistograms(t *testing.T) {
+	cfg := timelineCfg("sim", 5)
+	cfg.CycleHistory = 8 // force ring rotation well before the run ends
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CycleSpans) != 8 {
+		t.Fatalf("retained %d spans, want ring capacity 8", len(res.CycleSpans))
+	}
+	for _, name := range []string{"cycle_stage_sense_micros", "cycle_stage_classify_micros", "cycle_total_micros"} {
+		h := sys.Obs().Histogram(name)
+		snap := h.Snapshot()
+		if snap.Count != 60 {
+			t.Errorf("%s count = %d, want 60 (one per cycle, ring horizon ignored)", name, snap.Count)
+		}
+	}
+	if n := sys.CycleTrace().Cycles(); n != 60 {
+		t.Errorf("recorder counted %d cycles, want 60", n)
+	}
+}

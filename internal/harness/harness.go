@@ -102,6 +102,10 @@ type Options struct {
 	// Learn enables manager-side threshold learning.
 	Learn *managerd.LearnConfig
 
+	// MetricsAddr, when non-empty, serves the manager's observability
+	// endpoints (GET /metrics, GET /debug/cycles) on this address.
+	MetricsAddr string
+
 	// Model is the power model the manager estimates fleet power with
 	// (default power.TianheNode()).
 	Model power.Model
@@ -143,6 +147,7 @@ func (o Options) serverConfig(ln net.Listener) managerd.Config {
 		Shards:          o.Shards,
 		FanoutWorkers:   o.FanoutWorkers,
 		Learn:           o.Learn,
+		MetricsAddr:     o.MetricsAddr,
 		ExternalControl: o.External,
 	}
 }

@@ -7,6 +7,13 @@
 // the simulator, and the networked managerd feeds it the same AgentReading
 // values decoded from TCP. Actuation goes through the Actuator interface
 // for the same reason.
+//
+// Telemetry goes through the obs registry: the manager registers its
+// instruments (cycles, state residency, degrade/restore ops, selection
+// cost) at construction and Stats is derived from them, so the simulator,
+// managerd's StatusReply and the /metrics endpoint all read one source of
+// truth. Each Cycle also records its classify/select/actuate stages on
+// the configured CycleRecorder.
 package manager
 
 import (
@@ -15,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/power"
 	"repro/internal/units"
@@ -34,6 +42,12 @@ type Config struct {
 	Tg int
 	// Policy selects A_target in the yellow state.
 	Policy policy.Policy
+	// Obs receives the manager's instruments. When nil the manager uses a
+	// private registry so Stats stays registry-derived either way.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives classify/select/actuate stage spans
+	// for the cycle currently open on it.
+	Trace *obs.CycleRecorder
 }
 
 // Validate checks the configuration.
@@ -47,7 +61,8 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Stats accumulates control-loop statistics over a run.
+// Stats is a snapshot of the control-loop statistics, derived from the
+// obs registry instruments on demand.
 type Stats struct {
 	Cycles       int
 	GreenCycles  int
@@ -60,7 +75,8 @@ type Stats struct {
 	DegradeOps int
 	RestoreOps int
 	// SelectTime accumulates host time spent in policy selection; the
-	// Figure 5 harness reads it together with collection time.
+	// Figure 5 harness reads it together with collection time, and
+	// managerd surfaces it as select_micros.
 	SelectTime time.Duration
 }
 
@@ -71,7 +87,17 @@ type Manager struct {
 	timeg    int              // Time_g, in cycles
 	lastSt   power.State
 	started  bool
-	stats    Stats
+
+	// Registry instruments, cached at construction; names match the
+	// snake_case wire.StatusReply tags they surface under.
+	cycles       *obs.Counter
+	greenCycles  *obs.Counter
+	yellowCycles *obs.Counter
+	redCycles    *obs.Counter
+	redEntries   *obs.Counter
+	degradeOps   *obs.Counter
+	restoreOps   *obs.Counter
+	selectMicros *obs.Gauge // accumulated µs, fractional to avoid truncation
 }
 
 // New creates a manager. A_degraded starts empty and Time_g at zero, per
@@ -80,11 +106,40 @@ func New(cfg Config) (*Manager, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Manager{cfg: cfg, degraded: make(map[node.ID]bool)}, nil
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	r := cfg.Obs
+	return &Manager{
+		cfg:          cfg,
+		degraded:     make(map[node.ID]bool),
+		cycles:       r.Counter("cycles"),
+		greenCycles:  r.Counter("green_cycles"),
+		yellowCycles: r.Counter("yellow_cycles"),
+		redCycles:    r.Counter("red_cycles"),
+		redEntries:   r.Counter("red_entries"),
+		degradeOps:   r.Counter("degrade_ops"),
+		restoreOps:   r.Counter("restore_ops"),
+		selectMicros: r.Gauge("select_micros"),
+	}, nil
 }
 
-// Stats returns a copy of the accumulated statistics.
-func (m *Manager) Stats() Stats { return m.stats }
+// Stats derives the statistics snapshot from the registry instruments.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Cycles:       int(m.cycles.Value()),
+		GreenCycles:  int(m.greenCycles.Value()),
+		YellowCycles: int(m.yellowCycles.Value()),
+		RedCycles:    int(m.redCycles.Value()),
+		RedEntries:   int(m.redEntries.Value()),
+		DegradeOps:   int(m.degradeOps.Value()),
+		RestoreOps:   int(m.restoreOps.Value()),
+		SelectTime:   time.Duration(m.selectMicros.Value() * float64(time.Microsecond)),
+	}
+}
+
+// Obs returns the registry holding the manager's instruments.
+func (m *Manager) Obs() *obs.Registry { return m.cfg.Obs }
 
 // Degraded returns the current size of A_degraded.
 func (m *Manager) Degraded() int { return len(m.degraded) }
@@ -117,10 +172,12 @@ func (m *Manager) Cycle(p units.Watts, thr power.Thresholds, snap *policy.Snapsh
 	if err := thr.Validate(); err != nil {
 		return power.Green, nil, err
 	}
+	tc := time.Now()
 	st := thr.Classify(p)
-	m.stats.Cycles++
+	m.cfg.Trace.Stage(obs.StageClassify, time.Since(tc), st.String())
+	m.cycles.Inc()
 	if st == power.Red && (!m.started || m.lastSt != power.Red) {
-		m.stats.RedEntries++
+		m.redEntries.Inc()
 	}
 	m.lastSt, m.started = st, true
 
@@ -132,18 +189,24 @@ func (m *Manager) Cycle(p units.Watts, thr power.Thresholds, snap *policy.Snapsh
 	var actions []Action
 	switch st {
 	case power.Green:
-		m.stats.GreenCycles++
+		m.greenCycles.Inc()
 		m.timeg++
+		m.cfg.Trace.Stage(obs.StageSelect, 0, "")
+		ta := time.Now()
 		if m.timeg >= m.cfg.Tg && len(m.degraded) > 0 {
 			actions = m.restore(idx, act)
 		}
+		m.cfg.Trace.Stage(obs.StageActuate, time.Since(ta), fmt.Sprintf("actions=%d", len(actions)))
 
 	case power.Yellow:
-		m.stats.YellowCycles++
+		m.yellowCycles.Inc()
 		m.timeg = 0
 		t0 := time.Now()
 		targets := m.cfg.Policy.Select(snap)
-		m.stats.SelectTime += time.Since(t0)
+		dSel := time.Since(t0)
+		m.selectMicros.Add(float64(dSel) / float64(time.Microsecond))
+		m.cfg.Trace.Stage(obs.StageSelect, dSel, fmt.Sprintf("targets=%d", len(targets)))
+		ta := time.Now()
 		for _, id := range targets {
 			n, ok := idx[id]
 			if !ok || n.Idle || n.AtLowest {
@@ -155,13 +218,16 @@ func (m *Manager) Cycle(p units.Watts, thr power.Thresholds, snap *policy.Snapsh
 				continue
 			}
 			m.degraded[id] = true
-			m.stats.DegradeOps++
+			m.degradeOps.Inc()
 			actions = append(actions, Action{Node: id, Level: n.Level - 1})
 		}
+		m.cfg.Trace.Stage(obs.StageActuate, time.Since(ta), fmt.Sprintf("actions=%d", len(actions)))
 
 	case power.Red:
-		m.stats.RedCycles++
+		m.redCycles.Inc()
 		m.timeg = 0
+		m.cfg.Trace.Stage(obs.StageSelect, 0, "")
+		ta := time.Now()
 		// Maximal strength: every candidate to its lowest power state,
 		// A_degraded := A_candidate.
 		for _, n := range snap.Nodes {
@@ -169,11 +235,12 @@ func (m *Manager) Cycle(p units.Watts, thr power.Thresholds, snap *policy.Snapsh
 				if err := act.SetNodeLevel(n.ID, 0); err != nil {
 					continue
 				}
-				m.stats.DegradeOps++
+				m.degradeOps.Inc()
 				actions = append(actions, Action{Node: n.ID, Level: 0})
 			}
 			m.degraded[n.ID] = true
 		}
+		m.cfg.Trace.Stage(obs.StageActuate, time.Since(ta), fmt.Sprintf("actions=%d", len(actions)))
 	}
 	return st, actions, nil
 }
@@ -204,7 +271,7 @@ func (m *Manager) restore(idx map[node.ID]policy.NodeState, act Actuator) []Acti
 		if err := act.SetNodeLevel(id, next); err != nil {
 			continue
 		}
-		m.stats.RestoreOps++
+		m.restoreOps.Inc()
 		actions = append(actions, Action{Node: id, Level: next})
 		if next == n.MaxLevel {
 			delete(m.degraded, id)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/manager"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -36,7 +37,7 @@ func (s *Server) BeginSenseEpoch() uint64 { return s.extEpoch.Add(1) }
 // SamplesReceived reports how many agent samples the daemon has accepted
 // over the wire; the external driver polls it to know when an epoch's
 // pushes have all landed.
-func (s *Server) SamplesReceived() int64 { return s.samplesRecv.Load() }
+func (s *Server) SamplesReceived() int64 { return s.samplesRecv.Value() }
 
 // ExternalCycle is one externally driven control cycle. It implements
 // manager.Actuator: commands issued through it are tagged with the
@@ -44,6 +45,7 @@ func (s *Server) SamplesReceived() int64 { return s.samplesRecv.Load() }
 type ExternalCycle struct {
 	s        *Server
 	fan      *fanout
+	span     *obs.CycleHandle
 	t0       time.Time
 	readings []manager.AgentReading
 }
@@ -55,7 +57,8 @@ type ExternalCycle struct {
 func (s *Server) StartExternalCycle() *ExternalCycle {
 	t0 := time.Now()
 	cycleN := int(s.cycleN.Add(1))
-	cyc := &ExternalCycle{s: s, fan: s.newFanout(t0), t0: t0}
+	span := s.trace.Begin()
+	cyc := &ExternalCycle{s: s, fan: s.newFanout(t0, span), span: span, t0: t0}
 	epoch := s.extEpoch.Load()
 
 	type resend struct {
@@ -110,12 +113,18 @@ func (s *Server) StartExternalCycle() *ExternalCycle {
 	// Map iteration scattered the readings; the control law's contract is
 	// node-ID order (deterministic policy tie-breaks).
 	sort.Slice(cyc.readings, func(a, b int) bool { return cyc.readings[a].ID < cyc.readings[b].ID })
-	s.stateMu.Lock()
-	s.lastP = p
-	if s.learner == nil && float64(p) > s.peakW {
-		s.peakW = float64(p)
+	// The transport's sensing stage: upkeep sweep plus this epoch's
+	// reading snapshot. The control-law stages (classify/select/actuate)
+	// are recorded by the external driver's own recorder.
+	collect := time.Since(t0)
+	span.Stage(obs.StageSense, collect, fmt.Sprintf("readings=%d", len(cyc.readings)))
+	cus := collect.Microseconds()
+	s.lastCollectMicros.SetInt(cus)
+	s.collectMicros.Add(float64(cus))
+	s.lastPowerW.Set(float64(p))
+	if s.learner == nil {
+		s.lifetimePeakW.Max(float64(p))
 	}
-	s.stateMu.Unlock()
 	return cyc
 }
 
@@ -151,13 +160,12 @@ func (c *ExternalCycle) Finish(timeout time.Duration) error {
 		}
 		time.Sleep(100 * time.Microsecond)
 	}
+	c.span.End()
 	busy := time.Since(c.t0)
 	us := busy.Microseconds()
-	s.lastCycleMicros.Store(us)
-	atomicMax(&s.maxCycleMicros, us)
-	s.stateMu.Lock()
-	s.busy += busy
-	s.stateMu.Unlock()
+	s.lastCycleMicros.SetInt(us)
+	s.maxCycleMicros.Max(float64(us))
+	s.busyMicros.Add(float64(busy) / float64(time.Microsecond))
 	return nil
 }
 

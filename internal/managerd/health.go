@@ -1,10 +1,10 @@
 package managerd
 
 import (
-	"sync/atomic"
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/obs"
 )
 
 // Node health state machine. The manager classifies every node it has
@@ -73,7 +73,7 @@ func (h *healthRec) pruneConnects(now time.Time, window time.Duration) {
 // noteConnect records a (re)connect for id and quarantines the node when
 // the connect rate crosses the flap limit. Caller holds sh.mu; id must
 // belong to sh. quarantines is the server-wide entry counter.
-func noteConnect(sh *shard, id node.ID, now time.Time, cfg *Config, quarantines *atomic.Int64) {
+func noteConnect(sh *shard, id node.ID, now time.Time, cfg *Config, quarantines *obs.Counter) {
 	rec := sh.health[id]
 	if rec == nil {
 		rec = &healthRec{state: healthHealthy}
@@ -84,7 +84,7 @@ func noteConnect(sh *shard, id node.ID, now time.Time, cfg *Config, quarantines 
 	if cfg.FlapLimit > 0 && len(rec.connects) >= cfg.FlapLimit && rec.state != healthQuarantined {
 		rec.state = healthQuarantined
 		rec.quarantinedAt = now
-		quarantines.Add(1)
+		quarantines.Inc()
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,7 @@ import (
 
 	"repro/internal/manager"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/power"
 	"repro/internal/units"
@@ -111,6 +113,14 @@ type Config struct {
 	// wall time, then re-derives the thresholds from the lifetime peak
 	// every AdjustEvery cycles.
 	Learn *LearnConfig
+	// MetricsAddr, when non-empty, serves GET /metrics (Prometheus text
+	// exposition of the obs registry) and GET /debug/cycles (the last-N
+	// staged cycle timelines as JSON) on this address. Port 0 selects an
+	// ephemeral port (see Server.MetricsAddr).
+	MetricsAddr string
+	// CycleHistory is how many staged cycle timelines the daemon retains
+	// for /debug/cycles; zero defaults to obs.DefaultCycleHistory.
+	CycleHistory int
 	// ExternalControl turns the daemon into a transport gateway: the
 	// wall-clock control loop is not started, and an external driver runs
 	// the control law by pushing sense epochs and cycling through
@@ -188,33 +198,57 @@ type Server struct {
 
 	// stateMu guards the control-plane scalars below.
 	stateMu sync.Mutex
-	busy    time.Duration
-	lastP   units.Watts
-	thr     power.Thresholds
-	trained bool    // cached learner.Trained() for Status
-	peakW   float64 // cached lifetime peak for Status
+	thr     power.Thresholds // current thresholds, persisted by the journal
 
 	learner *power.Learner // touched only by the control-loop goroutine (and New/Stop)
 	started time.Time
 
-	cycleN        atomic.Int64
-	seq           atomic.Uint64
-	extEpoch      atomic.Uint64 // current external sense epoch (external.go)
-	samplesRecv   atomic.Int64  // samples accepted over the wire
-	stale         atomic.Int64
-	cmdErrs       atomic.Int64
-	staleConnErrs atomic.Int64
-	cmdAcks       atomic.Int64
-	cmdRetries    atomic.Int64
-	reconciles    atomic.Int64
-	quarantines   atomic.Int64
-	journalWrites atomic.Int64
-	coalesced     atomic.Int64
+	// Protocol state (not telemetry): the cycle number stamps commands,
+	// seq numbers commands, extEpoch stamps external sense epochs.
+	cycleN   atomic.Int64
+	seq      atomic.Uint64
+	extEpoch atomic.Uint64 // current external sense epoch (external.go)
 
-	lastCycleMicros  atomic.Int64
-	maxCycleMicros   atomic.Int64
-	lastFanoutMicros atomic.Int64
-	maxFanoutMicros  atomic.Int64
+	// reg is the daemon's instrument registry — the single source of
+	// truth behind StatusReply, /metrics and the simulator's Stats — and
+	// trace records each cycle's staged timeline for /debug/cycles. The
+	// instrument pointers below are cached at New; their names are the
+	// obs tags on wire.StatusReply.
+	reg   *obs.Registry
+	trace *obs.CycleRecorder
+
+	samplesRecv   *obs.Counter // samples accepted over the wire
+	stale         *obs.Counter
+	cmdErrs       *obs.Counter
+	staleConnErrs *obs.Counter
+	cmdAcks       *obs.Counter
+	cmdRetries    *obs.Counter
+	reconciles    *obs.Counter
+	quarantines   *obs.Counter
+	journalWrites *obs.Counter
+	coalesced     *obs.Counter
+
+	busyMicros        *obs.Gauge
+	cpuUtilise        *obs.Gauge
+	lastPowerW        *obs.Gauge
+	plW, phW          *obs.Gauge
+	trainedG          *obs.Gauge
+	lifetimePeakW     *obs.Gauge
+	lastCycleMicros   *obs.Gauge
+	maxCycleMicros    *obs.Gauge
+	lastFanoutMicros  *obs.Gauge
+	maxFanoutMicros   *obs.Gauge
+	lastCollectMicros *obs.Gauge
+	collectMicros     *obs.Gauge
+	agentsG           *obs.Gauge
+	driftedG          *obs.Gauge
+	healthyG          *obs.Gauge
+	staleNodesG       *obs.Gauge
+	lostG             *obs.Gauge
+	quarNodesG        *obs.Gauge
+
+	metricsLn  net.Listener
+	metricsSrv *http.Server
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -269,7 +303,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.FanoutWorkers == 0 {
 		cfg.FanoutWorkers = runtime.GOMAXPROCS(0)
 	}
-	mgr, err := manager.New(manager.Config{Tg: cfg.Tg, Policy: cfg.Policy})
+	reg := obs.NewRegistry()
+	trace := obs.NewCycleRecorder(cfg.CycleHistory, reg)
+	mgr, err := manager.New(manager.Config{Tg: cfg.Tg, Policy: cfg.Policy, Obs: reg, Trace: trace})
 	if err != nil {
 		return nil, err
 	}
@@ -279,9 +315,45 @@ func New(cfg Config) (*Server, error) {
 		builder: manager.NewBuilder(cfg.Model),
 		mgr:     mgr,
 		thr:     cfg.Thresholds,
-		trained: true, // fixed thresholds cap from the first cycle
 		stopCh:  make(chan struct{}),
+		reg:     reg,
+		trace:   trace,
+
+		samplesRecv:   reg.Counter("samples_received"),
+		stale:         reg.Counter("dropped_stale"),
+		cmdErrs:       reg.Counter("command_errors"),
+		staleConnErrs: reg.Counter("stale_conn_errors"),
+		cmdAcks:       reg.Counter("command_acks"),
+		cmdRetries:    reg.Counter("command_retries"),
+		reconciles:    reg.Counter("reconciles"),
+		quarantines:   reg.Counter("quarantines"),
+		journalWrites: reg.Counter("journal_writes"),
+		coalesced:     reg.Counter("coalesced_cmds"),
+
+		busyMicros:        reg.Gauge("busy_micros"),
+		cpuUtilise:        reg.Gauge("cpu_utilisation"),
+		lastPowerW:        reg.Gauge("last_power_w"),
+		plW:               reg.Gauge("pl_w"),
+		phW:               reg.Gauge("ph_w"),
+		trainedG:          reg.Gauge("trained"),
+		lifetimePeakW:     reg.Gauge("lifetime_peak_w"),
+		lastCycleMicros:   reg.Gauge("last_cycle_micros"),
+		maxCycleMicros:    reg.Gauge("max_cycle_micros"),
+		lastFanoutMicros:  reg.Gauge("last_fanout_micros"),
+		maxFanoutMicros:   reg.Gauge("max_fanout_micros"),
+		lastCollectMicros: reg.Gauge("last_collect_micros"),
+		collectMicros:     reg.Gauge("collect_micros"),
+		agentsG:           reg.Gauge("agents"),
+		driftedG:          reg.Gauge("drifted"),
+		healthyG:          reg.Gauge("healthy_nodes"),
+		staleNodesG:       reg.Gauge("stale_nodes"),
+		lostG:             reg.Gauge("lost_nodes"),
+		quarNodesG:        reg.Gauge("quarantined_nodes"),
 	}
+	reg.Gauge("shards").SetInt(int64(len(srv.nodes.shards)))
+	srv.plW.Set(float64(cfg.Thresholds.PL))
+	srv.phW.Set(float64(cfg.Thresholds.PH))
+	srv.trainedG.Set(1) // fixed thresholds cap from the first cycle
 	adj := 60
 	if cfg.Learn != nil {
 		if cfg.Learn.AdjustEvery > 0 {
@@ -292,7 +364,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		srv.learner = learner
-		srv.trained = learner.Trained()
+		srv.trainedG.Set(b2f(learner.Trained()))
 	}
 	if srv.cfg.JournalEvery <= 0 {
 		srv.cfg.JournalEvery = adj
@@ -313,8 +385,10 @@ func (s *Server) restoreFromJournal(js *journalState) {
 	if s.learner != nil && js.Learner != nil {
 		if err := s.learner.Restore(*js.Learner); err == nil {
 			s.thr = s.learner.Thresholds()
-			s.trained = s.learner.Trained()
-			s.peakW = js.Learner.LifetimePeakW
+			s.plW.Set(float64(s.thr.PL))
+			s.phW.Set(float64(s.thr.PH))
+			s.trainedG.Set(b2f(s.learner.Trained()))
+			s.lifetimePeakW.Set(js.Learner.LifetimePeakW)
 		}
 	}
 	s.cycleN.Store(int64(js.SavedAtCycle))
@@ -329,14 +403,30 @@ func (s *Server) restoreFromJournal(js *journalState) {
 	}
 }
 
-// Start binds the listener and launches the accept, control and heartbeat
-// loops.
+// Start binds the listeners and launches the accept, control, heartbeat
+// and (when MetricsAddr is set) observability HTTP loops.
 func (s *Server) Start() error {
+	if s.cfg.MetricsAddr != "" {
+		mln, err := net.Listen("tcp", s.cfg.MetricsAddr)
+		if err != nil {
+			return fmt.Errorf("managerd: metrics listen: %w", err)
+		}
+		s.metricsLn = mln
+		s.metricsSrv = &http.Server{Handler: obs.NewMux(s.reg, s.trace, s.refreshGauges)}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			_ = s.metricsSrv.Serve(mln)
+		}()
+	}
 	if s.cfg.Listener != nil {
 		s.ln = s.cfg.Listener
 	} else {
 		ln, err := net.Listen("tcp", s.cfg.Addr)
 		if err != nil {
+			if s.metricsSrv != nil {
+				s.metricsSrv.Close()
+			}
 			return fmt.Errorf("managerd: listen: %w", err)
 		}
 		s.ln = ln
@@ -363,12 +453,30 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
+// MetricsAddr returns the bound observability HTTP address (useful with
+// port 0); empty when metrics serving is disabled.
+func (s *Server) MetricsAddr() string {
+	if s.metricsLn == nil {
+		return s.cfg.MetricsAddr
+	}
+	return s.metricsLn.Addr().String()
+}
+
+// Obs returns the daemon's instrument registry.
+func (s *Server) Obs() *obs.Registry { return s.reg }
+
+// CycleTrace returns the daemon's staged cycle recorder.
+func (s *Server) CycleTrace() *obs.CycleRecorder { return s.trace }
+
 // Stop shuts the daemon down, waits for its goroutines, and writes a
 // final journal snapshot so a clean restart resumes exactly where this
 // instance left off.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() {
 		close(s.stopCh)
+		if s.metricsSrv != nil {
+			s.metricsSrv.Close()
+		}
 		if s.ln != nil {
 			s.ln.Close()
 		}
@@ -475,7 +583,7 @@ func (s *Server) serveConn(conn *wire.Conn) {
 	sh.mu.Lock()
 	old := sh.agents[id]
 	sh.agents[id] = ac
-	noteConnect(sh, id, now, &s.cfg, &s.quarantines)
+	noteConnect(sh, id, now, &s.cfg, s.quarantines)
 	sh.mu.Unlock()
 	if old != nil {
 		// A redial replaced the connection: retire the old epoch so its
@@ -502,12 +610,12 @@ func (s *Server) serveConn(conn *wire.Conn) {
 			ac.last, ac.lastAt, ac.seen = r, time.Now(), true
 			ac.lastEpoch = epoch
 			sh.mu.Unlock()
-			s.samplesRecv.Add(1)
+			s.samplesRecv.Inc()
 		case wire.KindAck:
 			sh.mu.Lock()
 			if cs := sh.cmds[id]; cs != nil && env.Seq != 0 && cs.seq == env.Seq {
 				if !cs.acked {
-					s.cmdAcks.Add(1)
+					s.cmdAcks.Inc()
 				}
 				cs.acked = true
 				cs.level = env.Level
@@ -545,7 +653,7 @@ func (a actuator) SetNodeLevel(id node.ID, level int) error {
 	ac, ok := sh.agents[id]
 	if !ok {
 		sh.mu.Unlock()
-		s.cmdErrs.Add(1)
+		s.cmdErrs.Inc()
 		return fmt.Errorf("managerd: no agent for node %d", id)
 	}
 	seq := s.seq.Add(1)
@@ -572,7 +680,7 @@ func (s *Server) dispatch(ac *agentConn, level int, seq uint64, fan *fanout) {
 		return
 	}
 	if superseded {
-		s.coalesced.Add(1)
+		s.coalesced.Inc()
 	}
 }
 
@@ -671,7 +779,8 @@ func (s *Server) forEachShard(fn func(i int, sh *shard)) {
 func (s *Server) cycle() *fanout {
 	t0 := time.Now()
 	cycleN := int(s.cycleN.Add(1))
-	fan := s.newFanout(t0)
+	span := s.trace.Begin()
+	fan := s.newFanout(t0, span)
 
 	type part struct {
 		candidates []manager.AgentReading
@@ -718,6 +827,14 @@ func (s *Server) cycle() *fanout {
 	for i := range parts {
 		candidates = append(candidates, parts[i].candidates...)
 	}
+	// The sweep above is the cycle's sensing stage: collect fresh
+	// readings and evaluate the power model. Its cost is what Figure 5's
+	// collection-time curve measures.
+	collect := time.Since(t0)
+	span.Stage(obs.StageSense, collect, fmt.Sprintf("readings=%d stale=%d", nCand, nStale))
+	cus := collect.Microseconds()
+	s.lastCollectMicros.SetInt(cus)
+	s.collectMicros.Add(float64(cus))
 
 	thr := s.cfg.Thresholds
 	capping := true
@@ -727,13 +844,15 @@ func (s *Server) cycle() *fanout {
 	}
 	s.stateMu.Lock()
 	s.thr = thr
-	if s.learner != nil {
-		s.trained = capping
-		s.peakW = float64(s.learner.LifetimePeak())
-	} else if float64(p) > s.peakW {
-		s.peakW = float64(p)
-	}
 	s.stateMu.Unlock()
+	s.plW.Set(float64(thr.PL))
+	s.phW.Set(float64(thr.PH))
+	if s.learner != nil {
+		s.trainedG.Set(b2f(capping))
+		s.lifetimePeakW.Set(float64(s.learner.LifetimePeak()))
+	} else {
+		s.lifetimePeakW.Max(float64(p))
+	}
 
 	// Command upkeep runs before Algorithm 1 so retries and reconciles
 	// reflect last cycle's state, not commands issued moments ago.
@@ -751,14 +870,13 @@ func (s *Server) cycle() *fanout {
 		s.writeJournal()
 	}
 
+	span.End()
 	busy := time.Since(t0)
 	us := busy.Microseconds()
-	s.lastCycleMicros.Store(us)
-	atomicMax(&s.maxCycleMicros, us)
-	s.stateMu.Lock()
-	s.lastP = p
-	s.busy += busy
-	s.stateMu.Unlock()
+	s.lastCycleMicros.SetInt(us)
+	s.maxCycleMicros.Max(float64(us))
+	s.busyMicros.Add(float64(busy) / float64(time.Microsecond))
+	s.lastPowerW.Set(float64(p))
 	return fan
 }
 
@@ -817,13 +935,13 @@ func (s *Server) maintainCommands(cycleN int, fan *fanout) {
 			case !cs.acked && cycleN > cs.sentCycle:
 				cs.retries++
 				cs.sentCycle = cycleN
-				s.cmdRetries.Add(1)
+				s.cmdRetries.Inc()
 				resends = append(resends, resend{ac, cs.level, cs.seq})
 			case cs.acked && ac.last.Level != cs.level && cycleN >= cs.sentCycle+2:
 				cs.seq = s.seq.Add(1)
 				cs.acked = false
 				cs.sentCycle = cycleN
-				s.reconciles.Add(1)
+				s.reconciles.Inc()
 				resends = append(resends, resend{ac, cs.level, cs.seq})
 			}
 			if cs.level < ac.maxLevel {
@@ -877,17 +995,15 @@ func (s *Server) writeJournal() {
 		sh.mu.Unlock()
 	}
 	if err := saveJournal(s.cfg.JournalPath, js); err == nil {
-		s.journalWrites.Add(1)
+		s.journalWrites.Inc()
 	}
 }
 
-// Status reports the daemon's counters, including the measured management
-// cost (busy time over elapsed control time) and the fail-safe layer's
-// health and command-lifecycle counters.
-func (s *Server) Status() wire.StatusReply {
-	s.mgrMu.Lock()
-	st := s.mgr.Stats()
-	s.mgrMu.Unlock()
+// refreshGauges recomputes the registry gauges that are derived from
+// swept state rather than bumped inline: connected agents, drift, node
+// health tallies and the management-cost ratio. It runs before every
+// Status reply and /metrics render so scrapes see current values.
+func (s *Server) refreshGauges() {
 	agents, drifted := 0, 0
 	var healthy, staleN, lost, quar int
 	for _, sh := range s.nodes.shards {
@@ -908,53 +1024,38 @@ func (s *Server) Status() wire.StatusReply {
 		quar += q
 		sh.mu.Unlock()
 	}
-	s.stateMu.Lock()
-	busy := s.busy
-	lastP := s.lastP
-	thr := s.thr
-	trained := s.trained
-	peakW := s.peakW
-	s.stateMu.Unlock()
-	rep := wire.StatusReply{
-		Agents:           agents,
-		Cycles:           st.Cycles,
-		GreenCycles:      st.GreenCycles,
-		YellowCycles:     st.YellowCycles,
-		RedCycles:        st.RedCycles,
-		RedEntries:       st.RedEntries,
-		DegradeOps:       st.DegradeOps,
-		RestoreOps:       st.RestoreOps,
-		BusyMicros:       busy.Microseconds(),
-		LastPowerW:       float64(lastP),
-		ThresholdPLW:     float64(thr.PL),
-		ThresholdPHW:     float64(thr.PH),
-		DroppedStale:     int(s.stale.Load()),
-		CommandErrors:    int(s.cmdErrs.Load()),
-		Trained:          trained,
-		LifetimePeakW:    peakW,
-		CommandAcks:      int(s.cmdAcks.Load()),
-		CommandRetries:   int(s.cmdRetries.Load()),
-		Reconciles:       int(s.reconciles.Load()),
-		Drifted:          drifted,
-		HealthyNodes:     healthy,
-		StaleNodes:       staleN,
-		LostNodes:        lost,
-		QuarantinedNodes: quar,
-		Quarantines:      int(s.quarantines.Load()),
-		JournalWrites:    int(s.journalWrites.Load()),
-		CoalescedCmds:    int(s.coalesced.Load()),
-		StaleConnErrors:  int(s.staleConnErrs.Load()),
-		Shards:           len(s.nodes.shards),
-		SamplesReceived:  s.samplesRecv.Load(),
-		LastCycleMicros:  s.lastCycleMicros.Load(),
-		MaxCycleMicros:   s.maxCycleMicros.Load(),
-		LastFanoutMicros: s.lastFanoutMicros.Load(),
-		MaxFanoutMicros:  s.maxFanoutMicros.Load(),
+	s.agentsG.SetInt(int64(agents))
+	s.driftedG.SetInt(int64(drifted))
+	s.healthyG.SetInt(int64(healthy))
+	s.staleNodesG.SetInt(int64(staleN))
+	s.lostG.SetInt(int64(lost))
+	s.quarNodesG.SetInt(int64(quar))
+	// Management cost: busy time over elapsed control time (Fig. 5's
+	// utilisation curve). The cycles counter is the manager's.
+	if cycles := s.reg.Counter("cycles").Value(); cycles > 0 {
+		elapsed := float64(time.Duration(cycles)*s.cfg.ControlEvery) / float64(time.Microsecond)
+		s.cpuUtilise.Set(s.busyMicros.Value() / elapsed)
 	}
-	if st.Cycles > 0 {
-		rep.CPUUtilise = float64(busy) / float64(time.Duration(st.Cycles)*s.cfg.ControlEvery)
-	}
+}
+
+// Status reports the daemon's counters, including the measured management
+// cost (busy time over elapsed control time) and the fail-safe layer's
+// health and command-lifecycle counters. The reply is populated entirely
+// from the obs registry through the StatusReply field mapping — see
+// statusFromRegistry — so a reply field without a live instrument behind
+// it cannot exist.
+func (s *Server) Status() wire.StatusReply {
+	s.refreshGauges()
+	rep, _ := statusFromRegistry(s.reg)
 	return rep
+}
+
+// b2f maps a bool onto the 0/1 gauge convention.
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // QueryStatus connects to a manager daemon and fetches its status.

@@ -1,9 +1,11 @@
 package managerd
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -168,9 +170,9 @@ func (s *Server) noteSendError(ac *agentConn) {
 	}
 	sh.mu.Unlock()
 	if current {
-		s.cmdErrs.Add(1)
+		s.cmdErrs.Inc()
 	} else {
-		s.staleConnErrs.Add(1)
+		s.staleConnErrs.Inc()
 	}
 }
 
@@ -182,42 +184,40 @@ func (s *Server) noteSendError(ac *agentConn) {
 type fanout struct {
 	s       *Server
 	t0      time.Time
+	span    *obs.CycleHandle // issuing cycle's staged span; settle lands here
 	pending atomic.Int64
+	issued  atomic.Int64 // commands that claimed a slot
 	dur     time.Duration
 	done    chan struct{}
 }
 
-func (s *Server) newFanout(t0 time.Time) *fanout {
-	f := &fanout{s: s, t0: t0, done: make(chan struct{})}
+func (s *Server) newFanout(t0 time.Time, span *obs.CycleHandle) *fanout {
+	f := &fanout{s: s, t0: t0, span: span, done: make(chan struct{})}
 	f.pending.Store(1) // the cycle's own slot, released by finishEnqueue
 	return f
 }
 
 // add claims a slot for one dispatched command.
-func (f *fanout) add() { f.pending.Add(1) }
+func (f *fanout) add() {
+	f.pending.Add(1)
+	f.issued.Add(1)
+}
 
-// complete releases one slot; the last release stamps the latency.
+// complete releases one slot; the last release stamps the latency and
+// records the cycle's settle stage (asynchronously — the cycle's span may
+// already be closed, which the recorder allows).
 func (f *fanout) complete() {
 	if f.pending.Add(-1) != 0 {
 		return
 	}
 	f.dur = time.Since(f.t0)
 	us := f.dur.Microseconds()
-	f.s.lastFanoutMicros.Store(us)
-	atomicMax(&f.s.maxFanoutMicros, us)
+	f.s.lastFanoutMicros.SetInt(us)
+	f.s.maxFanoutMicros.Max(float64(us))
+	f.span.Stage(obs.StageSettle, f.dur, fmt.Sprintf("cmds=%d", f.issued.Load()))
 	close(f.done)
 }
 
 // finishEnqueue releases the cycle's own slot: all commands this cycle
 // will ever issue have been dispatched.
 func (f *fanout) finishEnqueue() { f.complete() }
-
-// atomicMax raises a to at least v.
-func atomicMax(a *atomic.Int64, v int64) {
-	for {
-		cur := a.Load()
-		if v <= cur || a.CompareAndSwap(cur, v) {
-			return
-		}
-	}
-}

@@ -1,0 +1,54 @@
+package managerd
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// statusFromRegistry fills a wire.StatusReply from the obs registry by
+// reflecting over the struct's `obs` tags: each field names the
+// instrument it mirrors, and the registry is the single source of truth.
+// This replaces the old hand-copied field list, whose drift (SelectTime
+// accumulated but never surfaced) motivated the obs refactor.
+//
+// The error lists every field that could not be mapped — no obs tag, an
+// unregistered instrument, or an unsupported field kind. Server.Status
+// ignores it because every instrument is registered during New, so a
+// non-nil error is a programming bug; the registry-mapping test fails on
+// it instead.
+func statusFromRegistry(reg *obs.Registry) (wire.StatusReply, error) {
+	var rep wire.StatusReply
+	rv := reflect.ValueOf(&rep).Elem()
+	rt := rv.Type()
+	var bad []string
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		name := f.Tag.Get("obs")
+		if name == "" {
+			bad = append(bad, fmt.Sprintf("%s: no obs tag", f.Name))
+			continue
+		}
+		v, ok := reg.Value(name)
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: instrument %q not registered", f.Name, name))
+			continue
+		}
+		switch f.Type.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			rv.Field(i).SetInt(int64(v))
+		case reflect.Float32, reflect.Float64:
+			rv.Field(i).SetFloat(v)
+		case reflect.Bool:
+			rv.Field(i).SetBool(v != 0)
+		default:
+			bad = append(bad, fmt.Sprintf("%s: unsupported kind %s", f.Name, f.Type.Kind()))
+		}
+	}
+	if len(bad) > 0 {
+		return rep, fmt.Errorf("managerd: status mapping incomplete: %v", bad)
+	}
+	return rep, nil
+}

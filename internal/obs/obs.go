@@ -1,0 +1,257 @@
+// Package obs is the observability spine shared by every layer of the
+// capping stack: a typed instrument registry (counters, gauges, streaming
+// weighted histograms) plus a staged per-cycle span recorder.
+//
+// Before this package, telemetry lived in four disjoint hand-plumbed
+// systems — manager.Stats, the ad-hoc fields of wire.StatusReply,
+// core.Result and agentd-local counters — each copied field by field and
+// already drifting. Now every producer registers an instrument once, the
+// hot paths touch only atomics, and consumers (StatusReply, /metrics,
+// /debug/cycles, powctl -watch) read the registry as the single source of
+// truth.
+//
+// Naming follows the wire protocol's snake_case JSON tags so that the
+// StatusReply mapping in managerd can be driven by reflection: the obs
+// instrument named "command_acks" is the value serialised under the JSON
+// key "command_acks".
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind distinguishes the instrument types held by a Registry.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind in Prometheus TYPE terms.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "summary"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing integer instrument. Hot paths call
+// Add/Inc; both are a single atomic op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the counter contract; Add does
+// not enforce it so recovery paths can re-seed journalled totals).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current total.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 instrument that can move in both directions. The
+// value is stored as IEEE bits in a uint64 so reads and writes are
+// lock-free. Integers up to 2^53 round-trip exactly, which covers every
+// integer telemetry value in this codebase.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Add increments the gauge by d (CAS loop; safe for concurrent adders).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Max raises the gauge to v if v exceeds the current value.
+func (g *Gauge) Max(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Int returns the value truncated to int64.
+func (g *Gauge) Int() int64 { return int64(g.Value()) }
+
+// Registry is a get-or-create store of named instruments. Lookup is
+// read-locked; instrument mutation after lookup is lock-free (counters,
+// gauges) or per-instrument locked (histograms). Producers should cache
+// the instrument pointer at construction time and never look up names on
+// the hot path.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use. Panics if the name is already registered as a different kind —
+// that is a programming error, not a runtime condition.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c != nil {
+		return c
+	}
+	r.checkFree(name, KindCounter)
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g != nil {
+		return g
+	}
+	r.checkFree(name, KindGauge)
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h != nil {
+		return h
+	}
+	r.checkFree(name, KindHistogram)
+	h = &Histogram{}
+	r.histograms[name] = h
+	return h
+}
+
+// checkFree panics if name is held by another kind. Callers hold r.mu.
+func (r *Registry) checkFree(name string, want Kind) {
+	if _, ok := r.counters[name]; ok && want != KindCounter {
+		panic(fmt.Sprintf("obs: %q already registered as counter", name))
+	}
+	if _, ok := r.gauges[name]; ok && want != KindGauge {
+		panic(fmt.Sprintf("obs: %q already registered as gauge", name))
+	}
+	if _, ok := r.histograms[name]; ok && want != KindHistogram {
+		panic(fmt.Sprintf("obs: %q already registered as histogram", name))
+	}
+}
+
+// Value reads any instrument by name: counter total, gauge value, or
+// histogram observation sum. The second return is false when the name is
+// not registered.
+func (r *Registry) Value(name string) (float64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if c, ok := r.counters[name]; ok {
+		return float64(c.Value()), true
+	}
+	if g, ok := r.gauges[name]; ok {
+		return g.Value(), true
+	}
+	if h, ok := r.histograms[name]; ok {
+		return h.Sum(), true
+	}
+	return 0, false
+}
+
+// Has reports whether name is registered as any kind.
+func (r *Registry) Has(name string) bool {
+	_, ok := r.Value(name)
+	return ok
+}
+
+// Names returns every registered instrument name, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// kindOf returns the kind of a registered name. Callers hold r.mu.
+func (r *Registry) kindOf(name string) (Kind, bool) {
+	if _, ok := r.counters[name]; ok {
+		return KindCounter, true
+	}
+	if _, ok := r.gauges[name]; ok {
+		return KindGauge, true
+	}
+	if _, ok := r.histograms[name]; ok {
+		return KindHistogram, true
+	}
+	return 0, false
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cycles")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("cycles") != c {
+		t.Fatal("Counter not idempotent")
+	}
+
+	g := r.Gauge("last_power_w")
+	g.Set(412.5)
+	if got := g.Value(); got != 412.5 {
+		t.Fatalf("gauge = %v, want 412.5", got)
+	}
+	g.Add(0.5)
+	if got := g.Value(); got != 413 {
+		t.Fatalf("gauge after Add = %v", got)
+	}
+	g.Max(100)
+	if got := g.Value(); got != 413 {
+		t.Fatalf("Max lowered gauge to %v", got)
+	}
+	g.Max(1000)
+	if got := g.Value(); got != 1000 {
+		t.Fatalf("Max = %v, want 1000", got)
+	}
+	g.SetInt(7)
+	if got := g.Int(); got != 7 {
+		t.Fatalf("Int = %d, want 7", got)
+	}
+
+	if v, ok := r.Value("cycles"); !ok || v != 5 {
+		t.Fatalf("Value(cycles) = %v,%v", v, ok)
+	}
+	if _, ok := r.Value("nope"); ok {
+		t.Fatal("Value(nope) found")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "cycles" || names[1] != "last_power_w" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestRegistryKindCollision(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind collision")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("busy_micros")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 8000 {
+		t.Fatalf("concurrent Add lost updates: %v, want 8000", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile not NaN")
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Log-bucketed estimate must sit within one bucket (~19%) of truth.
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 500}, {0.95, 950}, {0.99, 990}, {0, 1}, {1, 1000},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.want*0.81 || got > tc.want*1.19 {
+			t.Errorf("Quantile(%v) = %v, want within 19%% of %v", tc.q, got, tc.want)
+		}
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Sum != 500500 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(10)
+	if got := h.Quantile(0.25); got != -5 {
+		t.Fatalf("quantile in non-positive mass = %v, want -5 (min)", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Fatalf("q1 = %v, want 10", got)
+	}
+	h.ObserveWeighted(3, -1) // ignored
+	h.ObserveWeighted(math.NaN(), 1)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+}
+
+// TestHistogramTimeWeighted checks the streaming histogram reproduces the
+// time-weighted semantics of metrics.Histogram: weight = seconds held.
+// System at 100 W for 90 s and 1000 W for 10 s: p50 is 100 W, p99 lands
+// in the 1000 W mass.
+func TestHistogramTimeWeighted(t *testing.T) {
+	var h Histogram
+	h.ObserveWeighted(100, 90)
+	h.ObserveWeighted(1000, 10)
+	if got := h.Quantile(0.5); got < 81 || got > 119 {
+		t.Fatalf("p50 = %v, want ~100", got)
+	}
+	if got := h.Quantile(0.99); got < 810 || got > 1190 {
+		t.Fatalf("p99 = %v, want ~1000", got)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(1500 * time.Microsecond)
+	if got := h.Sum(); got != 1500 {
+		t.Fatalf("duration sum = %v µs, want 1500", got)
+	}
+}
+
+func TestCycleRecorderNilSafe(t *testing.T) {
+	var r *CycleRecorder
+	h := r.Begin()
+	h.Stage(StageSense, time.Millisecond, "x")
+	h.End()
+	r.Stage(StageSelect, 0, "")
+	if r.Cycles() != 0 || r.Spans(0) != nil {
+		t.Fatal("nil recorder leaked state")
+	}
+	var nh *CycleHandle
+	nh.Stage(StageSense, 0, "")
+	nh.End()
+}
+
+func TestCycleRecorderRingAndStages(t *testing.T) {
+	reg := NewRegistry()
+	r := NewCycleRecorder(4, reg)
+	for i := 0; i < 6; i++ {
+		h := r.Begin()
+		h.Stage(StageSense, 100*time.Microsecond, "readings=3")
+		r.Stage(StageClassify, 10*time.Microsecond, "green")
+		h.End()
+		// Asynchronous settle after End must still land on this cycle.
+		h.Stage(StageSettle, 50*time.Microsecond, "")
+	}
+	if got := r.Cycles(); got != 6 {
+		t.Fatalf("cycles = %d", got)
+	}
+	spans := r.Spans(0)
+	if len(spans) != 4 {
+		t.Fatalf("ring retained %d spans, want 4", len(spans))
+	}
+	if spans[0].Cycle != 3 || spans[3].Cycle != 6 {
+		t.Fatalf("chronology wrong: first=%d last=%d", spans[0].Cycle, spans[3].Cycle)
+	}
+	for _, sp := range spans {
+		if len(sp.Stages) != 3 {
+			t.Fatalf("cycle %d has %d stages: %+v", sp.Cycle, len(sp.Stages), sp.Stages)
+		}
+		for i, want := range []string{"sense", "classify", "settle"} {
+			if sp.Stages[i].Stage != want {
+				t.Errorf("cycle %d stage %d = %s, want %s", sp.Cycle, i, sp.Stages[i].Stage, want)
+			}
+		}
+		if sp.Stages[0].Outcome != "readings=3" {
+			t.Errorf("outcome = %q", sp.Stages[0].Outcome)
+		}
+	}
+	if last, ok := r.Last(); !ok || last.Cycle != 6 {
+		t.Fatalf("Last = %+v, %v", last, ok)
+	}
+	if n := r.Spans(2); len(n) != 2 || n[1].Cycle != 6 {
+		t.Fatalf("Spans(2) = %+v", n)
+	}
+	// Attached registry collected per-stage histograms.
+	if c := reg.Histogram("cycle_stage_sense_micros").Count(); c != 6 {
+		t.Fatalf("sense histogram count = %d", c)
+	}
+	if c := reg.Histogram("cycle_total_micros").Count(); c != 6 {
+		t.Fatalf("total histogram count = %d", c)
+	}
+}
+
+func TestCycleRecorderSnapshotIsolation(t *testing.T) {
+	r := NewCycleRecorder(8, nil)
+	h := r.Begin()
+	h.Stage(StageSense, time.Microsecond, "")
+	spans := r.Spans(0)
+	h.Stage(StageActuate, time.Microsecond, "")
+	if len(spans[0].Stages) != 1 {
+		t.Fatal("snapshot not isolated from later writes")
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	want := []string{"sense", "classify", "select", "actuate", "settle"}
+	st := Stages()
+	if len(st) != len(want) {
+		t.Fatalf("Stages() = %v", st)
+	}
+	for i, s := range st {
+		if s.String() != want[i] {
+			t.Errorf("stage %d = %s, want %s", i, s, want[i])
+		}
+	}
+	if Stage(99).String() != "unknown" {
+		t.Error("out-of-range stage string")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("command_acks").Add(3)
+	r.Gauge("last_power_w").Set(412.5)
+	r.Histogram("cycle_total_micros").Observe(100)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE command_acks counter",
+		"command_acks 3",
+		"# TYPE last_power_w gauge",
+		"last_power_w 412.5",
+		"# TYPE cycle_total_micros summary",
+		`cycle_total_micros{quantile="0.5"}`,
+		"cycle_total_micros_sum 100",
+		"cycle_total_micros_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted by name: command_acks before cycle_total before last_power.
+	if strings.Index(out, "command_acks") > strings.Index(out, "last_power_w") {
+		t.Error("output not sorted")
+	}
+	if promFloat(math.NaN()) != "NaN" {
+		t.Error("NaN formatting")
+	}
+}

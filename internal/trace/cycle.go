@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// WriteCycleSpansJSONL writes one JSON object per staged cycle timeline,
+// oldest first, in the same shape the manager serves on /debug/cycles.
+// Offline tooling can therefore consume a live scrape and an exported
+// run artefact interchangeably.
+func WriteCycleSpansJSONL(w io.Writer, spans []obs.CycleSpan) error {
+	enc := json.NewEncoder(w)
+	for _, sp := range spans {
+		if err := enc.Encode(sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCycleSpansCSV flattens staged cycle timelines into one row per
+// stage: "cycle,stage,micros,outcome,total_micros". The per-cycle total
+// repeats on every stage row so each row is self-contained for plotting.
+func WriteCycleSpansCSV(w io.Writer, spans []obs.CycleSpan) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"cycle", "stage", "micros", "outcome", "total_micros"}); err != nil {
+		return err
+	}
+	for _, sp := range spans {
+		for _, st := range sp.Stages {
+			rec := []string{
+				strconv.FormatInt(sp.Cycle, 10),
+				st.Stage,
+				strconv.FormatInt(st.Micros, 10),
+				st.Outcome,
+				strconv.FormatInt(sp.TotalMicros, 10),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// -update regenerates the golden files under testdata/ from the current
+// writer output:
+//
+//	go test ./internal/trace -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against testdata/<name>, rewriting the file under
+// -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// fixtureSpans builds a deterministic two-cycle staged timeline, shaped
+// like a real sense→classify→select→actuate→settle recording.
+func fixtureSpans() []obs.CycleSpan {
+	return []obs.CycleSpan{
+		{
+			Cycle:       1,
+			TotalMicros: 1510,
+			Stages: []obs.StageSpan{
+				{Stage: "sense", Micros: 120, Outcome: "readings=16"},
+				{Stage: "classify", Micros: 4, Outcome: "yellow"},
+				{Stage: "select", Micros: 890, Outcome: "targets=5"},
+				{Stage: "actuate", Micros: 310, Outcome: "degrade=5"},
+				{Stage: "settle", Micros: 186},
+			},
+		},
+		{
+			Cycle:       2,
+			TotalMicros: 240,
+			Stages: []obs.StageSpan{
+				{Stage: "sense", Micros: 110, Outcome: "readings=16"},
+				{Stage: "classify", Micros: 3, Outcome: "green"},
+				{Stage: "select", Micros: 0},
+				{Stage: "actuate", Micros: 55, Outcome: "restore=2"},
+				{Stage: "settle", Micros: 72},
+			},
+		},
+	}
+}
+
+func TestGoldenCycleSpansJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCycleSpansJSONL(&buf, fixtureSpans()); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "cycle_spans.jsonl", buf.Bytes())
+
+	// Round-trip: every line decodes back to the source span.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for i, line := range lines {
+		var sp obs.CycleSpan
+		if err := json.Unmarshal([]byte(line), &sp); err != nil {
+			t.Fatal(err)
+		}
+		want := fixtureSpans()[i]
+		if sp.Cycle != want.Cycle || sp.TotalMicros != want.TotalMicros || len(sp.Stages) != len(want.Stages) {
+			t.Errorf("span %d = %+v, want %+v", i, sp, want)
+		}
+		for j, st := range sp.Stages {
+			if st != want.Stages[j] {
+				t.Errorf("span %d stage %d = %+v, want %+v", i, j, st, want.Stages[j])
+			}
+		}
+	}
+}
+
+func TestGoldenCycleSpansCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCycleSpansCSV(&buf, fixtureSpans()); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "cycle_spans.csv", buf.Bytes())
+
+	recs, err := csv.NewReader(bytes.NewReader(buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 11 { // header + 2 cycles × 5 stages
+		t.Fatalf("rows = %d", len(recs))
+	}
+	if recs[0][0] != "cycle" || recs[0][4] != "total_micros" {
+		t.Errorf("header = %v", recs[0])
+	}
+	// Spot-check one interior row: cycle 1's select stage.
+	if row := recs[3]; row[0] != "1" || row[1] != "select" || row[2] != "890" || row[3] != "targets=5" || row[4] != "1510" {
+		t.Errorf("select row = %v", row)
+	}
+}
+
+func TestGoldenSeriesCSV(t *testing.T) {
+	s := &metrics.Series{}
+	s.Add(0, 29750.5)
+	s.Add(time.Second, 31002)
+	s.Add(2*time.Second, 33417.25)
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "series.csv", buf.Bytes())
+}
+
+func TestGoldenJobsJSONLAndCSV(t *testing.T) {
+	jobs := []*workload.Job{doneJob(t)}
+
+	var jl bytes.Buffer
+	if err := WriteJobsJSONL(&jl, jobs, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "jobs.jsonl", jl.Bytes())
+
+	var cs bytes.Buffer
+	if err := WriteJobsCSV(&cs, jobs, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "jobs.csv", cs.Bytes())
+
+	// The two exports describe the same record.
+	var rec JobRecord
+	if err := json.Unmarshal(jl.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(bytes.NewReader(cs.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1][1] != rec.Benchmark {
+		t.Errorf("CSV %v vs JSONL %+v", recs, rec)
+	}
+}
+
+func TestGoldenEventsJSONL(t *testing.T) {
+	var l EventLog
+	l.Add(Event{TimeSec: 1, Kind: "cycle", State: "green", PowerW: 29750.5, Nodes: 0})
+	l.Add(Event{TimeSec: 2, Kind: "degrade", State: "yellow", PowerW: 33417.25, Nodes: 5, Note: "Td levels"})
+	l.Add(Event{TimeSec: 3, Kind: "red", State: "red", PowerW: 35120, Nodes: 16, Note: "floor"})
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "events.jsonl", buf.Bytes())
+}
+
+func TestCycleSpanWriteErrorsPropagate(t *testing.T) {
+	spans := fixtureSpans()
+	if err := WriteCycleSpansJSONL(&failAfter{n: 5}, spans); err == nil {
+		t.Error("cycle spans JSONL write error swallowed")
+	}
+	if err := WriteCycleSpansCSV(&failAfter{n: 5}, spans); err == nil {
+		t.Error("cycle spans CSV write error swallowed")
+	}
+}

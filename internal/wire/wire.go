@@ -74,46 +74,58 @@ type Envelope struct {
 }
 
 // StatusReply is the manager's answer to a status request.
+//
+// Every field carries an `obs` tag naming the registry instrument it is
+// populated from: managerd fills the reply by reflecting over these tags
+// against its obs.Registry (see managerd's statusFromRegistry), so adding
+// a field here without backing it by an instrument is caught by the
+// registry-mapping test rather than silently reading zero forever.
 type StatusReply struct {
-	Agents        int     `json:"agents"`
-	Cycles        int     `json:"cycles"`
-	GreenCycles   int     `json:"green_cycles"`
-	YellowCycles  int     `json:"yellow_cycles"`
-	RedCycles     int     `json:"red_cycles"`
-	RedEntries    int     `json:"red_entries"`
-	DegradeOps    int     `json:"degrade_ops"`
-	RestoreOps    int     `json:"restore_ops"`
-	BusyMicros    int64   `json:"busy_micros"`
-	CPUUtilise    float64 `json:"cpu_utilisation"`
-	LastPowerW    float64 `json:"last_power_w"`
-	ThresholdPLW  float64 `json:"pl_w"`
-	ThresholdPHW  float64 `json:"ph_w"`
-	DroppedStale  int     `json:"dropped_stale"`
-	CommandErrors int     `json:"command_errors"`
+	Agents        int     `json:"agents" obs:"agents"`
+	Cycles        int     `json:"cycles" obs:"cycles"`
+	GreenCycles   int     `json:"green_cycles" obs:"green_cycles"`
+	YellowCycles  int     `json:"yellow_cycles" obs:"yellow_cycles"`
+	RedCycles     int     `json:"red_cycles" obs:"red_cycles"`
+	RedEntries    int     `json:"red_entries" obs:"red_entries"`
+	DegradeOps    int     `json:"degrade_ops" obs:"degrade_ops"`
+	RestoreOps    int     `json:"restore_ops" obs:"restore_ops"`
+	BusyMicros    int64   `json:"busy_micros" obs:"busy_micros"`
+	CPUUtilise    float64 `json:"cpu_utilisation" obs:"cpu_utilisation"`
+	LastPowerW    float64 `json:"last_power_w" obs:"last_power_w"`
+	ThresholdPLW  float64 `json:"pl_w" obs:"pl_w"`
+	ThresholdPHW  float64 `json:"ph_w" obs:"ph_w"`
+	DroppedStale  int     `json:"dropped_stale" obs:"dropped_stale"`
+	CommandErrors int     `json:"command_errors" obs:"command_errors"`
+
+	// Control-loop cost surfaced per Fig. 5: selection time accumulated
+	// by the manager, and the sensing sweep (collection) time per cycle.
+	SelectMicros      int64 `json:"select_micros" obs:"select_micros"`             // accumulated policy selection time
+	LastCollectMicros int64 `json:"last_collect_micros" obs:"last_collect_micros"` // last cycle's reading-collection sweep
+	CollectMicros     int64 `json:"collect_micros" obs:"collect_micros"`           // accumulated collection time
 
 	// Fail-safe layer counters.
-	Trained          bool    `json:"trained"`           // capping armed (learner trained, or fixed thresholds)
-	LifetimePeakW    float64 `json:"lifetime_peak_w"`   // learner's lifetime observed peak
-	CommandAcks      int     `json:"command_acks"`      // commands acknowledged by agents
-	CommandRetries   int     `json:"command_retries"`   // unacked commands re-sent
-	Reconciles       int     `json:"reconciles"`        // drifted levels re-commanded
-	Drifted          int     `json:"drifted"`           // connected agents whose reported level ≠ last commanded
-	HealthyNodes     int     `json:"healthy_nodes"`     // fresh sample within StaleAfter
-	StaleNodes       int     `json:"stale_nodes"`       // connected but sample older than StaleAfter
-	LostNodes        int     `json:"lost_nodes"`        // disconnected or silent beyond LostAfter
-	QuarantinedNodes int     `json:"quarantined_nodes"` // reconnect-flapping, excluded from A_candidate
-	Quarantines      int     `json:"quarantines"`       // quarantine entries over the run
-	JournalWrites    int     `json:"journal_writes"`    // crash-recovery snapshots persisted
+	Trained          bool    `json:"trained" obs:"trained"`                     // capping armed (learner trained, or fixed thresholds)
+	LifetimePeakW    float64 `json:"lifetime_peak_w" obs:"lifetime_peak_w"`     // learner's lifetime observed peak
+	CommandAcks      int     `json:"command_acks" obs:"command_acks"`           // commands acknowledged by agents
+	CommandRetries   int     `json:"command_retries" obs:"command_retries"`     // unacked commands re-sent
+	Reconciles       int     `json:"reconciles" obs:"reconciles"`               // drifted levels re-commanded
+	Drifted          int     `json:"drifted" obs:"drifted"`                     // connected agents whose reported level ≠ last commanded
+	HealthyNodes     int     `json:"healthy_nodes" obs:"healthy_nodes"`         // fresh sample within StaleAfter
+	StaleNodes       int     `json:"stale_nodes" obs:"stale_nodes"`             // connected but sample older than StaleAfter
+	LostNodes        int     `json:"lost_nodes" obs:"lost_nodes"`               // disconnected or silent beyond LostAfter
+	QuarantinedNodes int     `json:"quarantined_nodes" obs:"quarantined_nodes"` // reconnect-flapping, excluded from A_candidate
+	Quarantines      int     `json:"quarantines" obs:"quarantines"`             // quarantine entries over the run
+	JournalWrites    int     `json:"journal_writes" obs:"journal_writes"`       // crash-recovery snapshots persisted
 
 	// Fan-out layer counters (the concurrent actuation path).
-	CoalescedCmds    int   `json:"coalesced_cmds"`     // queued commands superseded before the write
-	StaleConnErrors  int   `json:"stale_conn_errors"`  // send failures on already-replaced connections
-	Shards           int   `json:"shards"`             // node-state shards
-	SamplesReceived  int64 `json:"samples_received"`   // agent samples accepted over the wire
-	LastCycleMicros  int64 `json:"last_cycle_micros"`  // last control cycle's critical-path time
-	MaxCycleMicros   int64 `json:"max_cycle_micros"`   // worst control cycle so far
-	LastFanoutMicros int64 `json:"last_fanout_micros"` // last cycle's command fan-out completion time
-	MaxFanoutMicros  int64 `json:"max_fanout_micros"`  // worst fan-out so far
+	CoalescedCmds    int   `json:"coalesced_cmds" obs:"coalesced_cmds"`         // queued commands superseded before the write
+	StaleConnErrors  int   `json:"stale_conn_errors" obs:"stale_conn_errors"`   // send failures on already-replaced connections
+	Shards           int   `json:"shards" obs:"shards"`                         // node-state shards
+	SamplesReceived  int64 `json:"samples_received" obs:"samples_received"`     // agent samples accepted over the wire
+	LastCycleMicros  int64 `json:"last_cycle_micros" obs:"last_cycle_micros"`   // last control cycle's critical-path time
+	MaxCycleMicros   int64 `json:"max_cycle_micros" obs:"max_cycle_micros"`     // worst control cycle so far
+	LastFanoutMicros int64 `json:"last_fanout_micros" obs:"last_fanout_micros"` // last cycle's command fan-out completion time
+	MaxFanoutMicros  int64 `json:"max_fanout_micros" obs:"max_fanout_micros"`   // worst fan-out so far
 }
 
 // SampleEnvelope builds a sample message from an agent reading.
