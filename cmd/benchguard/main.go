@@ -1,11 +1,29 @@
-// Command benchguard compares a freshly measured BENCH_fanout.json
-// against a committed baseline and fails when any guarded benchmark has
-// regressed beyond the allowed ratio. CI runs it after the fan-out
-// benchmarks so a control-plane slowdown fails the build instead of
-// silently shifting the perf trajectory.
+// Command benchguard compares freshly measured benchmark results against
+// committed baselines and fails when any guarded number has regressed
+// beyond the allowed ratio. CI runs it after the measurement steps so a
+// control-plane slowdown fails the build instead of silently shifting
+// the perf trajectory.
+//
+// It guards two files. BENCH_fanout.json holds ns/op from the fan-out
+// micro-benchmarks, keyed by (bench, agents):
 //
 //	benchguard -baseline BENCH_baseline.json -candidate BENCH_fanout.json \
 //	    -bench CycleFanout -agents 128,512 -max-ratio 2.0
+//
+// BENCH_scenarios.json holds powbench's per-scenario end-to-end numbers,
+// keyed by (scenario, agents); the guarded metric is selectable:
+//
+//	benchguard -bench '' \
+//	    -scenario-baseline BENCH_scenarios_baseline.json \
+//	    -scenario-candidate BENCH_scenarios.json \
+//	    -scenario-metric status_p99_us -scenario-max-ratio 4.0
+//
+// Passing -bench '' skips the fan-out guard; leaving -scenario-baseline
+// empty skips the scenario guard. A scenario present only in the
+// candidate is reported NEW and passes (the next baseline refresh adopts
+// it); a baseline scenario missing from the candidate, or a metric key
+// absent from either side, is a failure — coverage must never shrink
+// silently.
 package main
 
 import (
@@ -14,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -33,30 +52,60 @@ func main() {
 	var (
 		baseline  = flag.String("baseline", "BENCH_baseline.json", "committed baseline results")
 		candidate = flag.String("candidate", "BENCH_fanout.json", "freshly measured results")
-		benches   = flag.String("bench", "CycleFanout", "comma-separated benchmark names to guard")
+		benches   = flag.String("bench", "CycleFanout", "comma-separated benchmark names to guard (empty = skip fan-out guard)")
 		agents    = flag.String("agents", "128,512", "comma-separated fleet sizes to guard")
 		maxRatio  = flag.Float64("max-ratio", 2.0, "fail when candidate ns/op exceeds baseline by this factor")
+
+		scBaseline  = flag.String("scenario-baseline", "", "committed BENCH_scenarios baseline (empty = skip scenario guard)")
+		scCandidate = flag.String("scenario-candidate", "BENCH_scenarios.json", "freshly measured scenario results")
+		scMetric    = flag.String("scenario-metric", "status_p99_us", "numeric key guarded per scenario")
+		scMaxRatio  = flag.Float64("scenario-max-ratio", 4.0, "fail when the candidate metric exceeds baseline by this factor")
 	)
 	flag.Parse()
 
-	base, err := load(*baseline)
-	if err != nil {
-		log.Fatal(err)
+	failed := false
+	if *benches != "" {
+		base, err := load(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cand, err := load(*candidate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sizes, err := parseAgents(*agents)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := guard(base, cand, strings.Split(*benches, ","), sizes, *maxRatio)
+		for _, line := range report {
+			fmt.Println(line)
+		}
+		if err != nil {
+			log.Print(err)
+			failed = true
+		}
 	}
-	cand, err := load(*candidate)
-	if err != nil {
-		log.Fatal(err)
+	if *scBaseline != "" {
+		base, err := loadScenarios(*scBaseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cand, err := loadScenarios(*scCandidate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := scenarioGuard(base, cand, *scMetric, *scMaxRatio)
+		for _, line := range report {
+			fmt.Println(line)
+		}
+		if err != nil {
+			log.Print(err)
+			failed = true
+		}
 	}
-	sizes, err := parseAgents(*agents)
-	if err != nil {
-		log.Fatal(err)
-	}
-	report, err := guard(base, cand, strings.Split(*benches, ","), sizes, *maxRatio)
-	for _, line := range report {
-		fmt.Println(line)
-	}
-	if err != nil {
-		log.Fatal(err)
+	if failed {
+		os.Exit(1)
 	}
 }
 
@@ -127,6 +176,96 @@ func guard(base, cand []entry, benches []string, agents []int, maxRatio float64)
 		return report, fmt.Errorf("missing results: %s", strings.Join(missing, ", "))
 	case len(regressed) > 0:
 		return report, fmt.Errorf("regressed beyond %.2fx: %s", maxRatio, strings.Join(regressed, ", "))
+	}
+	return report, nil
+}
+
+// scenarioEntry is a raw BENCH_scenarios.json record. Entries are kept
+// as generic maps so powbench can grow new fields without breaking the
+// guard; only scenario, agents and the guarded metric are interpreted.
+type scenarioEntry map[string]any
+
+// key identifies a scenario entry the way powbench merges them.
+func (e scenarioEntry) key() string {
+	name, _ := e["scenario"].(string)
+	agents, _ := e["agents"].(float64)
+	return fmt.Sprintf("%s/%d", name, int(agents))
+}
+
+// metric pulls a numeric field out of the entry.
+func (e scenarioEntry) metric(name string) (float64, bool) {
+	v, ok := e[name].(float64)
+	return v, ok
+}
+
+func loadScenarios(path string) ([]scenarioEntry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var es []scenarioEntry
+	if err := json.Unmarshal(raw, &es); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for i, e := range es {
+		if name, _ := e["scenario"].(string); name == "" {
+			return nil, fmt.Errorf("%s: entry %d has no scenario name", path, i)
+		}
+	}
+	return es, nil
+}
+
+// scenarioGuard holds the line on powbench's end-to-end numbers. Every
+// baseline scenario must still be present in the candidate with the
+// guarded metric no worse than maxRatio times the baseline value; a
+// metric key absent from either side is a failure (a renamed field must
+// update the guard, not evade it). Candidate-only scenarios are new
+// coverage: reported NEW, never a failure.
+func scenarioGuard(base, cand []scenarioEntry, metric string, maxRatio float64) ([]string, error) {
+	candByKey := make(map[string]scenarioEntry, len(cand))
+	for _, e := range cand {
+		candByKey[e.key()] = e
+	}
+	var report []string
+	var regressed, missing []string
+	for _, b := range base {
+		key := b.key()
+		c, ok := candByKey[key]
+		delete(candByKey, key)
+		if !ok {
+			report = append(report, fmt.Sprintf("%-24s MISSING from candidate", key))
+			missing = append(missing, key)
+			continue
+		}
+		bv, okB := b.metric(metric)
+		cv, okC := c.metric(metric)
+		if !okB || !okC {
+			report = append(report, fmt.Sprintf("%-24s MISSING metric %q (baseline %v, candidate %v)", key, metric, okB, okC))
+			missing = append(missing, key)
+			continue
+		}
+		ratio := cv / bv
+		verdict := "ok"
+		if ratio > maxRatio {
+			verdict = "REGRESSED"
+			regressed = append(regressed, key)
+		}
+		report = append(report, fmt.Sprintf("%-24s %12.0f → %12.0f %s  (%.2fx, limit %.2fx)  %s",
+			key, bv, cv, metric, ratio, maxRatio, verdict))
+	}
+	fresh := make([]string, 0, len(candByKey))
+	for key := range candByKey {
+		fresh = append(fresh, key)
+	}
+	sort.Strings(fresh)
+	for _, key := range fresh {
+		report = append(report, fmt.Sprintf("%-24s NEW (no baseline yet)", key))
+	}
+	switch {
+	case len(missing) > 0:
+		return report, fmt.Errorf("scenario guard: missing results: %s", strings.Join(missing, ", "))
+	case len(regressed) > 0:
+		return report, fmt.Errorf("scenario guard: %s regressed beyond %.2fx: %s", metric, maxRatio, strings.Join(regressed, ", "))
 	}
 	return report, nil
 }

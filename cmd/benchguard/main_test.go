@@ -61,6 +61,21 @@ func TestLoadAgainstCommittedBaseline(t *testing.T) {
 	}
 }
 
+func TestLoadAgainstCommittedScenarioBaseline(t *testing.T) {
+	// The committed BENCH_scenarios.json must stay loadable, cover the
+	// whole library, and pass self-comparison on the guarded metric.
+	es, err := loadScenarios(filepath.Join("..", "..", "BENCH_scenarios.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) < 6 {
+		t.Fatalf("committed baseline covers %d scenarios, want >= 6", len(es))
+	}
+	if _, err := scenarioGuard(es, es, "status_p99_us", 4.0); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+}
+
 func TestLoadRejectsBadJSON(t *testing.T) {
 	p := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(p, []byte("{not json"), 0o644); err != nil {
@@ -70,6 +85,114 @@ func TestLoadRejectsBadJSON(t *testing.T) {
 		t.Error("malformed JSON accepted")
 	}
 	if _, err := load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func sce(name string, agents int, metric string, v float64) scenarioEntry {
+	return scenarioEntry{"scenario": name, "agents": float64(agents), metric: v}
+}
+
+func TestScenarioGuardPasses(t *testing.T) {
+	base := []scenarioEntry{
+		sce("diurnal", 32, "status_p99_us", 100),
+		sce("flash-crowd", 32, "status_p99_us", 200),
+	}
+	cand := []scenarioEntry{
+		sce("diurnal", 32, "status_p99_us", 350),
+		sce("flash-crowd", 32, "status_p99_us", 180),
+	}
+	report, err := scenarioGuard(base, cand, "status_p99_us", 4.0)
+	if err != nil {
+		t.Fatalf("unexpected failure: %v\n%s", err, strings.Join(report, "\n"))
+	}
+	if len(report) != 2 || !strings.Contains(report[0], "ok") {
+		t.Errorf("report = %v", report)
+	}
+}
+
+func TestScenarioGuardCatchesRegression(t *testing.T) {
+	base := []scenarioEntry{sce("diurnal", 32, "status_p99_us", 100)}
+	cand := []scenarioEntry{sce("diurnal", 32, "status_p99_us", 500)}
+	report, err := scenarioGuard(base, cand, "status_p99_us", 4.0)
+	if err == nil || !strings.Contains(err.Error(), "diurnal/32") {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(strings.Join(report, "\n"), "REGRESSED") {
+		t.Errorf("report = %v", report)
+	}
+}
+
+func TestScenarioGuardMissingScenarioFails(t *testing.T) {
+	// A baseline scenario the candidate no longer measures is a coverage
+	// loss, never a pass.
+	base := []scenarioEntry{
+		sce("diurnal", 32, "status_p99_us", 100),
+		sce("reconnect-herd", 32, "status_p99_us", 150),
+	}
+	cand := []scenarioEntry{sce("diurnal", 32, "status_p99_us", 100)}
+	report, err := scenarioGuard(base, cand, "status_p99_us", 4.0)
+	if err == nil || !strings.Contains(err.Error(), "reconnect-herd/32") {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(strings.Join(report, "\n"), "MISSING from candidate") {
+		t.Errorf("report = %v", report)
+	}
+}
+
+func TestScenarioGuardMissingMetricFails(t *testing.T) {
+	base := []scenarioEntry{sce("diurnal", 32, "status_p99_us", 100)}
+	cand := []scenarioEntry{sce("diurnal", 32, "send_lag_p99_us", 100)}
+	if _, err := scenarioGuard(base, cand, "status_p99_us", 4.0); err == nil {
+		t.Fatal("metric absent from candidate accepted")
+	}
+	if _, err := scenarioGuard(cand, base, "status_p99_us", 4.0); err == nil {
+		t.Fatal("metric absent from baseline accepted")
+	}
+}
+
+func TestScenarioGuardNewScenarioPasses(t *testing.T) {
+	base := []scenarioEntry{sce("diurnal", 32, "status_p99_us", 100)}
+	cand := []scenarioEntry{
+		sce("diurnal", 32, "status_p99_us", 100),
+		sce("brand-new", 32, "status_p99_us", 9999),
+		sce("diurnal", 64, "status_p99_us", 9999), // new fleet size = new key
+	}
+	report, err := scenarioGuard(base, cand, "status_p99_us", 4.0)
+	if err != nil {
+		t.Fatalf("new scenarios failed the guard: %v\n%s", err, strings.Join(report, "\n"))
+	}
+	joined := strings.Join(report, "\n")
+	if !strings.Contains(joined, "brand-new/32") || !strings.Contains(joined, "diurnal/64") ||
+		strings.Count(joined, "NEW") != 2 {
+		t.Errorf("report = %v", report)
+	}
+}
+
+func TestLoadScenarios(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "sc.json")
+	good := `[{"scenario":"diurnal","agents":32,"status_p99_us":120.5,"future_field":"x"}]`
+	if err := os.WriteFile(p, []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	es, err := loadScenarios(p)
+	if err != nil || len(es) != 1 {
+		t.Fatalf("es = %v, err = %v", es, err)
+	}
+	if es[0].key() != "diurnal/32" {
+		t.Errorf("key = %q", es[0].key())
+	}
+	if v, ok := es[0].metric("status_p99_us"); !ok || v != 120.5 {
+		t.Errorf("metric = %v, %v", v, ok)
+	}
+	// Entries without a scenario name are rejected.
+	if err := os.WriteFile(p, []byte(`[{"agents":32}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadScenarios(p); err == nil {
+		t.Error("nameless entry accepted")
+	}
+	if _, err := loadScenarios(filepath.Join(t.TempDir(), "absent.json")); err == nil {
 		t.Error("missing file accepted")
 	}
 }

@@ -1,0 +1,434 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/manager"
+	"repro/internal/managerd"
+	"repro/internal/node"
+	"repro/internal/obs"
+	"repro/internal/scenario"
+	"repro/internal/wire"
+)
+
+// engineConfig parametrises one open-loop scenario run against a live
+// manager daemon.
+type engineConfig struct {
+	// Addr is the daemon's TCP address.
+	Addr string
+	// SC is the scenario whose script the fleet replays; Seed fixes the
+	// script.
+	SC   scenario.Scenario
+	Seed int64
+	// Workers is the number of sender goroutines the fleet is partitioned
+	// across; Pipeline is the burst depth — how many cycles' samples one
+	// wakeup writes back-to-back per agent (1 = one wakeup per cycle).
+	// Deeper pipelines trade per-sample timeliness for fewer wakeups and
+	// bigger write bursts, exactly like a pipelined HTTP generator.
+	Workers  int
+	Pipeline int
+	// SampleEvery is the open-loop tick: sample c is due at start +
+	// c·SampleEvery regardless of how the previous send went.
+	SampleEvery time.Duration
+	// StatusEvery is the status-probe cadence on the separate control
+	// connection.
+	StatusEvery time.Duration
+	// Duration, when positive, caps the run even if the script is longer.
+	Duration time.Duration
+	Verbose  bool
+}
+
+func (c engineConfig) validate() error {
+	if c.Addr == "" {
+		return fmt.Errorf("powbench: empty manager address")
+	}
+	if err := c.SC.Validate(); err != nil {
+		return err
+	}
+	if c.Workers <= 0 || c.Pipeline <= 0 {
+		return fmt.Errorf("powbench: workers and pipeline must be positive")
+	}
+	if c.SampleEvery <= 0 {
+		return fmt.Errorf("powbench: sample-every must be positive")
+	}
+	return nil
+}
+
+// scenarioEntry is one scenario's persisted benchmark record — the
+// BENCH_scenarios.json schema benchguard guards.
+type scenarioEntry struct {
+	Scenario     string  `json:"scenario"`
+	Agents       int     `json:"agents"`
+	Cycles       int     `json:"cycles"`
+	Seed         int64   `json:"seed"`
+	SamplesSent  int64   `json:"samples_sent"`
+	CommandsSeen int64   `json:"commands_seen"`
+	AcksSent     int64   `json:"acks_sent"`
+	Reconnects   int64   `json:"reconnects"`
+	SendErrors   int64   `json:"send_errors"`
+	SendLagP50US float64 `json:"send_lag_p50_us"`
+	SendLagP99US float64 `json:"send_lag_p99_us"`
+	StatusP50US  float64 `json:"status_p50_us"`
+	StatusP99US  float64 `json:"status_p99_us"`
+	MaxPowerW    float64 `json:"max_power_w"`
+	MaxCycleUS   int64   `json:"max_cycle_us"`
+	RedEntries   int     `json:"red_entries"`
+	DegradeOps   int     `json:"degrade_ops"`
+	RestoreOps   int     `json:"restore_ops"`
+	MinLevel     int     `json:"min_level"`
+}
+
+// benchAgent is one synthetic agent: a wire connection, the level the
+// manager last commanded (applied instantly, acked back — the agent is a
+// perfect actuator), and a write lock serialising its two writers (the
+// worker's samples, the reader's acks).
+type benchAgent struct {
+	id       int
+	maxLevel int
+
+	mu   sync.Mutex
+	conn *wire.Conn
+
+	level    atomic.Int64
+	minLevel atomic.Int64
+
+	eng *engine
+}
+
+// engine drives one scenario run.
+type engine struct {
+	cfg    engineConfig
+	script [][]scenario.Load
+	agents []*benchAgent
+
+	reg     *obs.Registry
+	sendLag *obs.Histogram // µs: send completion vs open-loop schedule
+	statRTT *obs.Histogram // µs: status probe round trips
+
+	samples    atomic.Int64
+	commands   atomic.Int64
+	acks       atomic.Int64
+	reconnects atomic.Int64
+	sendErrs   atomic.Int64
+
+	// maxPower is the highest last_power_w the status probe saw; written
+	// only by the prober goroutine, read after it is joined.
+	maxPower float64
+}
+
+// dial connects the agent and announces it with a hello carrying its
+// current level, then starts the command reader.
+func (a *benchAgent) dial() error {
+	raw, err := net.DialTimeout("tcp", a.eng.cfg.Addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	c := wire.NewConn(raw)
+	if err := c.Send(wire.Envelope{
+		Type: wire.KindHello, Node: a.id,
+		MaxLevel: a.maxLevel, Level: int(a.level.Load()),
+	}); err != nil {
+		raw.Close()
+		return err
+	}
+	a.mu.Lock()
+	a.conn = c
+	a.mu.Unlock()
+	go a.read(c)
+	return nil
+}
+
+// read drains the manager→agent stream, applying commands and acking
+// them. Batches (a coalesced command+ping) are unwrapped one level, like
+// the real agent.
+func (a *benchAgent) read(c *wire.Conn) {
+	for {
+		env, err := c.Recv()
+		if err != nil {
+			return
+		}
+		if env.Type == wire.KindBatch {
+			for _, nested := range env.Batch {
+				a.handle(nested)
+			}
+			continue
+		}
+		a.handle(env)
+	}
+}
+
+func (a *benchAgent) handle(env wire.Envelope) {
+	if env.Type != wire.KindCommand {
+		return // pings keep the dead-man switch quiet; nothing to do here
+	}
+	a.eng.commands.Add(1)
+	a.level.Store(int64(env.Level))
+	if int64(env.Level) < a.minLevel.Load() {
+		a.minLevel.Store(int64(env.Level))
+	}
+	if err := a.send(wire.Envelope{Type: wire.KindAck, Node: a.id, Seq: env.Seq, Level: env.Level}); err == nil {
+		a.eng.acks.Add(1)
+	}
+}
+
+// send writes one envelope on the current connection, whichever that is —
+// an ack raced against a reconnect lands on the new connection, which the
+// manager accepts (acks match by node+seq, not by conn).
+func (a *benchAgent) send(env wire.Envelope) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.conn == nil {
+		return fmt.Errorf("agent %d offline", a.id)
+	}
+	return a.conn.Send(env)
+}
+
+func (a *benchAgent) close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.conn != nil {
+		a.conn.Close()
+		a.conn = nil
+	}
+}
+
+func (a *benchAgent) connected() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.conn != nil
+}
+
+// runScenario replays the scenario's deterministic script open-loop
+// against the live daemon at cfg.Addr and returns the run's benchmark
+// entry.
+func runScenario(cfg engineConfig) (scenarioEntry, error) {
+	if err := cfg.validate(); err != nil {
+		return scenarioEntry{}, err
+	}
+	eng := &engine{
+		cfg:    cfg,
+		script: cfg.SC.Script(cfg.Seed),
+		reg:    obs.NewRegistry(),
+	}
+	eng.sendLag = eng.reg.Histogram("bench_send_lag_us")
+	eng.statRTT = eng.reg.Histogram("bench_status_rtt_us")
+
+	cycles := len(eng.script)
+	if cfg.Duration > 0 {
+		if byTime := int(cfg.Duration / cfg.SampleEvery); byTime < cycles {
+			cycles = byTime
+		}
+		if cycles == 0 {
+			cycles = 1
+		}
+	}
+
+	maxLevel := benchModel.Levels() - 1
+	eng.agents = make([]*benchAgent, cfg.SC.Agents)
+	for i := range eng.agents {
+		a := &benchAgent{id: i, maxLevel: maxLevel, eng: eng}
+		a.level.Store(int64(maxLevel))
+		a.minLevel.Store(int64(maxLevel))
+		eng.agents[i] = a
+	}
+
+	// Connect the initial fleet (bounded concurrency, herd-style).
+	var dialWG sync.WaitGroup
+	dialErr := make(chan error, len(eng.agents))
+	sem := make(chan struct{}, 64)
+	for _, a := range eng.agents {
+		if !eng.script[0][a.id].Online {
+			continue
+		}
+		dialWG.Add(1)
+		sem <- struct{}{}
+		go func(a *benchAgent) {
+			defer dialWG.Done()
+			defer func() { <-sem }()
+			if err := a.dial(); err != nil {
+				dialErr <- fmt.Errorf("agent %d: %w", a.id, err)
+			}
+		}(a)
+	}
+	dialWG.Wait()
+	select {
+	case err := <-dialErr:
+		return scenarioEntry{}, err
+	default:
+	}
+	defer func() {
+		for _, a := range eng.agents {
+			a.close()
+		}
+	}()
+
+	// Status prober: a separate control connection measuring what the
+	// paper's operator sees — status RTT under load.
+	probeCtx, stopProbe := context.WithCancel(context.Background())
+	var probeWG sync.WaitGroup
+	statusEvery := cfg.StatusEvery
+	if statusEvery <= 0 {
+		statusEvery = 100 * time.Millisecond
+	}
+	probeWG.Add(1)
+	go func() {
+		defer probeWG.Done()
+		tick := time.NewTicker(statusEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-probeCtx.Done():
+				return
+			case <-tick.C:
+				t0 := time.Now()
+				if st, err := managerd.QueryStatus(cfg.Addr, 2*time.Second); err == nil {
+					eng.statRTT.ObserveDuration(time.Since(t0))
+					if st.LastPowerW > eng.maxPower {
+						eng.maxPower = st.LastPowerW
+					}
+				}
+			}
+		}
+	}()
+
+	// The open-loop schedule: sample c is due at start + c·SampleEvery.
+	// Workers own disjoint agent subsets and never wait for the manager —
+	// a slow daemon shows up as send lag, not reduced offered load.
+	start := time.Now()
+	var workWG sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		workWG.Add(1)
+		go func(w int) {
+			defer workWG.Done()
+			eng.worker(w, cycles, start)
+		}(w)
+	}
+	workWG.Wait()
+
+	// Let in-flight commands and acks drain before the final readout.
+	time.Sleep(4 * cfg.SampleEvery)
+	stopProbe()
+	probeWG.Wait()
+
+	st, err := managerd.QueryStatus(cfg.Addr, 5*time.Second)
+	if err != nil {
+		return scenarioEntry{}, fmt.Errorf("final status: %w", err)
+	}
+	maxPower := eng.maxPower
+	if st.LastPowerW > maxPower {
+		maxPower = st.LastPowerW
+	}
+
+	minLevel := maxLevel
+	for _, a := range eng.agents {
+		if lv := int(a.minLevel.Load()); lv < minLevel {
+			minLevel = lv
+		}
+	}
+	entry := scenarioEntry{
+		Scenario:     cfg.SC.Name,
+		Agents:       cfg.SC.Agents,
+		Cycles:       cycles,
+		Seed:         cfg.Seed,
+		SamplesSent:  eng.samples.Load(),
+		CommandsSeen: eng.commands.Load(),
+		AcksSent:     eng.acks.Load(),
+		Reconnects:   eng.reconnects.Load(),
+		SendErrors:   eng.sendErrs.Load(),
+		SendLagP50US: round1(eng.sendLag.Quantile(0.5)),
+		SendLagP99US: round1(eng.sendLag.Quantile(0.99)),
+		StatusP50US:  round1(eng.statRTT.Quantile(0.5)),
+		StatusP99US:  round1(eng.statRTT.Quantile(0.99)),
+		MaxPowerW:    round1(maxPower),
+		MaxCycleUS:   st.MaxCycleMicros,
+		RedEntries:   st.RedEntries,
+		DegradeOps:   st.DegradeOps,
+		RestoreOps:   st.RestoreOps,
+		MinLevel:     minLevel,
+	}
+	return entry, nil
+}
+
+// worker replays the script for the agents it owns (id ≡ w mod Workers).
+// Every Pipeline cycles it wakes at the burst's last-due tick and writes
+// the pending cycles' samples back-to-back per agent; lag is measured
+// against each sample's own due time.
+func (eng *engine) worker(w, cycles int, start time.Time) {
+	cfg := eng.cfg
+	for c := 0; c < cycles; c += cfg.Pipeline {
+		burstEnd := c + cfg.Pipeline - 1
+		if burstEnd >= cycles {
+			burstEnd = cycles - 1
+		}
+		due := start.Add(time.Duration(burstEnd) * cfg.SampleEvery)
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		for _, a := range eng.agents {
+			if a.id%cfg.Workers != w {
+				continue
+			}
+			for pc := c; pc <= burstEnd; pc++ {
+				eng.stepAgent(a, pc, start)
+			}
+		}
+	}
+}
+
+// stepAgent advances one agent through one scripted cycle: offline/online
+// transitions (real disconnects and redials against the live daemon),
+// upgrade resets, and the cycle's sample.
+func (eng *engine) stepAgent(a *benchAgent, c int, start time.Time) {
+	ld := eng.script[c][a.id]
+	if !ld.Online {
+		if a.connected() {
+			a.close() // partition/upgrade: the daemon sees a dead conn
+		}
+		return
+	}
+	if ld.Reset {
+		// Rebooted node: back at the hardware default level.
+		a.level.Store(int64(a.maxLevel))
+	}
+	if !a.connected() {
+		if err := a.dial(); err != nil {
+			eng.sendErrs.Add(1)
+			return
+		}
+		eng.reconnects.Add(1)
+	}
+	r := manager.AgentReading{
+		ID:       node.ID(a.id),
+		Level:    int(a.level.Load()),
+		MaxLevel: a.maxLevel,
+		Delta:    ld.Delta(benchModel),
+		Job:      0,
+	}
+	env := wire.SampleEnvelope(r)
+	env.Job = ld.Job
+	if err := a.send(env); err != nil {
+		eng.sendErrs.Add(1)
+		a.close()
+		return
+	}
+	eng.samples.Add(1)
+	due := start.Add(time.Duration(c) * eng.cfg.SampleEvery)
+	lag := time.Since(due)
+	if lag < 0 {
+		lag = 0
+	}
+	eng.sendLag.ObserveDuration(lag)
+}
+
+func round1(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Round(v*10) / 10
+}

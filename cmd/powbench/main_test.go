@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// TestPowbenchSmoke drives every library scenario, scaled down, against
+// an embedded live daemon over real loopback TCP — the whole open-loop
+// path (dial herds, scripted disconnects, command/ack loop, status
+// probes) in a few seconds. CI runs it under -race.
+func TestPowbenchSmoke(t *testing.T) {
+	if testing.Short() && os.Getenv("POWBENCH_SMOKE") == "" {
+		t.Skip("powbench smoke skipped in short mode (set POWBENCH_SMOKE=1 to force)")
+	}
+	for _, sc := range scenario.All() {
+		sc := sc.Scaled(6, 40)
+		t.Run(sc.Name, func(t *testing.T) {
+			addr, stop, err := spawnDaemon(sc, 10*time.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer stop()
+			entry, err := runScenario(engineConfig{
+				Addr: addr, SC: sc, Seed: 3,
+				Workers: 3, Pipeline: 2,
+				SampleEvery: 10 * time.Millisecond,
+				StatusEvery: 25 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if entry.Scenario != sc.Name || entry.Agents != sc.Agents || entry.Cycles != sc.Cycles {
+				t.Errorf("entry identity = %s/%d/%d", entry.Scenario, entry.Agents, entry.Cycles)
+			}
+			if entry.SamplesSent == 0 {
+				t.Error("no samples sent")
+			}
+			if entry.StatusP99US <= 0 {
+				t.Error("no status probes completed")
+			}
+			if entry.MaxPowerW <= 0 {
+				t.Error("daemon never reported power")
+			}
+			// Scenarios that script disconnects must actually redial.
+			if sc.Name == "reconnect-herd" || sc.Name == "rolling-upgrade" {
+				if entry.Reconnects == 0 {
+					t.Error("scripted disconnect scenario never reconnected")
+				}
+			}
+			t.Logf("%s: %+v", sc.Name, entry)
+		})
+	}
+}
+
+func TestMergeEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_scenarios.json")
+	first := []scenarioEntry{
+		{Scenario: "flash-crowd", Agents: 32, Cycles: 240, StatusP99US: 100},
+		{Scenario: "diurnal", Agents: 32, Cycles: 288, StatusP99US: 50},
+	}
+	if err := mergeEntries(path, first); err != nil {
+		t.Fatal(err)
+	}
+	// Second run: replaces the same key, adds a new fleet size.
+	second := []scenarioEntry{
+		{Scenario: "flash-crowd", Agents: 32, Cycles: 240, StatusP99US: 80},
+		{Scenario: "flash-crowd", Agents: 64, Cycles: 240, StatusP99US: 120},
+	}
+	if err := mergeEntries(path, second); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []scenarioEntry
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("merged %d entries, want 3: %+v", len(got), got)
+	}
+	// Sorted by scenario then agents; same-key entry replaced.
+	if got[0].Scenario != "diurnal" || got[1].Agents != 32 || got[2].Agents != 64 {
+		t.Errorf("order = %+v", got)
+	}
+	if got[1].StatusP99US != 80 {
+		t.Errorf("same-key entry not replaced: %+v", got[1])
+	}
+	if data[len(data)-1] != '\n' {
+		t.Error("missing trailing newline")
+	}
+	// Corrupt file is an error, not a silent reset.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeEntries(bad, first); err == nil {
+		t.Error("mergeEntries accepted a corrupt baseline")
+	}
+}
+
+func TestPickScenarios(t *testing.T) {
+	all, err := pickScenarios("all")
+	if err != nil || len(all) != 6 {
+		t.Fatalf("all = %d scenarios, err %v", len(all), err)
+	}
+	two, err := pickScenarios("diurnal, flash-crowd")
+	if err != nil || len(two) != 2 || two[1].Name != "flash-crowd" {
+		t.Fatalf("subset = %+v, err %v", two, err)
+	}
+	if _, err := pickScenarios("nope"); err == nil {
+		t.Fatal("pickScenarios accepted an unknown name")
+	}
+}

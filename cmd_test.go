@@ -33,7 +33,7 @@ func binaries(t *testing.T) string {
 			buildOnce.err = err
 			return
 		}
-		for _, tool := range []string{"powersim", "powfigures", "powmgrd", "powagentd", "powctl"} {
+		for _, tool := range []string{"powersim", "powfigures", "powmgrd", "powagentd", "powctl", "powbench"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 			if out, err := cmd.CombinedOutput(); err != nil {
 				buildOnce.err = err
@@ -358,6 +358,72 @@ func TestMetricsEndpointsCLI(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("powctl -watch output missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestPowbenchCLI drives the powbench binary against a separately-running
+// powmgrd process — the literal "open-loop driver against a live powmgrd"
+// acceptance path — and checks the persisted BENCH entry.
+func TestPowbenchCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI end-to-end")
+	}
+	bin := binaries(t)
+	const addr = "127.0.0.1:39737"
+	// Thresholds sized for the scaled 8-agent fleet (uncapped ≈2.1 kW).
+	mgr := exec.Command(filepath.Join(bin, "powmgrd"),
+		"-addr", addr, "-pl", "1300W", "-ph", "1600W", "-period", "25ms", "-tg", "3", "-policy", "mpc-c")
+	if err := mgr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		mgr.Process.Kill()
+		mgr.Wait()
+	}()
+	// Wait for the daemon to accept status queries.
+	for i := 0; i < 40; i++ {
+		if exec.Command(filepath.Join(bin, "powctl"), "-addr", addr, "-timeout", "1s").Run() == nil {
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+
+	out := filepath.Join(t.TempDir(), "BENCH_scenarios.json")
+	cmd := exec.Command(filepath.Join(bin, "powbench"),
+		"-addr", addr, "-scenarios", "flash-crowd", "-connections", "8", "-cycles", "60",
+		"-sample-every", "10ms", "-workers", "4", "-pipeline", "2", "-out", out)
+	text, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("powbench: %v\n%s", err, text)
+	}
+	for _, want := range []string{"flash-crowd", "samples=", "status p50/p99", "wrote"} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("powbench output missing %q:\n%s", want, text)
+		}
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []struct {
+		Scenario    string  `json:"scenario"`
+		Agents      int     `json:"agents"`
+		Samples     int64   `json:"samples_sent"`
+		StatusP99US float64 `json:"status_p99_us"`
+	}
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatalf("BENCH file not JSON: %v\n%s", err, data)
+	}
+	if len(entries) != 1 || entries[0].Scenario != "flash-crowd" || entries[0].Agents != 8 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if entries[0].Samples == 0 || entries[0].StatusP99US <= 0 {
+		t.Errorf("empty measurements: %+v", entries[0])
+	}
+
+	// Unknown scenario fails loudly.
+	if err := exec.Command(filepath.Join(bin, "powbench"), "-scenarios", "bogus").Run(); err == nil {
+		t.Error("powbench accepted an unknown scenario")
 	}
 }
 

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestReconnectHerd is the reconnect-herd regression scenario: the entire
+// fleet goes silent at once and comes back at once — first as a two-way
+// partition healed simultaneously (a network blip shorter than the
+// dead-man grace window), then as a simultaneous kill of every
+// connection (a full redial herd hitting the accept loop in one burst).
+// Through both herds, no agent's failsafe may fire outside its grace
+// window, the manager must re-absorb all agents, and command fan-out
+// must complete (no drifted levels left behind).
+func TestReconnectHerd(t *testing.T) {
+	const agents = 16
+	c := Start(t, Options{
+		Agents:         agents,
+		Seed:           23,
+		Thresholds:     failsafeThresholds, // uncapped ≈4.2 kW: the fleet is actively capped
+		CommandTimeout: 100 * time.Millisecond,
+		FailsafeAfter:  10, // generous grace so the scripted blip stays well inside it
+		FailsafeLevel:  0,
+	})
+	c.AwaitAgents(agents, 20*time.Second)
+	c.AwaitSettledBelow(float64(failsafeThresholds.PH), 3, 30*time.Second)
+	grace := time.Duration(c.Opt.FailsafeAfter) * c.Opt.SampleEvery
+
+	assertNoTrips := func(phase string) {
+		t.Helper()
+		for i, a := range c.Agents {
+			if a.FailsafeTrips() > 0 {
+				t.Fatalf("%s: agent %d self-degraded outside the grace window (level %d)",
+					phase, i, a.Level())
+			}
+		}
+	}
+
+	// Phase A: partition every agent in both directions — total silence
+	// both ways, but shorter than the grace window — then heal all of
+	// them in the same instant.
+	acksBefore := c.Status().CommandAcks
+	for i := 0; i < agents; i++ {
+		c.Net.Partition(uint64(i), true, true)
+	}
+	time.Sleep(grace / 3)
+	for i := 0; i < agents; i++ {
+		c.Net.Heal(uint64(i))
+	}
+	assertNoTrips("partition heal")
+
+	// The whole fleet's samples reappear in one burst; the manager must
+	// return to a full, healthy, settled view without any failsafe help.
+	WaitUntil(t, 20*time.Second, func() bool {
+		st := c.Status()
+		return st.Agents == agents && st.HealthyNodes == agents && st.LastPowerW > 0
+	}, "manager never re-absorbed the healed fleet: %+v", c.Status())
+	c.AwaitSettledBelow(float64(failsafeThresholds.PH), 3, 30*time.Second)
+	assertNoTrips("post-heal settle")
+
+	// Phase B: kill every connection simultaneously — a true reconnect
+	// herd: 16 redials race into the accept loop at once. Reconnect is
+	// fast (backoff starts at 10 ms), so the fleet never approaches the
+	// grace window.
+	for i := 0; i < agents; i++ {
+		c.Net.Kill(uint64(i))
+	}
+	WaitUntil(t, 20*time.Second, func() bool {
+		st := c.Status()
+		return st.Agents == agents && st.HealthyNodes == agents
+	}, "manager never recovered from the redial herd: %+v", c.Status())
+	assertNoTrips("redial herd")
+
+	// Fan-out completes across the herd: the actively-capped fleet keeps
+	// receiving and acking commands on the new connections, and the
+	// manager's view reconciles — no agent left at a drifted level.
+	WaitUntil(t, 30*time.Second, func() bool {
+		st := c.Status()
+		return st.CommandAcks > acksBefore && st.Drifted == 0
+	}, "fan-out never completed after the herd: %+v", c.Status())
+	c.AwaitSettledBelow(float64(failsafeThresholds.PH), 3, 30*time.Second)
+	assertNoTrips("final")
+	t.Logf("herd survived: grace=%v status=%+v", grace, c.Status())
+}

@@ -1,22 +1,28 @@
-package manager
+package manager_test
 
 import (
-	"math/rand"
+	"fmt"
 	"testing"
 	"time"
 
+	"repro/internal/manager"
 	"repro/internal/node"
 	"repro/internal/policy"
 	"repro/internal/power"
 	"repro/internal/procfs"
+	"repro/internal/proptest"
+	"repro/internal/scenario"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
 
-// Property-based tests for Algorithm 1: seeded random traces (fleet size,
-// initial levels, utilisation churn, thresholds, policy, Tg all drawn from
-// the seed) drive the manager through the real snapshot builder, and every
-// cycle is checked against the paper's invariants:
+// Property-based tests for Algorithm 1, on the proptest runner: seeded
+// random traces (fleet size, initial levels, utilisation churn,
+// thresholds, Tg all drawn from the trial's generator; the selection
+// policy rotated deterministically by trial index) drive the manager
+// through the real snapshot builder, and the whole trace is checked
+// against the paper's invariants by scenario.CheckAlgorithmOne — the
+// same checker that validates every library scenario's trace:
 //
 //  1. Red: every candidate above the floor is commanded to level 0 within
 //     that same cycle (maximal strength, A_degraded := A_candidate) — and
@@ -26,12 +32,13 @@ import (
 //  3. Green: restores are monotone one-level steps, and only happen after
 //     Tg consecutive green cycles.
 //
-// Every failure message leads with the seed, so a failing trace replays
-// exactly with `-run TestAlgorithmOneInvariants` and the seed pinned.
+// A failing run prints the master seed; `PROPTEST_SEED=<n>` replays the
+// exact failing fleet.
 
 // invariantPolicies is the rotation of selection policies exercised across
-// seeds — state-based, change-based, cost-based and the degenerate
-// baselines all have to uphold the same invariants.
+// trials — state-based, change-based, cost-based and the degenerate
+// baselines all have to uphold the same invariants. 120 trials over a
+// 10-policy roster puts 12 independent traces behind each policy.
 var invariantPolicies = []policy.Policy{
 	policy.MPC{}, policy.LPC{}, policy.HRI{}, policy.MPCC{}, policy.LPCC{},
 	policy.HRIC{}, policy.MinCost{}, policy.BFP{}, policy.All{}, policy.None{},
@@ -40,66 +47,66 @@ var invariantPolicies = []policy.Policy{
 // traceRecorder is a perfect actuator: every command applies instantly.
 // It validates command bounds as they arrive.
 type traceRecorder struct {
-	t        *testing.T
-	seed     int64
 	maxLevel int
 	known    map[node.ID]bool
-	applied  []Action
+	applied  []manager.Action
+	err      error
 }
 
 func (r *traceRecorder) SetNodeLevel(id node.ID, level int) error {
 	if level < 0 || level > r.maxLevel {
-		r.t.Fatalf("seed %d: out-of-range level %d commanded to node %d", r.seed, level, id)
+		r.err = fmt.Errorf("out-of-range level %d commanded to node %d", level, id)
+		return r.err
 	}
 	if !r.known[id] {
-		r.t.Fatalf("seed %d: command to unknown node %d", r.seed, id)
+		r.err = fmt.Errorf("command to unknown node %d", id)
+		return r.err
 	}
-	r.applied = append(r.applied, Action{Node: id, Level: level})
+	r.applied = append(r.applied, manager.Action{Node: id, Level: level})
 	return nil
 }
 
 // rollUtil draws a node utilisation: mostly busy, occasionally idle (below
 // the sensing path's idle cutoff), so property 4 gets exercised.
-func rollUtil(rng *rand.Rand) float64 {
-	if rng.Float64() < 0.1 {
-		return rng.Float64() * 0.03
+func rollUtil(g *proptest.Generator) float64 {
+	if g.Bool(0.1) {
+		return g.Float64() * 0.03
 	}
-	return 0.1 + 0.9*rng.Float64()
+	return 0.1 + 0.9*g.Float64()
 }
 
-func runInvariantTrace(t *testing.T, seed int64) {
-	rng := rand.New(rand.NewSource(seed))
-	pol := invariantPolicies[int(seed)%len(invariantPolicies)]
-	tg := 2 + rng.Intn(5)
-	mgr, err := New(Config{Tg: tg, Policy: pol})
+func runInvariantTrace(g *proptest.Generator) error {
+	pol := invariantPolicies[g.Trial()%len(invariantPolicies)]
+	tg := g.IntRange(2, 6)
+	mgr, err := manager.New(manager.Config{Tg: tg, Policy: pol})
 	if err != nil {
-		t.Fatalf("seed %d: %v", seed, err)
+		return err
 	}
 
 	model := power.TianheNode()
 	maxLevel := model.Levels() - 1
-	n := 4 + rng.Intn(37)
+	n := g.IntRange(4, 40)
 	ids := make([]node.ID, n)
 	levels := make(map[node.ID]int, n)
 	util := make(map[node.ID]float64, n)
 	jobs := make(map[node.ID]workload.JobID, n)
-	rec := &traceRecorder{t: t, seed: seed, maxLevel: maxLevel, known: make(map[node.ID]bool, n)}
+	rec := &traceRecorder{maxLevel: maxLevel, known: make(map[node.ID]bool, n)}
 	for i := range ids {
 		id := node.ID(i)
 		ids[i] = id
-		levels[id] = rng.Intn(maxLevel + 1)
-		util[id] = rollUtil(rng)
-		jobs[id] = workload.JobID(1 + rng.Intn(4))
+		levels[id] = g.Intn(maxLevel + 1)
+		util[id] = rollUtil(g)
+		jobs[id] = workload.JobID(g.IntRange(1, 4))
 		rec.known[id] = true
 	}
 
-	builder := NewBuilder(model)
-	readings := func() ([]AgentReading, units.Watts) {
-		rs := make([]AgentReading, 0, n)
+	builder := manager.NewBuilder(model)
+	readings := func() ([]manager.AgentReading, units.Watts) {
+		rs := make([]manager.AgentReading, 0, n)
 		var p units.Watts
 		for _, id := range ids {
 			d := procfs.Delta{Interval: 50 * time.Millisecond, CPUUtil: util[id]}
-			rs = append(rs, AgentReading{ID: id, Level: levels[id], MaxLevel: maxLevel, Delta: d, Job: jobs[id]})
+			rs = append(rs, manager.AgentReading{ID: id, Level: levels[id], MaxLevel: maxLevel, Delta: d, Job: jobs[id]})
 			p += model.Estimate(d, levels[id])
 		}
 		return rs, p
@@ -108,117 +115,61 @@ func runInvariantTrace(t *testing.T, seed int64) {
 	// Thresholds bracket the trace's starting power, so level churn sweeps
 	// the system through all three states over the trace.
 	_, p0 := readings()
-	pl := units.Watts(float64(p0) * (0.70 + 0.25*rng.Float64()))
+	pl := units.Watts(float64(p0) * (0.70 + 0.25*g.Float64()))
 	if pl < 1 {
 		pl = 1
 	}
-	thr := power.Thresholds{PL: pl, PH: units.Watts(float64(pl) * (1.05 + 0.20*rng.Float64()))}
+	thr := power.Thresholds{PL: pl, PH: units.Watts(float64(pl) * (1.05 + 0.20*g.Float64()))}
 	if err := thr.Validate(); err != nil {
-		t.Fatalf("seed %d: generated invalid thresholds: %v", seed, err)
+		return fmt.Errorf("generated invalid thresholds: %w", err)
 	}
 
-	cycles := 40 + rng.Intn(41)
-	greens := 0
+	cycles := g.IntRange(40, 80)
+	records := make([]scenario.CycleRecord, 0, cycles)
 	for c := 0; c < cycles; c++ {
 		// Workload churn: a slice of the fleet changes behaviour.
 		for _, id := range ids {
-			if rng.Float64() < 0.15 {
-				util[id] = rollUtil(rng)
+			if g.Bool(0.15) {
+				util[id] = rollUtil(g)
 			}
 		}
 		rs, p := readings()
 		snap := builder.Build(p, thr.PL, rs)
-		byID := make(map[node.ID]policy.NodeState, len(snap.Nodes))
-		for _, ns := range snap.Nodes {
-			byID[ns.ID] = ns
-		}
 
 		rec.applied = nil
 		st, actions, err := mgr.Cycle(p, thr, snap, rec)
 		if err != nil {
-			t.Fatalf("seed %d cycle %d: %v", seed, c, err)
+			return fmt.Errorf("cycle %d: %w", c, err)
+		}
+		if rec.err != nil {
+			return fmt.Errorf("cycle %d: %w", c, rec.err)
 		}
 		if len(rec.applied) != len(actions) {
-			t.Fatalf("seed %d cycle %d: %d actions reported but %d actuated", seed, c, len(actions), len(rec.applied))
+			return fmt.Errorf("cycle %d: %d actions reported but %d actuated", c, len(actions), len(rec.applied))
 		}
-		byNode := make(map[node.ID]int, len(actions))
+
+		cr := scenario.CycleRecord{
+			Cycle: c, PowerW: float64(p),
+			PLW: float64(thr.PL), PHW: float64(thr.PH),
+			State: st.String(), Online: n,
+			Nodes: make([]scenario.NodeRecord, 0, len(snap.Nodes)),
+		}
+		for _, ns := range snap.Nodes {
+			cr.Nodes = append(cr.Nodes, scenario.NodeRecord{
+				ID: int(ns.ID), Level: ns.Level, MaxLevel: ns.MaxLevel,
+				Idle: ns.Idle, AtLowest: ns.AtLowest,
+			})
+		}
 		for _, a := range actions {
-			if _, dup := byNode[a.Node]; dup {
-				t.Fatalf("seed %d cycle %d: node %d commanded twice in one cycle", seed, c, a.Node)
-			}
-			byNode[a.Node] = a.Level
-		}
-
-		// Power above P_H never passes without a degrade (unless the whole
-		// fleet is already at the floor).
-		if p > thr.PH {
-			anyAbove := false
-			for _, ns := range snap.Nodes {
-				if ns.Level > 0 {
-					anyAbove = true
-					break
-				}
-			}
-			if anyAbove && len(actions) == 0 {
-				t.Fatalf("seed %d cycle %d: p=%.0fW above PH=%.0fW with no degrade commanded",
-					seed, c, float64(p), float64(thr.PH))
-			}
-		}
-
-		switch st {
-		case power.Red:
-			greens = 0
-			// Maximal strength: every candidate above the floor is ordered
-			// there within this very cycle, idle nodes included.
-			for _, ns := range snap.Nodes {
-				if ns.Level == 0 {
-					continue
-				}
-				lv, ok := byNode[ns.ID]
-				if !ok {
-					t.Fatalf("seed %d cycle %d: red state skipped node %d at level %d", seed, c, ns.ID, ns.Level)
-				}
-				if lv != 0 {
-					t.Fatalf("seed %d cycle %d: red state commanded node %d to %d, want floor", seed, c, ns.ID, lv)
-				}
-			}
-		case power.Yellow:
-			greens = 0
-			for _, a := range actions {
-				cur := levels[a.Node]
-				if a.Level != cur-1 {
-					t.Fatalf("seed %d cycle %d: yellow degrade %d→%d on node %d is not one step",
-						seed, c, cur, a.Level, a.Node)
-				}
-				ns := byID[a.Node]
-				if ns.Idle || ns.AtLowest {
-					t.Fatalf("seed %d cycle %d: yellow targeted idle/floor node %d (idle=%v level=%d)",
-						seed, c, a.Node, ns.Idle, ns.Level)
-				}
-			}
-		case power.Green:
-			greens++
-			if len(actions) > 0 && greens < tg {
-				t.Fatalf("seed %d cycle %d: restore after only %d green cycles (Tg=%d)", seed, c, greens, tg)
-			}
-			for _, a := range actions {
-				cur := levels[a.Node]
-				if a.Level != cur+1 {
-					t.Fatalf("seed %d cycle %d: green restore %d→%d on node %d is not one step up",
-						seed, c, cur, a.Level, a.Node)
-				}
-			}
-		}
-
-		for _, a := range actions {
+			cr.Actions = append(cr.Actions, scenario.ActionRecord{Node: int(a.Node), Level: a.Level})
 			levels[a.Node] = a.Level
 		}
+		records = append(records, cr)
 	}
+	return scenario.CheckAlgorithmOne(records, tg)
 }
 
 func TestAlgorithmOneInvariants(t *testing.T) {
-	const seeds = 120
-	for seed := int64(0); seed < seeds; seed++ {
-		runInvariantTrace(t, seed)
-	}
+	// 120 trials, the suite's historical trace count: 12 per policy.
+	proptest.MustCheck(t, "algorithm-one", proptest.Config{NumTrials: 120, Seed: 2024}, runInvariantTrace)
 }

@@ -1,0 +1,146 @@
+package proptest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCheckIsDeterministicForFixedSeed(t *testing.T) {
+	draw := func(cfg Config) []int64 {
+		var seeds []int64
+		Check(t, "collect", cfg, func(g *Generator) error {
+			seeds = append(seeds, g.Seed())
+			_ = g.Intn(1000) // consume the stream; must not affect seeding
+			return nil
+		})
+		return seeds
+	}
+	a := draw(Config{NumTrials: 20, Seed: 7})
+	b := draw(Config{NumTrials: 20, Seed: 7})
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("trials = %d, %d, want 20", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d seed %d != %d across identical runs", i, a[i], b[i])
+		}
+	}
+	c := draw(Config{NumTrials: 20, Seed: 8})
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different master seeds produced identical trial seeds")
+	}
+}
+
+func TestTrialSeedsAreDistinct(t *testing.T) {
+	seen := make(map[int64]int)
+	Check(t, "distinct", Config{NumTrials: 256, Seed: 3}, func(g *Generator) error {
+		if prev, dup := seen[g.Seed()]; dup {
+			return fmt.Errorf("trial %d reuses trial %d's seed %d", g.Trial(), prev, g.Seed())
+		}
+		seen[g.Seed()] = g.Trial()
+		return nil
+	})
+}
+
+func TestTrialIndexAdvances(t *testing.T) {
+	next := 0
+	Check(t, "trial-index", Config{NumTrials: 10, Seed: 1}, func(g *Generator) error {
+		if g.Trial() != next {
+			return fmt.Errorf("trial index %d, want %d", g.Trial(), next)
+		}
+		next++
+		return nil
+	})
+	if next != 10 {
+		t.Fatalf("ran %d trials, want 10", next)
+	}
+}
+
+func TestEnvSeedOverrides(t *testing.T) {
+	var def, env int64
+	Check(t, "default-seed", Config{NumTrials: 1, Seed: 42}, func(g *Generator) error {
+		def = g.Seed()
+		return nil
+	})
+	t.Setenv(EnvSeed, "99")
+	Check(t, "env-seed", Config{NumTrials: 1, Seed: 42}, func(g *Generator) error {
+		env = g.Seed()
+		return nil
+	})
+	if def == env {
+		t.Fatalf("PROPTEST_SEED=99 did not change the trial seed (%d)", def)
+	}
+	// And the override itself is deterministic.
+	var again int64
+	Check(t, "env-seed-2", Config{NumTrials: 1, Seed: 7}, func(g *Generator) error {
+		again = g.Seed()
+		return nil
+	})
+	if env != again {
+		t.Fatalf("PROPTEST_SEED runs disagree: %d vs %d", env, again)
+	}
+}
+
+func TestCheckReportsFirstFailureAndStops(t *testing.T) {
+	sub := &testing.T{}
+	ran := 0
+	ok := Check(sub, "failing", Config{NumTrials: 50, Seed: 5}, func(g *Generator) error {
+		ran++
+		if g.Trial() == 3 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if ok {
+		t.Fatal("Check reported success for a failing property")
+	}
+	if !sub.Failed() {
+		t.Fatal("Check did not mark the test failed")
+	}
+	if ran != 4 {
+		t.Fatalf("ran %d trials after failure at trial 3, want 4", ran)
+	}
+}
+
+func TestGeneratorDraws(t *testing.T) {
+	g := NewGenerator(11)
+	for i := 0; i < 1000; i++ {
+		if v := g.IntRange(3, 7); v < 3 || v > 7 {
+			t.Fatalf("IntRange out of bounds: %d", v)
+		}
+		if v := g.Range(1.5, 2.5); v < 1.5 || v >= 2.5 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+	}
+	if g.Bool(0) {
+		t.Error("Bool(0) = true")
+	}
+	if !g.Bool(1.01) {
+		t.Error("Bool(>1) = false")
+	}
+	// Same seed, same stream.
+	a, b := NewGenerator(13), NewGenerator(13)
+	for i := 0; i < 100; i++ {
+		if a.Intn(1<<30) != b.Intn(1<<30) {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+}
+
+func TestQuickCheckUsesDefaults(t *testing.T) {
+	n := 0
+	QuickCheck(t, "defaults", func(g *Generator) error {
+		n++
+		return nil
+	})
+	if n != DefaultNumTrials {
+		t.Fatalf("QuickCheck ran %d trials, want %d", n, DefaultNumTrials)
+	}
+}

@@ -1,0 +1,110 @@
+package scenario
+
+import "fmt"
+
+// CheckAlgorithmOne validates a scenario trace against the paper's
+// Algorithm 1 invariants, cycle by cycle:
+//
+//  1. Red, maximal strength: every snapshot node above the floor is
+//     commanded to level 0 within that same cycle.
+//  2. No degrade-free P_H breach: power above P_H never passes without a
+//     degrade unless the whole visible fleet is already at the floor.
+//  3. Yellow: degrades are exactly one level and never target idle or
+//     floor-level nodes (§III.B property 4).
+//  4. Green, monotone restore: restores are one-level steps up and only
+//     happen after Tg consecutive green cycles.
+//
+// Plus trace hygiene that any transport must preserve: no node commanded
+// twice in one cycle, and no command targeting a node absent from the
+// cycle's snapshot.
+//
+// The checker recomputes the green streak itself from the recorded
+// states, so it is independent of the manager's internal Time_g counter —
+// the same property holds whether the trace came from an in-process run
+// or a live daemon.
+func CheckAlgorithmOne(recs []CycleRecord, tg int) error {
+	if tg <= 0 {
+		return fmt.Errorf("check: Tg must be positive, got %d", tg)
+	}
+	greens := 0
+	for _, r := range recs {
+		byID := make(map[int]NodeRecord, len(r.Nodes))
+		for _, n := range r.Nodes {
+			byID[n.ID] = n
+		}
+		acted := make(map[int]int, len(r.Actions))
+		for _, a := range r.Actions {
+			if _, dup := acted[a.Node]; dup {
+				return fmt.Errorf("cycle %d: node %d commanded twice in one cycle", r.Cycle, a.Node)
+			}
+			acted[a.Node] = a.Level
+			if _, ok := byID[a.Node]; !ok {
+				return fmt.Errorf("cycle %d: command to node %d absent from the snapshot", r.Cycle, a.Node)
+			}
+		}
+
+		// Invariant 2: P > P_H must not pass without a degrade while any
+		// visible node still has a level to give.
+		if r.PowerW > r.PHW {
+			anyAbove := false
+			for _, n := range r.Nodes {
+				if n.Level > 0 {
+					anyAbove = true
+					break
+				}
+			}
+			if anyAbove && len(r.Actions) == 0 {
+				return fmt.Errorf("cycle %d: p=%.0fW above PH=%.0fW with no degrade commanded",
+					r.Cycle, r.PowerW, r.PHW)
+			}
+		}
+
+		switch r.State {
+		case "red":
+			greens = 0
+			// Invariant 1: every node above the floor is ordered there now.
+			for _, n := range r.Nodes {
+				if n.Level == 0 {
+					continue
+				}
+				lv, ok := acted[n.ID]
+				if !ok {
+					return fmt.Errorf("cycle %d: red state skipped node %d at level %d", r.Cycle, n.ID, n.Level)
+				}
+				if lv != 0 {
+					return fmt.Errorf("cycle %d: red state commanded node %d to %d, want floor", r.Cycle, n.ID, lv)
+				}
+			}
+		case "yellow":
+			greens = 0
+			// Invariant 3: one-step degrades, never idle or floor targets.
+			for _, a := range r.Actions {
+				n := byID[a.Node]
+				if a.Level != n.Level-1 {
+					return fmt.Errorf("cycle %d: yellow degrade %d→%d on node %d is not one step",
+						r.Cycle, n.Level, a.Level, a.Node)
+				}
+				if n.Idle || n.AtLowest {
+					return fmt.Errorf("cycle %d: yellow targeted idle/floor node %d (idle=%v level=%d)",
+						r.Cycle, a.Node, n.Idle, n.Level)
+				}
+			}
+		case "green":
+			greens++
+			// Invariant 4: monotone one-step restores, only in steady green.
+			if len(r.Actions) > 0 && greens < tg {
+				return fmt.Errorf("cycle %d: restore after only %d green cycles (Tg=%d)", r.Cycle, greens, tg)
+			}
+			for _, a := range r.Actions {
+				n := byID[a.Node]
+				if a.Level != n.Level+1 {
+					return fmt.Errorf("cycle %d: green restore %d→%d on node %d is not one step up",
+						r.Cycle, n.Level, a.Level, a.Node)
+				}
+			}
+		default:
+			return fmt.Errorf("cycle %d: unknown state %q", r.Cycle, r.State)
+		}
+	}
+	return nil
+}

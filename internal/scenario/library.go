@@ -1,0 +1,267 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// The library: six scripted fleet behaviours the cap has to survive.
+// Each factory returns a value Scenario; the step closures are created
+// fresh per run via NewStep so no burst schedule or drift selection
+// leaks between runs. Event timing is proportional to the script length,
+// so Scaled copies keep each scenario's character.
+
+// clampUtil keeps a drawn utilisation inside the sensor's range while
+// preserving the occasional genuinely-idle draw.
+func clampUtil(u float64) float64 { return units.Clamp(u, 0, 1) }
+
+// noisy returns base plus bounded gaussian jitter.
+func noisy(rng *rand.Rand, base, sigma float64) float64 {
+	return clampUtil(base + sigma*rng.NormFloat64())
+}
+
+// frac returns at least 1 and about cycles·num/den — the proportional
+// scheduling helper.
+func frac(cycles, num, den int) int {
+	v := cycles * num / den
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Diurnal is a day/night load swing: fleet-wide mean utilisation follows
+// a sinusoid through a full period, with per-node jitter and a small
+// idle population so restore paths and property 4 both get exercised.
+func Diurnal() Scenario {
+	return Scenario{
+		Name:   "diurnal",
+		About:  "sinusoidal day/night swing; cap engages near the daily peak",
+		Agents: 32, Cycles: 288, Tg: 3,
+		Policy:  "mpc-c",
+		LowFrac: 0.78, HighFrac: 0.88,
+		NewStep: func() StepFunc {
+			return func(rng *rand.Rand, cycle, cycles int, loads []Load) {
+				period := float64(cycles)
+				mean := 0.55 + 0.38*math.Sin(2*math.Pi*(float64(cycle)/period-0.25))
+				for i := range loads {
+					if rng.Float64() < 0.04 {
+						loads[i].Util = rng.Float64() * 0.03 // idle tail
+					} else {
+						loads[i].Util = noisy(rng, mean, 0.08)
+					}
+					loads[i].Mem = noisy(rng, 0.3+0.2*mean, 0.03)
+					loads[i].NIC = noisy(rng, 0.1, 0.02)
+					loads[i].Online = true
+				}
+			}
+		},
+	}
+}
+
+// FlashCrowd is the phase-aligned job-power spike of Storlie et al.: a
+// quiet fleet where every node's load jumps to near-peak in the same
+// cycle, twice, with the burst onsets drawn from the seed.
+func FlashCrowd() Scenario {
+	return Scenario{
+		Name:   "flash-crowd",
+		About:  "phase-aligned fleet-wide spikes from a quiet baseline (Storlie)",
+		Agents: 32, Cycles: 240, Tg: 3,
+		Policy:  "lpc-c",
+		LowFrac: 0.62, HighFrac: 0.74,
+		NewStep: func() StepFunc {
+			var start1, start2, dur int
+			return func(rng *rand.Rand, cycle, cycles int, loads []Load) {
+				if cycle == 0 {
+					dur = frac(cycles, 1, 10)
+					start1 = frac(cycles, 1, 6) + rng.Intn(frac(cycles, 1, 8))
+					start2 = start1 + dur + frac(cycles, 1, 4) + rng.Intn(frac(cycles, 1, 6))
+				}
+				inBurst := (cycle >= start1 && cycle < start1+dur) ||
+					(cycle >= start2 && cycle < start2+dur)
+				for i := range loads {
+					if inBurst {
+						loads[i].Util = noisy(rng, 0.95, 0.03)
+						loads[i].NIC = noisy(rng, 0.35, 0.05)
+					} else {
+						loads[i].Util = noisy(rng, 0.25, 0.06)
+						loads[i].NIC = noisy(rng, 0.08, 0.02)
+					}
+					loads[i].Mem = noisy(rng, 0.35, 0.03)
+					loads[i].Online = true
+				}
+			}
+		},
+	}
+}
+
+// ThermalEmergency couples the run to the thermal tracker: a cooling
+// degradation window raises a hot job's load while leakage (§I.A
+// feedback) amplifies every node's draw as temperatures climb, so the
+// cap is fighting physics, not just load.
+func ThermalEmergency() Scenario {
+	p := thermal.Tianhe()
+	p.TimeConstant = 30 * time.Second // small machine room: fast RC
+	p.FailRefC = 35
+	p.LeakagePerC = 0.004
+	return Scenario{
+		Name:   "thermal-emergency",
+		About:  "cooling degradation + leakage feedback; cap must arrest thermal runaway",
+		Agents: 32, Cycles: 240, Tg: 4,
+		Policy:  "hri-c",
+		LowFrac: 0.74, HighFrac: 0.84,
+		Thermal: &p, ThermalDt: 5 * time.Second,
+		NewStep: func() StepFunc {
+			var onset, emergency, ramp int
+			return func(rng *rand.Rand, cycle, cycles int, loads []Load) {
+				if cycle == 0 {
+					onset = frac(cycles, 1, 4) + rng.Intn(frac(cycles, 1, 6))
+					emergency = frac(cycles, 3, 10)
+					ramp = frac(cycles, 1, 12)
+				}
+				base := 0.55
+				if cycle >= onset && cycle < onset+emergency {
+					// Ramp in: the hot job spreads across the fleet.
+					r := math.Min(1, float64(cycle-onset)/float64(ramp))
+					base = 0.55 + 0.40*r
+				}
+				for i := range loads {
+					loads[i].Util = noisy(rng, base, 0.05)
+					loads[i].Mem = noisy(rng, 0.4, 0.03)
+					loads[i].NIC = noisy(rng, 0.12, 0.02)
+					loads[i].Online = true
+				}
+			}
+		},
+	}
+}
+
+// SensorDrift is correlated PSU miscalibration (the FastCap-style
+// fairness stress): whole PSU groups over-report utilisation with a
+// drift that grows over the run, so the manager caps healthy nodes on
+// inflated readings and fairness of the selection policy is what keeps
+// the pain spread.
+func SensorDrift() Scenario {
+	const psuSize = 8
+	return Scenario{
+		Name:   "sensor-drift",
+		About:  "correlated per-PSU over-reporting grows over the run (FastCap stress)",
+		Agents: 32, Cycles: 240, Tg: 3,
+		Policy:  "mpc-c",
+		LowFrac: 0.72, HighFrac: 0.82,
+		NewStep: func() StepFunc {
+			var drifting []bool
+			return func(rng *rand.Rand, cycle, cycles int, loads []Load) {
+				if cycle == 0 {
+					groups := (len(loads) + psuSize - 1) / psuSize
+					drifting = make([]bool, groups)
+					for g := range drifting {
+						drifting[g] = rng.Float64() < 0.4
+					}
+				}
+				// Full drift (+35%) is reached ~95% of the way through.
+				drift := 1 + math.Min(0.35, 0.37*float64(cycle)/float64(cycles))
+				for i := range loads {
+					u := noisy(rng, 0.5, 0.06)
+					if drifting[i/psuSize] {
+						u = clampUtil(u * drift)
+					}
+					loads[i].Util = u
+					loads[i].Mem = noisy(rng, 0.35, 0.03)
+					loads[i].NIC = noisy(rng, 0.1, 0.02)
+					loads[i].Online = true
+				}
+			}
+		},
+	}
+}
+
+// RollingUpgrade drains the fleet in batches: each batch goes offline
+// for a maintenance window and comes back Reset — at the hardware
+// default (top) level regardless of what the manager had commanded — so
+// adoption and restore bookkeeping are continuously churned.
+func RollingUpgrade() Scenario {
+	return Scenario{
+		Name:   "rolling-upgrade",
+		About:  "batched drain/reboot waves; rebooted nodes return at full power",
+		Agents: 32, Cycles: 240, Tg: 3,
+		Policy:  "lpc",
+		LowFrac: 0.70, HighFrac: 0.84,
+		NewStep: func() StepFunc {
+			return func(rng *rand.Rand, cycle, cycles int, loads []Load) {
+				batch := len(loads)/8 + 1
+				start := frac(cycles, 1, 8)
+				down := frac(cycles, 1, 30)
+				spacing := down + frac(cycles, 1, 40)
+				for i := range loads {
+					b := i / batch
+					off := cycle >= start+b*spacing && cycle < start+b*spacing+down
+					wasOff := cycle-1 >= start+b*spacing && cycle-1 < start+b*spacing+down
+					loads[i].Util = noisy(rng, 0.62, 0.06)
+					loads[i].Mem = noisy(rng, 0.35, 0.03)
+					loads[i].NIC = noisy(rng, 0.1, 0.02)
+					loads[i].Online = !off
+					loads[i].Reset = !off && wasOff
+				}
+			}
+		},
+	}
+}
+
+// ReconnectHerd blacks out the whole fleet twice — every agent silent,
+// then every agent back in the same cycle — the manager-side twin of
+// the harness's reconnect-herd test: sensing collapses to zero and then
+// the entire fleet's power reappears at once.
+func ReconnectHerd() Scenario {
+	return Scenario{
+		Name:   "reconnect-herd",
+		About:  "full-fleet blackouts with simultaneous return; power reappears in one cycle",
+		Agents: 32, Cycles: 240, Tg: 3,
+		Policy:  "mpc",
+		LowFrac: 0.72, HighFrac: 0.80,
+		NewStep: func() StepFunc {
+			var d1, d2 int
+			return func(rng *rand.Rand, cycle, cycles int, loads []Load) {
+				if cycle == 0 {
+					d1 = 2 + rng.Intn(frac(cycles, 1, 40)+1)
+					d2 = 2 + rng.Intn(frac(cycles, 1, 40)+1)
+				}
+				b1, b2 := frac(cycles, 3, 10), frac(cycles, 3, 5)
+				blackout := (cycle >= b1 && cycle < b1+d1) || (cycle >= b2 && cycle < b2+d2)
+				for i := range loads {
+					loads[i].Util = noisy(rng, 0.68, 0.06)
+					loads[i].Mem = noisy(rng, 0.4, 0.03)
+					loads[i].NIC = noisy(rng, 0.12, 0.02)
+					loads[i].Online = !blackout
+				}
+			}
+		},
+	}
+}
+
+// All returns the full library in its canonical order.
+func All() []Scenario {
+	return []Scenario{
+		Diurnal(), FlashCrowd(), ThermalEmergency(),
+		SensorDrift(), RollingUpgrade(), ReconnectHerd(),
+	}
+}
+
+// ByName looks a scenario up in the library.
+func ByName(name string) (Scenario, error) {
+	for _, sc := range All() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	names := make([]string, 0, 6)
+	for _, sc := range All() {
+		names = append(names, sc.Name)
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, names)
+}

@@ -1,0 +1,433 @@
+// Package scenario is a seeded, deterministic scenario library for the
+// power-capping control loop: each Scenario scripts a fleet's offered
+// load over time — diurnal swings, flash crowds, thermal emergencies,
+// sensor drift, rolling upgrades, reconnect herds — and Run drives the
+// real Algorithm 1 manager and snapshot builder through it.
+//
+// Scenarios serve two consumers with one script:
+//
+//   - the property suite: Run produces a full per-cycle trace
+//     (CycleRecord) that CheckAlgorithmOne validates against the paper's
+//     invariants, so every scenario doubles as a property test;
+//   - cmd/powbench: Script materialises the same deterministic load
+//     schedule, which the open-loop driver replays over the wire against
+//     a live powmgrd.
+//
+// Determinism is a hard contract: a Scenario's script and Run trace are
+// pure functions of (scenario, seed) — no wall-clock, no shared state
+// across runs — so the same seed yields a byte-identical exported trace.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/manager"
+	"repro/internal/node"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/procfs"
+	"repro/internal/thermal"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Interval is the scripted sampling interval: every cycle represents one
+// control period of this length, matching the daemons' default cadence.
+const Interval = 50 * time.Millisecond
+
+// memTotal is the modelled node's memory size used to turn a fractional
+// occupancy into bytes (48 GiB, the bench fleet's figure).
+const memTotal = 48 << 30
+
+// Load is one node's offered load for one cycle.
+type Load struct {
+	// Util is the CPU busy fraction the node reports, in [0,1]. This is
+	// the *sensed* value — drift scenarios inflate it above the true load.
+	Util float64 `json:"util"`
+	// Mem is the memory occupancy fraction, NIC the link utilisation
+	// fraction over the interval.
+	Mem float64 `json:"mem"`
+	NIC float64 `json:"nic"`
+	// Job is the job occupying the node (0 = free).
+	Job int `json:"job"`
+	// Online is false while the node is partitioned/rebooting: it sends
+	// no sample and drops out of the manager's snapshot.
+	Online bool `json:"online"`
+	// Reset marks the cycle a node comes back from an upgrade: its DVFS
+	// level snaps back to the hardware default (maximum), whatever the
+	// manager had commanded before.
+	Reset bool `json:"reset,omitempty"`
+}
+
+// StepFunc fills in the whole fleet's loads for one cycle. It is called
+// exactly once per cycle in cycle order with the same rng, so any
+// randomness it draws is reproducible from the run seed. cycles is the
+// script's total length: generators schedule their events (bursts,
+// blackouts, maintenance waves) proportionally to it, so a scaled-down
+// scenario keeps its character.
+type StepFunc func(rng *rand.Rand, cycle, cycles int, loads []Load)
+
+// Scenario is one scripted fleet behaviour.
+type Scenario struct {
+	Name  string
+	About string
+	// Agents and Cycles size the script; Tg and Policy parametrise the
+	// manager under test.
+	Agents int
+	Cycles int
+	Tg     int
+	Policy string
+	// LowFrac/HighFrac set the thresholds as fractions of the fleet's
+	// reference draw (see Thresholds), placing the interesting state
+	// transitions where the scenario wants them.
+	LowFrac  float64
+	HighFrac float64
+	// Thermal, when set, couples the run to a thermal tracker: each
+	// node's sensed power is amplified by its leakage factor (§I.A
+	// feedback) and the result summary carries peak temperature and
+	// failure multiplier. ThermalDt is the plant-time length of one
+	// cycle for the RC integration (control cycles are much shorter
+	// than thermal time constants; 0 means 5s).
+	Thermal   *thermal.Params
+	ThermalDt time.Duration
+	// NewStep returns a fresh step function. It is a factory so stateful
+	// steps (burst schedules, drift selections) cannot leak state from
+	// one run into the next.
+	NewStep func() StepFunc
+}
+
+// Validate checks the scenario is runnable.
+func (sc Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("scenario: empty name")
+	}
+	if sc.Agents <= 0 || sc.Cycles <= 0 {
+		return fmt.Errorf("scenario %s: need agents and cycles, got %d×%d", sc.Name, sc.Agents, sc.Cycles)
+	}
+	if sc.Tg <= 0 {
+		return fmt.Errorf("scenario %s: Tg must be positive", sc.Name)
+	}
+	if sc.LowFrac <= 0 || sc.HighFrac <= sc.LowFrac {
+		return fmt.Errorf("scenario %s: bad threshold fractions %v/%v", sc.Name, sc.LowFrac, sc.HighFrac)
+	}
+	if sc.NewStep == nil {
+		return fmt.Errorf("scenario %s: nil step factory", sc.Name)
+	}
+	return nil
+}
+
+// Scaled returns a copy with the fleet size and/or length overridden
+// (zero keeps the original) — the handle tests and smokes use to shrink
+// a scenario without changing its character.
+func (sc Scenario) Scaled(agents, cycles int) Scenario {
+	out := sc
+	if agents > 0 {
+		out.Agents = agents
+	}
+	if cycles > 0 {
+		out.Cycles = cycles
+	}
+	return out
+}
+
+// Script materialises the full deterministic load schedule for this seed:
+// one row per cycle, one Load per agent. Run and cmd/powbench both replay
+// scripts, which is what keeps the in-process property trace and the
+// over-the-wire bench driving the same offered load.
+func (sc Scenario) Script(seed int64) [][]Load {
+	rng := rand.New(rand.NewSource(seed))
+	step := sc.NewStep()
+	loads := make([]Load, sc.Agents)
+	for i := range loads {
+		loads[i] = Load{Util: 0.5, Mem: 0.3, NIC: 0.1, Job: 1 + i%4, Online: true}
+	}
+	script := make([][]Load, sc.Cycles)
+	for c := range script {
+		step(rng, c, sc.Cycles, loads)
+		row := make([]Load, len(loads))
+		copy(row, loads)
+		script[c] = row
+		// Reset is a one-cycle event; clear it so steps only have to set
+		// it on the comeback cycle.
+		for i := range loads {
+			loads[i].Reset = false
+		}
+	}
+	return script
+}
+
+// RefPower is the fleet's reference draw — every node at its top level
+// under a busy synthetic load — from which the scenario's thresholds are
+// derived. Using a fixed reference (rather than the first cycle's draw)
+// keeps thresholds stable across seeds and fleet scalings.
+func (sc Scenario) RefPower(model power.Model) units.Watts {
+	per := model.Instant(0.9, 0.3, 0.1, model.Levels()-1)
+	return units.Watts(float64(per) * float64(sc.Agents))
+}
+
+// Thresholds derives the scenario's capping thresholds from the reference
+// draw.
+func (sc Scenario) Thresholds(model power.Model) power.Thresholds {
+	ref := float64(sc.RefPower(model))
+	return power.Thresholds{
+		PL: units.Watts(ref * sc.LowFrac),
+		PH: units.Watts(ref * sc.HighFrac),
+	}
+}
+
+// Delta converts a scripted load into the interval counters an agent
+// would report.
+func (ld Load) Delta(model power.Model) procfs.Delta {
+	sec := Interval.Seconds()
+	return procfs.Delta{
+		Interval: Interval,
+		CPUUtil:  units.Clamp(ld.Util, 0, 1),
+		MemUsed:  uint64(units.Clamp(ld.Mem, 0, 1) * memTotal),
+		MemTotal: memTotal,
+		NICBytes: uint64(units.Clamp(ld.NIC, 0, 1) * sec * float64(model.NIC.Bandwidth)),
+	}
+}
+
+// NodeRecord is one node's pre-cycle state in the trace.
+type NodeRecord struct {
+	ID       int  `json:"id"`
+	Level    int  `json:"level"`
+	MaxLevel int  `json:"max_level"`
+	Idle     bool `json:"idle,omitempty"`
+	AtLowest bool `json:"at_lowest,omitempty"`
+}
+
+// ActionRecord is one manager command in the trace.
+type ActionRecord struct {
+	Node  int `json:"node"`
+	Level int `json:"level"`
+}
+
+// CycleRecord is one control cycle of a scenario trace: the sensed power,
+// the thresholds in force, the classified state, the snapshot the policy
+// saw (pre-actuation), and the actions taken. It carries everything
+// CheckAlgorithmOne needs and nothing host-dependent, so traces are
+// byte-stable across runs and machines.
+type CycleRecord struct {
+	Cycle   int            `json:"cycle"`
+	PowerW  float64        `json:"p_w"`
+	PLW     float64        `json:"pl_w"`
+	PHW     float64        `json:"ph_w"`
+	State   string         `json:"state"`
+	Online  int            `json:"online"`
+	Nodes   []NodeRecord   `json:"nodes"`
+	Actions []ActionRecord `json:"actions,omitempty"`
+}
+
+// Summary is a scenario run's headline outcome.
+type Summary struct {
+	Scenario     string  `json:"scenario"`
+	Agents       int     `json:"agents"`
+	Cycles       int     `json:"cycles"`
+	Seed         int64   `json:"seed"`
+	MaxPowerW    float64 `json:"max_power_w"`
+	GreenCycles  int     `json:"green_cycles"`
+	YellowCycles int     `json:"yellow_cycles"`
+	RedCycles    int     `json:"red_cycles"`
+	RedEntries   int     `json:"red_entries"`
+	Degrades     int     `json:"degrades"`
+	Restores     int     `json:"restores"`
+	// BreachCycles counts cycles whose sensed power exceeded P_H — red
+	// exposure the cap then had to claw back within the same cycle.
+	BreachCycles int `json:"breach_cycles"`
+	// MinLevel is the deepest DVFS level any node was driven to.
+	MinLevel int `json:"min_level"`
+	// Thermal outcome (zero unless the scenario couples a tracker).
+	PeakTempC         float64 `json:"peak_temp_c,omitempty"`
+	FailureMultiplier float64 `json:"failure_multiplier,omitempty"`
+	CoolingKJ         float64 `json:"cooling_kj,omitempty"`
+}
+
+// Result is a completed scenario run.
+type Result struct {
+	Scenario   string
+	Seed       int64
+	Thresholds power.Thresholds
+	Records    []CycleRecord
+	Summary    Summary
+	// Obs carries the run's instruments: scenario_power_w and
+	// scenario_cycle_micros histograms plus the manager's counters.
+	Obs *obs.Registry
+}
+
+// runRecorder is a perfect actuator that validates commands as they land.
+type runRecorder struct {
+	maxLevel int
+	agents   int
+	applied  []manager.Action
+	err      error
+}
+
+func (r *runRecorder) SetNodeLevel(id node.ID, level int) error {
+	if level < 0 || level > r.maxLevel {
+		r.err = fmt.Errorf("out-of-range level %d commanded to node %d", level, id)
+		return r.err
+	}
+	if int(id) < 0 || int(id) >= r.agents {
+		r.err = fmt.Errorf("command to unknown node %d", id)
+		return r.err
+	}
+	r.applied = append(r.applied, manager.Action{Node: id, Level: level})
+	return nil
+}
+
+// Run drives the scenario's script through the real manager (Algorithm 1
+// + the configured policy) against a perfect actuator and returns the
+// full trace. The trace is deterministic in (sc, seed); only the obs
+// latency histogram depends on the host.
+func Run(sc Scenario, seed int64) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	model := power.TianheNode()
+	maxLevel := model.Levels() - 1
+	pol, err := policy.New(sc.Policy, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	reg := obs.NewRegistry()
+	mgr, err := manager.New(manager.Config{Tg: sc.Tg, Policy: pol, Obs: reg})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	thr := sc.Thresholds(model)
+	if err := thr.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+
+	var tracker *thermal.Tracker
+	thermalDt := sc.ThermalDt
+	if sc.Thermal != nil {
+		if thermalDt <= 0 {
+			thermalDt = 5 * time.Second
+		}
+		tracker, err = thermal.NewTracker(sc.Agents, *sc.Thermal)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+	}
+
+	script := sc.Script(seed)
+	builder := manager.NewBuilder(model)
+	powHist := reg.Histogram("scenario_power_w")
+	latHist := reg.Histogram("scenario_cycle_micros")
+
+	levels := make([]int, sc.Agents)
+	for i := range levels {
+		levels[i] = maxLevel
+	}
+	nodePow := make([]units.Watts, sc.Agents)
+
+	res := &Result{
+		Scenario:   sc.Name,
+		Seed:       seed,
+		Thresholds: thr,
+		Records:    make([]CycleRecord, 0, sc.Cycles),
+		Obs:        reg,
+		Summary: Summary{
+			Scenario: sc.Name, Agents: sc.Agents, Cycles: sc.Cycles,
+			Seed: seed, MinLevel: maxLevel,
+		},
+	}
+
+	for c, loads := range script {
+		start := time.Now()
+		readings := make([]manager.AgentReading, 0, sc.Agents)
+		var p units.Watts
+		online := 0
+		for i := range loads {
+			ld := loads[i]
+			if ld.Reset {
+				levels[i] = maxLevel
+			}
+			if !ld.Online {
+				nodePow[i] = 0
+				continue
+			}
+			online++
+			d := ld.Delta(model)
+			w := model.Estimate(d, levels[i])
+			if tracker != nil {
+				w = units.Watts(float64(w) * tracker.LeakageFactor(i))
+			}
+			nodePow[i] = w
+			p += w
+			readings = append(readings, manager.AgentReading{
+				ID: node.ID(i), Level: levels[i], MaxLevel: maxLevel,
+				Delta: d, Job: workload.JobID(ld.Job),
+			})
+		}
+		if tracker != nil {
+			if err := tracker.Step(thermalDt, nodePow); err != nil {
+				return nil, fmt.Errorf("scenario %s cycle %d: %w", sc.Name, c, err)
+			}
+		}
+
+		snap := builder.Build(p, thr.PL, readings)
+		rec := &runRecorder{maxLevel: maxLevel, agents: sc.Agents}
+		st, actions, err := mgr.Cycle(p, thr, snap, rec)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s cycle %d: %w", sc.Name, c, err)
+		}
+		if rec.err != nil {
+			return nil, fmt.Errorf("scenario %s cycle %d: %w", sc.Name, c, rec.err)
+		}
+		if len(rec.applied) != len(actions) {
+			return nil, fmt.Errorf("scenario %s cycle %d: %d actions reported, %d actuated",
+				sc.Name, c, len(actions), len(rec.applied))
+		}
+
+		cr := CycleRecord{
+			Cycle: c, PowerW: float64(p),
+			PLW: float64(thr.PL), PHW: float64(thr.PH),
+			State: st.String(), Online: online,
+			Nodes: make([]NodeRecord, 0, len(snap.Nodes)),
+		}
+		for _, ns := range snap.Nodes {
+			cr.Nodes = append(cr.Nodes, NodeRecord{
+				ID: int(ns.ID), Level: ns.Level, MaxLevel: ns.MaxLevel,
+				Idle: ns.Idle, AtLowest: ns.AtLowest,
+			})
+		}
+		for _, a := range actions {
+			cr.Actions = append(cr.Actions, ActionRecord{Node: int(a.Node), Level: a.Level})
+			levels[a.Node] = a.Level
+			if a.Level < res.Summary.MinLevel {
+				res.Summary.MinLevel = a.Level
+			}
+		}
+		res.Records = append(res.Records, cr)
+
+		powHist.Observe(float64(p))
+		latHist.ObserveDuration(time.Since(start))
+		if float64(p) > res.Summary.MaxPowerW {
+			res.Summary.MaxPowerW = float64(p)
+		}
+		if p > thr.PH {
+			res.Summary.BreachCycles++
+		}
+	}
+
+	st := mgr.Stats()
+	res.Summary.GreenCycles = st.GreenCycles
+	res.Summary.YellowCycles = st.YellowCycles
+	res.Summary.RedCycles = st.RedCycles
+	res.Summary.RedEntries = st.RedEntries
+	res.Summary.Degrades = st.DegradeOps
+	res.Summary.Restores = st.RestoreOps
+	if tracker != nil {
+		ts := tracker.Summarise()
+		res.Summary.PeakTempC = ts.PeakC
+		res.Summary.FailureMultiplier = ts.FailureMultiplier
+		res.Summary.CoolingKJ = float64(ts.CoolingEnergy) / 1000
+	}
+	return res, nil
+}

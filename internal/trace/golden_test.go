@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -177,6 +178,73 @@ func TestGoldenEventsJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	golden(t, "events.jsonl", buf.Bytes())
+}
+
+// scenarioFixture is a small deterministic scenario run: the flash-crowd
+// generator scaled down, fixed seed. Determinism of (scenario, seed) →
+// trace is what makes this golden-testable at all.
+func scenarioFixture(t *testing.T) []scenario.CycleRecord {
+	t.Helper()
+	res, err := scenario.Run(scenario.FlashCrowd().Scaled(6, 40), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Records
+}
+
+func TestGoldenScenarioCyclesJSONL(t *testing.T) {
+	recs := scenarioFixture(t)
+	var buf bytes.Buffer
+	if err := WriteScenarioCyclesJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "scenario_flash_crowd.jsonl", buf.Bytes())
+
+	// Round-trip: every line decodes back to the source record.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(recs) {
+		t.Fatalf("lines = %d, want %d", len(lines), len(recs))
+	}
+	for i, line := range lines {
+		var r scenario.CycleRecord
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Cycle != recs[i].Cycle || r.State != recs[i].State ||
+			len(r.Nodes) != len(recs[i].Nodes) || len(r.Actions) != len(recs[i].Actions) {
+			t.Errorf("record %d = %+v, want %+v", i, r, recs[i])
+		}
+	}
+}
+
+func TestGoldenScenarioCyclesCSV(t *testing.T) {
+	recs := scenarioFixture(t)
+	var buf bytes.Buffer
+	if err := WriteScenarioCyclesCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "scenario_flash_crowd.csv", buf.Bytes())
+
+	rows, err := csv.NewReader(bytes.NewReader(buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(recs)+1 {
+		t.Fatalf("rows = %d, want %d", len(rows), len(recs)+1)
+	}
+	if rows[0][0] != "cycle" || rows[0][4] != "state" {
+		t.Errorf("header = %v", rows[0])
+	}
+}
+
+func TestScenarioWriteErrorsPropagate(t *testing.T) {
+	recs := scenarioFixture(t)
+	if err := WriteScenarioCyclesJSONL(&failAfter{n: 5}, recs); err == nil {
+		t.Error("scenario JSONL write error swallowed")
+	}
+	if err := WriteScenarioCyclesCSV(&failAfter{n: 5}, recs); err == nil {
+		t.Error("scenario CSV write error swallowed")
+	}
 }
 
 func TestCycleSpanWriteErrorsPropagate(t *testing.T) {

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"repro/internal/scenario"
+)
+
+// WriteScenarioCyclesJSONL writes a scenario trace as one JSON object per
+// control cycle — the full record, nodes and actions included, exactly as
+// the property checker consumes it. Because scenario traces are
+// deterministic in (scenario, seed), this export is byte-stable and
+// golden-testable.
+func WriteScenarioCyclesJSONL(w io.Writer, recs []scenario.CycleRecord) error {
+	enc := json.NewEncoder(w)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteScenarioCyclesCSV writes the per-cycle headline of a scenario
+// trace (no per-node detail) for spreadsheet plotting.
+func WriteScenarioCyclesCSV(w io.Writer, recs []scenario.CycleRecord) error {
+	cw := csv.NewWriter(w)
+	header := []string{"cycle", "p_w", "pl_w", "ph_w", "state", "online", "nodes", "actions"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		rec := []string{
+			strconv.Itoa(r.Cycle),
+			strconv.FormatFloat(r.PowerW, 'f', 1, 64),
+			strconv.FormatFloat(r.PLW, 'f', 1, 64),
+			strconv.FormatFloat(r.PHW, 'f', 1, 64),
+			r.State,
+			strconv.Itoa(r.Online),
+			strconv.Itoa(len(r.Nodes)),
+			strconv.Itoa(len(r.Actions)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
