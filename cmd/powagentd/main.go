@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -29,7 +30,7 @@ func main() {
 	log.SetPrefix("powagentd: ")
 
 	var (
-		manager = flag.String("manager", "127.0.0.1:7077", "manager daemon address")
+		manager = flag.String("manager", "127.0.0.1:7077", "manager daemon address, or a comma-separated list rotated through on reconnect (primary,standby)")
 		id      = flag.Int("node", 0, "node identity")
 		sample  = flag.Duration("sample", time.Second, "sampling/push interval τ")
 		tick    = flag.Duration("tick", 100*time.Millisecond, "simulated node tick")
@@ -48,9 +49,20 @@ func main() {
 		*seed = int64(*id) + 1
 	}
 
+	var addrs []string
+	for _, m := range strings.Split(*manager, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			addrs = append(addrs, m)
+		}
+	}
+	if len(addrs) == 0 {
+		log.Fatal("-manager must name at least one address")
+	}
+
 	a, err := agentd.New(agentd.Config{
 		NodeID:        node.ID(*id),
-		ManagerAddr:   *manager,
+		ManagerAddr:   addrs[0],
+		ManagerAddrs:  addrs,
 		SampleEvery:   *sample,
 		TickEvery:     *tick,
 		Model:         power.TianheNode(),

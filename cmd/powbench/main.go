@@ -22,18 +22,23 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/managerd"
 	"repro/internal/policy"
 	"repro/internal/power"
+	"repro/internal/replica"
 	"repro/internal/scenario"
 )
 
@@ -78,7 +83,11 @@ func main() {
 		runAddr := *addr
 		var stop func()
 		if runAddr == "" {
-			runAddr, stop, err = spawnDaemon(sc, *ctrlEvery)
+			if sc.FailoverFrac > 0 {
+				runAddr, stop, err = spawnFailoverDaemon(sc, *ctrlEvery, *sampleEvery)
+			} else {
+				runAddr, stop, err = spawnDaemon(sc, *ctrlEvery)
+			}
 			if err != nil {
 				fatal(fmt.Errorf("%s: spawn daemon: %w", sc.Name, err))
 			}
@@ -155,6 +164,129 @@ func spawnDaemon(sc scenario.Scenario, ctrlEvery time.Duration) (string, func(),
 		return "", nil, err
 	}
 	return srv.Addr(), srv.Stop, nil
+}
+
+// spawnFailoverDaemon boots the HA pair a failover scenario scripts: a
+// leased primary plus a warm standby replicating its journal over TCP. A
+// timer kills the primary at the scripted failover cycle; the standby
+// declares death via the stale lease, and the promoted manager rebinds
+// the primary's TCP address so the fleet's open-loop redials land on the
+// new leader without the driver knowing anything changed.
+func spawnFailoverDaemon(sc scenario.Scenario, ctrlEvery, sampleEvery time.Duration) (string, func(), error) {
+	pol, err := policy.New(sc.Policy, rand.New(rand.NewSource(1)))
+	if err != nil {
+		return "", nil, err
+	}
+	dir, err := os.MkdirTemp("", "powbench-ha-")
+	if err != nil {
+		return "", nil, err
+	}
+	lease := &replica.Lease{Path: filepath.Join(dir, "lease.json"), Every: 10 * time.Millisecond}
+	base := managerd.Config{
+		Model:          benchModel,
+		Policy:         pol,
+		Tg:             sc.Tg,
+		ControlEvery:   ctrlEvery,
+		Thresholds:     sc.Thresholds(benchModel),
+		CommandTimeout: 2 * time.Second,
+		FlapLimit:      -1,
+		Lease:          lease,
+	}
+
+	pcfg := base
+	pcfg.Addr = "127.0.0.1:0"
+	pcfg.Epoch = 1
+	pcfg.LeaseHolder = "primary"
+	primary, err := managerd.New(pcfg)
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	if err := primary.Start(); err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	addr := primary.Addr()
+
+	store, err := replica.Open("")
+	if err != nil {
+		primary.Stop()
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	var promoted struct {
+		mu  sync.Mutex
+		srv *managerd.Server
+	}
+	sb, err := replica.NewStandby(replica.StandbyConfig{
+		Follower:   replica.FollowerConfig{Addr: addr, Store: store, Backoff: 10 * time.Millisecond},
+		Lease:      lease,
+		MissBudget: 5,
+		Holder:     "standby",
+		OnPromote: func(p replica.Promotion) error {
+			// The dead primary's port frees as its listener closes; retry
+			// the exact address so the fleet's redials need no new config.
+			var ln net.Listener
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				if ln, err = net.Listen("tcp", addr); err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("rebind %s: %w", addr, err)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			cfg := base
+			cfg.Listener = ln
+			cfg.Journal = p.Store
+			cfg.Epoch = p.Epoch
+			cfg.LeaseHolder = "standby"
+			cfg.TakeoverMicros = p.Leaderless.Microseconds()
+			srv, err := managerd.New(cfg)
+			if err != nil {
+				ln.Close()
+				return err
+			}
+			if err := srv.Start(); err != nil {
+				return err
+			}
+			promoted.mu.Lock()
+			promoted.srv = srv
+			promoted.mu.Unlock()
+			fmt.Printf("  ⇄ failover: standby promoted at epoch %d (leaderless %v)\n",
+				p.Epoch, p.Leaderless.Round(time.Millisecond))
+			return nil
+		},
+	})
+	if err != nil {
+		primary.Stop()
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = sb.Run(ctx)
+	}()
+	killAfter := time.Duration(sc.FailoverFrac * float64(sc.Cycles) * float64(sampleEvery))
+	killer := time.AfterFunc(killAfter, primary.Stop)
+
+	stop := func() {
+		killer.Stop()
+		cancel()
+		<-done
+		promoted.mu.Lock()
+		srv := promoted.srv
+		promoted.mu.Unlock()
+		if srv != nil {
+			srv.Stop()
+		}
+		primary.Stop()
+		os.RemoveAll(dir)
+	}
+	return addr, stop, nil
 }
 
 func printEntry(e scenarioEntry) {

@@ -21,7 +21,16 @@ func TestPowbenchSmoke(t *testing.T) {
 	for _, sc := range scenario.All() {
 		sc := sc.Scaled(6, 40)
 		t.Run(sc.Name, func(t *testing.T) {
-			addr, stop, err := spawnDaemon(sc, 10*time.Millisecond)
+			var (
+				addr string
+				stop func()
+				err  error
+			)
+			if sc.FailoverFrac > 0 {
+				addr, stop, err = spawnFailoverDaemon(sc, 10*time.Millisecond, 10*time.Millisecond)
+			} else {
+				addr, stop, err = spawnDaemon(sc, 10*time.Millisecond)
+			}
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -47,8 +56,10 @@ func TestPowbenchSmoke(t *testing.T) {
 			if entry.MaxPowerW <= 0 {
 				t.Error("daemon never reported power")
 			}
-			// Scenarios that script disconnects must actually redial.
-			if sc.Name == "reconnect-herd" || sc.Name == "rolling-upgrade" {
+			// Scenarios that script disconnects must actually redial. The
+			// failover scenario's whole fleet redials when the primary dies
+			// mid-run and the promoted standby rebinds its address.
+			if sc.Name == "reconnect-herd" || sc.Name == "rolling-upgrade" || sc.Name == "manager-failover" {
 				if entry.Reconnects == 0 {
 					t.Error("scripted disconnect scenario never reconnected")
 				}
@@ -108,7 +119,7 @@ func TestMergeEntries(t *testing.T) {
 
 func TestPickScenarios(t *testing.T) {
 	all, err := pickScenarios("all")
-	if err != nil || len(all) != 6 {
+	if err != nil || len(all) != 7 {
 		t.Fatalf("all = %d scenarios, err %v", len(all), err)
 	}
 	two, err := pickScenarios("diurnal, flash-crowd")

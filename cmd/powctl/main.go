@@ -79,7 +79,15 @@ func main() {
 		st.LastCycleMicros, st.MaxCycleMicros, st.LastFanoutMicros, st.MaxFanoutMicros)
 	fmt.Printf("node health     healthy %d, stale %d, lost %d, quarantined %d (quarantines %d)\n",
 		st.HealthyNodes, st.StaleNodes, st.LostNodes, st.QuarantinedNodes, st.Quarantines)
-	fmt.Printf("journal writes  %d\n", st.JournalWrites)
+	fmt.Printf("journal writes  %d (incremental appends %d)\n", st.JournalWrites, st.JournalAppends)
+	if st.Epoch > 0 {
+		fmt.Printf("ha              epoch %d, leader %v, followers %d (lag %d entries), fenced hellos %d\n",
+			st.Epoch, st.Leader, st.ReplicaConns, st.ReplicaLagEntries, st.FencedHellos)
+		if st.LastTakeoverMicros > 0 {
+			fmt.Printf("last takeover   %s leaderless absorbed\n",
+				time.Duration(st.LastTakeoverMicros)*time.Microsecond)
+		}
+	}
 }
 
 // sparkWidth is the character width of the -watch sparklines.

@@ -4,21 +4,34 @@
 //
 //	powmgrd -addr 127.0.0.1:7077 -pl 30kW -ph 33kW -policy mpc
 //
-// Query it with powctl.
+// With -lease the daemon renews a leadership lease file every -lease-every
+// and fences itself if a higher epoch appears in it. A second powmgrd
+// started with -standby-of replicates the leader's journal over the wire
+// and promotes itself — adopting the replicated journal at a higher epoch
+// — once the lease goes stale past -lease-miss-budget renewals:
+//
+//	powmgrd -addr :7077 -journal primary.journal -lease /shared/lease.json
+//	powmgrd -addr :7078 -journal standby.journal -lease /shared/lease.json \
+//	        -standby-of 127.0.0.1:7077
+//
+// Query either with powctl.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/managerd"
 	"repro/internal/policy"
 	"repro/internal/power"
+	"repro/internal/replica"
 	"repro/internal/units"
 )
 
@@ -49,6 +62,12 @@ func main() {
 
 		metricsAddr  = flag.String("metrics-addr", "", "serve GET /metrics and GET /debug/cycles on this address (empty = disabled)")
 		cycleHistory = flag.Int("cycle-history", 0, "staged cycle timelines retained for /debug/cycles (0 = default)")
+
+		leasePath     = flag.String("lease", "", "leadership lease file shared with standbys (empty = HA off)")
+		leaseEvery    = flag.Duration("lease-every", 250*time.Millisecond, "lease renewal period")
+		standbyOf     = flag.String("standby-of", "", "run as warm standby: replicate this manager's journal, promote when its lease goes stale")
+		missBudget    = flag.Int("lease-miss-budget", 4, "stale lease renewals a standby tolerates before declaring the leader dead")
+		replicaListen = flag.String("replica-listen", "", "dedicated listener for journal followers and status probes (empty = share -addr)")
 	)
 	flag.Parse()
 
@@ -82,6 +101,7 @@ func main() {
 		FanoutWorkers:  *workers,
 		MetricsAddr:    *metricsAddr,
 		CycleHistory:   *cycleHistory,
+		ReplicaAddr:    *replicaListen,
 	}
 	if *train > 0 {
 		pm, err := units.ParseWatts(*pmaxStr)
@@ -89,6 +109,21 @@ func main() {
 			log.Fatal(err)
 		}
 		cfg.Learn = &managerd.LearnConfig{PMax: pm, Training: *train}
+	}
+	var lease *replica.Lease
+	if *leasePath != "" {
+		lease = &replica.Lease{Path: *leasePath, Every: *leaseEvery}
+	}
+	if *standbyOf != "" {
+		if lease == nil {
+			log.Fatal("-standby-of requires -lease (the standby watches the leader's lease file)")
+		}
+		runStandby(cfg, lease, *standbyOf, *journal, *missBudget)
+		return
+	}
+	if lease != nil {
+		cfg.Lease = lease
+		cfg.LeaseHolder = "primary"
 	}
 	srv, err := managerd.New(cfg)
 	if err != nil {
@@ -103,11 +138,85 @@ func main() {
 		fmt.Printf("powmgrd: metrics on http://%s/metrics (cycles on /debug/cycles)\n", ma)
 	}
 
+	awaitSignal()
+	fmt.Println("powmgrd: shutting down")
+	srv.Stop()
+	printSummary(srv)
+}
+
+// runStandby replicates the leader's journal into the -journal path (or
+// memory when empty), watches its lease, and on takeover boots the full
+// daemon from the replicated copy at the claimed epoch.
+func runStandby(cfg managerd.Config, lease *replica.Lease, leader, journalPath string, missBudget int) {
+	store, err := replica.Open(journalPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var (
+		mu       sync.Mutex
+		promoted *managerd.Server
+	)
+	sb, err := replica.NewStandby(replica.StandbyConfig{
+		Follower:   replica.FollowerConfig{Addr: leader, Store: store, Backoff: lease.Period()},
+		Lease:      lease,
+		MissBudget: missBudget,
+		Holder:     "standby",
+		OnPromote: func(p replica.Promotion) error {
+			cfg.JournalPath = ""
+			cfg.Journal = p.Store
+			cfg.Epoch = p.Epoch
+			cfg.Lease = lease
+			cfg.LeaseHolder = "standby"
+			cfg.TakeoverMicros = p.Leaderless.Microseconds()
+			srv, err := managerd.New(cfg)
+			if err != nil {
+				return err
+			}
+			if err := srv.Start(); err != nil {
+				return err
+			}
+			mu.Lock()
+			promoted = srv
+			mu.Unlock()
+			fmt.Printf("powmgrd: promoted at epoch %d after %v leaderless, listening on %s\n",
+				p.Epoch, p.Leaderless.Round(time.Millisecond), srv.Addr())
+			return nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := sb.Run(ctx); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	fmt.Printf("powmgrd: standby of %s (lease %s every %v, miss budget %d)\n",
+		leader, lease.Path, lease.Period(), missBudget)
+
+	awaitSignal()
+	fmt.Println("powmgrd: shutting down")
+	cancel()
+	<-done
+	mu.Lock()
+	srv := promoted
+	mu.Unlock()
+	if srv != nil {
+		srv.Stop()
+		printSummary(srv)
+	}
+}
+
+func awaitSignal() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("powmgrd: shutting down")
-	srv.Stop()
+}
+
+func printSummary(srv *managerd.Server) {
 	st := srv.Status()
 	fmt.Printf("powmgrd: %d cycles (g/y/r %d/%d/%d), %d degrades, %d restores, cpu %.4f\n",
 		st.Cycles, st.GreenCycles, st.YellowCycles, st.RedCycles,

@@ -33,6 +33,12 @@ type Config struct {
 	NodeID node.ID
 	// ManagerAddr is the TCP address of the global manager daemon.
 	ManagerAddr string
+	// ManagerAddrs, when non-empty, takes precedence over ManagerAddr:
+	// an ordered list of manager endpoints (primary first, then warm
+	// standbys). Each failed session advances to the next address, so an
+	// agent orphaned by a dead primary finds the promoted standby within
+	// one redial sweep instead of hammering the dead address forever.
+	ManagerAddrs []string
 	// Dial, when non-nil, replaces the TCP dial of ManagerAddr — the
 	// in-process harness routes agents through fault-injecting pipes
 	// this way. Each Run invocation calls it once.
@@ -100,6 +106,13 @@ type Agent struct {
 	lastContact time.Time // last traffic received from a manager
 	tripped     bool      // currently at the failsafe floor by our own hand
 
+	// Leadership fencing state (guarded by mu): the highest manager epoch
+	// ever seen in a welcome hello, and the rotation cursor over
+	// ManagerAddrs. An epoch of zero means no HA-enabled manager has been
+	// met and fencing is off.
+	maxEpoch uint64
+	addrIdx  int
+
 	// Instruments (same names the /metrics endpoint exposes).
 	reg           *obs.Registry
 	samplesPushed *obs.Counter // samples sent to the manager
@@ -108,6 +121,7 @@ type Agent struct {
 	acksSent      *obs.Counter // acks written back
 	failsafeTrips *obs.Counter // dead-man switch firings
 	reconnects    *obs.Counter // redials after a dropped connection
+	staleRejects  *obs.Counter // sessions refused for carrying an old epoch
 
 	// synthetic load state
 	loadUntil time.Duration
@@ -160,6 +174,7 @@ func New(cfg Config) (*Agent, error) {
 	a.acksSent = a.reg.Counter("acks_sent")
 	a.failsafeTrips = a.reg.Counter("failsafe_trips")
 	a.reconnects = a.reg.Counter("reconnects")
+	a.staleRejects = a.reg.Counter("stale_epoch_rejects")
 	return a, nil
 }
 
@@ -182,6 +197,40 @@ func (a *Agent) Level() int {
 
 // FailsafeTrips reports how many times the dead-man switch has fired.
 func (a *Agent) FailsafeTrips() int { return int(a.failsafeTrips.Value()) }
+
+// MaxEpoch reports the highest leadership epoch any manager has announced
+// to this agent (zero when fencing has never been engaged).
+func (a *Agent) MaxEpoch() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.maxEpoch
+}
+
+// StaleEpochRejects reports how many manager sessions the agent refused
+// because they announced an epoch older than one it had already seen.
+func (a *Agent) StaleEpochRejects() int { return int(a.staleRejects.Value()) }
+
+// dialAddr picks the current endpoint from the rotation list (or the
+// single ManagerAddr when no list is configured).
+func (a *Agent) dialAddr() string {
+	if len(a.cfg.ManagerAddrs) == 0 {
+		return a.cfg.ManagerAddr
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cfg.ManagerAddrs[a.addrIdx%len(a.cfg.ManagerAddrs)]
+}
+
+// advanceAddr moves the rotation cursor after a failed session, so the
+// next Run tries the following manager endpoint.
+func (a *Agent) advanceAddr() {
+	if len(a.cfg.ManagerAddrs) < 2 {
+		return
+	}
+	a.mu.Lock()
+	a.addrIdx++
+	a.mu.Unlock()
+}
 
 // Tripped reports whether the agent currently sits at the failsafe floor
 // by its own decision (no manager contact). It clears on the next manager
@@ -386,14 +435,21 @@ func (a *Agent) RunWithReconnect(ctx context.Context, initialBackoff, maxBackoff
 // connection drops. It returns the first terminal error (nil on clean
 // shutdown via ctx). On return the connection is closed and the reader
 // goroutine has exited — reconnect churn never accumulates goroutines.
-func (a *Agent) Run(ctx context.Context) error {
+func (a *Agent) Run(ctx context.Context) (err error) {
+	// A failed session advances the endpoint rotation: dial refused,
+	// connection dropped, or a fenced (stale-epoch) manager all mean the
+	// next attempt should try the following address in the list.
+	defer func() {
+		if err != nil {
+			a.advanceAddr()
+		}
+	}()
 	var raw net.Conn
-	var err error
 	if a.cfg.Dial != nil {
 		raw, err = a.cfg.Dial(ctx)
 	} else {
 		var d net.Dialer
-		raw, err = d.DialContext(ctx, "tcp", a.cfg.ManagerAddr)
+		raw, err = d.DialContext(ctx, "tcp", a.dialAddr())
 	}
 	if err != nil {
 		return fmt.Errorf("agentd: dial manager: %w", err)
@@ -435,7 +491,9 @@ func (a *Agent) Run(ctx context.Context) error {
 
 	// Hello carries the node's current level: a reconnecting throttled
 	// agent must not look full-power to the manager until its first
-	// sample arrives.
+	// sample arrives. It also reports the highest leadership epoch this
+	// agent has seen, so a deposed leader we reconnect to learns about
+	// its successor and fences itself.
 	maxLevel := a.cfg.MaxLevel
 	if !a.cfg.Passive {
 		maxLevel = a.node.Levels() - 1
@@ -444,6 +502,7 @@ func (a *Agent) Run(ctx context.Context) error {
 		Type: wire.KindHello, Node: int(a.cfg.NodeID),
 		MaxLevel: maxLevel,
 		Level:    a.Level(),
+		Epoch:    a.MaxEpoch(),
 	}); err != nil {
 		close(readDone)
 		return err
@@ -451,10 +510,34 @@ func (a *Agent) Run(ctx context.Context) error {
 
 	// handle processes one manager message; batch frames (the manager's
 	// coalesced command+heartbeat writes) unwrap one level deep — batches
-	// do not nest, so a Batch inside a Batch is dropped.
+	// do not nest, so a Batch inside a Batch is dropped. fenced is owned
+	// by the reader goroutine: once the session's manager proves stale,
+	// every further frame on it is ignored and the connection torn down.
+	fenced := false
 	var handle func(env wire.Envelope, depth int)
 	handle = func(env wire.Envelope, depth int) {
+		if fenced {
+			return
+		}
 		switch env.Type {
+		case wire.KindHello:
+			// The manager's epoch announcement (HA mode only). An epoch
+			// below one we have already seen is a deposed leader still
+			// talking: refuse the session so its commands can never undo
+			// the live leader's.
+			if env.Epoch == 0 {
+				return
+			}
+			a.mu.Lock()
+			if env.Epoch < a.maxEpoch {
+				a.mu.Unlock()
+				fenced = true
+				a.staleRejects.Inc()
+				conn.Close()
+				return
+			}
+			a.maxEpoch = env.Epoch
+			a.mu.Unlock()
 		case wire.KindBatch:
 			if depth > 0 {
 				return

@@ -1,0 +1,207 @@
+package agentd
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/power"
+	"repro/internal/wire"
+)
+
+// High-availability behaviour of the agent: epoch fencing against a
+// deposed leader, and endpoint rotation across a primary/standby address
+// list.
+
+// scriptedManagers hands Run one server-side pipe per session; the test
+// plays the manager role on each in turn.
+func scriptedManagers(ctx context.Context) (dial func(context.Context) (net.Conn, error), sessions chan *wire.Conn) {
+	sessions = make(chan *wire.Conn, 8)
+	dial = func(dctx context.Context) (net.Conn, error) {
+		s, c := net.Pipe()
+		select {
+		case sessions <- wire.NewConn(s):
+			return c, nil
+		case <-dctx.Done():
+			s.Close()
+			c.Close()
+			return nil, dctx.Err()
+		}
+	}
+	return dial, sessions
+}
+
+// recvUntil reads frames until one of type want arrives (skipping the
+// agent's samples), with a deadline.
+func recvUntil(t *testing.T, c *wire.Conn, want string) wire.Envelope {
+	t.Helper()
+	done := make(chan wire.Envelope, 1)
+	go func() {
+		for {
+			env, err := c.Recv()
+			if err != nil {
+				close(done)
+				return
+			}
+			if env.Type == want {
+				done <- env
+				return
+			}
+		}
+	}()
+	select {
+	case env, ok := <-done:
+		if !ok {
+			t.Fatalf("connection closed waiting for %q", want)
+		}
+		return env
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out waiting for %q", want)
+	}
+	return wire.Envelope{}
+}
+
+// TestEpochFencingRefusesDeposedLeader scripts three manager sessions: a
+// live leader at epoch 5 whose command applies; a deposed leader at epoch
+// 3 whose command must be refused (session closed, level untouched); and
+// the leader again, proving the agent still follows the newest epoch.
+func TestEpochFencingRefusesDeposedLeader(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	dial, sessions := scriptedManagers(ctx)
+	a, err := New(Config{
+		NodeID: 1, Dial: dial,
+		SampleEvery: 20 * time.Millisecond, TickEvery: 5 * time.Millisecond,
+		Model: power.TianheNode(), Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); a.RunWithReconnect(ctx, 5*time.Millisecond, 20*time.Millisecond) }()
+	defer func() { cancel(); <-done }()
+
+	// Session 1: the live leader. The agent's hello reports epoch 0 (never
+	// met a leader); we announce epoch 5 and command level 2.
+	m1 := <-sessions
+	hello := recvUntil(t, m1, wire.KindHello)
+	if hello.Epoch != 0 {
+		t.Fatalf("first hello claims epoch %d", hello.Epoch)
+	}
+	if err := m1.Send(wire.Envelope{Type: wire.KindHello, Epoch: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Send(wire.Envelope{Type: wire.KindCommand, Seq: 1, Level: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ack := recvUntil(t, m1, wire.KindAck)
+	if ack.Seq != 1 || ack.Level != 2 {
+		t.Fatalf("leader command not applied: %+v", ack)
+	}
+	m1.Close()
+
+	// Session 2: a deposed leader still announcing epoch 3. The agent must
+	// refuse the session before any command lands.
+	m2 := <-sessions
+	h2 := recvUntil(t, m2, wire.KindHello)
+	if h2.Epoch != 5 {
+		t.Fatalf("reconnect hello should report max epoch 5, got %d", h2.Epoch)
+	}
+	_ = m2.Send(wire.Envelope{Type: wire.KindHello, Epoch: 3})
+	_ = m2.Send(wire.Envelope{Type: wire.KindCommand, Seq: 2, Level: 7}) // may race the close
+	// The agent tears the session down; our reads fail once it does.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := m2.Recv(); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("agent kept the stale-epoch session alive")
+		}
+	}
+	if got := a.Level(); got != 2 {
+		t.Fatalf("deposed leader changed the level: %d", got)
+	}
+	if a.StaleEpochRejects() != 1 {
+		t.Fatalf("stale_epoch_rejects = %d, want 1", a.StaleEpochRejects())
+	}
+
+	// Session 3: the live leader again at epoch 5 — still accepted.
+	m3 := <-sessions
+	recvUntil(t, m3, wire.KindHello)
+	if err := m3.Send(wire.Envelope{Type: wire.KindHello, Epoch: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m3.Send(wire.Envelope{Type: wire.KindCommand, Seq: 3, Level: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ack = recvUntil(t, m3, wire.KindAck)
+	if ack.Seq != 3 || ack.Level != 1 {
+		t.Fatalf("leader command after fencing episode not applied: %+v", ack)
+	}
+	if a.MaxEpoch() != 5 {
+		t.Fatalf("max epoch = %d, want 5", a.MaxEpoch())
+	}
+	m3.Close()
+}
+
+// TestManagerAddrsRotation points the agent at a dead primary address and
+// a live standby: the reconnect loop must rotate to the standby instead
+// of hammering the dead endpoint forever.
+func TestManagerAddrsRotation(t *testing.T) {
+	// Reserve a port, then close it: the primary address refuses dials.
+	deadLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := deadLn.Addr().String()
+	deadLn.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	a, err := New(Config{
+		NodeID:       2,
+		ManagerAddrs: []string{deadAddr, ln.Addr().String()},
+		SampleEvery:  20 * time.Millisecond, TickEvery: 5 * time.Millisecond,
+		Model: power.TianheNode(), Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); a.RunWithReconnect(ctx, 5*time.Millisecond, 20*time.Millisecond) }()
+	defer func() { cancel(); <-done }()
+
+	type accepted struct {
+		hello wire.Envelope
+		err   error
+	}
+	got := make(chan accepted, 1)
+	go func() {
+		raw, err := ln.Accept()
+		if err != nil {
+			got <- accepted{err: err}
+			return
+		}
+		c := wire.NewConn(raw)
+		env, err := c.Recv()
+		got <- accepted{hello: env, err: err}
+	}()
+	select {
+	case r := <-got:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.hello.Type != wire.KindHello || r.hello.Node != 2 {
+			t.Fatalf("standby got %+v", r.hello)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("agent never rotated to the standby address")
+	}
+}

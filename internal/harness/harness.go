@@ -33,6 +33,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/policy"
 	"repro/internal/power"
+	"repro/internal/replica"
 	"repro/internal/wire"
 )
 
@@ -85,6 +86,15 @@ type Options struct {
 	JournalPath  string
 	JournalEvery int
 
+	// LeasePath arms leased leadership: the manager claims and renews the
+	// lease file every LeaseEvery (default replica.DefaultLeaseEvery) and
+	// warm standbys started with Cluster.StartStandby watch it. Epoch is
+	// the primary's initial leadership epoch (zero with a lease set derives
+	// it from the lease file; see managerd.Config.Epoch).
+	LeasePath  string
+	LeaseEvery time.Duration
+	Epoch      uint64
+
 	// LostAfter, FlapWindow, FlapLimit, Quarantine and HeartbeatEvery pass
 	// through to the manager's health state machine and heartbeat loop.
 	LostAfter      time.Duration
@@ -128,7 +138,7 @@ type Options struct {
 // test made in between, e.g. lengthening the training window to prove a
 // journal restore skipped it).
 func (o Options) serverConfig(ln net.Listener) managerd.Config {
-	return managerd.Config{
+	cfg := managerd.Config{
 		Listener:        ln,
 		Model:           o.Model,
 		Policy:          o.Policy,
@@ -149,7 +159,13 @@ func (o Options) serverConfig(ln net.Listener) managerd.Config {
 		Learn:           o.Learn,
 		MetricsAddr:     o.MetricsAddr,
 		ExternalControl: o.External,
+		Epoch:           o.Epoch,
 	}
+	if o.LeasePath != "" {
+		cfg.Lease = &replica.Lease{Path: o.LeasePath, Every: o.LeaseEvery}
+		cfg.LeaseHolder = "primary"
+	}
+	return cfg
 }
 
 func (o *Options) fill() {
@@ -194,6 +210,8 @@ type Cluster struct {
 	Net    *faultnet.Network
 	Server *managerd.Server
 	Agents []*agentd.Agent
+
+	standbys []*StandbyHandle
 
 	t        testing.TB
 	cancel   context.CancelFunc
@@ -284,12 +302,17 @@ func (c *Cluster) tb() testing.TB {
 	return c.t
 }
 
-// Stop cancels the agents, waits for them, and shuts the manager and the
-// fault network down. Idempotent.
+// Stop cancels the agents, waits for them, shuts any standbys down (a
+// standby stopped before the manager cannot misread the shutdown as a
+// leader death), and then stops the manager and the fault network.
+// Idempotent.
 func (c *Cluster) Stop() {
 	c.stopOnce.Do(func() {
 		c.cancel()
 		c.wg.Wait()
+		for _, h := range c.standbys {
+			h.stop()
+		}
 		c.Server.Stop()
 		c.Net.Close()
 	})

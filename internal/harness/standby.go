@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/managerd"
+	"repro/internal/replica"
+)
+
+// Warm-standby support: StartStandby runs a replica.Standby inside the
+// cluster — its follower replicates the primary's journal over the same
+// fault network the agents use, and its lease watcher promotes a
+// replacement manager when the primary dies. The promoted manager binds a
+// fresh faultnet listener, so every agent redial parked by the primary's
+// death is accepted by the new leader.
+
+// standbyKeyBase offsets the standby followers' faultnet dial keys far
+// above any agent index so fault profiles and link bookkeeping never
+// collide with the fleet's.
+const standbyKeyBase uint64 = 1 << 30
+
+// StandbyHandle tracks one warm standby started with StartStandby.
+type StandbyHandle struct {
+	// Standby exposes the replica.Standby (its Obs registry carries the
+	// follower and takeover instruments; Store is the journal copy).
+	Standby *replica.Standby
+
+	cluster *Cluster
+	cancel  context.CancelFunc
+	done    chan struct{}
+	srvCh   chan *managerd.Server
+	errCh   chan error
+	srv     *managerd.Server // promoted manager, once collected
+}
+
+// StartStandby boots a warm standby: a journal follower over the fault
+// network plus a lease watcher that, on leader death (or PromoteStandby),
+// starts a replacement manager over the replicated store at a fenced-off
+// higher epoch. Requires Options.LeasePath. missBudget ≤ 0 takes the
+// replica default. The cluster owns the standby; Stop tears it down.
+func (c *Cluster) StartStandby(missBudget int) *StandbyHandle {
+	t := c.tb()
+	t.Helper()
+	if c.Opt.LeasePath == "" {
+		t.Fatal("harness: StartStandby needs Options.LeasePath")
+	}
+	store, err := replica.Open("")
+	if err != nil {
+		t.Fatalf("harness: standby store: %v", err)
+	}
+	idx := len(c.standbys)
+	key := standbyKeyBase + uint64(idx)
+	ctx, cancel := context.WithCancel(context.Background())
+	h := &StandbyHandle{
+		cluster: c,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		srvCh:   make(chan *managerd.Server, 1),
+		errCh:   make(chan error, 1),
+	}
+	holder := fmt.Sprintf("standby-%d", idx+1)
+	sb, err := replica.NewStandby(replica.StandbyConfig{
+		Follower: replica.FollowerConfig{
+			Store:   store,
+			Backoff: 10 * time.Millisecond,
+			Dial: func(dctx context.Context) (net.Conn, error) {
+				return c.Net.Dial(dctx, key)
+			},
+		},
+		Lease:      &replica.Lease{Path: c.Opt.LeasePath, Every: c.Opt.LeaseEvery},
+		MissBudget: missBudget,
+		Holder:     holder,
+		OnPromote: func(p replica.Promotion) error {
+			cfg := c.Opt.serverConfig(c.Net.Listener())
+			cfg.JournalPath = "" // the replicated store IS the journal
+			cfg.JournalEvery = 0
+			cfg.Journal = p.Store
+			cfg.Epoch = p.Epoch
+			cfg.LeaseHolder = holder
+			cfg.TakeoverMicros = p.Leaderless.Microseconds()
+			srv, err := managerd.New(cfg)
+			if err != nil {
+				return fmt.Errorf("harness: promoted managerd.New: %w", err)
+			}
+			if err := srv.Start(); err != nil {
+				return fmt.Errorf("harness: promoted managerd.Start: %w", err)
+			}
+			h.srvCh <- srv
+			return nil
+		},
+	})
+	if err != nil {
+		cancel()
+		t.Fatalf("harness: NewStandby: %v", err)
+	}
+	h.Standby = sb
+	go func() {
+		defer close(h.done)
+		if err := sb.Run(ctx); err != nil {
+			h.errCh <- err
+		}
+	}()
+	c.standbys = append(c.standbys, h)
+	return h
+}
+
+// PromoteStandby forces h to take over now, regardless of lease state —
+// the controlled-failover half of the chaos matrix (the old primary, if
+// alive, self-fences on the claimed lease or on the first agent hello
+// reporting the new epoch).
+func (c *Cluster) PromoteStandby(h *StandbyHandle) {
+	h.Standby.Promote()
+}
+
+// AwaitTakeover blocks until h has promoted a replacement manager (or
+// fails the test after timeout), rebinds Cluster.Server to it so Status,
+// AwaitAgents and friends speak to the new leader, and returns it. The
+// old Server is left to the test (StopManager usually killed it already).
+func (c *Cluster) AwaitTakeover(h *StandbyHandle, timeout time.Duration) *managerd.Server {
+	t := c.tb()
+	t.Helper()
+	select {
+	case srv := <-h.srvCh:
+		h.srv = srv
+		c.Server = srv
+		return srv
+	case err := <-h.errCh:
+		t.Fatalf("harness: standby promotion failed: %v", err)
+	case <-time.After(timeout):
+		t.Fatalf("harness: no takeover within %v (standby lease %s)", timeout, c.Opt.LeasePath)
+	}
+	return nil
+}
+
+// stop tears the standby down: cancel its watcher, wait it out, and stop
+// a promoted manager unless AwaitTakeover already handed it to the
+// cluster (Cluster.Stop stops c.Server itself).
+func (h *StandbyHandle) stop() {
+	h.cancel()
+	<-h.done
+	select {
+	case srv := <-h.srvCh:
+		h.srv = srv
+	default:
+	}
+	if h.srv != nil && h.srv != h.cluster.Server {
+		h.srv.Stop()
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/policy"
 	"repro/internal/power"
+	"repro/internal/replica"
 	"repro/internal/units"
 	"repro/internal/wire"
 )
@@ -52,24 +53,32 @@ func busySample(id, level int) wire.Envelope {
 
 func TestJournalSaveLoadRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.json")
-	in := journalState{
-		SavedAtCycle: 42,
-		ThrPLW:       840,
-		ThrPHW:       930,
-		Learner:      &power.LearnerState{LifetimePeakW: 1000, Trained: true, AdjustCycles: 7, PLW: 840, PHW: 930},
-		Levels:       []journalLevel{{Node: 3, Level: 2}, {Node: 1, Level: 0}},
-	}
-	if err := saveJournal(path, in); err != nil {
+	st, err := replica.Open(path)
+	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := loadJournal(path)
+	st.SetEpoch(3)
+	st.SetLevel(3, 2)
+	st.SetLevel(1, 0)
+	learner := &power.LearnerState{LifetimePeakW: 1000, Trained: true, AdjustCycles: 7, PLW: 840, PHW: 930}
+	if _, ok := st.CommitCycle(42, 840, 930, learner); !ok {
+		t.Fatal("commit with changes reported nothing to commit")
+	}
+	if _, err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	out, err := replica.ReadState(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out.SavedAtCycle != 42 || out.Learner == nil || !out.Learner.Trained || out.Learner.LifetimePeakW != 1000 {
 		t.Errorf("journal round trip lost state: %+v", out)
 	}
-	// saveJournal sorts levels by node for stable diffs.
+	if out.Epoch != 3 || out.LastSeq != 1 {
+		t.Errorf("epoch/seq not persisted: %+v", out)
+	}
+	// Snapshots sort levels by node for stable diffs.
 	if len(out.Levels) != 2 || out.Levels[0].Node != 1 || out.Levels[1].Node != 3 {
 		t.Errorf("levels not sorted: %+v", out.Levels)
 	}
@@ -89,11 +98,22 @@ func TestJournalRejectsCorruption(t *testing.T) {
 		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := loadJournal(path); err == nil {
+		// The strict read path rejects the snapshot wholesale…
+		if _, err := replica.ReadState(path); err == nil {
 			t.Errorf("%s journal accepted", name)
 		}
+		// …and the daemon's open path cold-starts on it instead of
+		// applying a partial state.
+		st, err := replica.Open(path)
+		if err != nil {
+			t.Fatalf("%s: open should cold-start, got %v", name, err)
+		}
+		if !st.Empty() {
+			t.Errorf("%s: corrupt journal produced state %+v", name, st.State())
+		}
+		st.Close()
 	}
-	if _, err := loadJournal(filepath.Join(dir, "missing.json")); err == nil {
+	if _, err := replica.ReadState(filepath.Join(dir, "missing.json")); err == nil {
 		t.Error("missing journal accepted")
 	}
 }
@@ -319,7 +339,7 @@ func TestRestartFromJournalResumesAndReconciles(t *testing.T) {
 	cancel1()
 	srv1.Stop() // writes the final snapshot
 
-	js, err := loadJournal(jp)
+	js, err := replica.ReadState(jp)
 	if err != nil {
 		t.Fatalf("no readable journal after stop: %v", err)
 	}

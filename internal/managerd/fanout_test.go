@@ -10,6 +10,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/policy"
 	"repro/internal/power"
+	"repro/internal/replica"
 	"repro/internal/wire"
 )
 
@@ -201,7 +202,7 @@ func TestJournalNeverPersistsSupersededLevel(t *testing.T) {
 	// Snapshot taken mid-fan-out (the wedged write is still pending):
 	// must already hold the newest level.
 	srv.writeJournal()
-	js, err := loadJournal(jp)
+	js, err := replica.ReadState(jp)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,88 +1,92 @@
 package managerd
 
 import (
-	"encoding/json"
-	"fmt"
-	"os"
-	"sort"
-
+	"repro/internal/node"
 	"repro/internal/power"
+	"repro/internal/replica"
 )
 
-// Crash-recovery journal. Every JournalEvery control cycles (and once on
-// clean shutdown) the manager snapshots the state a restart cannot
-// re-derive from the fleet — the learner's lifetime peak and trained
-// flag, the thresholds in force, and the last level it commanded each
-// node to — into a JSON file replaced by atomic rename. A restarted
-// manager reloads it, resumes capping immediately without a fresh
-// training window, and reconciles agent-reported levels against the
-// journaled commands instead of guessing.
+// Crash-recovery journal, backed by internal/replica's Store: a snapshot
+// file plus an append-only log of incremental entries. Every control
+// cycle that changed something (commanded levels, thresholds, learner
+// state) commits one entry — which is also what streams to any connected
+// standby follower (replicate.go) — and every JournalEvery cycles (plus
+// once on clean shutdown) the log is compacted into the snapshot. A
+// restarted manager reloads snapshot + valid log prefix, resumes capping
+// immediately without a fresh training window, and reconciles
+// agent-reported levels against the journaled commands instead of
+// guessing.
 //
 // The journal is advisory, never load-bearing for safety: a missing,
 // truncated or corrupted file falls back to a cold start (the agents'
-// dead-man switches keep the cap holding in the meantime), and a
-// snapshot that fails validation is rejected wholesale rather than
-// partially applied.
+// dead-man switches keep the cap holding in the meantime), and defective
+// state is rejected wholesale rather than partially applied — see
+// replica.Open for the exact torn-tail semantics.
 
-// journalLevel records the last commanded level for one node.
-type journalLevel struct {
-	Node  int `json:"node"`
-	Level int `json:"level"`
-}
-
-// journalState is the on-disk schema.
-type journalState struct {
-	SavedAtCycle int                 `json:"saved_at_cycle"`
-	ThrPLW       float64             `json:"pl_w"`
-	ThrPHW       float64             `json:"ph_w"`
-	Learner      *power.LearnerState `json:"learner,omitempty"`
-	Levels       []journalLevel      `json:"levels"`
-}
-
-// saveJournal writes the snapshot atomically: marshal, write a sibling
-// temp file, rename over the target. A crash mid-write leaves the
-// previous journal intact.
-func saveJournal(path string, js journalState) error {
-	sort.Slice(js.Levels, func(a, b int) bool { return js.Levels[a].Node < js.Levels[b].Node })
-	b, err := json.MarshalIndent(js, "", "  ")
+// openJournal resolves the server's journal store: an externally built
+// replica (the promoted-standby handoff), the on-disk store at
+// JournalPath, or a memory-only store so the replication and level
+// mirror paths never need nil checks. Open errors degrade to memory —
+// the journal must never stop the daemon from starting.
+func openJournal(cfg Config) *replica.Store {
+	if cfg.Journal != nil {
+		return cfg.Journal
+	}
+	st, err := replica.Open(cfg.JournalPath)
 	if err != nil {
-		return fmt.Errorf("managerd: journal marshal: %w", err)
+		st, _ = replica.Open("")
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
-		return fmt.Errorf("managerd: journal write: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("managerd: journal rename: %w", err)
-	}
-	return nil
+	return st
 }
 
-// loadJournal reads and validates a snapshot. Any defect — unreadable
-// file, bad JSON, negative cycle or level, absurd node id — rejects the
-// whole journal so the caller cold-starts cleanly.
-func loadJournal(path string) (*journalState, error) {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var js journalState
-	if err := json.Unmarshal(b, &js); err != nil {
-		return nil, fmt.Errorf("managerd: journal decode: %w", err)
-	}
-	if js.SavedAtCycle < 0 {
-		return nil, fmt.Errorf("managerd: journal: negative cycle %d", js.SavedAtCycle)
-	}
-	seen := make(map[int]bool, len(js.Levels))
-	for _, l := range js.Levels {
-		if l.Level < 0 || l.Node < 0 {
-			return nil, fmt.Errorf("managerd: journal: invalid level entry %+v", l)
+// restoreFromJournal applies a journal snapshot to a freshly constructed
+// server (no locking needed; nothing is running yet).
+func (s *Server) restoreFromJournal(snap replica.Snapshot) {
+	if s.learner != nil && snap.Learner != nil {
+		if err := s.learner.Restore(*snap.Learner); err == nil {
+			s.thr = s.learner.Thresholds()
+			s.plW.Set(float64(s.thr.PL))
+			s.phW.Set(float64(s.thr.PH))
+			s.trainedG.Set(b2f(s.learner.Trained()))
+			s.lifetimePeakW.Set(snap.Learner.LifetimePeakW)
 		}
-		if seen[l.Node] {
-			return nil, fmt.Errorf("managerd: journal: duplicate node %d", l.Node)
-		}
-		seen[l.Node] = true
 	}
-	return &js, nil
+	s.cycleN.Store(int64(snap.SavedAtCycle))
+	for _, l := range snap.Levels {
+		id := node.ID(l.Node)
+		sh := s.nodes.of(id)
+		// Journaled commands count as acked at sentCycle zero: as soon as
+		// the node reconnects and reports a different level, the
+		// reconciliation path reissues the journaled one.
+		sh.cmds[id] = &cmdState{level: l.Level, acked: true}
+		sh.health[id] = &healthRec{state: healthLost}
+	}
+}
+
+// writeJournal compacts the journal (snapshot rewritten from the level
+// mirror, log truncated). Safe to race the sender goroutines and the
+// ack path: SetNodeLevel records a command in both cmds and the journal
+// mirror before enqueueing the write, and the store serialises appends
+// against compaction, so a snapshot can neither persist a superseded
+// level nor drop an acked entry committed mid-compaction.
+func (s *Server) writeJournal() {
+	if wrote, err := s.journal.Compact(); wrote && err == nil {
+		s.journalWrites.Inc()
+	}
+}
+
+// commitJournalCycle closes the cycle in the journal — one incremental
+// entry when anything changed — and streams that entry to connected
+// followers. Called only from the control-loop goroutine (learner access
+// is lock-free by that contract).
+func (s *Server) commitJournalCycle(cycleN int, thr power.Thresholds) {
+	var ls *power.LearnerState
+	if s.learner != nil {
+		st := s.learner.State()
+		ls = &st
+	}
+	if e, ok := s.journal.CommitCycle(cycleN, float64(thr.PL), float64(thr.PH), ls); ok {
+		s.journalAppends.Inc()
+		s.publishEntry(e)
+	}
 }

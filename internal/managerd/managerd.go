@@ -41,6 +41,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/power"
+	"repro/internal/replica"
 	"repro/internal/units"
 	"repro/internal/wire"
 )
@@ -128,6 +129,32 @@ type Config struct {
 	// run core's Algorithm 1 — the one control law — over the wire on a
 	// virtual clock.
 	ExternalControl bool
+
+	// --- High availability (replicate.go, internal/replica) ---
+
+	// Epoch is this server's leadership epoch. Zero disables fencing
+	// unless a Lease is set, in which case the epoch is derived from the
+	// lease file (its epoch + 1, or 1 when no lease exists yet).
+	Epoch uint64
+	// Lease, when non-nil, is the leadership lease: renewed every
+	// Lease.Every while the server runs, watched by standbys. A higher
+	// epoch appearing in it deposes this server (see Server.depose).
+	Lease *replica.Lease
+	// LeaseHolder names this instance in the lease file.
+	LeaseHolder string
+	// Journal, when non-nil, is adopted as the crash-recovery journal in
+	// place of opening JournalPath — the promoted-standby path hands its
+	// replicated copy over this way.
+	Journal *replica.Store
+	// TakeoverMicros, when positive, records how long the fleet was
+	// leaderless before this server took over (a promoted standby passes
+	// its measured outage; surfaced as last_takeover_micros and observed
+	// into the takeover_micros histogram).
+	TakeoverMicros int64
+	// ReplicaAddr, when non-empty, binds a second listener served
+	// identically to Addr — a dedicated endpoint for journal followers
+	// and status probes that keeps replication off the agent accept path.
+	ReplicaAddr string
 }
 
 // LearnConfig parametrises daemon-side threshold learning.
@@ -250,6 +277,24 @@ type Server struct {
 	metricsLn  net.Listener
 	metricsSrv *http.Server
 
+	// High-availability state (replicate.go). journal doubles as the
+	// crash-recovery store and the replication source; epoch is fixed at
+	// New. subs is guarded by repMu (a leaf lock, like the journal's own).
+	journal   *replica.Store
+	epoch     uint64
+	deposed   atomic.Bool
+	replicaLn net.Listener
+	repMu     sync.Mutex
+	subs      map[*replicaSub]struct{}
+
+	journalAppends *obs.Counter
+	fencedHellos   *obs.Counter
+	epochG         *obs.Gauge
+	leaderG        *obs.Gauge
+	replicaConnsG  *obs.Gauge
+	replicaLagG    *obs.Gauge
+	lastTakeoverG  *obs.Gauge
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	wg       sync.WaitGroup
@@ -318,6 +363,7 @@ func New(cfg Config) (*Server, error) {
 		stopCh:  make(chan struct{}),
 		reg:     reg,
 		trace:   trace,
+		subs:    make(map[*replicaSub]struct{}),
 
 		samplesRecv:   reg.Counter("samples_received"),
 		stale:         reg.Counter("dropped_stale"),
@@ -329,6 +375,9 @@ func New(cfg Config) (*Server, error) {
 		quarantines:   reg.Counter("quarantines"),
 		journalWrites: reg.Counter("journal_writes"),
 		coalesced:     reg.Counter("coalesced_cmds"),
+
+		journalAppends: reg.Counter("journal_appends"),
+		fencedHellos:   reg.Counter("fenced_hellos"),
 
 		busyMicros:        reg.Gauge("busy_micros"),
 		cpuUtilise:        reg.Gauge("cpu_utilisation"),
@@ -349,6 +398,12 @@ func New(cfg Config) (*Server, error) {
 		staleNodesG:       reg.Gauge("stale_nodes"),
 		lostG:             reg.Gauge("lost_nodes"),
 		quarNodesG:        reg.Gauge("quarantined_nodes"),
+
+		epochG:        reg.Gauge("epoch"),
+		leaderG:       reg.Gauge("leader"),
+		replicaConnsG: reg.Gauge("replica_conns"),
+		replicaLagG:   reg.Gauge("replica_lag_entries"),
+		lastTakeoverG: reg.Gauge("last_takeover_micros"),
 	}
 	reg.Gauge("shards").SetInt(int64(len(srv.nodes.shards)))
 	srv.plW.Set(float64(cfg.Thresholds.PL))
@@ -369,38 +424,35 @@ func New(cfg Config) (*Server, error) {
 	if srv.cfg.JournalEvery <= 0 {
 		srv.cfg.JournalEvery = adj
 	}
-	if srv.cfg.JournalPath != "" {
-		// The journal is advisory: any load or validation error (missing
-		// file included) just means a cold start.
-		if js, err := loadJournal(srv.cfg.JournalPath); err == nil {
-			srv.restoreFromJournal(js)
+	// The journal is advisory: any open or validation error (missing file
+	// included) just means a cold start on a memory-only store.
+	srv.journal = openJournal(srv.cfg)
+	if !srv.journal.Empty() {
+		srv.restoreFromJournal(srv.journal.State())
+	}
+	// Leadership epoch: explicit config wins; otherwise a lease implies
+	// HA, so claim the epoch after whatever the lease file last recorded.
+	// The journal's epoch (e.g. a handed-over replica copy) is a floor.
+	epoch := cfg.Epoch
+	if epoch == 0 && cfg.Lease != nil {
+		if st, err := cfg.Lease.Read(); err == nil {
+			epoch = st.Epoch + 1
+		} else {
+			epoch = 1
 		}
+	}
+	if je := srv.journal.Epoch(); je > epoch {
+		epoch = je
+	}
+	srv.epoch = epoch
+	srv.journal.SetEpoch(epoch)
+	srv.epochG.SetInt(int64(epoch))
+	srv.leaderG.Set(1)
+	if cfg.TakeoverMicros > 0 {
+		srv.lastTakeoverG.SetInt(cfg.TakeoverMicros)
+		reg.Histogram("takeover_micros").Observe(float64(cfg.TakeoverMicros))
 	}
 	return srv, nil
-}
-
-// restoreFromJournal applies a validated journal snapshot to a freshly
-// constructed server (no locking needed; nothing is running yet).
-func (s *Server) restoreFromJournal(js *journalState) {
-	if s.learner != nil && js.Learner != nil {
-		if err := s.learner.Restore(*js.Learner); err == nil {
-			s.thr = s.learner.Thresholds()
-			s.plW.Set(float64(s.thr.PL))
-			s.phW.Set(float64(s.thr.PH))
-			s.trainedG.Set(b2f(s.learner.Trained()))
-			s.lifetimePeakW.Set(js.Learner.LifetimePeakW)
-		}
-	}
-	s.cycleN.Store(int64(js.SavedAtCycle))
-	for _, l := range js.Levels {
-		id := node.ID(l.Node)
-		sh := s.nodes.of(id)
-		// Journaled commands count as acked at sentCycle zero: as soon as
-		// the node reconnects and reports a different level, the
-		// reconciliation path reissues the journaled one.
-		sh.cmds[id] = &cmdState{level: l.Level, acked: true}
-		sh.health[id] = &healthRec{state: healthLost}
-	}
 }
 
 // Start binds the listeners and launches the accept, control, heartbeat
@@ -430,6 +482,28 @@ func (s *Server) Start() error {
 			return fmt.Errorf("managerd: listen: %w", err)
 		}
 		s.ln = ln
+	}
+	if s.cfg.ReplicaAddr != "" {
+		rln, err := net.Listen("tcp", s.cfg.ReplicaAddr)
+		if err != nil {
+			s.ln.Close()
+			if s.metricsSrv != nil {
+				s.metricsSrv.Close()
+			}
+			return fmt.Errorf("managerd: replica listen: %w", err)
+		}
+		s.replicaLn = rln
+		s.wg.Add(1)
+		go s.acceptLoopOn(rln)
+	}
+	if s.cfg.Lease != nil {
+		// Claim the lease synchronously so a standby started right after
+		// us immediately sees a live leader.
+		_ = s.cfg.Lease.Write(replica.LeaseState{
+			Epoch: s.epoch, Holder: s.cfg.LeaseHolder, RenewedAt: time.Now(),
+		})
+		s.wg.Add(1)
+		go s.renewLoop()
 	}
 	s.started = time.Now()
 	s.wg.Add(1)
@@ -480,6 +554,10 @@ func (s *Server) Stop() {
 		if s.ln != nil {
 			s.ln.Close()
 		}
+		if s.replicaLn != nil {
+			s.replicaLn.Close()
+		}
+		s.closeSubs()
 		for _, sh := range s.nodes.shards {
 			sh.mu.Lock()
 			acs := make([]*agentConn, 0, len(sh.agents))
@@ -496,9 +574,8 @@ func (s *Server) Stop() {
 		}
 	})
 	s.wg.Wait()
-	if s.cfg.JournalPath != "" {
-		s.writeJournal()
-	}
+	s.writeJournal()
+	s.journal.Close()
 }
 
 // acceptLoop accepts agent and status connections until the server stops.
@@ -507,6 +584,12 @@ func (s *Server) Stop() {
 // backoff rather than busy-spinning or killing the daemon; only a stop or
 // the listener actually closing ends the loop.
 func (s *Server) acceptLoop() {
+	s.acceptLoopOn(s.ln)
+}
+
+// acceptLoopOn runs the accept loop over one listener; the replica
+// endpoint (ReplicaAddr) gets its own instance serving identically.
+func (s *Server) acceptLoopOn(ln net.Listener) {
 	defer s.wg.Done()
 	const (
 		backoffMin = 5 * time.Millisecond
@@ -514,7 +597,7 @@ func (s *Server) acceptLoop() {
 	)
 	backoff := backoffMin
 	for {
-		raw, err := s.ln.Accept()
+		raw, err := ln.Accept()
 		if err != nil {
 			select {
 			case <-s.stopCh:
@@ -556,11 +639,33 @@ func (s *Server) serveConn(conn *wire.Conn) {
 		_ = conn.Send(wire.Envelope{Type: wire.KindStatus, Stats: &st})
 		conn.Close()
 		return
+	case wire.KindJournalAck:
+		// A journal follower subscribing from its current sequence.
+		s.serveReplica(conn, first)
+		return
 	case wire.KindHello:
 		// fall through to the agent loop
 	default:
 		conn.Close()
 		return
+	}
+
+	if s.epoch > 0 {
+		// Epoch fencing. An agent that has seen a newer leader tells us in
+		// its hello: we are deposed and must not command it. Otherwise we
+		// announce our epoch first thing — guaranteed to be the first
+		// manager→agent frame, since the sender goroutine starts below —
+		// so the agent can fence us later if a successor appears.
+		if first.Epoch > s.epoch {
+			s.fencedHellos.Inc()
+			s.depose()
+			conn.Close()
+			return
+		}
+		if err := conn.Send(wire.Envelope{Type: wire.KindHello, Epoch: s.epoch}); err != nil {
+			conn.Close()
+			return
+		}
 	}
 
 	id := node.ID(first.Node)
@@ -620,6 +725,7 @@ func (s *Server) serveConn(conn *wire.Conn) {
 				cs.acked = true
 				cs.level = env.Level
 				ac.last.Level = env.Level
+				s.journal.SetLevel(int(id), env.Level)
 			}
 			sh.mu.Unlock()
 		}
@@ -658,6 +764,10 @@ func (a actuator) SetNodeLevel(id node.ID, level int) error {
 	}
 	seq := s.seq.Add(1)
 	sh.cmds[id] = &cmdState{level: level, seq: seq, sentCycle: int(s.cycleN.Load())}
+	// Mirror into the journal under the same shard lock, so the mirror
+	// orders level updates exactly as cmds does (the store's own mutex is
+	// a leaf below the shard mutexes).
+	s.journal.SetLevel(int(id), level)
 	sh.mu.Unlock()
 	s.dispatch(ac, level, seq, a.fan)
 	return nil
@@ -866,7 +976,11 @@ func (s *Server) cycle() *fanout {
 	}
 	fan.finishEnqueue()
 
-	if s.cfg.JournalPath != "" && cycleN%s.cfg.JournalEvery == 0 {
+	// Close the cycle in the journal: at most one incremental entry,
+	// streamed to any standby follower — which is what bounds a warm
+	// standby's staleness to one control cycle. Compaction stays periodic.
+	s.commitJournalCycle(cycleN, thr)
+	if cycleN%s.cfg.JournalEvery == 0 {
 		s.writeJournal()
 	}
 
@@ -927,6 +1041,7 @@ func (s *Server) maintainCommands(cycleN int, fan *fanout) {
 			if cs == nil {
 				if ac.last.Level < ac.maxLevel {
 					sh.cmds[id] = &cmdState{level: ac.last.Level, acked: true, sentCycle: cycleN}
+					s.journal.SetLevel(int(id), ac.last.Level)
 					adopts = append(adopts, id)
 				}
 				continue
@@ -970,35 +1085,6 @@ func (s *Server) maintainCommands(cycleN int, fan *fanout) {
 	}
 }
 
-// writeJournal snapshots the recovery state to JournalPath. Called only
-// from the control-loop goroutine (or Stop, after the loops have exited),
-// which is what makes the lock-free learner access safe. Because
-// SetNodeLevel records a command in cmds before enqueueing the write, a
-// snapshot racing the sender goroutines still captures the newest
-// commanded level for every node, never one superseded by coalescing.
-func (s *Server) writeJournal() {
-	var js journalState
-	if s.learner != nil {
-		st := s.learner.State()
-		js.Learner = &st
-	}
-	js.SavedAtCycle = int(s.cycleN.Load())
-	s.stateMu.Lock()
-	js.ThrPLW = float64(s.thr.PL)
-	js.ThrPHW = float64(s.thr.PH)
-	s.stateMu.Unlock()
-	for _, sh := range s.nodes.shards {
-		sh.mu.Lock()
-		for id, cs := range sh.cmds {
-			js.Levels = append(js.Levels, journalLevel{Node: int(id), Level: cs.level})
-		}
-		sh.mu.Unlock()
-	}
-	if err := saveJournal(s.cfg.JournalPath, js); err == nil {
-		s.journalWrites.Inc()
-	}
-}
-
 // refreshGauges recomputes the registry gauges that are derived from
 // swept state rather than bumped inline: connected agents, drift, node
 // health tallies and the management-cost ratio. It runs before every
@@ -1024,6 +1110,7 @@ func (s *Server) refreshGauges() {
 		quar += q
 		sh.mu.Unlock()
 	}
+	s.refreshReplicaGauges()
 	s.agentsG.SetInt(int64(agents))
 	s.driftedG.SetInt(int64(drifted))
 	s.healthyG.SetInt(int64(healthy))

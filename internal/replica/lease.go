@@ -1,0 +1,76 @@
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// DefaultLeaseEvery is the renewal period used when a Lease does not set
+// one.
+const DefaultLeaseEvery = 25 * time.Millisecond
+
+// LeaseState is the content of the lease file: who leads, at which
+// epoch, and when they last proved liveness.
+type LeaseState struct {
+	Epoch     uint64    `json:"epoch"`
+	Holder    string    `json:"holder"`
+	RenewedAt time.Time `json:"renewed_at"`
+}
+
+// Lease is a file-based leadership lease. The leader rewrites it every
+// Every; standbys poll it and declare the leader dead once RenewedAt is
+// staler than their miss budget allows. Writes are atomic (tmp+rename)
+// so readers never observe a torn lease.
+type Lease struct {
+	Path  string
+	Every time.Duration
+}
+
+// Period returns the renewal period, defaulting when unset.
+func (l *Lease) Period() time.Duration {
+	if l.Every > 0 {
+		return l.Every
+	}
+	return DefaultLeaseEvery
+}
+
+// Read loads the current lease state.
+func (l *Lease) Read() (LeaseState, error) {
+	b, err := os.ReadFile(l.Path)
+	if err != nil {
+		return LeaseState{}, err
+	}
+	var st LeaseState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return LeaseState{}, fmt.Errorf("replica: lease decode: %w", err)
+	}
+	return st, nil
+}
+
+// Write atomically replaces the lease file.
+func (l *Lease) Write(st LeaseState) error {
+	b, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("replica: lease marshal: %w", err)
+	}
+	tmp, err := os.CreateTemp(dirOf(l.Path), ".lease-*")
+	if err != nil {
+		return fmt.Errorf("replica: lease temp: %w", err)
+	}
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("replica: lease write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("replica: lease close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), l.Path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("replica: lease rename: %w", err)
+	}
+	return nil
+}

@@ -10,7 +10,7 @@ import (
 	"repro/internal/units"
 )
 
-// The library: six scripted fleet behaviours the cap has to survive.
+// The library: seven scripted fleet behaviours the cap has to survive.
 // Each factory returns a value Scenario; the step closures are created
 // fresh per run via NewStep so no burst schedule or drift selection
 // leaks between runs. Event timing is proportional to the script length,
@@ -244,11 +244,49 @@ func ReconnectHerd() Scenario {
 	}
 }
 
+// ManagerFailover kills and replaces the manager in the middle of a
+// sustained fleet-wide spike: the replacement adopts the capped levels
+// and must keep Algorithm 1's invariants holding straight through the
+// swap — no degrade-free breach, no double command, restores only after
+// a full fresh Tg streak. The scenario twin of the harness's
+// warm-standby takeover test.
+func ManagerFailover() Scenario {
+	return Scenario{
+		Name:   "manager-failover",
+		About:  "manager swapped mid-spike; replacement adopts capped fleet, invariants hold through takeover",
+		Agents: 32, Cycles: 240, Tg: 3,
+		Policy:  "mpc-c",
+		LowFrac: 0.66, HighFrac: 0.76,
+		// 7/18 of the run lands the swap inside the spike window at every
+		// Scaled size: start=cycles/3, duration=cycles/6, 1/3 < 7/18 < 1/2.
+		FailoverFrac: 7.0 / 18.0,
+		NewStep: func() StepFunc {
+			return func(rng *rand.Rand, cycle, cycles int, loads []Load) {
+				start := frac(cycles, 1, 3)
+				dur := frac(cycles, 1, 6)
+				inSpike := cycle >= start && cycle < start+dur
+				for i := range loads {
+					if inSpike {
+						loads[i].Util = noisy(rng, 0.93, 0.03)
+						loads[i].NIC = noisy(rng, 0.3, 0.05)
+					} else {
+						loads[i].Util = noisy(rng, 0.30, 0.06)
+						loads[i].NIC = noisy(rng, 0.1, 0.02)
+					}
+					loads[i].Mem = noisy(rng, 0.35, 0.03)
+					loads[i].Online = true
+				}
+			}
+		},
+	}
+}
+
 // All returns the full library in its canonical order.
 func All() []Scenario {
 	return []Scenario{
 		Diurnal(), FlashCrowd(), ThermalEmergency(),
 		SensorDrift(), RollingUpgrade(), ReconnectHerd(),
+		ManagerFailover(),
 	}
 }
 
@@ -259,7 +297,7 @@ func ByName(name string) (Scenario, error) {
 			return sc, nil
 		}
 	}
-	names := make([]string, 0, 6)
+	names := make([]string, 0, 8)
 	for _, sc := range All() {
 		names = append(names, sc.Name)
 	}

@@ -85,6 +85,14 @@ type Scenario struct {
 	// transitions where the scenario wants them.
 	LowFrac  float64
 	HighFrac float64
+	// FailoverFrac, when positive, kills and replaces the manager at
+	// cycle int(FailoverFrac·Cycles): the replacement comes up with fresh
+	// control state (empty A_degraded, Time_g zero) over the same
+	// instrument registry and adopts every node found below its top level
+	// — the scenario twin of a warm-standby takeover restoring from the
+	// replicated journal. Algorithm 1's invariants must hold straight
+	// through the swap.
+	FailoverFrac float64
 	// Thermal, when set, couples the run to a thermal tracker: each
 	// node's sensed power is amplified by its leakage factor (§I.A
 	// feedback) and the result summary carries peak temperature and
@@ -112,6 +120,9 @@ func (sc Scenario) Validate() error {
 	}
 	if sc.LowFrac <= 0 || sc.HighFrac <= sc.LowFrac {
 		return fmt.Errorf("scenario %s: bad threshold fractions %v/%v", sc.Name, sc.LowFrac, sc.HighFrac)
+	}
+	if sc.FailoverFrac < 0 || sc.FailoverFrac >= 1 {
+		return fmt.Errorf("scenario %s: FailoverFrac %v outside [0,1)", sc.Name, sc.FailoverFrac)
 	}
 	if sc.NewStep == nil {
 		return fmt.Errorf("scenario %s: nil step factory", sc.Name)
@@ -240,6 +251,9 @@ type Summary struct {
 	BreachCycles int `json:"breach_cycles"`
 	// MinLevel is the deepest DVFS level any node was driven to.
 	MinLevel int `json:"min_level"`
+	// FailoverCycle is the cycle the manager was swapped at (zero when
+	// the scenario scripts no failover).
+	FailoverCycle int `json:"failover_cycle,omitempty"`
 	// Thermal outcome (zero unless the scenario couples a tracker).
 	PeakTempC         float64 `json:"peak_temp_c,omitempty"`
 	FailureMultiplier float64 `json:"failure_multiplier,omitempty"`
@@ -338,7 +352,28 @@ func Run(sc Scenario, seed int64) (*Result, error) {
 		},
 	}
 
+	failC := -1
+	if sc.FailoverFrac > 0 {
+		failC = int(sc.FailoverFrac * float64(sc.Cycles))
+		res.Summary.FailoverCycle = failC
+	}
+
 	for c, loads := range script {
+		if c == failC {
+			// Manager failover: the replacement starts with Algorithm 1's
+			// initial control state over the shared registry (counters keep
+			// accumulating across both lives) and adopts the journal's
+			// below-max levels so the restore path lifts them later.
+			mgr, err = manager.New(manager.Config{Tg: sc.Tg, Policy: pol, Obs: reg})
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s failover: %w", sc.Name, err)
+			}
+			for i, lv := range levels {
+				if lv < maxLevel {
+					mgr.Adopt(node.ID(i))
+				}
+			}
+		}
 		start := time.Now()
 		readings := make([]manager.AgentReading, 0, sc.Agents)
 		var p units.Watts

@@ -139,6 +139,37 @@ func TestScenariosExerciseTheCap(t *testing.T) {
 				if s.RedEntries == 0 && s.BreachCycles == 0 {
 					t.Errorf("flash crowd never stressed P_H (summary %+v)", s)
 				}
+			case "manager-failover":
+				if s.FailoverCycle <= 0 {
+					t.Errorf("failover scenario recorded no failover cycle (summary %+v)", s)
+				}
+				if s.RedEntries == 0 {
+					t.Errorf("failover spike never entered red (summary %+v)", s)
+				}
+				// The swap lands while the fleet is still capped: the
+				// replacement inherits below-max levels it never commanded.
+				inherited := false
+				for _, n := range res.Records[s.FailoverCycle].Nodes {
+					if n.Level < n.MaxLevel {
+						inherited = true
+						break
+					}
+				}
+				if !inherited {
+					t.Errorf("manager swapped over an uncapped fleet (cycle %d)", s.FailoverCycle)
+				}
+				// No node may end the run orphaned at the red floor: the
+				// replacement adopts the inherited levels, so once greens
+				// accrue the restore path lifts the whole fleet back up.
+				for _, n := range res.Records[len(res.Records)-1].Nodes {
+					if n.Level == 0 {
+						t.Errorf("node %d orphaned at the floor after failover (max %d)",
+							n.ID, n.MaxLevel)
+					}
+				}
+				if s.Restores == 0 {
+					t.Errorf("no restores after failover (summary %+v)", s)
+				}
 			}
 		})
 	}
@@ -255,6 +286,11 @@ func TestByNameAndValidate(t *testing.T) {
 	bad.Tg = 0
 	if err := bad.Validate(); err == nil {
 		t.Error("Validate accepted Tg=0")
+	}
+	badFrac := ManagerFailover()
+	badFrac.FailoverFrac = 1.5
+	if err := badFrac.Validate(); err == nil {
+		t.Error("Validate accepted FailoverFrac ≥ 1")
 	}
 	if _, err := Run(bad, 1); err == nil {
 		t.Error("Run accepted an invalid scenario")

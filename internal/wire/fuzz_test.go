@@ -44,6 +44,15 @@ func FuzzRecv(f *testing.F) {
 	f.Add([]byte(`{"type":"batch","batch":[{"type":"command","node":2,"level":0,"seq":9},` +
 		`{"type":"sample","node":2,"level":4,"interval_ms":50},{"type":"???"},` +
 		`{"type":"command","node":2,"level":1,"seq":10}]}` + "\n"))
+	// Journal replication frames: a follower subscribe/ack, a live append
+	// carrying an opaque entry, a full-snapshot reset entry, and an
+	// epoch-stamped hello (manager→agent fencing announcement).
+	f.Add([]byte(`{"type":"journal_ack","seq":41,"epoch":2}` + "\n"))
+	f.Add([]byte(`{"type":"journal_append","seq":42,"epoch":2,` +
+		`"entry":{"seq":42,"epoch":2,"cycle":17,"levels":[{"node":3,"level":1}],"pl_w":840,"ph_w":930}}` + "\n"))
+	f.Add([]byte(`{"type":"journal_append","seq":7,"entry":{"seq":7,"reset":{"last_seq":7,"saved_at_cycle":9,` +
+		`"levels":[{"node":0,"level":2},{"node":1,"level":0}]}}}` + "\n"))
+	f.Add([]byte(`{"type":"hello","epoch":3}` + "\n" + `{"type":"journal_append","seq":1,"entry":{"seq":1,"lev`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c := NewConn(nopCloser{bytes.NewReader(data)})
 		for i := 0; i < 16; i++ {

@@ -36,6 +36,17 @@ const (
 	KindPing    = "ping"   // manager → agent: liveness heartbeat
 	KindStatus  = "status" // powctl → manager: report stats
 	KindBatch   = "batch"  // several messages in one frame (one flush, one fault roll)
+
+	// Journal replication (manager high availability). A standby's
+	// follower opens a connection and sends KindJournalAck carrying the
+	// sequence number its journal copy has reached; the leader replays
+	// everything after it (or a full-snapshot reset entry if that history
+	// is gone) and then streams each new journal entry as a
+	// KindJournalAppend, acknowledged back entry by entry so the leader
+	// can report replication lag. The stream is resumable: reconnecting
+	// followers just resubscribe from their current sequence.
+	KindJournalAppend = "journal_append" // leader → follower: one journal entry
+	KindJournalAck    = "journal_ack"    // follower → leader: subscribe/ack at Seq
 )
 
 // Envelope is the one-size wire message; Type selects which fields are
@@ -64,6 +75,17 @@ type Envelope struct {
 
 	// status reply
 	Stats *StatusReply `json:"stats,omitempty"`
+
+	// Leadership epoch, for fencing across manager failovers. In a
+	// manager→agent hello it announces the manager's epoch; in an
+	// agent→manager hello it reports the highest epoch the agent has
+	// seen, letting a deposed leader discover its own staleness. Zero
+	// means "no HA configured" and disables fencing entirely.
+	Epoch uint64 `json:"epoch,omitempty"`
+
+	// journal_append: one replica journal entry, opaque to this layer
+	// (internal/replica owns the schema).
+	Entry json.RawMessage `json:"entry,omitempty"`
 
 	// batch: the nested messages of a KindBatch frame. The manager's
 	// per-node senders use it to coalesce a level command and a pending
@@ -126,6 +148,15 @@ type StatusReply struct {
 	MaxCycleMicros   int64 `json:"max_cycle_micros" obs:"max_cycle_micros"`     // worst control cycle so far
 	LastFanoutMicros int64 `json:"last_fanout_micros" obs:"last_fanout_micros"` // last cycle's command fan-out completion time
 	MaxFanoutMicros  int64 `json:"max_fanout_micros" obs:"max_fanout_micros"`   // worst fan-out so far
+
+	// High-availability layer (replicated journal + leased leadership).
+	Epoch              int   `json:"epoch" obs:"epoch"`                               // leadership epoch (0 = HA off)
+	Leader             bool  `json:"leader" obs:"leader"`                             // still leading (false once deposed)
+	ReplicaConns       int   `json:"replica_conns" obs:"replica_conns"`               // connected journal followers
+	ReplicaLagEntries  int   `json:"replica_lag_entries" obs:"replica_lag_entries"`   // worst follower lag, in journal entries
+	JournalAppends     int   `json:"journal_appends" obs:"journal_appends"`           // incremental journal entries committed
+	FencedHellos       int   `json:"fenced_hellos" obs:"fenced_hellos"`               // hellos carrying a newer epoch than ours
+	LastTakeoverMicros int64 `json:"last_takeover_micros" obs:"last_takeover_micros"` // leaderless time absorbed at our promotion
 }
 
 // SampleEnvelope builds a sample message from an agent reading.
