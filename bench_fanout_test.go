@@ -13,6 +13,7 @@ import (
 	"context"
 	"encoding/json"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -75,7 +76,24 @@ func startBenchFleet(b *testing.B, agents int) *benchFleet {
 			b.Fatal(err)
 		}
 		c := wire.NewConn(raw)
-		if err := c.Send(wire.Envelope{Type: wire.KindHello, Node: i, MaxLevel: 9, Level: 9}); err != nil {
+		// Drain the read side before writing anything: the hello below
+		// makes the manager answer with a codec-negotiation reply, and
+		// faultnet pipes are unbuffered — an unread reply would deadlock
+		// both sides mid-handshake. Real agents read concurrently too.
+		go func() { // drain replies/commands/pings so writes never block
+			for {
+				if _, err := c.Recv(); err != nil {
+					return
+				}
+			}
+		}()
+		// Advertise binary support like a real agent: the manager's
+		// command fan-out to this fleet then runs on the negotiated
+		// binary codec (the drain loop above auto-detects per frame).
+		if err := c.Send(wire.Envelope{
+			Type: wire.KindHello, Node: i, MaxLevel: 9, Level: 9,
+			Codecs: []string{wire.CodecBinary},
+		}); err != nil {
 			b.Fatal(err)
 		}
 		if err := c.Send(wire.SampleEnvelope(manager.AgentReading{
@@ -85,13 +103,6 @@ func startBenchFleet(b *testing.B, agents int) *benchFleet {
 		})); err != nil {
 			b.Fatal(err)
 		}
-		go func() { // drain commands/pings so writes never block
-			for {
-				if _, err := c.Recv(); err != nil {
-					return
-				}
-			}
-		}()
 	}
 	deadline := time.Now().Add(60 * time.Second)
 	for f.srv.Status().Agents != agents {
@@ -100,9 +111,15 @@ func startBenchFleet(b *testing.B, agents int) *benchFleet {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	// Warm-up cycle: absorbs the last in-flight sample decodes and proves
-	// the fleet classifies red before timing starts.
-	f.srv.StepCycle()
+	// Warm-up cycles: absorb the last in-flight sample decodes, let the
+	// command/retry state reach steady state, and prove the fleet
+	// classifies red before timing starts. One cycle is not enough — the
+	// first few post-registration cycles pay cold caches and initial
+	// slice growth, and with testing.B's small adaptive b.N probes they
+	// would dominate the measurement.
+	for i := 0; i < 5; i++ {
+		f.srv.StepCycle()
+	}
 	if st := f.srv.Status(); st.RedCycles == 0 {
 		b.Fatalf("bench fleet not in sustained red: %+v", st)
 	}
@@ -116,18 +133,23 @@ func BenchmarkCycleFanout(b *testing.B) {
 		n := n
 		b.Run("n"+itoa(n), func(b *testing.B) {
 			f := startBenchFleet(b, n)
+			b.ReportAllocs()
+			ms := newMemTrack()
 			b.ResetTimer()
 			var fanout time.Duration
 			for i := 0; i < b.N; i++ {
 				fanout += f.srv.StepCycle()
 			}
 			b.StopTimer()
+			allocsOp, bytesOp := ms.perOp(b.N)
 			st := f.srv.Status()
 			fanoutUS := fanout.Microseconds() / int64(b.N)
 			b.ReportMetric(float64(fanoutUS), "fanout_us/op")
 			recordBench(benchEntry{
 				Bench: "CycleFanout", Agents: n,
 				NsPerOp:       float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				AllocsPerOp:   allocsOp,
+				BytesPerOp:    bytesOp,
 				FanoutUS:      fanoutUS,
 				MaxFanoutUS:   st.MaxFanoutMicros,
 				CoalescedCmds: st.CoalescedCmds,
@@ -144,6 +166,7 @@ func BenchmarkStatusUnderLoad(b *testing.B) {
 		n := n
 		b.Run("n"+itoa(n), func(b *testing.B) {
 			f := startBenchFleet(b, n)
+			b.ReportAllocs()
 			var stop atomic.Bool
 			done := make(chan struct{})
 			go func() {
@@ -152,16 +175,20 @@ func BenchmarkStatusUnderLoad(b *testing.B) {
 					f.srv.StepCycle()
 				}
 			}()
+			ms := newMemTrack()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_ = f.srv.Status()
 			}
 			b.StopTimer()
+			allocsOp, bytesOp := ms.perOp(b.N)
 			stop.Store(true)
 			<-done
 			recordBench(benchEntry{
 				Bench: "StatusUnderLoad", Agents: n,
-				NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				AllocsPerOp: allocsOp,
+				BytesPerOp:  bytesOp,
 			})
 		})
 	}
@@ -175,9 +202,30 @@ type benchEntry struct {
 	Bench         string  `json:"bench"`
 	Agents        int     `json:"agents"`
 	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp    float64 `json:"bytes_per_op,omitempty"`
 	FanoutUS      int64   `json:"fanout_us,omitempty"`
 	MaxFanoutUS   int64   `json:"max_fanout_us,omitempty"`
 	CoalescedCmds int     `json:"coalesced_cmds,omitempty"`
+}
+
+// memTrack snapshots process-wide allocation counters so benchmarks can
+// persist allocs/op alongside ns/op. The window spans every goroutine —
+// for the fan-out benchmarks that is the point: sender goroutines and
+// frame decodes are the cost being guarded, not just the caller's stack.
+type memTrack struct{ m runtime.MemStats }
+
+func newMemTrack() *memTrack {
+	t := &memTrack{}
+	runtime.ReadMemStats(&t.m)
+	return t
+}
+
+func (t *memTrack) perOp(n int) (allocs, bytes float64) {
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-t.m.Mallocs) / float64(n),
+		float64(after.TotalAlloc-t.m.TotalAlloc) / float64(n)
 }
 
 var (

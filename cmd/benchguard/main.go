@@ -38,11 +38,14 @@ import (
 )
 
 // entry mirrors the benchEntry schema persisted by the repo's fan-out
-// benchmarks; unknown fields are ignored.
+// benchmarks; unknown fields are ignored. AllocsPerOp is zero when the
+// file predates allocation tracking — the allocs guard skips such pairs
+// rather than failing on an older baseline.
 type entry struct {
-	Bench   string  `json:"bench"`
-	Agents  int     `json:"agents"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Bench       string  `json:"bench"`
+	Agents      int     `json:"agents"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 func main() {
@@ -55,6 +58,7 @@ func main() {
 		benches   = flag.String("bench", "CycleFanout", "comma-separated benchmark names to guard (empty = skip fan-out guard)")
 		agents    = flag.String("agents", "128,512", "comma-separated fleet sizes to guard")
 		maxRatio  = flag.Float64("max-ratio", 2.0, "fail when candidate ns/op exceeds baseline by this factor")
+		allocsMax = flag.Float64("allocs-max-ratio", 0, "fail when candidate allocs/op exceeds baseline by this factor (0 = skip; pairs without allocs data are skipped)")
 
 		scBaseline  = flag.String("scenario-baseline", "", "committed BENCH_scenarios baseline (empty = skip scenario guard)")
 		scCandidate = flag.String("scenario-candidate", "BENCH_scenarios.json", "freshly measured scenario results")
@@ -77,7 +81,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		report, err := guard(base, cand, strings.Split(*benches, ","), sizes, *maxRatio)
+		report, err := guard(base, cand, strings.Split(*benches, ","), sizes, *maxRatio, *allocsMax)
 		for _, line := range report {
 			fmt.Println(line)
 		}
@@ -146,8 +150,12 @@ func find(es []entry, bench string, agents int) (entry, bool) {
 // guard compares every guarded bench/agents pair and returns the report
 // lines plus an error naming the first failure class encountered. A pair
 // missing from either file is a failure: a renamed or dropped benchmark
-// must update the guard, not silently evade it.
-func guard(base, cand []entry, benches []string, agents []int, maxRatio float64) ([]string, error) {
+// must update the guard, not silently evade it. With allocsMax > 0 the
+// pair's allocs/op is held to the same treatment, except that a side
+// without allocation data (an older baseline, or a GC race reading zero)
+// skips the allocs check for that pair instead of failing — ns/op is the
+// mandatory metric, allocs/op the opt-in one.
+func guard(base, cand []entry, benches []string, agents []int, maxRatio, allocsMax float64) ([]string, error) {
 	var report []string
 	var regressed, missing []string
 	for _, bench := range benches {
@@ -169,6 +177,21 @@ func guard(base, cand []entry, benches []string, agents []int, maxRatio float64)
 			}
 			report = append(report, fmt.Sprintf("%-24s %12.0f → %12.0f ns/op  (%.2fx, limit %.2fx)  %s",
 				name, b.NsPerOp, c.NsPerOp, ratio, maxRatio, verdict))
+			if allocsMax <= 0 {
+				continue
+			}
+			if b.AllocsPerOp <= 0 || c.AllocsPerOp <= 0 {
+				report = append(report, fmt.Sprintf("%-24s allocs/op data absent, skipped", name))
+				continue
+			}
+			aRatio := c.AllocsPerOp / b.AllocsPerOp
+			aVerdict := "ok"
+			if aRatio > allocsMax {
+				aVerdict = "REGRESSED"
+				regressed = append(regressed, name+" allocs")
+			}
+			report = append(report, fmt.Sprintf("%-24s %12.1f → %12.1f allocs/op  (%.2fx, limit %.2fx)  %s",
+				name, b.AllocsPerOp, c.AllocsPerOp, aRatio, allocsMax, aVerdict))
 		}
 	}
 	switch {

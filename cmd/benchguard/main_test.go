@@ -19,7 +19,7 @@ var (
 )
 
 func TestGuardPasses(t *testing.T) {
-	report, err := guard(baseEntries, within, []string{"CycleFanout"}, []int{128, 512}, 2.0)
+	report, err := guard(baseEntries, within, []string{"CycleFanout"}, []int{128, 512}, 2.0, 0)
 	if err != nil {
 		t.Fatalf("unexpected failure: %v\n%s", err, strings.Join(report, "\n"))
 	}
@@ -33,7 +33,7 @@ func TestGuardCatchesRegression(t *testing.T) {
 		{Bench: "CycleFanout", Agents: 128, NsPerOp: 2100},
 		{Bench: "CycleFanout", Agents: 512, NsPerOp: 3000},
 	}
-	report, err := guard(baseEntries, slow, []string{"CycleFanout"}, []int{128, 512}, 2.0)
+	report, err := guard(baseEntries, slow, []string{"CycleFanout"}, []int{128, 512}, 2.0, 0)
 	if err == nil || !strings.Contains(err.Error(), "CycleFanout/n128") {
 		t.Fatalf("err = %v", err)
 	}
@@ -42,8 +42,46 @@ func TestGuardCatchesRegression(t *testing.T) {
 	}
 }
 
+func TestGuardAllocsRatio(t *testing.T) {
+	base := []entry{
+		{Bench: "CycleFanout", Agents: 128, NsPerOp: 1000, AllocsPerOp: 50},
+	}
+	lean := []entry{
+		{Bench: "CycleFanout", Agents: 128, NsPerOp: 1000, AllocsPerOp: 60},
+	}
+	report, err := guard(base, lean, []string{"CycleFanout"}, []int{128}, 2.0, 1.5)
+	if err != nil {
+		t.Fatalf("unexpected failure: %v\n%s", err, strings.Join(report, "\n"))
+	}
+	if len(report) != 2 || !strings.Contains(report[1], "allocs/op") {
+		t.Errorf("report = %v", report)
+	}
+
+	bloated := []entry{
+		{Bench: "CycleFanout", Agents: 128, NsPerOp: 1000, AllocsPerOp: 90},
+	}
+	report, err = guard(base, bloated, []string{"CycleFanout"}, []int{128}, 2.0, 1.5)
+	if err == nil || !strings.Contains(err.Error(), "CycleFanout/n128 allocs") {
+		t.Fatalf("err = %v\n%s", err, strings.Join(report, "\n"))
+	}
+}
+
+func TestGuardAllocsSkipsWhenAbsent(t *testing.T) {
+	// A baseline without allocation data (older file, or allocs measured
+	// as zero) skips the allocs check for that pair instead of failing.
+	base := []entry{{Bench: "CycleFanout", Agents: 128, NsPerOp: 1000}}
+	cand := []entry{{Bench: "CycleFanout", Agents: 128, NsPerOp: 1000, AllocsPerOp: 500}}
+	report, err := guard(base, cand, []string{"CycleFanout"}, []int{128}, 2.0, 1.5)
+	if err != nil {
+		t.Fatalf("absent allocs data failed the guard: %v", err)
+	}
+	if !strings.Contains(strings.Join(report, "\n"), "skipped") {
+		t.Errorf("report = %v", report)
+	}
+}
+
 func TestGuardCatchesMissingEntry(t *testing.T) {
-	_, err := guard(baseEntries, within, []string{"CycleFanout"}, []int{128, 1024}, 2.0)
+	_, err := guard(baseEntries, within, []string{"CycleFanout"}, []int{128, 1024}, 2.0, 0)
 	if err == nil || !strings.Contains(err.Error(), "missing") {
 		t.Fatalf("err = %v", err)
 	}
@@ -56,7 +94,7 @@ func TestLoadAgainstCommittedBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := guard(es, es, []string{"CycleFanout"}, []int{128, 512}, 2.0); err != nil {
+	if _, err := guard(es, es, []string{"CycleFanout"}, []int{128, 512}, 2.0, 0); err != nil {
 		t.Fatalf("self-comparison failed: %v", err)
 	}
 }

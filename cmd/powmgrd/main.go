@@ -68,6 +68,8 @@ func main() {
 		standbyOf     = flag.String("standby-of", "", "run as warm standby: replicate this manager's journal, promote when its lease goes stale")
 		missBudget    = flag.Int("lease-miss-budget", 4, "stale lease renewals a standby tolerates before declaring the leader dead")
 		replicaListen = flag.String("replica-listen", "", "dedicated listener for journal followers and status probes (empty = share -addr)")
+
+		codec = flag.String("codec", "binary", "preferred wire codec negotiated with agents and followers: binary or json")
 	)
 	flag.Parse()
 
@@ -102,6 +104,7 @@ func main() {
 		MetricsAddr:    *metricsAddr,
 		CycleHistory:   *cycleHistory,
 		ReplicaAddr:    *replicaListen,
+		WireCodec:      *codec,
 	}
 	if *train > 0 {
 		pm, err := units.ParseWatts(*pmaxStr)

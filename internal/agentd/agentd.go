@@ -12,6 +12,7 @@ package agentd
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -89,6 +90,13 @@ type Config struct {
 	// reconnects). Nil gets a private registry; the powagentd command
 	// passes one shared with its -metrics-addr endpoint.
 	Obs *obs.Registry
+
+	// Codec selects the wire codecs advertised in the hello: "binary"
+	// (also the "" default) offers the length-prefixed checksummed codec
+	// and switches onto it when the manager confirms; "json" advertises
+	// nothing and keeps the newline-JSON reference codec. The read side
+	// always accepts both regardless.
+	Codec string
 }
 
 // Agent is a running profiling agent.
@@ -122,6 +130,7 @@ type Agent struct {
 	failsafeTrips *obs.Counter // dead-man switch firings
 	reconnects    *obs.Counter // redials after a dropped connection
 	staleRejects  *obs.Counter // sessions refused for carrying an old epoch
+	decodeErrs    *obs.Counter // corrupt inbound frames tolerated and skipped
 
 	// synthetic load state
 	loadUntil time.Duration
@@ -142,6 +151,11 @@ func New(cfg Config) (*Agent, error) {
 		return nil, fmt.Errorf("agentd: need positive intervals")
 	}
 	a := &Agent{cfg: cfg, lastContact: time.Now()}
+	switch cfg.Codec {
+	case "", wire.CodecBinary, wire.CodecJSON:
+	default:
+		return nil, fmt.Errorf("agentd: unknown wire codec %q", cfg.Codec)
+	}
 	if cfg.Passive {
 		if cfg.Apply == nil {
 			return nil, fmt.Errorf("agentd: passive mode needs an Apply callback")
@@ -175,6 +189,7 @@ func New(cfg Config) (*Agent, error) {
 	a.failsafeTrips = a.reg.Counter("failsafe_trips")
 	a.reconnects = a.reg.Counter("reconnects")
 	a.staleRejects = a.reg.Counter("stale_epoch_rejects")
+	a.decodeErrs = a.reg.Counter("decode_errors")
 	return a, nil
 }
 
@@ -498,12 +513,20 @@ func (a *Agent) Run(ctx context.Context) (err error) {
 	if !a.cfg.Passive {
 		maxLevel = a.node.Levels() - 1
 	}
-	if err := send(wire.Envelope{
+	hello := wire.Envelope{
 		Type: wire.KindHello, Node: int(a.cfg.NodeID),
 		MaxLevel: maxLevel,
 		Level:    a.Level(),
 		Epoch:    a.MaxEpoch(),
-	}); err != nil {
+	}
+	if a.cfg.Codec != wire.CodecJSON {
+		// Advertise binary support; the manager's hello reply names the
+		// chosen codec. Until (and unless) that confirmation arrives,
+		// every frame we send stays JSON — old managers simply never
+		// confirm, and nothing changes.
+		hello.Codecs = []string{wire.CodecBinary}
+	}
+	if err := send(hello); err != nil {
 		close(readDone)
 		return err
 	}
@@ -521,6 +544,13 @@ func (a *Agent) Run(ctx context.Context) (err error) {
 		}
 		switch env.Type {
 		case wire.KindHello:
+			// Codec confirmation rides the manager's first reply frame:
+			// from here on our writes use the negotiated codec. This must
+			// happen before the epoch check — a non-HA manager replies
+			// with epoch zero when it only wants to pick a codec.
+			if env.Codec == wire.CodecBinary && a.cfg.Codec != wire.CodecJSON {
+				conn.EnableBinary()
+			}
 			// The manager's epoch announcement (HA mode only). An epoch
 			// below one we have already seen is a deposed leader still
 			// talking: refuse the session so its commands can never undo
@@ -561,9 +591,18 @@ func (a *Agent) Run(ctx context.Context) (err error) {
 
 	go func() {
 		defer close(readDone)
+		var env wire.Envelope
 		for {
-			env, err := conn.Recv()
-			if err != nil {
+			if err := conn.RecvInto(&env); err != nil {
+				// A corrupt frame (checksum mismatch, undecodable line)
+				// is counted and skipped — the framing layer has already
+				// resynchronised past it. Only fatal decode errors and
+				// I/O errors end the session.
+				var de *wire.DecodeError
+				if errors.As(err, &de) && de.Recoverable() {
+					a.decodeErrs.Inc()
+					continue
+				}
 				readErr <- err
 				return
 			}

@@ -73,6 +73,7 @@ func (s *Server) StartExternalCycle() *ExternalCycle {
 	parts := make([]part, len(s.nodes.shards))
 	s.forEachShard(func(i int, sh *shard) {
 		g := &parts[i]
+		drift := 0
 		sh.mu.Lock()
 		updateHealth(sh, t0, &s.cfg)
 		for id, ac := range sh.agents {
@@ -80,6 +81,9 @@ func (s *Server) StartExternalCycle() *ExternalCycle {
 				g.readings = append(g.readings, ac.last)
 			}
 			cs := sh.cmds[id]
+			if ac.seen && cs != nil && ac.last.Level != cs.level {
+				drift++
+			}
 			if cs == nil || !ac.seen || quarantinedIn(sh, id) {
 				continue
 			}
@@ -97,6 +101,7 @@ func (s *Server) StartExternalCycle() *ExternalCycle {
 				g.resends = append(g.resends, resend{ac, cs.level, cs.seq})
 			}
 		}
+		sh.drifted = drift
 		sh.mu.Unlock()
 	})
 

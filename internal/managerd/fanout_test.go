@@ -112,7 +112,7 @@ func TestSendErrorAttributionAcrossReconnect(t *testing.T) {
 	waitFor(t, 5*time.Second, "command write in flight", func() bool {
 		old.obMu.Lock()
 		defer old.obMu.Unlock()
-		return old.obCmd == nil
+		return !old.obHas
 	})
 
 	// The agent redials while that write is still pending. The new epoch

@@ -78,10 +78,23 @@ func noteConnect(sh *shard, id node.ID, now time.Time, cfg *Config, quarantines 
 	if rec == nil {
 		rec = &healthRec{state: healthHealthy}
 		sh.health[id] = rec
+		sh.nHealthy++
 	}
 	rec.connects = append(rec.connects, now)
 	rec.pruneConnects(now, cfg.FlapWindow)
 	if cfg.FlapLimit > 0 && len(rec.connects) >= cfg.FlapLimit && rec.state != healthQuarantined {
+		// Keep the cached shard tallies exact across the transition: the
+		// next updateHealth sweep would fix them anyway, but Status may
+		// read them first.
+		switch rec.state {
+		case healthHealthy:
+			sh.nHealthy--
+		case healthStale:
+			sh.nStale--
+		case healthLost:
+			sh.nLost--
+		}
+		sh.nQuar++
 		rec.state = healthQuarantined
 		rec.quarantinedAt = now
 		quarantines.Inc()
@@ -91,16 +104,22 @@ func noteConnect(sh *shard, id node.ID, now time.Time, cfg *Config, quarantines 
 // updateHealth re-evaluates the state of every node in sh. Caller holds
 // sh.mu; the per-shard sweeps run concurrently on the cycle's worker
 // pool, which is safe because a node's whole record lives in one shard.
+// The sweep doubles as the tally refresh: it already visits every
+// record, so recomputing the shard's cached health counts here is free
+// and keeps refreshGauges O(shards).
 func updateHealth(sh *shard, now time.Time, cfg *Config) {
+	var healthy, stale, lost, quar int
 	for id, rec := range sh.health {
 		if rec.state == healthQuarantined {
 			if now.Sub(rec.quarantinedAt) < cfg.Quarantine {
+				quar++
 				continue
 			}
 			rec.pruneConnects(now, cfg.FlapWindow)
 			if cfg.FlapLimit > 0 && len(rec.connects) >= cfg.FlapLimit {
 				// Still flapping: extend the quarantine (hysteresis).
 				rec.quarantinedAt = now
+				quar++
 				continue
 			}
 			// Quarantine served and the link has settled; fall through to
@@ -110,14 +129,19 @@ func updateHealth(sh *shard, now time.Time, cfg *Config) {
 		switch {
 		case !connected:
 			rec.state = healthLost
+			lost++
 		case now.Sub(ac.lastAt) > cfg.LostAfter:
 			rec.state = healthLost
+			lost++
 		case now.Sub(ac.lastAt) > cfg.StaleAfter:
 			rec.state = healthStale
+			stale++
 		default:
 			rec.state = healthHealthy
+			healthy++
 		}
 	}
+	sh.nHealthy, sh.nStale, sh.nLost, sh.nQuar = healthy, stale, lost, quar
 }
 
 // quarantinedIn reports whether id (a node of sh) is currently
@@ -127,19 +151,3 @@ func quarantinedIn(sh *shard, id node.ID) bool {
 	return ok && rec.state == healthQuarantined
 }
 
-// healthCounts tallies sh's nodes per state. Caller holds sh.mu.
-func healthCounts(sh *shard) (healthy, stale, lost, quarantined int) {
-	for _, rec := range sh.health {
-		switch rec.state {
-		case healthHealthy:
-			healthy++
-		case healthStale:
-			stale++
-		case healthLost:
-			lost++
-		case healthQuarantined:
-			quarantined++
-		}
-	}
-	return
-}

@@ -60,6 +60,7 @@ func (s *Server) restoreFromJournal(snap replica.Snapshot) {
 		// reconciliation path reissues the journaled one.
 		sh.cmds[id] = &cmdState{level: l.Level, acked: true}
 		sh.health[id] = &healthRec{state: healthLost}
+		sh.nLost++
 	}
 }
 

@@ -155,6 +155,14 @@ type Config struct {
 	// identically to Addr — a dedicated endpoint for journal followers
 	// and status probes that keeps replication off the agent accept path.
 	ReplicaAddr string
+
+	// WireCodec selects the preferred wire codec negotiated with agents
+	// and journal followers at hello: "binary" (also the "" default)
+	// switches peers that advertise binary support onto the
+	// length-prefixed checksummed codec; "json" pins every connection to
+	// the newline-JSON reference codec. The read side always accepts
+	// both, so mixed fleets and rolling upgrades need no coordination.
+	WireCodec string
 }
 
 // LearnConfig parametrises daemon-side threshold learning.
@@ -184,8 +192,12 @@ type agentConn struct {
 	lastEpoch uint64
 
 	// Outbox; guarded by obMu (ordered strictly below shard mutexes).
+	// obCmd is held by value with obHas as its presence flag: a command
+	// enqueue is a struct copy into memory the connection already owns,
+	// so the steady-state fan-out path allocates nothing per command.
 	obMu     sync.Mutex
-	obCmd    *pendingCmd
+	obCmd    pendingCmd
+	obHas    bool
 	obPing   bool
 	obClosed bool
 	wake     chan struct{}
@@ -254,6 +266,8 @@ type Server struct {
 	quarantines   *obs.Counter
 	journalWrites *obs.Counter
 	coalesced     *obs.Counter
+	decodeErrs    *obs.Counter // corrupt frames tolerated and skipped
+	cyclesC       *obs.Counter // control cycles completed (cached for Status)
 
 	busyMicros        *obs.Gauge
 	cpuUtilise        *obs.Gauge
@@ -348,6 +362,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.FanoutWorkers == 0 {
 		cfg.FanoutWorkers = runtime.GOMAXPROCS(0)
 	}
+	switch cfg.WireCodec {
+	case "", wire.CodecBinary, wire.CodecJSON:
+	default:
+		return nil, fmt.Errorf("managerd: unknown wire codec %q", cfg.WireCodec)
+	}
 	reg := obs.NewRegistry()
 	trace := obs.NewCycleRecorder(cfg.CycleHistory, reg)
 	mgr, err := manager.New(manager.Config{Tg: cfg.Tg, Policy: cfg.Policy, Obs: reg, Trace: trace})
@@ -375,6 +394,8 @@ func New(cfg Config) (*Server, error) {
 		quarantines:   reg.Counter("quarantines"),
 		journalWrites: reg.Counter("journal_writes"),
 		coalesced:     reg.Counter("coalesced_cmds"),
+		decodeErrs:    reg.Counter("decode_errors"),
+		cyclesC:       reg.Counter("cycles"),
 
 		journalAppends: reg.Counter("journal_appends"),
 		fencedHellos:   reg.Counter("fenced_hellos"),
@@ -623,6 +644,13 @@ func (s *Server) acceptLoopOn(ln net.Listener) {
 	}
 }
 
+// binaryWanted reports whether the peer behind this hello/subscribe
+// frame should be switched onto the binary codec: it advertised support
+// and the configuration does not pin JSON.
+func (s *Server) binaryWanted(first *wire.Envelope) bool {
+	return s.cfg.WireCodec != wire.CodecJSON && first.Advertises(wire.CodecBinary)
+}
+
 // serveConn handles one inbound connection: agents send hello then a
 // stream of samples and command acks; control clients send a status
 // request and get one reply.
@@ -650,21 +678,32 @@ func (s *Server) serveConn(conn *wire.Conn) {
 		return
 	}
 
-	if s.epoch > 0 {
-		// Epoch fencing. An agent that has seen a newer leader tells us in
-		// its hello: we are deposed and must not command it. Otherwise we
-		// announce our epoch first thing — guaranteed to be the first
-		// manager→agent frame, since the sender goroutine starts below —
-		// so the agent can fence us later if a successor appears.
-		if first.Epoch > s.epoch {
-			s.fencedHellos.Inc()
-			s.depose()
+	// Epoch fencing. An agent that has seen a newer leader tells us in
+	// its hello: we are deposed and must not command it.
+	if s.epoch > 0 && first.Epoch > s.epoch {
+		s.fencedHellos.Inc()
+		s.depose()
+		conn.Close()
+		return
+	}
+	// Codec negotiation rides the same hello reply as the epoch
+	// announcement: the reply is guaranteed to be the first manager→agent
+	// frame (the sender goroutine starts below), so the agent knows the
+	// chosen codec before any command arrives. The reply itself is always
+	// JSON — EnableBinary flips only frames after it — which keeps the
+	// negotiation readable by any peer.
+	wantBin := s.binaryWanted(&first)
+	if s.epoch > 0 || wantBin {
+		reply := wire.Envelope{Type: wire.KindHello, Epoch: s.epoch}
+		if wantBin {
+			reply.Codec = wire.CodecBinary
+		}
+		if err := conn.Send(reply); err != nil {
 			conn.Close()
 			return
 		}
-		if err := conn.Send(wire.Envelope{Type: wire.KindHello, Epoch: s.epoch}); err != nil {
-			conn.Close()
-			return
+		if wantBin {
+			conn.EnableBinary()
 		}
 	}
 
@@ -700,9 +739,20 @@ func (s *Server) serveConn(conn *wire.Conn) {
 	s.wg.Add(1)
 	go s.runSender(ac)
 
+	var env wire.Envelope
 	for {
-		env, err := conn.Recv()
-		if err != nil {
+		if err := conn.RecvInto(&env); err != nil {
+			// Corrupt frames (checksum mismatch, undecodable JSON line)
+			// are counted and skipped — the framing layer has already
+			// resynchronised past them — so line noise degrades telemetry
+			// freshness instead of killing the connection. Fatal decode
+			// errors (desynchronised stream, oversized frame) and I/O
+			// errors still drop the connection; the agent redials.
+			var de *wire.DecodeError
+			if errors.As(err, &de) && de.Recoverable() {
+				s.decodeErrs.Inc()
+				continue
+			}
 			break
 		}
 		switch env.Type {
@@ -778,11 +828,10 @@ func (a actuator) SetNodeLevel(id node.ID, level int) error {
 // command stays recorded in cmds and the retry path re-sends it once the
 // node redials.
 func (s *Server) dispatch(ac *agentConn, level int, seq uint64, fan *fanout) {
-	pc := &pendingCmd{level: level, seq: seq, fan: fan}
 	if fan != nil {
 		fan.add()
 	}
-	ok, superseded := ac.enqueueCommand(pc)
+	ok, superseded := ac.enqueueCommand(pendingCmd{level: level, seq: seq, fan: fan})
 	if !ok {
 		if fan != nil {
 			fan.complete()
@@ -901,11 +950,18 @@ func (s *Server) cycle() *fanout {
 	s.forEachShard(func(i int, sh *shard) {
 		g := &parts[i]
 		var readings []manager.AgentReading
+		drift := 0
 		sh.mu.Lock()
 		updateHealth(sh, t0, &s.cfg)
 		for id, ac := range sh.agents {
 			if !ac.seen {
 				continue
+			}
+			// Drift is tallied here (before the staleness cut — a stale
+			// node can still disagree with its commanded level) so the
+			// drifted gauge is a cached per-shard integer for Status.
+			if cs := sh.cmds[id]; cs != nil && ac.last.Level != cs.level {
+				drift++
 			}
 			if t0.Sub(ac.lastAt) > s.cfg.StaleAfter {
 				g.stale++
@@ -916,6 +972,7 @@ func (s *Server) cycle() *fanout {
 				g.candidates = append(g.candidates, ac.last)
 			}
 		}
+		sh.drifted = drift
 		sh.mu.Unlock()
 		// Model evaluation outside the shard lock: it is the cycle's CPU
 		// bulk and needs nothing but the copied readings.
@@ -1085,29 +1142,24 @@ func (s *Server) maintainCommands(cycleN int, fan *fanout) {
 	}
 }
 
-// refreshGauges recomputes the registry gauges that are derived from
+// refreshGauges publishes the registry gauges that are derived from
 // swept state rather than bumped inline: connected agents, drift, node
 // health tallies and the management-cost ratio. It runs before every
-// Status reply and /metrics render so scrapes see current values.
+// Status reply and /metrics render. The per-node walks live in the
+// sweeps that already visit every record (updateHealth, the collect
+// pass); this reads the cached per-shard tallies, so a status probe
+// costs O(shards) regardless of fleet size.
 func (s *Server) refreshGauges() {
 	agents, drifted := 0, 0
 	var healthy, staleN, lost, quar int
 	for _, sh := range s.nodes.shards {
 		sh.mu.Lock()
 		agents += len(sh.agents)
-		for id, ac := range sh.agents {
-			if !ac.seen {
-				continue
-			}
-			if cs := sh.cmds[id]; cs != nil && ac.last.Level != cs.level {
-				drifted++
-			}
-		}
-		h, sn, l, q := healthCounts(sh)
-		healthy += h
-		staleN += sn
-		lost += l
-		quar += q
+		drifted += sh.drifted
+		healthy += sh.nHealthy
+		staleN += sh.nStale
+		lost += sh.nLost
+		quar += sh.nQuar
 		sh.mu.Unlock()
 	}
 	s.refreshReplicaGauges()
@@ -1119,7 +1171,7 @@ func (s *Server) refreshGauges() {
 	s.quarNodesG.SetInt(int64(quar))
 	// Management cost: busy time over elapsed control time (Fig. 5's
 	// utilisation curve). The cycles counter is the manager's.
-	if cycles := s.reg.Counter("cycles").Value(); cycles > 0 {
+	if cycles := s.cyclesC.Value(); cycles > 0 {
 		elapsed := float64(time.Duration(cycles)*s.cfg.ControlEvery) / float64(time.Microsecond)
 		s.cpuUtilise.Set(s.busyMicros.Value() / elapsed)
 	}

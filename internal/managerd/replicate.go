@@ -50,6 +50,13 @@ func (s *Server) serveReplica(conn *wire.Conn, first wire.Envelope) {
 		conn.Close()
 		return
 	}
+	// Followers advertise codec support on their subscribe frame; a
+	// binary-capable follower gets its journal stream on the fast codec.
+	// No reply frame is needed — the read side auto-detects per frame,
+	// so enabling the writer is the whole negotiation.
+	if s.binaryWanted(&first) {
+		conn.EnableBinary()
+	}
 	sub := &replicaSub{conn: conn, ch: make(chan wire.Envelope, replicaSubBuf), closed: make(chan struct{})}
 	sub.acked.Store(first.Seq)
 

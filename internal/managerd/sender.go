@@ -38,20 +38,20 @@ type pendingCmd struct {
 // and whether an older command was superseded. The superseded command's
 // fan-out slot is released here; its delivery is owed to the retry path,
 // not this write.
-func (ac *agentConn) enqueueCommand(pc *pendingCmd) (ok, superseded bool) {
+func (ac *agentConn) enqueueCommand(pc pendingCmd) (ok, superseded bool) {
 	ac.obMu.Lock()
 	if ac.obClosed {
 		ac.obMu.Unlock()
 		return false, false
 	}
-	old := ac.obCmd
-	ac.obCmd = pc
+	old, had := ac.obCmd, ac.obHas
+	ac.obCmd, ac.obHas = pc, true
 	ac.obMu.Unlock()
-	if old != nil && old.fan != nil {
+	if had && old.fan != nil {
 		old.fan.complete()
 	}
 	ac.wakeSender()
-	return true, old != nil
+	return true, had
 }
 
 // enqueuePing raises the outbox's heartbeat flag; the sender folds it
@@ -77,27 +77,27 @@ func (ac *agentConn) wakeSender() {
 }
 
 // closeOutbox marks the outbox closed and returns the command it was
-// still holding, if any (nil when empty or already closed). The caller
-// releases the dropped command's fan-out slot.
-func (ac *agentConn) closeOutbox() *pendingCmd {
+// still holding, if any (had=false when empty or already closed). The
+// caller releases the dropped command's fan-out slot.
+func (ac *agentConn) closeOutbox() (pc pendingCmd, had bool) {
 	ac.obMu.Lock()
 	if ac.obClosed {
 		ac.obMu.Unlock()
-		return nil
+		return pendingCmd{}, false
 	}
 	ac.obClosed = true
-	pc := ac.obCmd
-	ac.obCmd, ac.obPing = nil, false
+	pc, had = ac.obCmd, ac.obHas
+	ac.obCmd, ac.obHas, ac.obPing = pendingCmd{}, false, false
 	ac.obMu.Unlock()
 	ac.wakeSender()
-	return pc
+	return pc, had
 }
 
 // retireOutbox closes ac's outbox and releases any queued command's
 // fan-out slot — the teardown half of the sender lifecycle, called when
 // the connection dies, is replaced by a redial, or the server stops.
 func (s *Server) retireOutbox(ac *agentConn) {
-	if pc := ac.closeOutbox(); pc != nil && pc.fan != nil {
+	if pc, had := ac.closeOutbox(); had && pc.fan != nil {
 		pc.fan.complete()
 	}
 }
@@ -109,13 +109,17 @@ func (s *Server) retireOutbox(ac *agentConn) {
 // in-flight command stays recorded in cmds for the retry path.
 func (s *Server) runSender(ac *agentConn) {
 	defer s.wg.Done()
+	// envs is the sender's reusable scratch batch: the steady-state write
+	// path (drain outbox → encode → write) allocates nothing per command;
+	// the connection's codec buffer is likewise reused underneath.
+	envs := make([]wire.Envelope, 0, 2)
 	for {
 		ac.obMu.Lock()
-		pc, ping, closed := ac.obCmd, ac.obPing, ac.obClosed
-		ac.obCmd, ac.obPing = nil, false
+		pc, has, ping, closed := ac.obCmd, ac.obHas, ac.obPing, ac.obClosed
+		ac.obHas, ac.obPing = false, false
 		ac.obMu.Unlock()
 
-		if pc == nil && !ping {
+		if !has && !ping {
 			if closed {
 				return
 			}
@@ -123,8 +127,8 @@ func (s *Server) runSender(ac *agentConn) {
 			continue
 		}
 
-		envs := make([]wire.Envelope, 0, 2)
-		if pc != nil {
+		envs = envs[:0]
+		if has {
 			envs = append(envs, wire.Envelope{
 				Type: wire.KindCommand, Node: int(ac.id), Level: pc.level, Seq: pc.seq,
 			})
@@ -142,7 +146,7 @@ func (s *Server) runSender(ac *agentConn) {
 			s.noteSendError(ac)
 			ac.conn.Close()
 		}
-		if pc != nil && pc.fan != nil {
+		if has && pc.fan != nil {
 			pc.fan.complete()
 		}
 		if err != nil {

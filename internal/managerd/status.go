@@ -3,16 +3,53 @@ package managerd
 import (
 	"fmt"
 	"reflect"
+	"sync"
+	"unsafe"
 
 	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
-// statusFromRegistry fills a wire.StatusReply from the obs registry by
-// reflecting over the struct's `obs` tags: each field names the
-// instrument it mirrors, and the registry is the single source of truth.
-// This replaces the old hand-copied field list, whose drift (SelectTime
-// accumulated but never surfaced) motivated the obs refactor.
+// statusField is one precomputed StatusReply field: its obs instrument
+// name, byte offset and store kind. The layout is a property of the
+// wire.StatusReply type, not of any registry, so it is computed once per
+// process and reused by every Status call — the reflection walk happens
+// exactly once instead of per probe.
+type statusField struct {
+	name   string
+	offset uintptr
+	kind   reflect.Kind
+}
+
+var (
+	statusFieldsOnce sync.Once
+	statusFields     []statusField
+	statusFieldsErr  []string // fields with no/unsupported mapping, reported per call
+)
+
+func buildStatusFields() {
+	rt := reflect.TypeOf(wire.StatusReply{})
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		name := f.Tag.Get("obs")
+		if name == "" {
+			statusFieldsErr = append(statusFieldsErr, fmt.Sprintf("%s: no obs tag", f.Name))
+			continue
+		}
+		switch f.Type.Kind() {
+		case reflect.Int, reflect.Int64, reflect.Float64, reflect.Bool:
+			statusFields = append(statusFields, statusField{name: name, offset: f.Offset, kind: f.Type.Kind()})
+		default:
+			statusFieldsErr = append(statusFieldsErr, fmt.Sprintf("%s: unsupported kind %s", f.Name, f.Type.Kind()))
+		}
+	}
+}
+
+// statusFromRegistry fills a wire.StatusReply from the obs registry via
+// the struct's `obs` tags: each field names the instrument it mirrors,
+// and the registry is the single source of truth. This replaces the old
+// hand-copied field list, whose drift (SelectTime accumulated but never
+// surfaced) motivated the obs refactor.
 //
 // The error lists every field that could not be mapped — no obs tag, an
 // unregistered instrument, or an unsupported field kind. Server.Status
@@ -20,31 +57,28 @@ import (
 // non-nil error is a programming bug; the registry-mapping test fails on
 // it instead.
 func statusFromRegistry(reg *obs.Registry) (wire.StatusReply, error) {
+	statusFieldsOnce.Do(buildStatusFields)
 	var rep wire.StatusReply
-	rv := reflect.ValueOf(&rep).Elem()
-	rt := rv.Type()
+	base := unsafe.Pointer(&rep)
 	var bad []string
-	for i := 0; i < rt.NumField(); i++ {
-		f := rt.Field(i)
-		name := f.Tag.Get("obs")
-		if name == "" {
-			bad = append(bad, fmt.Sprintf("%s: no obs tag", f.Name))
-			continue
-		}
-		v, ok := reg.Value(name)
+	bad = append(bad, statusFieldsErr...)
+	for i := range statusFields {
+		f := &statusFields[i]
+		v, ok := reg.Value(f.name)
 		if !ok {
-			bad = append(bad, fmt.Sprintf("%s: instrument %q not registered", f.Name, name))
+			bad = append(bad, fmt.Sprintf("%s: instrument %q not registered", f.name, f.name))
 			continue
 		}
-		switch f.Type.Kind() {
-		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-			rv.Field(i).SetInt(int64(v))
-		case reflect.Float32, reflect.Float64:
-			rv.Field(i).SetFloat(v)
+		p := unsafe.Pointer(uintptr(base) + f.offset)
+		switch f.kind {
+		case reflect.Int:
+			*(*int)(p) = int(v)
+		case reflect.Int64:
+			*(*int64)(p) = int64(v)
+		case reflect.Float64:
+			*(*float64)(p) = v
 		case reflect.Bool:
-			rv.Field(i).SetBool(v != 0)
-		default:
-			bad = append(bad, fmt.Sprintf("%s: unsupported kind %s", f.Name, f.Type.Kind()))
+			*(*bool)(p) = v != 0
 		}
 	}
 	if len(bad) > 0 {

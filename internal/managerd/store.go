@@ -29,6 +29,18 @@ type shard struct {
 	agents map[node.ID]*agentConn
 	cmds   map[node.ID]*cmdState
 	health map[node.ID]*healthRec
+
+	// Cached tallies, guarded by mu. The health counts are recomputed by
+	// every updateHealth sweep and adjusted incrementally by noteConnect
+	// and the journal restore; drifted is recomputed by each control
+	// cycle's collect sweep. They exist so refreshGauges — and therefore
+	// Status and every /metrics scrape — reads O(shards) cached integers
+	// instead of re-walking every node record per call.
+	nHealthy int
+	nStale   int
+	nLost    int
+	nQuar    int
+	drifted  int
 }
 
 // store is the sharded node-state table.

@@ -110,7 +110,14 @@ func (f *Follower) runOnce(ctx context.Context) {
 		closeConn()
 		<-watcherDone
 	}()
-	sub := wire.Envelope{Type: wire.KindJournalAck, Seq: f.cfg.Store.Seq(), Epoch: f.cfg.Store.Epoch()}
+	// The subscribe frame advertises codec support: a binary-capable
+	// leader streams journal appends on the fast codec (the reader below
+	// auto-detects per frame, so no confirmation round-trip is needed).
+	// Our own acks stay JSON — they are one small frame per entry.
+	sub := wire.Envelope{
+		Type: wire.KindJournalAck, Seq: f.cfg.Store.Seq(), Epoch: f.cfg.Store.Epoch(),
+		Codecs: []string{wire.CodecBinary},
+	}
 	if err := conn.Send(sub); err != nil {
 		return
 	}

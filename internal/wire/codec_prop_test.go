@@ -1,0 +1,205 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/proptest"
+)
+
+// randEnvelope draws an arbitrary Envelope from a proptest generator.
+// It covers every kind and field class the codecs must agree on; floats
+// stay finite (JSON cannot carry NaN/Inf, so neither codec accepts them).
+func randEnvelope(g *proptest.Generator, depth int) Envelope {
+	e := Envelope{Type: builderKinds[g.Intn(len(builderKinds))]}
+	if g.Bool(0.7) {
+		e.Node = g.Intn(1 << 20)
+	}
+	if g.Bool(0.5) {
+		e.MaxLevel = g.Intn(64)
+	}
+	if g.Bool(0.7) {
+		e.Seq = uint64(g.Rand().Int63())
+	}
+	if g.Bool(0.5) {
+		e.Level = g.Intn(64)
+	}
+	if g.Bool(0.5) {
+		e.CPUUtil = g.Range(0, 128)
+	}
+	if g.Bool(0.4) {
+		e.MemUsed = uint64(g.Rand().Int63())
+		e.MemTotal = uint64(g.Rand().Int63())
+		e.NICBytes = uint64(g.Rand().Int63())
+	}
+	if g.Bool(0.4) {
+		e.IntervalMS = int64(g.IntRange(1, 1_000_000))
+		e.Job = g.Intn(1024)
+	}
+	if g.Bool(0.6) {
+		e.Epoch = uint64(g.Intn(1 << 30))
+	}
+	if g.Bool(0.3) {
+		e.Entry = json.RawMessage(builderEntries[g.Intn(len(builderEntries))])
+	}
+	if g.Bool(0.2) {
+		e.Stats = &StatusReply{
+			Agents:     g.Intn(100_000),
+			Cycles:     g.Intn(1_000_000),
+			CPUUtilise: g.Range(0, 100),
+			LastPowerW: g.Range(0, 20_000),
+			Trained:    g.Bool(0.5),
+			Drifted:    g.Intn(4096),
+			Epoch:      g.Intn(1000),
+			Leader:     g.Bool(0.5),
+		}
+	}
+	if g.Bool(0.3) {
+		e.Codec = builderCodecs[g.Intn(len(builderCodecs))]
+	}
+	if g.Bool(0.3) {
+		n := g.IntRange(1, 3)
+		for i := 0; i < n; i++ {
+			e.Codecs = append(e.Codecs, builderCodecs[g.Intn(len(builderCodecs))])
+		}
+	}
+	if depth < 2 && g.Bool(0.25) {
+		n := g.IntRange(1, 4)
+		for i := 0; i < n; i++ {
+			e.Batch = append(e.Batch, randEnvelope(g, depth+1))
+		}
+	}
+	return e
+}
+
+// TestPropCodecRoundTripIdentity: encode→decode is identity for arbitrary
+// Envelopes under both codecs, and the two decodes agree with each other.
+// Replay a failure with PROPTEST_SEED=<seed> as reported by proptest.
+func TestPropCodecRoundTripIdentity(t *testing.T) {
+	proptest.MustCheck(t, "codec round-trip identity", proptest.Config{NumTrials: 400, Seed: 0x8C0DEC}, func(g *proptest.Generator) error {
+		e := randEnvelope(g, 0)
+
+		jb, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("json encode: %w", err)
+		}
+		frame, err := AppendFrame(nil, &e)
+		if err != nil {
+			return fmt.Errorf("binary encode: %w", err)
+		}
+
+		var fromJSON, fromBinary Envelope
+		if err := json.Unmarshal(jb, &fromJSON); err != nil {
+			return fmt.Errorf("json decode: %w", err)
+		}
+		if err := DecodeFrame(frame, &fromBinary); err != nil {
+			return fmt.Errorf("binary decode: %w", err)
+		}
+		if !reflect.DeepEqual(fromJSON, fromBinary) {
+			return fmt.Errorf("codecs diverge:\n json   %+v\n binary %+v", fromJSON, fromBinary)
+		}
+
+		// Identity against the original modulo canonicalisation: marshal
+		// both and compare the JSON reference forms.
+		want, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("re-marshal original: %w", err)
+		}
+		got, err := json.Marshal(fromBinary)
+		if err != nil {
+			return fmt.Errorf("re-marshal decoded: %w", err)
+		}
+		if string(want) != string(got) {
+			return fmt.Errorf("round trip not identity:\n want %s\n got  %s", want, got)
+		}
+		return nil
+	})
+}
+
+// TestPropJSONUnknownFieldTolerance: the JSON side must tolerate fields
+// it does not know (a newer peer may add them), decoding the rest of the
+// envelope exactly as if they were absent. This is the compatibility
+// contract that lets JSON remain the canonical fallback codec.
+func TestPropJSONUnknownFieldTolerance(t *testing.T) {
+	proptest.MustCheck(t, "json unknown-field tolerance", proptest.Config{NumTrials: 400, Seed: 0x8C0DED}, func(g *proptest.Generator) error {
+		e := randEnvelope(g, 0)
+		jb, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("json encode: %w", err)
+		}
+
+		var base Envelope
+		if err := json.Unmarshal(jb, &base); err != nil {
+			return fmt.Errorf("baseline decode: %w", err)
+		}
+
+		// Graft unknown fields onto the top-level object.
+		var obj map[string]json.RawMessage
+		if err := json.Unmarshal(jb, &obj); err != nil {
+			return fmt.Errorf("reparse as object: %w", err)
+		}
+		extras := []struct {
+			key, val string
+		}{
+			{"x_future_flag", "true"},
+			{"x_vec", `[1,2,3]`},
+			{"x_nested", `{"a":{"b":"c"}}`},
+			{"x_num", fmt.Sprintf("%d", g.Intn(1<<30))},
+		}
+		n := g.IntRange(1, len(extras))
+		for i := 0; i < n; i++ {
+			obj[extras[i].key] = json.RawMessage(extras[i].val)
+		}
+		grafted, err := json.Marshal(obj)
+		if err != nil {
+			return fmt.Errorf("re-marshal grafted: %w", err)
+		}
+
+		var tolerant Envelope
+		if err := json.Unmarshal(grafted, &tolerant); err != nil {
+			return fmt.Errorf("decode with unknown fields: %w", err)
+		}
+		if !reflect.DeepEqual(base, tolerant) {
+			return fmt.Errorf("unknown fields changed the decode:\n base     %+v\n tolerant %+v", base, tolerant)
+		}
+		return nil
+	})
+}
+
+// TestPropBinaryUnknownTagTolerance mirrors the JSON tolerance property
+// on the binary side: payloads carrying tags this decoder has never heard
+// of must still yield the known fields intact (forward compatibility for
+// mixed-version fleets).
+func TestPropBinaryUnknownTagTolerance(t *testing.T) {
+	proptest.MustCheck(t, "binary unknown-tag tolerance", proptest.Config{NumTrials: 200, Seed: 0x8C0DEE}, func(g *proptest.Generator) error {
+		e := randEnvelope(g, 0)
+		payload, err := appendPayload(nil, &e, 0)
+		if err != nil {
+			return fmt.Errorf("binary encode: %w", err)
+		}
+		var base Envelope
+		if err := decodePayload(payload, &base, 0); err != nil {
+			return fmt.Errorf("baseline decode: %w", err)
+		}
+
+		// Append unknown-tag fields (varint and length-delimited
+		// wiretypes) that a future protocol revision might emit.
+		tag := uint64(20 + g.Intn(8))
+		if g.Bool(0.5) {
+			payload = appendVarintField(payload, tag, uint64(g.Intn(1<<30)))
+		} else {
+			payload = appendBytesField(payload, tag, []byte("from-the-future"))
+		}
+
+		var tolerant Envelope
+		if err := decodePayload(payload, &tolerant, 0); err != nil {
+			return fmt.Errorf("decode with unknown tags: %w", err)
+		}
+		if !reflect.DeepEqual(base, tolerant) {
+			return fmt.Errorf("unknown tags changed the decode:\n base     %+v\n tolerant %+v", base, tolerant)
+		}
+		return nil
+	})
+}

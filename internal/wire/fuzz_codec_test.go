@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// envBuilder derives a structured Envelope from raw fuzz bytes: each
+// draw consumes input deterministically, so the corpus explores the
+// envelope space instead of drowning in unparseable frames. Exhausted
+// input draws zeros, which keeps every prefix of a crashing input
+// meaningful.
+type envBuilder struct {
+	data []byte
+	pos  int
+}
+
+func (b *envBuilder) byte() byte {
+	if b.pos >= len(b.data) {
+		return 0
+	}
+	v := b.data[b.pos]
+	b.pos++
+	return v
+}
+
+func (b *envBuilder) u64() uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(b.byte())
+	}
+	return v
+}
+
+func (b *envBuilder) i64() int64 { return int64(b.u64()) }
+
+// f64 builds a finite float: NaN would break equality and ±Inf is
+// unmarshalable JSON, so neither belongs in the parity corpus (the JSON
+// codec rejects them at encode time on both paths alike).
+func (b *envBuilder) f64() float64 {
+	return float64(b.i64()%1_000_000_000) / 1024.0
+}
+
+var builderKinds = []string{
+	KindHello, KindSample, KindCommand, KindAck, KindPing,
+	KindStatus, KindBatch, KindJournalAppend, KindJournalAck,
+}
+
+// Valid-JSON entry fragments, compact and not: the codecs must agree on
+// both (the JSON reference compacts RawMessage on marshal).
+var builderEntries = []string{
+	`{"seq":42,"epoch":2,"cycle":17,"levels":[{"node":3,"level":1}]}`,
+	`{ "seq": 7,` + "\n" + ` "reset": {"last_seq": 7} }`,
+	`[1,2,3]`,
+	`"opaque"`,
+	`null`,
+}
+
+var builderCodecs = []string{CodecBinary, CodecJSON, "zstd", "future-codec"}
+
+func (b *envBuilder) envelope(depth int) Envelope {
+	e := Envelope{Type: builderKinds[int(b.byte())%len(builderKinds)]}
+	mask := b.byte()
+	if mask&1 != 0 {
+		e.Node = int(b.i64() % 1_000_000)
+	}
+	if mask&2 != 0 {
+		e.MaxLevel = int(b.i64() % 64)
+	}
+	if mask&4 != 0 {
+		e.Seq = b.u64()
+	}
+	if mask&8 != 0 {
+		e.Level = int(b.i64() % 64)
+	}
+	if mask&16 != 0 {
+		e.CPUUtil = b.f64()
+	}
+	if mask&32 != 0 {
+		e.MemUsed, e.MemTotal, e.NICBytes = b.u64(), b.u64(), b.u64()
+	}
+	if mask&64 != 0 {
+		e.IntervalMS = b.i64() % 1_000_000
+		e.Job = int(b.i64() % 1024)
+	}
+	if mask&128 != 0 {
+		e.Epoch = b.u64() % (1 << 40)
+	}
+	ext := b.byte()
+	if ext&1 != 0 {
+		e.Entry = json.RawMessage(builderEntries[int(b.byte())%len(builderEntries)])
+	}
+	if ext&2 != 0 {
+		e.Stats = &StatusReply{
+			Agents: int(b.i64() % 100_000), Cycles: int(b.i64() % 1_000_000),
+			CPUUtilise: b.f64(), LastPowerW: b.f64(), Trained: ext&4 != 0,
+			Drifted: int(b.i64() % 4096), Epoch: int(b.u64() % 1000), Leader: ext&8 != 0,
+		}
+	}
+	if ext&16 != 0 {
+		e.Codec = builderCodecs[int(b.byte())%len(builderCodecs)]
+	}
+	if ext&32 != 0 {
+		n := int(b.byte()) % 3
+		for i := 0; i <= n; i++ {
+			e.Codecs = append(e.Codecs, builderCodecs[int(b.byte())%len(builderCodecs)])
+		}
+	}
+	if ext&64 != 0 && depth < 2 {
+		n := int(b.byte()) % 3
+		for i := 0; i <= n; i++ {
+			e.Batch = append(e.Batch, b.envelope(depth+1))
+		}
+	}
+	return e
+}
+
+// FuzzCodecEquivalence is the codec parity proof: any envelope, encoded
+// by either codec, decodes to the same value under both. The JSON line
+// codec is the reference; divergence in either direction is a bug in the
+// binary codec (or a field added to Envelope without a binary mapping —
+// which this fuzzer exists to catch at the moment of the edit).
+func FuzzCodecEquivalence(f *testing.F) {
+	// One seed per kind, plus deeper shapes: batches (incl. nested),
+	// journal frames with entries, stats, codec negotiation fields.
+	for i := range builderKinds {
+		f.Add([]byte{byte(i), 0xFF, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	}
+	f.Add([]byte{6, 0, 0x02, 9, 8, 7, 6, 5, 4, 3, 2, 1})             // status + stats
+	f.Add([]byte{7, 0, 0x40, 2, 1, 0xFF, 3, 0, 0x40, 1, 0, 0, 2, 0}) // nested batch
+	f.Add([]byte{8, 0x84, 0x01, 1, 0xCC, 0xDD})                      // journal append + entry
+	f.Add([]byte{0, 0x81, 0x30, 2, 1, 0, 3})                         // hello advertising codecs
+	f.Add([]byte{1, 0, 0x10, 0})                                     // hello reply carrying codec
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := &envBuilder{data: data}
+		e := b.envelope(0)
+
+		jb, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("json encode refused builder envelope: %v", err)
+		}
+		frame, err := AppendFrame(nil, &e)
+		if err != nil {
+			t.Fatalf("binary encode refused builder envelope: %v", err)
+		}
+
+		var fromJSON Envelope
+		if err := json.Unmarshal(jb, &fromJSON); err != nil {
+			t.Fatalf("json round trip: %v", err)
+		}
+		var fromBinary Envelope
+		if err := DecodeFrame(frame, &fromBinary); err != nil {
+			t.Fatalf("binary round trip: %v", err)
+		}
+		if !reflect.DeepEqual(fromJSON, fromBinary) {
+			t.Fatalf("codec divergence for %+v:\n json   %+v\n binary %+v", e, fromJSON, fromBinary)
+		}
+
+		// Re-encoding the binary decode must be a fixed point: one more
+		// trip through the codec changes nothing.
+		frame2, err := AppendFrame(nil, &fromBinary)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		var again Envelope
+		if err := DecodeFrame(frame2, &again); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(fromBinary, again) {
+			t.Fatalf("binary codec not idempotent:\n first  %+v\n second %+v", fromBinary, again)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -53,11 +54,52 @@ func FuzzRecv(f *testing.F) {
 	f.Add([]byte(`{"type":"journal_append","seq":7,"entry":{"seq":7,"reset":{"last_seq":7,"saved_at_cycle":9,` +
 		`"levels":[{"node":0,"level":2},{"node":1,"level":0}]}}}` + "\n"))
 	f.Add([]byte(`{"type":"hello","epoch":3}` + "\n" + `{"type":"journal_append","seq":1,"entry":{"seq":1,"lev`))
+	// Batch-wrapped journal frames: replication frames coalesced into a
+	// single write, as a catching-up leader emits under backlog.
+	f.Add([]byte(`{"type":"batch","batch":[` +
+		`{"type":"journal_append","seq":3,"epoch":1,"entry":{"seq":3,"levels":[{"node":0,"level":1}]}},` +
+		`{"type":"journal_append","seq":4,"epoch":1,"entry":{"seq":4,"levels":[{"node":1,"level":2}]}},` +
+		`{"type":"journal_ack","seq":4,"epoch":1}]}` + "\n"))
+	// Binary-codec frames: well-formed, corrupted, truncated, and mixed
+	// with JSON lines on the same stream (what the auto-detecting reader
+	// faces after negotiation, and after faultnet damage).
+	binFrames := func(envs ...Envelope) []byte {
+		var buf []byte
+		for i := range envs {
+			var err error
+			buf, err = AppendFrame(buf, &envs[i])
+			if err != nil {
+				f.Fatalf("seed frame: %v", err)
+			}
+		}
+		return buf
+	}
+	f.Add(binFrames(
+		Envelope{Type: KindHello, Node: 1, MaxLevel: 9, Codecs: []string{CodecBinary}},
+		Envelope{Type: KindSample, Node: 1, Level: 3, CPUUtil: 0.5, IntervalMS: 1000},
+	))
+	f.Add(binFrames(Envelope{Type: KindBatch, Batch: []Envelope{
+		{Type: KindCommand, Node: 3, Level: 2, Seq: 17},
+		{Type: KindJournalAppend, Seq: 42, Epoch: 2, Entry: []byte(`{"seq":42}`)},
+		{Type: KindPing},
+	}}))
+	corrupt := binFrames(Envelope{Type: KindCommand, Node: 7, Level: 1, Seq: 9})
+	corrupt[len(corrupt)-5] ^= 0xA5 // damage the payload so the checksum fails
+	f.Add(append(corrupt, binFrames(Envelope{Type: KindAck, Node: 7, Seq: 9})...))
+	whole := binFrames(Envelope{Type: KindStatus, Stats: &StatusReply{Agents: 4, Cycles: 2}})
+	f.Add(append(whole[:len(whole)-7:len(whole)-7], // truncated mid-frame
+		[]byte(`{"type":"ack","node":1}`+"\n")...))
+	f.Add(append(binFrames(Envelope{Type: KindJournalAck, Seq: 41, Epoch: 2}),
+		[]byte(`{"type":"journal_ack","seq":42,"epoch":2}`+"\n")...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c := NewConn(nopCloser{bytes.NewReader(data)})
 		for i := 0; i < 16; i++ {
 			env, err := c.Recv()
 			if err != nil {
+				var de *DecodeError
+				if errors.As(err, &de) && de.Recoverable() {
+					continue // resynchronise past the damaged frame
+				}
 				return
 			}
 			if env.Type == KindSample {

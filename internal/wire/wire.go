@@ -1,6 +1,8 @@
-// Package wire defines the line protocol between per-node profiling agents
-// and the global power manager daemon: newline-delimited JSON messages over
-// TCP. One connection per agent, established agent→manager:
+// Package wire defines the protocol between per-node profiling agents
+// and the global power manager daemon: newline-delimited JSON messages
+// over TCP, with an optional length-prefixed binary codec (binary.go)
+// negotiated at Hello for the hot paths. One connection per agent,
+// established agent→manager:
 //
 //	agent → manager: hello   (node identity, level table size, current level)
 //	agent → manager: sample  (interval counters + current level, every τ)
@@ -12,13 +14,22 @@
 // The protocol carries raw interval counters rather than watt estimates:
 // the power profile model runs centrally, so model updates never require
 // touching the fleet of agents.
+//
+// Codec negotiation: an agent's hello advertises the codecs it can read
+// and write (Codecs); the manager's hello reply names the one it chose
+// (Codec), after which both writers may switch. The read side always
+// auto-detects per frame — the first byte distinguishes a JSON line from
+// a binary frame — so every old/new peer combination degrades safely to
+// JSON, which remains the canonical fallback and the fuzz reference.
 package wire
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/manager"
@@ -93,6 +104,25 @@ type Envelope struct {
 	// fault roll instead of two. Receivers process the nested envelopes in
 	// order; batches do not nest (a Batch inside a Batch is ignored).
 	Batch []Envelope `json:"batch,omitempty"`
+
+	// Codec negotiation, riding the hello exchange. An agent (or journal
+	// follower) advertises every codec it supports in Codecs; the
+	// manager's hello reply carries the chosen one in Codec. Absent
+	// fields mean JSON, so peers predating the negotiation never see a
+	// binary frame.
+	Codecs []string `json:"codecs,omitempty"`
+	Codec  string   `json:"codec,omitempty"`
+}
+
+// Advertises reports whether the envelope's codec advertisement (its
+// Codecs list) includes name.
+func (e *Envelope) Advertises(name string) bool {
+	for _, c := range e.Codecs {
+		if c == name {
+			return true
+		}
+	}
+	return false
 }
 
 // StatusReply is the manager's answer to a status request.
@@ -142,6 +172,7 @@ type StatusReply struct {
 	// Fan-out layer counters (the concurrent actuation path).
 	CoalescedCmds    int   `json:"coalesced_cmds" obs:"coalesced_cmds"`         // queued commands superseded before the write
 	StaleConnErrors  int   `json:"stale_conn_errors" obs:"stale_conn_errors"`   // send failures on already-replaced connections
+	DecodeErrors     int   `json:"decode_errors" obs:"decode_errors"`           // corrupt inbound frames tolerated and skipped
 	Shards           int   `json:"shards" obs:"shards"`                         // node-state shards
 	SamplesReceived  int64 `json:"samples_received" obs:"samples_received"`     // agent samples accepted over the wire
 	LastCycleMicros  int64 `json:"last_cycle_micros" obs:"last_cycle_micros"`   // last control cycle's critical-path time
@@ -192,13 +223,30 @@ func (e Envelope) Reading() manager.AgentReading {
 	}
 }
 
-// Conn wraps a byte stream with the line protocol. Safe for one reader and
-// one writer goroutine concurrently (Encode and Decode each take their own
-// path); multiple concurrent writers must serialise externally.
+// Conn wraps a byte stream with the wire protocol. Safe for one reader
+// and one writer goroutine concurrently (the read and write paths own
+// disjoint state); multiple concurrent writers must serialise externally.
 type Conn struct {
 	r   *bufio.Reader
 	w   *bufio.Writer
 	raw io.ReadWriteCloser
+
+	// binWrite selects the writer's codec (the reader always
+	// auto-detects). Atomic because negotiation may flip it from the
+	// reader goroutine while the writer is mid-stream — which is safe,
+	// since the switch happens on a frame boundary of the writer's next
+	// Send.
+	binWrite atomic.Bool
+
+	// Reused scratch: encBuf backs binary encoding (writer-owned),
+	// readBuf backs binary payloads and overlong JSON lines
+	// (reader-owned). Steady-state traffic allocates nothing here.
+	encBuf  []byte
+	readBuf []byte
+
+	// decodeFails counts consecutive recoverable decode errors, for the
+	// fatal escalation described on maxDecodeFails.
+	decodeFails int
 }
 
 // NewConn wraps rw.
@@ -206,8 +254,24 @@ func NewConn(rw io.ReadWriteCloser) *Conn {
 	return &Conn{r: bufio.NewReader(rw), w: bufio.NewWriter(rw), raw: rw}
 }
 
-// Send encodes one message and flushes it.
+// EnableBinary switches the write side to the binary codec. The remote
+// reader needs no warning: frames self-identify. Callers flip this only
+// after the Hello negotiation confirms the peer advertised support.
+func (c *Conn) EnableBinary() { c.binWrite.Store(true) }
+
+// BinaryWrites reports whether the write side emits binary frames.
+func (c *Conn) BinaryWrites() bool { return c.binWrite.Load() }
+
+// Send encodes one message and flushes it: a binary frame once
+// EnableBinary has been called (falling back to a JSON line per frame
+// for the rare envelope the binary codec cannot carry), a JSON line
+// otherwise. One message is one underlying write.
 func (c *Conn) Send(e Envelope) error {
+	if c.binWrite.Load() {
+		if handled, err := c.sendBinary(&e); handled {
+			return err
+		}
+	}
 	b, err := json.Marshal(e)
 	if err != nil {
 		return fmt.Errorf("wire: marshal: %w", err)
@@ -236,18 +300,68 @@ func (c *Conn) SendBatch(envs []Envelope) error {
 
 // Recv reads one message. io.EOF signals a clean close.
 func (c *Conn) Recv() (Envelope, error) {
-	line, err := c.r.ReadBytes('\n')
+	var e Envelope
+	err := c.RecvInto(&e)
+	return e, err
+}
+
+// RecvInto reads one message into e (reset first), auto-detecting the
+// frame codec from its first byte. Readers on hot paths call this with a
+// reused envelope so steady-state traffic decodes without allocating.
+//
+// A *DecodeError with Recoverable() true reports a frame that failed to
+// decode — corrupt checksum, unparseable JSON line — while the stream
+// stayed synchronised: the caller may count it and keep receiving. After
+// maxDecodeFails consecutive failures the error turns fatal, bounding
+// how long a desynchronised stream can masquerade as a noisy one. Any
+// other error (including a fatal DecodeError) ends the connection.
+func (c *Conn) RecvInto(e *Envelope) error {
+	*e = Envelope{}
+	b, err := c.r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if b == frameMagic {
+		err = c.recvBinary(e)
+	} else {
+		_ = c.r.UnreadByte()
+		err = c.recvJSON(e)
+	}
+	var de *DecodeError
+	if errors.As(err, &de) {
+		c.decodeFails++
+		if c.decodeFails >= maxDecodeFails {
+			de.Fatal = true
+		}
+	} else if err == nil {
+		c.decodeFails = 0
+	}
+	return err
+}
+
+// recvJSON reads one newline-delimited JSON envelope. Lines longer than
+// the bufio buffer spill into the connection's reused read buffer.
+func (c *Conn) recvJSON(e *Envelope) error {
+	line, err := c.r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		buf := append(c.readBuf[:0], line...)
+		for err == bufio.ErrBufferFull {
+			line, err = c.r.ReadSlice('\n')
+			buf = append(buf, line...)
+		}
+		c.readBuf = buf
+		line = buf
+	}
 	if err != nil {
 		if len(line) == 0 {
-			return Envelope{}, err
+			return err
 		}
 		// A final unterminated line still decodes.
 	}
-	var e Envelope
-	if uerr := json.Unmarshal(line, &e); uerr != nil {
-		return Envelope{}, fmt.Errorf("wire: decode %q: %w", truncate(line), uerr)
+	if uerr := json.Unmarshal(line, e); uerr != nil {
+		return &DecodeError{Codec: CodecJSON, Err: fmt.Errorf("%q: %w", truncate(line), uerr)}
 	}
-	return e, nil
+	return nil
 }
 
 // Close closes the underlying stream.
