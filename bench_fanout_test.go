@@ -30,8 +30,11 @@ import (
 	"repro/internal/wire"
 )
 
-// fanoutSweep is the fleet-size axis shared by both benchmarks.
-var fanoutSweep = []int{128, 512, 1024, 4096}
+// fanoutSweep is the fleet-size axis shared by both benchmarks. The
+// 16384 point exists for the federated-vs-flat comparison: one flat
+// manager over the whole fleet against BenchmarkCycleFanoutFed's 128
+// cabinets of 128.
+var fanoutSweep = []int{128, 512, 1024, 4096, 16384}
 
 // benchFleet is a manager plus N connected fake agents. The agents send a
 // hello and one busy sample, then only drain their read side — they never
@@ -69,9 +72,18 @@ func startBenchFleet(b *testing.B, agents int) *benchFleet {
 		srv.Stop()
 		nw.Close()
 	})
+	f.wireAgents(b, agents)
+	f.warmRed(b)
+	return f
+}
 
+// wireAgents connects n fake agents to the fleet's manager and waits for
+// all of them to register. Shared with the federated benchmark, where
+// each cabinet is one benchFleet.
+func (f *benchFleet) wireAgents(b *testing.B, agents int) {
+	b.Helper()
 	for i := 0; i < agents; i++ {
-		raw, err := nw.Dial(context.Background(), uint64(i))
+		raw, err := f.nw.Dial(context.Background(), uint64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -81,8 +93,9 @@ func startBenchFleet(b *testing.B, agents int) *benchFleet {
 		// faultnet pipes are unbuffered — an unread reply would deadlock
 		// both sides mid-handshake. Real agents read concurrently too.
 		go func() { // drain replies/commands/pings so writes never block
+			var e wire.Envelope // reused like a real agent's hot read loop
 			for {
-				if _, err := c.Recv(); err != nil {
+				if err := c.RecvInto(&e); err != nil {
 					return
 				}
 			}
@@ -111,19 +124,22 @@ func startBenchFleet(b *testing.B, agents int) *benchFleet {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	// Warm-up cycles: absorb the last in-flight sample decodes, let the
-	// command/retry state reach steady state, and prove the fleet
-	// classifies red before timing starts. One cycle is not enough — the
-	// first few post-registration cycles pay cold caches and initial
-	// slice growth, and with testing.B's small adaptive b.N probes they
-	// would dominate the measurement.
+}
+
+// warmRed runs warm-up cycles: absorb the last in-flight sample decodes,
+// let the command/retry state reach steady state, and prove the fleet
+// classifies red before timing starts. One cycle is not enough — the
+// first few post-registration cycles pay cold caches and initial slice
+// growth, and with testing.B's small adaptive b.N probes they would
+// dominate the measurement.
+func (f *benchFleet) warmRed(b *testing.B) {
+	b.Helper()
 	for i := 0; i < 5; i++ {
 		f.srv.StepCycle()
 	}
 	if st := f.srv.Status(); st.RedCycles == 0 {
 		b.Fatalf("bench fleet not in sustained red: %+v", st)
 	}
-	return f
 }
 
 // BenchmarkCycleFanout measures one full control cycle — sense, classify,

@@ -1,0 +1,168 @@
+// Federated fan-out benchmark: the two-tier control plane at scale. A
+// fedd coordinator governs total/128 cabinet managers of 128 fake agents
+// each; every iteration steps one full federation round — a coordinator
+// cycle (classify cabinets, divide the budget, send every grant) plus
+// one complete Algorithm-1 cycle with full command fan-out inside every
+// cabinet. The point of the architecture is that per-agent cost stays at
+// the 128-agent sweet spot no matter how many cabinets are federated,
+// where a single flat manager degrades super-linearly past a few
+// thousand agents (see BenchmarkCycleFanout at 4096).
+//
+// Results persist to BENCH_fanout.json as bench "CycleFanoutFed" keyed
+// by total agent count; CI guards the 16384-agent baseline.
+package repro_test
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/fedd"
+	"repro/internal/managerd"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// fedSweep is the total-agent axis; every size is fedCabinetSize agents
+// per cabinet, so 16384 is a 128-cabinet federation.
+var fedSweep = []int{1024, 4096, 16384}
+
+const fedCabinetSize = 128
+
+// fedBenchFleet is a coordinator plus cabinets, each a benchFleet held in
+// sustained red by its grant: the coordinator's budget is 1 W per cabinet
+// (equal-split grants P_L 1 W / P_H 2 W), far below any fleet's draw.
+type fedBenchFleet struct {
+	coord    *fedd.Server
+	coordNet *faultnet.Network
+	cabs     []*benchFleet
+}
+
+func startFedBenchFleet(b *testing.B, total int) *fedBenchFleet {
+	b.Helper()
+	cabinets := total / fedCabinetSize
+	coordNet := faultnet.New(9001)
+	coord, err := fedd.New(fedd.Config{
+		Listener:     coordNet.Listener(),
+		Budget:       units.Watts(cabinets),
+		PH:           units.Watts(2 * cabinets),
+		ControlEvery: time.Hour, // cycles driven explicitly via StepCycle
+		StaleAfter:   time.Hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := coord.Start(); err != nil {
+		b.Fatal(err)
+	}
+	f := &fedBenchFleet{coord: coord, coordNet: coordNet}
+	// Registered before the cabinets' cleanups, so LIFO order stops every
+	// cabinet (closing its federation conn) before the coordinator.
+	b.Cleanup(func() {
+		coord.Stop()
+		coordNet.Close()
+	})
+
+	for cab := 0; cab < cabinets; cab++ {
+		cab := cab
+		nw := faultnet.New(1 + int64(cab))
+		srv, err := managerd.New(managerd.Config{
+			Listener:     nw.Listener(),
+			Model:        power.TianheNode(),
+			Policy:       policy.MPCC{},
+			Tg:           3,
+			ControlEvery: time.Hour,
+			Thresholds:   power.Thresholds{PL: 1, PH: 2},
+			Cabinet:      cab,
+			CoordinatorDial: func() (net.Conn, error) {
+				return coordNet.Dial(context.Background(), uint64(cab))
+			},
+			ReportEvery:    time.Hour,
+			StaleAfter:     time.Hour,
+			CommandTimeout: 5 * time.Second,
+			HeartbeatEvery: -1,
+			Shards:         128,
+			FanoutWorkers:  4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			b.Fatal(err)
+		}
+		cf := &benchFleet{srv: srv, nw: nw}
+		b.Cleanup(func() {
+			srv.Stop()
+			nw.Close()
+		})
+		f.cabs = append(f.cabs, cf)
+		cf.wireAgents(b, fedCabinetSize)
+	}
+
+	// Every cabinet subscribed, one coordinator round grants them all,
+	// and each cabinet's control loop must be governed (running on its
+	// granted band) before timing starts.
+	deadline := time.Now().Add(60 * time.Second)
+	for len(f.coord.CabinetStates()) != cabinets {
+		if time.Now().After(deadline) {
+			b.Fatalf("only %d of %d cabinets subscribed", len(f.coord.CabinetStates()), cabinets)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	f.coord.StepCycle()
+	for _, cf := range f.cabs {
+		for !cf.srv.Status().Governed {
+			if time.Now().After(deadline) {
+				b.Fatalf("cabinet never governed: %+v", cf.srv.Status())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		cf.warmRed(b)
+	}
+	return f
+}
+
+// step runs one federation round: a coordinator cycle, then a full
+// control cycle in every cabinet. Returns the summed in-cabinet fan-out
+// time.
+func (f *fedBenchFleet) step() time.Duration {
+	f.coord.StepCycle()
+	var fanout time.Duration
+	for _, cf := range f.cabs {
+		fanout += cf.srv.StepCycle()
+	}
+	return fanout
+}
+
+// BenchmarkCycleFanoutFed measures one federation round per iteration:
+// budget division plus grant fan-out at the coordinator tier and a full
+// Algorithm-1 cycle with N-node command fan-out across all cabinets.
+func BenchmarkCycleFanoutFed(b *testing.B) {
+	for _, n := range fedSweep {
+		n := n
+		b.Run("n"+itoa(n), func(b *testing.B) {
+			f := startFedBenchFleet(b, n)
+			b.ReportAllocs()
+			ms := newMemTrack()
+			b.ResetTimer()
+			var fanout time.Duration
+			for i := 0; i < b.N; i++ {
+				fanout += f.step()
+			}
+			b.StopTimer()
+			allocsOp, bytesOp := ms.perOp(b.N)
+			nsOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(nsOp/float64(n), "ns/agent")
+			recordBench(benchEntry{
+				Bench: "CycleFanoutFed", Agents: n,
+				NsPerOp:     nsOp,
+				AllocsPerOp: allocsOp,
+				BytesPerOp:  bytesOp,
+				FanoutUS:    fanout.Microseconds() / int64(b.N),
+			})
+		})
+	}
+}

@@ -1,0 +1,106 @@
+// Command powcoordd runs the federation coordinator: it owns the global
+// power budget and re-divides it across cabinet managers (powmgrd
+// instances started with -coordinator) every coordination cycle.
+//
+//	powcoordd -addr 127.0.0.1:7070 -budget 120kW -ph 132kW \
+//	          -division fair -breaker 40kW -floor 2kW
+//
+// Each cabinet manager subscribes and streams aggregate reports; the
+// coordinator answers with budget grants, which double as heartbeats —
+// a cabinet cut off from the coordinator floors itself to its failsafe
+// band, and its budget share is re-divided among the survivors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/fedd"
+	"repro/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("powcoordd: ")
+
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7070", "listen address for cabinet subscriptions")
+		budgetStr  = flag.String("budget", "120kW", "global budget (sum of all grants' P_L)")
+		phStr      = flag.String("ph", "", "global upper threshold P_H (default 1.1× budget)")
+		divName    = flag.String("division", "proportional", "budget division: uniform, proportional or fair")
+		period     = flag.Duration("period", time.Second, "coordination cycle period")
+		staleAfter = flag.Duration("stale-after", 0, "mark cabinets lost after this report silence (0 = 3 cycles)")
+		breakerStr = flag.String("breaker", "", "per-cabinet breaker rating capping any grant (empty = unbounded)")
+		floorStr   = flag.String("floor", "", "per-cabinet weighting floor, reserved for lost cabinets (empty = none)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics and GET /debug/cycles on this address (empty = disabled)")
+		codec       = flag.String("codec", "binary", "preferred wire codec negotiated with cabinets: binary or json")
+	)
+	flag.Parse()
+
+	bud, err := units.ParseWatts(*budgetStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ph := bud * 11 / 10
+	if *phStr != "" {
+		if ph, err = units.ParseWatts(*phStr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	div, err := budget.ParseDivision(*divName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var breaker, floor units.Watts
+	if *breakerStr != "" {
+		if breaker, err = units.ParseWatts(*breakerStr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *floorStr != "" {
+		if floor, err = units.ParseWatts(*floorStr); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	srv, err := fedd.New(fedd.Config{
+		Addr:         *addr,
+		Budget:       bud,
+		PH:           ph,
+		Division:     div,
+		ControlEvery: *period,
+		StaleAfter:   *staleAfter,
+		Breaker:      breaker,
+		FloorW:       floor,
+		WireCodec:    *codec,
+		MetricsAddr:  *metricsAddr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("powcoordd: listening on %s (budget %v, PH %v, division %s, period %v)\n",
+		srv.Addr(), bud, ph, div, *period)
+	if ma := srv.MetricsAddr(); ma != "" {
+		fmt.Printf("powcoordd: metrics on http://%s/metrics (cycles on /debug/cycles)\n", ma)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("powcoordd: shutting down")
+	srv.Stop()
+	for _, cs := range srv.CabinetStates() {
+		fmt.Printf("powcoordd: cabinet %d live=%v grant %.0fW applied %.0fW power %.0fW agents %d/%d\n",
+			cs.Cabinet, cs.Live, cs.GrantW, cs.AppliedW, cs.PowerW, cs.Healthy, cs.Agents)
+	}
+}

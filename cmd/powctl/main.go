@@ -5,10 +5,15 @@
 //	powctl -addr 127.0.0.1:7077
 //	powctl -addr 127.0.0.1:7077 -json | jq .command_acks
 //	powctl -addr 127.0.0.1:7077 -watch 1s -samples 60
+//	powctl -addr 127.0.0.1:7077 -codec
 //
 // -watch polls the manager every interval and renders the recent history
 // of the cycle-stage latencies (collection, selection, fan-out, whole
 // cycle) and the estimated fleet power as terminal sparklines.
+//
+// -codec probes wire-codec negotiation: it advertises the full codec set
+// a real agent would and reports which codec the daemon picks, plus the
+// binary/JSON split across the live fleet's connections.
 package main
 
 import (
@@ -36,8 +41,20 @@ func main() {
 		asJSON  = flag.Bool("json", false, "print the full status reply as one JSON object")
 		watch   = flag.Duration("watch", 0, "poll every interval and render latency sparklines (0 = one-shot)")
 		samples = flag.Int("samples", 60, "polls per -watch render window; also how many polls before exiting")
+		codec   = flag.Bool("codec", false, "probe wire-codec negotiation and report the fleet's binary/JSON split")
 	)
 	flag.Parse()
+
+	if *codec {
+		negotiated, st, err := managerd.QueryCodec(*addr, *timeout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("negotiated      %s\n", negotiated)
+		fmt.Printf("agent conns     %d binary, %d json (%d agents)\n",
+			st.BinaryConns, st.JSONConns, st.Agents)
+		return
+	}
 
 	if *watch > 0 {
 		if err := watchLoop(*addr, *timeout, *watch, *samples); err != nil {
@@ -80,6 +97,10 @@ func main() {
 	fmt.Printf("node health     healthy %d, stale %d, lost %d, quarantined %d (quarantines %d)\n",
 		st.HealthyNodes, st.StaleNodes, st.LostNodes, st.QuarantinedNodes, st.Quarantines)
 	fmt.Printf("journal writes  %d (incremental appends %d)\n", st.JournalWrites, st.JournalAppends)
+	if st.Governed || st.BudgetFloors > 0 {
+		fmt.Printf("federation      cabinet %d, governed %v, grants %d, floors %d, demand %.1f W\n",
+			st.Cabinet, st.Governed, st.BudgetGrants, st.BudgetFloors, st.DemandW)
+	}
 	if st.Epoch > 0 {
 		fmt.Printf("ha              epoch %d, leader %v, followers %d (lag %d entries), fenced hellos %d\n",
 			st.Epoch, st.Leader, st.ReplicaConns, st.ReplicaLagEntries, st.FencedHellos)

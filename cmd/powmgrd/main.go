@@ -70,6 +70,13 @@ func main() {
 		replicaListen = flag.String("replica-listen", "", "dedicated listener for journal followers and status probes (empty = share -addr)")
 
 		codec = flag.String("codec", "binary", "preferred wire codec negotiated with agents and followers: binary or json")
+
+		coordinator = flag.String("coordinator", "", "run governed: dial this federation coordinator (powcoordd) and cap under its budget grants")
+		cabinet     = flag.Int("cabinet", 0, "cabinet index reported to the coordinator (with -coordinator)")
+		reportEvery = flag.Duration("report-every", 0, "cabinet report period (0 = control period)")
+		budgetGrace = flag.Int("budget-grace", 3, "control periods of coordinator silence tolerated before flooring to the failsafe band")
+		failsafePL  = flag.String("failsafe-pl", "", "failsafe band P_L enforced on coordinator silence (empty = hold -pl/-ph)")
+		failsafePH  = flag.String("failsafe-ph", "", "failsafe band P_H (with -failsafe-pl)")
 	)
 	flag.Parse()
 
@@ -105,6 +112,23 @@ func main() {
 		CycleHistory:   *cycleHistory,
 		ReplicaAddr:    *replicaListen,
 		WireCodec:      *codec,
+	}
+	if *coordinator != "" {
+		cfg.CoordinatorAddr = *coordinator
+		cfg.Cabinet = *cabinet
+		cfg.ReportEvery = *reportEvery
+		cfg.BudgetGrace = *budgetGrace
+		if *failsafePL != "" {
+			fpl, err := units.ParseWatts(*failsafePL)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fph, err := units.ParseWatts(*failsafePH)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.FailsafeBudget = power.Thresholds{PL: fpl, PH: fph}
+		}
 	}
 	if *train > 0 {
 		pm, err := units.ParseWatts(*pmaxStr)

@@ -1,0 +1,141 @@
+package budget_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/pdist"
+	"repro/internal/proptest"
+	"repro/internal/units"
+)
+
+// propCfg pins the master seed so CI is deterministic; replay any failure
+// with PROPTEST_SEED=<printed seed>.
+var propCfg = proptest.Config{NumTrials: 300, Seed: 90_01}
+
+var divisions = []budget.Division{budget.Uniform, budget.Proportional, budget.FairShare}
+
+// drawDemands builds a random cabinet roster: wants spanning idle racks
+// to power-hungry ones, floors below want or occasionally above it, and
+// breaker caps from a pdist topology on some trials (0 = uncapped).
+func drawDemands(g *proptest.Generator) (ds []budget.Demand, breaker float64) {
+	n := g.IntRange(1, 24)
+	if g.Bool(0.6) {
+		// Breaker ratings come from a pdist monitor's per-cabinet rating.
+		layout := pdist.Layout{Cabinets: n, NodesPer: g.IntRange(1, 64)}
+		rating := units.Watts(g.Range(500, 50_000))
+		if _, err := pdist.NewMonitor(layout, rating); err == nil {
+			breaker = float64(rating)
+		}
+	}
+	ds = make([]budget.Demand, n)
+	for i := range ds {
+		ds[i] = budget.Demand{
+			ID:   i,
+			Want: g.Range(0, 60_000),
+			Cap:  breaker,
+		}
+		if g.Bool(0.5) {
+			ds[i].Floor = g.Range(0, 2_000)
+		}
+	}
+	return ds, breaker
+}
+
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// TestDivideSumsWithinParentBudget: no strategy ever hands out more than
+// the parent budget (to float tolerance), and never a negative share.
+func TestDivideSumsWithinParentBudget(t *testing.T) {
+	proptest.MustCheck(t, "divide-sum", propCfg, func(g *proptest.Generator) error {
+		ds, _ := drawDemands(g)
+		total := g.Range(1, 200_000)
+		for _, div := range divisions {
+			shares := budget.Divide(total, div, ds)
+			if s := sum(shares); s > total*(1+1e-9)+1e-6 {
+				return fmt.Errorf("%v: shares sum %.6f above budget %.6f", div, s, total)
+			}
+			for i, s := range shares {
+				if s < 0 {
+					return fmt.Errorf("%v: negative share[%d] = %v", div, i, s)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// TestDivideRespectsBreakerRatings: with per-cabinet breaker ratings from
+// pdist as caps, no strategy grants any cabinet a share above its rating.
+func TestDivideRespectsBreakerRatings(t *testing.T) {
+	proptest.MustCheck(t, "divide-breaker", propCfg, func(g *proptest.Generator) error {
+		ds, breaker := drawDemands(g)
+		if breaker == 0 {
+			return nil // uncapped trial: nothing to check here
+		}
+		total := g.Range(1, 400_000)
+		for _, div := range divisions {
+			shares := budget.Divide(total, div, ds)
+			for i, s := range shares {
+				if s > breaker*(1+1e-9)+1e-6 {
+					return fmt.Errorf("%v: share[%d] = %.6f above breaker %.6f", div, i, s, breaker)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// TestDivideMonotoneInDemand: raising one child's demand (all else equal)
+// never lowers that child's share, for every strategy.
+func TestDivideMonotoneInDemand(t *testing.T) {
+	proptest.MustCheck(t, "divide-monotone", propCfg, func(g *proptest.Generator) error {
+		ds, _ := drawDemands(g)
+		total := g.Range(1, 200_000)
+		i := g.Intn(len(ds))
+		bumped := make([]budget.Demand, len(ds))
+		copy(bumped, ds)
+		bumped[i].Want += g.Range(0, 30_000)
+		for _, div := range divisions {
+			before := budget.Divide(total, div, ds)
+			after := budget.Divide(total, div, bumped)
+			if after[i] < before[i]-1e-6 {
+				return fmt.Errorf("%v: share[%d] fell %.6f → %.6f when demand rose %.1f → %.1f",
+					div, i, before[i], after[i], ds[i].Want, bumped[i].Want)
+			}
+		}
+		return nil
+	})
+}
+
+// TestDivideFullySpendsFeasibleBudget: when the budget fits under the
+// children's combined caps, every strategy spends (almost) all of it —
+// the division may not strand provisioned power.
+func TestDivideFullySpendsFeasibleBudget(t *testing.T) {
+	proptest.MustCheck(t, "divide-spend", propCfg, func(g *proptest.Generator) error {
+		ds, breaker := drawDemands(g)
+		capSum := math.Inf(1)
+		if breaker > 0 {
+			capSum = breaker * float64(len(ds))
+		}
+		total := g.Range(1, 200_000)
+		if total > capSum {
+			total = capSum * g.Float64()
+		}
+		for _, div := range divisions {
+			shares := budget.Divide(total, div, ds)
+			if s := sum(shares); s < total*(1-1e-6)-1e-6 {
+				return fmt.Errorf("%v: only %.6f of %.6f spent", div, s, total)
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,577 @@
+// Package fedd implements the coordinator tier of the capping
+// federation: one daemon owning the machine's global power budget over a
+// fleet of cabinet managers (internal/managerd in governed mode).
+//
+// Each cabinet manager dials in and subscribes with a cab_report frame,
+// then streams one report per control cycle: its sensed aggregate power,
+// its uncapped full-level demand estimate, the band it currently
+// enforces and its fleet tallies. Every coordinator cycle the daemon
+// classifies cabinets live or lost by report freshness, re-divides the
+// global budget across the live ones with the shared division library
+// (internal/budget — the same code that splits a cabinet budget across
+// nodes in nodemgr), and sends each live cabinet a cab_budget grant
+// naming its new band. Grants double as heartbeats: a cabinet that stops
+// receiving them floors itself locally (managerd's federate.go), and a
+// lost cabinet's budget — minus a reserved floor for whatever it still
+// draws while flooring — is re-divided among the survivors on the very
+// next cycle.
+//
+// The two-tier split is the paper's pdist topology made control-plane
+// structure: breakers bound cabinets physically, so the coordinator
+// bounds them logically with per-cabinet caps, and no single control
+// loop has to fan out to every node in the machine.
+package fedd
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/obs"
+	"repro/internal/power"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// Config parametrises the coordinator.
+type Config struct {
+	// Addr is the TCP listen address for cabinet subscriptions. Port 0
+	// selects an ephemeral port (see Server.Addr).
+	Addr string
+	// Listener, when non-nil, is served instead of binding Addr (the
+	// harness hands over a fault-injecting in-memory listener). The
+	// server takes ownership and closes it on Stop.
+	Listener net.Listener
+	// Budget is the global lower threshold: the sum of all grants' P_L
+	// never exceeds it.
+	Budget units.Watts
+	// PH is the global upper threshold. Each grant's P_H scales from its
+	// P_L by the global PH/Budget ratio, so cabinet headroom mirrors the
+	// machine's.
+	PH units.Watts
+	// Division selects the budget division strategy (internal/budget):
+	// Uniform, Proportional (to reported demand) or FairShare.
+	Division budget.Division
+	// ControlEvery is the coordinator cycle period; every cycle
+	// re-divides the budget and sends one grant per live cabinet.
+	ControlEvery time.Duration
+	// StaleAfter marks a cabinet lost when its newest report is older
+	// than this. Liveness is pure report freshness — a cabinet whose
+	// connection drops but whose last report is still fresh keeps its
+	// budget share through the window, so a warm-standby takeover that
+	// redials within it is invisible at this tier. Zero defaults to
+	// 3 coordinator cycles.
+	StaleAfter time.Duration
+	// Breaker is the per-cabinet circuit-breaker rating (pdist): a hard
+	// cap on any single cabinet's grant, whatever its demand. Zero means
+	// unbounded.
+	Breaker units.Watts
+	// FloorW is the per-cabinet weighting floor handed to the division
+	// (a cabinet with zero demand still gets this much weight), and the
+	// amount reserved from the global budget for each lost cabinet —
+	// covering what it draws while floored on its local failsafe. Zero
+	// disables both.
+	FloorW units.Watts
+	// WireCodec mirrors managerd's: "binary" (and "") negotiates the
+	// binary codec with cabinets that advertise it; "json" pins JSON.
+	WireCodec string
+	// MetricsAddr, when non-empty, serves GET /metrics and GET
+	// /debug/cycles for the coordinator registry on this address.
+	MetricsAddr string
+	// CycleHistory is how many staged cycle timelines to retain for
+	// /debug/cycles; zero defaults to obs.DefaultCycleHistory.
+	CycleHistory int
+}
+
+// cabState is everything the coordinator knows about one cabinet.
+// All fields are guarded by Server.mu. The connection is written only by
+// the coordinator cycle goroutine once registered (the subscribe path
+// sends its frames before registering), so grant writes never race.
+type cabState struct {
+	conn     *wire.Conn
+	lastSeen time.Time
+
+	powerW, demandW  float64
+	appliedW, phW    float64 // band the cabinet says it is enforcing
+	agents, healthy  int
+	epoch            uint64 // cabinet manager's leadership epoch (HA)
+	appliedSeq       uint64 // grant seq echoed in the last report
+	grantW, grantPHW float64
+	grantSeq         uint64
+
+	liveG, grantG, powerG, demandG *obs.Gauge
+}
+
+// CabinetStatus is a point-in-time external view of one cabinet, for
+// tests and operator tooling.
+type CabinetStatus struct {
+	Cabinet    int
+	Live       bool
+	PowerW     float64
+	DemandW    float64
+	AppliedW   float64
+	GrantW     float64
+	GrantPHW   float64
+	GrantSeq   uint64
+	AppliedSeq uint64
+	Agents     int
+	Healthy    int
+	Epoch      uint64
+}
+
+// Server is a running coordinator.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu   sync.Mutex
+	cabs map[int]*cabState
+
+	seq atomic.Uint64
+
+	reg   *obs.Registry
+	trace *obs.CycleRecorder
+
+	reportsC    *obs.Counter
+	grantsC     *obs.Counter
+	decodeErrsC *obs.Counter
+	cyclesC     *obs.Counter
+	cabinetsG   *obs.Gauge
+	liveG       *obs.Gauge
+	lostG       *obs.Gauge
+	fleetPowerG *obs.Gauge
+	fleetDemG   *obs.Gauge
+	fleetAgG    *obs.Gauge
+	fleetHlG    *obs.Gauge
+	budgetG     *obs.Gauge
+	grantedG    *obs.Gauge
+	cycleUsG    *obs.Gauge
+
+	metricsLn  net.Listener
+	metricsSrv *http.Server
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New validates the configuration and creates an unstarted coordinator.
+func New(cfg Config) (*Server, error) {
+	if cfg.ControlEvery <= 0 {
+		return nil, fmt.Errorf("fedd: need positive control period")
+	}
+	thr := power.Thresholds{PL: cfg.Budget, PH: cfg.PH}
+	if err := thr.Validate(); err != nil {
+		return nil, fmt.Errorf("fedd: global band: %w", err)
+	}
+	if !cfg.Division.Valid() {
+		return nil, fmt.Errorf("fedd: unknown division %d", cfg.Division)
+	}
+	if cfg.Breaker < 0 || cfg.FloorW < 0 {
+		return nil, fmt.Errorf("fedd: negative breaker or floor")
+	}
+	if cfg.StaleAfter <= 0 {
+		cfg.StaleAfter = 3 * cfg.ControlEvery
+	}
+	switch cfg.WireCodec {
+	case "", wire.CodecBinary, wire.CodecJSON:
+	default:
+		return nil, fmt.Errorf("fedd: unknown wire codec %q", cfg.WireCodec)
+	}
+	reg := obs.NewRegistry()
+	s := &Server{
+		cfg:    cfg,
+		cabs:   make(map[int]*cabState),
+		reg:    reg,
+		trace:  obs.NewCycleRecorder(cfg.CycleHistory, reg),
+		stopCh: make(chan struct{}),
+
+		reportsC:    reg.Counter("reports_received"),
+		grantsC:     reg.Counter("grants_sent"),
+		decodeErrsC: reg.Counter("decode_errors"),
+		cyclesC:     reg.Counter("cycles"),
+		cabinetsG:   reg.Gauge("cabinets"),
+		liveG:       reg.Gauge("cabinets_live"),
+		lostG:       reg.Gauge("cabinets_lost"),
+		fleetPowerG: reg.Gauge("fleet_power_w"),
+		fleetDemG:   reg.Gauge("fleet_demand_w"),
+		fleetAgG:    reg.Gauge("fleet_agents"),
+		fleetHlG:    reg.Gauge("fleet_healthy"),
+		budgetG:     reg.Gauge("budget_w"),
+		grantedG:    reg.Gauge("granted_w"),
+		cycleUsG:    reg.Gauge("last_cycle_micros"),
+	}
+	s.budgetG.Set(float64(cfg.Budget))
+	return s, nil
+}
+
+// Start binds the listener and launches the accept and coordination
+// loops.
+func (s *Server) Start() error {
+	if s.cfg.MetricsAddr != "" {
+		mln, err := net.Listen("tcp", s.cfg.MetricsAddr)
+		if err != nil {
+			return fmt.Errorf("fedd: metrics listen: %w", err)
+		}
+		s.metricsLn = mln
+		s.metricsSrv = &http.Server{Handler: obs.NewMux(s.reg, s.trace, func() {})}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			_ = s.metricsSrv.Serve(mln)
+		}()
+	}
+	if s.cfg.Listener != nil {
+		s.ln = s.cfg.Listener
+	} else {
+		ln, err := net.Listen("tcp", s.cfg.Addr)
+		if err != nil {
+			if s.metricsSrv != nil {
+				s.metricsSrv.Close()
+			}
+			return fmt.Errorf("fedd: listen: %w", err)
+		}
+		s.ln = ln
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	s.wg.Add(1)
+	go s.coordinateLoop()
+	return nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// MetricsAddr returns the bound observability HTTP address; empty when
+// metrics serving is disabled.
+func (s *Server) MetricsAddr() string {
+	if s.metricsLn == nil {
+		return s.cfg.MetricsAddr
+	}
+	return s.metricsLn.Addr().String()
+}
+
+// Obs returns the coordinator's instrument registry.
+func (s *Server) Obs() *obs.Registry { return s.reg }
+
+// Stop shuts the coordinator down and waits for its goroutines.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stopCh)
+		if s.metricsSrv != nil {
+			s.metricsSrv.Close()
+		}
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.mu.Lock()
+		for _, cs := range s.cabs {
+			if cs.conn != nil {
+				cs.conn.Close()
+			}
+		}
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	const (
+		backoffMin = 5 * time.Millisecond
+		backoffMax = 500 * time.Millisecond
+	)
+	backoff := backoffMin
+	for {
+		raw, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stopCh:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			select {
+			case <-s.stopCh:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > backoffMax {
+				backoff = backoffMax
+			}
+			continue
+		}
+		backoff = backoffMin
+		s.wg.Add(1)
+		go s.serveConn(wire.NewConn(raw))
+	}
+}
+
+// serveConn handles one cabinet subscription: the first frame must be a
+// cab_report (doubling as the hello, with the codec advertisement); the
+// reply names the chosen codec, after which the connection is registered
+// and the coordinate loop owns its write side. The rest of the stream is
+// reports.
+func (s *Server) serveConn(conn *wire.Conn) {
+	defer s.wg.Done()
+	first, err := conn.Recv()
+	if err != nil || first.Type != wire.KindCabReport || first.Node < 0 {
+		conn.Close()
+		return
+	}
+	wantBin := s.cfg.WireCodec != wire.CodecJSON && first.Advertises(wire.CodecBinary)
+	reply := wire.Envelope{Type: wire.KindHello}
+	if wantBin {
+		reply.Codec = wire.CodecBinary
+	}
+	if err := conn.Send(reply); err != nil {
+		conn.Close()
+		return
+	}
+	if wantBin {
+		conn.EnableBinary()
+	}
+
+	cab := first.Node
+	s.mu.Lock()
+	cs := s.cabs[cab]
+	if cs == nil {
+		cs = &cabState{
+			liveG:   s.reg.Gauge(fmt.Sprintf("cab%d_live", cab)),
+			grantG:  s.reg.Gauge(fmt.Sprintf("cab%d_grant_w", cab)),
+			powerG:  s.reg.Gauge(fmt.Sprintf("cab%d_power_w", cab)),
+			demandG: s.reg.Gauge(fmt.Sprintf("cab%d_demand_w", cab)),
+		}
+		s.cabs[cab] = cs
+	}
+	old := cs.conn
+	cs.conn = conn
+	s.noteReport(cs, &first)
+	s.mu.Unlock()
+	if old != nil {
+		// A redial (or a promoted warm standby taking the cabinet over)
+		// replaced the connection; the old one is retired silently and
+		// the cabinet never counts as lost.
+		old.Close()
+	}
+
+	var env wire.Envelope
+	for {
+		if err := conn.RecvInto(&env); err != nil {
+			var de *wire.DecodeError
+			if errors.As(err, &de) && de.Recoverable() {
+				s.decodeErrsC.Inc()
+				continue
+			}
+			break
+		}
+		if env.Type != wire.KindCabReport {
+			continue
+		}
+		s.mu.Lock()
+		if cs.conn == conn {
+			s.noteReport(cs, &env)
+		}
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	if cs.conn == conn {
+		cs.conn = nil
+	}
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// noteReport folds one cab_report into the cabinet state. Caller holds
+// s.mu.
+func (s *Server) noteReport(cs *cabState, env *wire.Envelope) {
+	cs.lastSeen = time.Now()
+	cs.powerW, cs.demandW = env.PowerW, env.DemandW
+	cs.appliedW, cs.phW = env.BudgetW, env.PHW
+	cs.agents, cs.healthy = env.Agents, env.Healthy
+	cs.epoch = env.Epoch
+	cs.appliedSeq = env.Seq
+	s.reportsC.Inc()
+}
+
+func (s *Server) coordinateLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.ControlEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-tick.C:
+			s.cycle()
+		}
+	}
+}
+
+// cycle is one coordination round: classify cabinets live/lost by report
+// freshness, divide the global budget across the live ones, and send
+// each its grant. The division reserves FloorW for every lost cabinet
+// (its local failsafe still draws power) and caps every share at the
+// cabinet breaker rating.
+func (s *Server) cycle() {
+	t0 := time.Now()
+	s.cyclesC.Inc()
+	span := s.trace.Begin()
+
+	type target struct {
+		cab  int
+		cs   *cabState
+		conn *wire.Conn
+	}
+	var (
+		targets         []target
+		demands         []budget.Demand
+		lost            int
+		fleetP, fleetD  float64
+		agents, healthy int
+	)
+	s.mu.Lock()
+	for cab, cs := range s.cabs {
+		// Liveness is report freshness alone: a cabinet mid-takeover
+		// (connection briefly down, reports still fresh) keeps its share
+		// reserved rather than thrashing the survivors' grants.
+		live := t0.Sub(cs.lastSeen) <= s.cfg.StaleAfter
+		cs.liveG.Set(b2f(live))
+		cs.powerG.Set(cs.powerW)
+		cs.demandG.Set(cs.demandW)
+		fleetP += cs.powerW
+		agents += cs.agents
+		healthy += cs.healthy
+		if !live {
+			lost++
+			cs.grantG.Set(0)
+			continue
+		}
+		fleetD += cs.demandW
+		want := cs.demandW
+		if want <= 0 {
+			// A cabinet that has not sensed yet weighs in at its current
+			// draw, so a fresh subscriber is not starved before its first
+			// full cycle.
+			want = cs.powerW
+		}
+		targets = append(targets, target{cab: cab, cs: cs, conn: cs.conn})
+		demands = append(demands, budget.Demand{
+			ID:    cab,
+			Want:  want,
+			Floor: float64(s.cfg.FloorW),
+			Cap:   float64(s.cfg.Breaker),
+		})
+	}
+	s.mu.Unlock()
+	span.Stage(obs.StageSense, time.Since(t0),
+		fmt.Sprintf("cabinets=%d lost=%d", len(targets), lost))
+
+	// Divide what is left after reserving a floor for each lost cabinet.
+	tDiv := time.Now()
+	total := float64(s.cfg.Budget) - float64(lost)*float64(s.cfg.FloorW)
+	shares := budget.Divide(total, s.cfg.Division, demands)
+	span.Stage(obs.StageSelect, time.Since(tDiv), s.cfg.Division.String())
+
+	// Grants. P_H scales from P_L by the global headroom ratio, so each
+	// cabinet's yellow band is proportionally as wide as the machine's.
+	tAct := time.Now()
+	phRatio := float64(s.cfg.PH) / float64(s.cfg.Budget)
+	granted := 0.0
+	sent := 0
+	for i, tg := range targets {
+		grant := shares[i]
+		if grant <= 0 || tg.conn == nil {
+			// A nil conn is a live cabinet between connections (takeover
+			// in flight): its share stays reserved, the grant frame waits
+			// for the redial.
+			continue
+		}
+		seq := s.seq.Add(1)
+		env := wire.Envelope{
+			Type: wire.KindCabBudget, Node: tg.cab, Seq: seq,
+			BudgetW: grant, PHW: grant * phRatio,
+		}
+		if err := tg.conn.Send(env); err != nil {
+			// The reader side will notice and deregister; next cycle
+			// treats the cabinet as lost unless it redials first.
+			continue
+		}
+		granted += grant
+		sent++
+		s.mu.Lock()
+		tg.cs.grantW, tg.cs.grantPHW, tg.cs.grantSeq = grant, grant*phRatio, seq
+		tg.cs.grantG.Set(grant)
+		s.mu.Unlock()
+	}
+	s.grantsC.Add(int64(sent))
+	span.Stage(obs.StageActuate, time.Since(tAct), fmt.Sprintf("grants=%d", sent))
+	span.End()
+
+	s.cabinetsG.SetInt(int64(lost + len(targets)))
+	s.liveG.SetInt(int64(len(targets)))
+	s.lostG.SetInt(int64(lost))
+	s.fleetPowerG.Set(fleetP)
+	s.fleetDemG.Set(fleetD)
+	s.fleetAgG.SetInt(int64(agents))
+	s.fleetHlG.SetInt(int64(healthy))
+	s.grantedG.Set(granted)
+	s.cycleUsG.SetInt(time.Since(t0).Microseconds())
+}
+
+// StepCycle runs one coordination round synchronously — a test and
+// benchmark hook, driven with a very long ControlEvery so the ticker
+// stays out of the way.
+func (s *Server) StepCycle() { s.cycle() }
+
+// CabinetStates returns a point-in-time view of every known cabinet,
+// sorted by cabinet index.
+func (s *Server) CabinetStates() []CabinetStatus {
+	now := time.Now()
+	s.mu.Lock()
+	out := make([]CabinetStatus, 0, len(s.cabs))
+	for cab, cs := range s.cabs {
+		out = append(out, CabinetStatus{
+			Cabinet:    cab,
+			Live:       now.Sub(cs.lastSeen) <= s.cfg.StaleAfter,
+			PowerW:     cs.powerW,
+			DemandW:    cs.demandW,
+			AppliedW:   cs.appliedW,
+			GrantW:     cs.grantW,
+			GrantPHW:   cs.grantPHW,
+			GrantSeq:   cs.grantSeq,
+			AppliedSeq: cs.appliedSeq,
+			Agents:     cs.agents,
+			Healthy:    cs.healthy,
+			Epoch:      cs.epoch,
+		})
+	}
+	s.mu.Unlock()
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Cabinet < out[j-1].Cabinet; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// b2f maps a bool onto the 0/1 gauge convention.
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

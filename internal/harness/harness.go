@@ -34,6 +34,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/power"
 	"repro/internal/replica"
+	"repro/internal/scenario"
 	"repro/internal/wire"
 )
 
@@ -137,6 +138,19 @@ type Options struct {
 	// agentd.New — the daemon backend uses it to make agents passive
 	// relays for the simulated plant's nodes.
 	AgentSetup func(i int, cfg *agentd.Config)
+
+	// --- Capping federation (federation.go) ---
+	// These pass through to managerd's governed mode. Because
+	// serverConfig carries them, a manager restarted with StartManager
+	// and a standby promoted with PromoteStandby both redial the
+	// coordinator automatically — cabinet-manager failover is invisible
+	// at the coordinator tier.
+	Cabinet         int
+	CoordinatorDial func() (net.Conn, error)
+	ReportEvery     time.Duration
+	BudgetGrace     int
+	FailsafeBudget  power.Thresholds
+	RecordCycle     func(scenario.CycleRecord)
 }
 
 // serverConfig assembles the managerd.Config this cluster's options
@@ -168,6 +182,12 @@ func (o Options) serverConfig(ln net.Listener) managerd.Config {
 		ExternalControl: o.External,
 		Epoch:           o.Epoch,
 		WireCodec:       o.WireCodec,
+		Cabinet:         o.Cabinet,
+		CoordinatorDial: o.CoordinatorDial,
+		ReportEvery:     o.ReportEvery,
+		BudgetGrace:     o.BudgetGrace,
+		FailsafeBudget:  o.FailsafeBudget,
+		RecordCycle:     o.RecordCycle,
 	}
 	if o.LeasePath != "" {
 		cfg.Lease = &replica.Lease{Path: o.LeasePath, Every: o.LeaseEvery}

@@ -181,9 +181,17 @@ func (m *Manager) Cycle(p units.Watts, thr power.Thresholds, snap *policy.Snapsh
 	}
 	m.lastSt, m.started = st, true
 
-	idx := make(map[node.ID]policy.NodeState, len(snap.Nodes))
-	for _, n := range snap.Nodes {
-		idx[n.ID] = n
+	// The by-ID index is built lazily: only the yellow selection filter
+	// and the green restore sweep look nodes up by ID. The red path — the
+	// hot path at fleet scale, and the one whose reaction time the paper
+	// bounds — walks the snapshot directly, so it skips the map (and its
+	// per-cycle allocation) entirely.
+	buildIdx := func() map[node.ID]policy.NodeState {
+		idx := make(map[node.ID]policy.NodeState, len(snap.Nodes))
+		for _, n := range snap.Nodes {
+			idx[n.ID] = n
+		}
+		return idx
 	}
 
 	var actions []Action
@@ -194,7 +202,7 @@ func (m *Manager) Cycle(p units.Watts, thr power.Thresholds, snap *policy.Snapsh
 		m.cfg.Trace.Stage(obs.StageSelect, 0, "")
 		ta := time.Now()
 		if m.timeg >= m.cfg.Tg && len(m.degraded) > 0 {
-			actions = m.restore(idx, act)
+			actions = m.restore(buildIdx(), act)
 		}
 		m.cfg.Trace.Stage(obs.StageActuate, time.Since(ta), fmt.Sprintf("actions=%d", len(actions)))
 
@@ -207,6 +215,7 @@ func (m *Manager) Cycle(p units.Watts, thr power.Thresholds, snap *policy.Snapsh
 		m.selectMicros.Add(float64(dSel) / float64(time.Microsecond))
 		m.cfg.Trace.Stage(obs.StageSelect, dSel, fmt.Sprintf("targets=%d", len(targets)))
 		ta := time.Now()
+		idx := buildIdx()
 		for _, id := range targets {
 			n, ok := idx[id]
 			if !ok || n.Idle || n.AtLowest {

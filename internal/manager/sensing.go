@@ -46,6 +46,9 @@ type Builder struct {
 	model   power.Model
 	perNode map[node.ID]power.Model
 	prevEst map[node.ID]units.Watts
+	// spareEst is last cycle's retired prevEst map, cleared and reused as
+	// the next cycle's estimate table so steady state allocates no maps.
+	spareEst map[node.ID]units.Watts
 }
 
 // NewBuilder creates a snapshot builder whose default power profile model
@@ -74,9 +77,15 @@ func (b *Builder) modelFor(id node.ID) power.Model {
 // Build assembles the snapshot for one cycle. p is the system power meter
 // reading and pl the lower threshold in force.
 func (b *Builder) Build(p, pl units.Watts, readings []AgentReading) *policy.Snapshot {
-	snap := &policy.Snapshot{P: p, PL: pl}
+	snap := &policy.Snapshot{P: p, PL: pl, Nodes: make([]policy.NodeState, 0, len(readings))}
 	jobs := make(map[workload.JobID]*policy.JobState)
-	nextEst := make(map[node.ID]units.Watts, len(readings))
+	nextEst := b.spareEst
+	if nextEst == nil {
+		nextEst = make(map[node.ID]units.Watts, len(readings))
+	} else {
+		clear(nextEst)
+	}
+	b.spareEst = nil
 
 	for _, r := range readings {
 		model := b.modelFor(r.ID)
@@ -132,6 +141,7 @@ func (b *Builder) Build(p, pl units.Watts, readings []AgentReading) *policy.Snap
 	for _, id := range ids {
 		snap.Jobs = append(snap.Jobs, *jobs[id])
 	}
+	b.spareEst = b.prevEst
 	b.prevEst = nextEst
 	return snap
 }

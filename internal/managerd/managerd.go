@@ -42,6 +42,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/power"
 	"repro/internal/replica"
+	"repro/internal/scenario"
 	"repro/internal/units"
 	"repro/internal/wire"
 )
@@ -163,6 +164,46 @@ type Config struct {
 	// the newline-JSON reference codec. The read side always accepts
 	// both, so mixed fleets and rolling upgrades need no coordination.
 	WireCodec string
+
+	// --- Capping federation (federate.go) ---
+
+	// CoordinatorAddr, when non-empty, puts the daemon in governed mode:
+	// it manages one cabinet of a federated fleet, dialing the
+	// coordinator at this address, streaming cab_report frames and
+	// running under the power band granted in cab_budget frames instead
+	// of static Thresholds. Mutually exclusive with Learn (the
+	// coordinator owns the global budget; a cabinet must not re-derive
+	// its own).
+	CoordinatorAddr string
+	// CoordinatorDial, when non-nil, replaces the TCP dial to
+	// CoordinatorAddr — the harness injects faultnet connections here.
+	// Setting it alone (empty CoordinatorAddr) also enables governed
+	// mode.
+	CoordinatorDial func() (net.Conn, error)
+	// Cabinet is this manager's cabinet index, carried on every report so
+	// the coordinator knows which breaker column it is (pdist.CabinetOf).
+	Cabinet int
+	// ReportEvery is the cab_report period; zero defaults to ControlEvery.
+	ReportEvery time.Duration
+	// BudgetGrace is how many control periods the daemon keeps enforcing
+	// its last grant after coordinator silence before flooring itself to
+	// FailsafeBudget — the cabinet-tier dead-man switch, mirroring
+	// agentd's. Zero defaults to 3.
+	BudgetGrace int
+	// FailsafeBudget is the band enforced while the coordinator is
+	// silent beyond the grace window. Zero-value defaults to Thresholds
+	// (hold the static band); a deliberately low band makes an isolated
+	// cabinet shed to its floor, which is the paper's safe posture for a
+	// cabinet that can no longer see the global budget.
+	FailsafeBudget power.Thresholds
+
+	// RecordCycle, when non-nil, receives one scenario.CycleRecord per
+	// capping cycle — the sensed power, thresholds in force, classified
+	// state, candidate snapshot and the Algorithm-1 actions issued. The
+	// records feed scenario.CheckAlgorithmOne in federation tests, so
+	// the daemon's control law is checked by the same invariant checker
+	// as the simulator's. Called from the control-loop goroutine.
+	RecordCycle func(scenario.CycleRecord)
 }
 
 // LearnConfig parametrises daemon-side threshold learning.
@@ -181,6 +222,7 @@ type agentConn struct {
 	id       node.ID
 	conn     *wire.Conn
 	maxLevel int
+	binary   bool // negotiated onto the binary codec (set before registration)
 
 	// Freshest reading; guarded by the owning shard's mutex. lastEpoch
 	// stamps which external sense epoch the reading arrived in (zero for
@@ -228,6 +270,15 @@ type Server struct {
 
 	// builder is touched only by the control-loop goroutine.
 	builder *manager.Builder
+
+	// Cycle scratch, reused so steady-state sensing allocates nothing per
+	// cycle. cycleMu serializes cycles outright (the ticker loop and an
+	// explicit StepCycle could otherwise interleave) and makes the
+	// scratch single-owner; it is taken before, and never while holding,
+	// any other lock.
+	cycleMu     sync.Mutex
+	cycleParts  []cyclePart
+	candScratch []manager.AgentReading
 
 	// mgrMu guards mgr (the control loop cycles it while Status reads its
 	// counters). It may be held while taking a shard mutex (the actuator
@@ -309,6 +360,15 @@ type Server struct {
 	replicaLagG    *obs.Gauge
 	lastTakeoverG  *obs.Gauge
 
+	// Federation state (federate.go); nil unless governed.
+	fed           *fedClient
+	budgetGrantsC *obs.Counter
+	budgetFloorsC *obs.Counter
+	governedG     *obs.Gauge
+	demandWG      *obs.Gauge
+	binConnsG     *obs.Gauge
+	jsonConnsG    *obs.Gauge
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	wg       sync.WaitGroup
@@ -366,6 +426,27 @@ func New(cfg Config) (*Server, error) {
 	case "", wire.CodecBinary, wire.CodecJSON:
 	default:
 		return nil, fmt.Errorf("managerd: unknown wire codec %q", cfg.WireCodec)
+	}
+	governed := cfg.CoordinatorAddr != "" || cfg.CoordinatorDial != nil
+	if governed {
+		if cfg.Learn != nil {
+			return nil, fmt.Errorf("managerd: governed mode is incompatible with threshold learning (the coordinator owns the budget)")
+		}
+		if cfg.Cabinet < 0 {
+			return nil, fmt.Errorf("managerd: negative cabinet index %d", cfg.Cabinet)
+		}
+		if cfg.ReportEvery <= 0 {
+			cfg.ReportEvery = cfg.ControlEvery
+		}
+		if cfg.BudgetGrace <= 0 {
+			cfg.BudgetGrace = 3
+		}
+		if cfg.FailsafeBudget == (power.Thresholds{}) {
+			cfg.FailsafeBudget = cfg.Thresholds
+		}
+		if err := cfg.FailsafeBudget.Validate(); err != nil {
+			return nil, fmt.Errorf("managerd: failsafe budget: %w", err)
+		}
 	}
 	reg := obs.NewRegistry()
 	trace := obs.NewCycleRecorder(cfg.CycleHistory, reg)
@@ -425,8 +506,19 @@ func New(cfg Config) (*Server, error) {
 		replicaConnsG: reg.Gauge("replica_conns"),
 		replicaLagG:   reg.Gauge("replica_lag_entries"),
 		lastTakeoverG: reg.Gauge("last_takeover_micros"),
+
+		budgetGrantsC: reg.Counter("budget_grants"),
+		budgetFloorsC: reg.Counter("budget_floors"),
+		governedG:     reg.Gauge("governed"),
+		demandWG:      reg.Gauge("demand_w"),
+		binConnsG:     reg.Gauge("binary_conns"),
+		jsonConnsG:    reg.Gauge("json_conns"),
 	}
 	reg.Gauge("shards").SetInt(int64(len(srv.nodes.shards)))
+	reg.Gauge("cabinet").SetInt(int64(cfg.Cabinet))
+	if governed {
+		srv.fed = newFedClient(srv)
+	}
 	srv.plW.Set(float64(cfg.Thresholds.PL))
 	srv.phW.Set(float64(cfg.Thresholds.PH))
 	srv.trainedG.Set(1) // fixed thresholds cap from the first cycle
@@ -527,6 +619,11 @@ func (s *Server) Start() error {
 		go s.renewLoop()
 	}
 	s.started = time.Now()
+	if s.fed != nil {
+		s.fed.start()
+		s.wg.Add(1)
+		go s.fed.run()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	if !s.cfg.ExternalControl {
@@ -569,6 +666,9 @@ func (s *Server) CycleTrace() *obs.CycleRecorder { return s.trace }
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() {
 		close(s.stopCh)
+		if s.fed != nil {
+			s.fed.closeConn()
+		}
 		if s.metricsSrv != nil {
 			s.metricsSrv.Close()
 		}
@@ -664,7 +764,18 @@ func (s *Server) serveConn(conn *wire.Conn) {
 	switch first.Type {
 	case wire.KindStatus:
 		st := s.Status()
-		_ = conn.Send(wire.Envelope{Type: wire.KindStatus, Stats: &st})
+		reply := wire.Envelope{Type: wire.KindStatus, Stats: &st}
+		// A probe advertising codecs (powctl -codec) is told which codec
+		// this daemon would negotiate with it — without switching the
+		// reply itself off JSON, so any probe can read the answer.
+		if len(first.Codecs) > 0 {
+			if s.binaryWanted(&first) {
+				reply.Codec = wire.CodecBinary
+			} else {
+				reply.Codec = wire.CodecJSON
+			}
+		}
+		_ = conn.Send(reply)
 		conn.Close()
 		return
 	case wire.KindJournalAck:
@@ -708,7 +819,7 @@ func (s *Server) serveConn(conn *wire.Conn) {
 	}
 
 	id := node.ID(first.Node)
-	ac := &agentConn{id: id, conn: conn, maxLevel: first.MaxLevel, wake: make(chan struct{}, 1)}
+	ac := &agentConn{id: id, conn: conn, maxLevel: first.MaxLevel, binary: wantBin, wake: make(chan struct{}, 1)}
 	// Seed the record from the hello's self-reported level: a manager
 	// coming back from a crash learns every node's actual level before
 	// the first sample arrives, so reconciliation can start immediately.
@@ -727,6 +838,12 @@ func (s *Server) serveConn(conn *wire.Conn) {
 	sh.mu.Lock()
 	old := sh.agents[id]
 	sh.agents[id] = ac
+	connTally(sh, ac, +1)
+	if old != nil {
+		// The replaced connection's own teardown will see itself already
+		// deregistered, so its tally is settled here.
+		connTally(sh, old, -1)
+	}
 	noteConnect(sh, id, now, &s.cfg, s.quarantines)
 	sh.mu.Unlock()
 	if old != nil {
@@ -783,10 +900,21 @@ func (s *Server) serveConn(conn *wire.Conn) {
 	sh.mu.Lock()
 	if sh.agents[id] == ac {
 		delete(sh.agents, id)
+		connTally(sh, ac, -1)
 	}
 	sh.mu.Unlock()
 	s.retireOutbox(ac)
 	conn.Close()
+}
+
+// connTally adjusts the shard's per-codec connection counts for one
+// registered agent connection. Caller holds sh.mu.
+func connTally(sh *shard, ac *agentConn, d int) {
+	if ac.binary {
+		sh.nBin += d
+	} else {
+		sh.nJSON += d
+	}
 }
 
 // actuator routes manager commands to agent connections, tagging each
@@ -921,6 +1049,16 @@ func (s *Server) forEachShard(fn func(i int, sh *shard)) {
 	wg.Wait()
 }
 
+// cyclePart is one shard's sensing accumulator, reused across cycles
+// (slices keep their capacity; see Server.cycleParts).
+type cyclePart struct {
+	readings   []manager.AgentReading
+	candidates []manager.AgentReading
+	p          units.Watts
+	demand     units.Watts
+	stale      int
+}
+
 // cycle runs one control cycle: gather fresh readings, estimate system
 // power, classify, select and command. The daemon has no facility meter,
 // so system power is the sum of per-node estimates — the documented
@@ -936,20 +1074,23 @@ func (s *Server) forEachShard(fn func(i int, sh *shard)) {
 // issued has been written or abandoned; the cycle itself does not wait
 // for it (the senders run concurrently).
 func (s *Server) cycle() *fanout {
+	s.cycleMu.Lock()
+	defer s.cycleMu.Unlock()
 	t0 := time.Now()
 	cycleN := int(s.cycleN.Add(1))
 	span := s.trace.Begin()
 	fan := s.newFanout(t0, span)
 
-	type part struct {
-		candidates []manager.AgentReading
-		p          units.Watts
-		stale      int
+	if len(s.cycleParts) != len(s.nodes.shards) {
+		s.cycleParts = make([]cyclePart, len(s.nodes.shards))
 	}
-	parts := make([]part, len(s.nodes.shards))
+	parts := s.cycleParts
+	governed := s.fed != nil
 	s.forEachShard(func(i int, sh *shard) {
 		g := &parts[i]
-		var readings []manager.AgentReading
+		g.readings = g.readings[:0]
+		g.candidates = g.candidates[:0]
+		g.p, g.demand, g.stale = 0, 0, 0
 		drift := 0
 		sh.mu.Lock()
 		updateHealth(sh, t0, &s.cfg)
@@ -967,7 +1108,7 @@ func (s *Server) cycle() *fanout {
 				g.stale++
 				continue
 			}
-			readings = append(readings, ac.last)
+			g.readings = append(g.readings, ac.last)
 			if !quarantinedIn(sh, id) {
 				g.candidates = append(g.candidates, ac.last)
 			}
@@ -975,25 +1116,33 @@ func (s *Server) cycle() *fanout {
 		sh.drifted = drift
 		sh.mu.Unlock()
 		// Model evaluation outside the shard lock: it is the cycle's CPU
-		// bulk and needs nothing but the copied readings.
-		for _, r := range readings {
+		// bulk and needs nothing but the copied readings. Governed
+		// cabinets also estimate each node at its top level — the sum is
+		// the cabinet's uncapped demand, which the coordinator weighs
+		// when dividing the global budget.
+		for _, r := range g.readings {
 			g.p += s.cfg.Model.Estimate(r.Delta, r.Level)
+			if governed {
+				g.demand += s.cfg.Model.EstimateAtLevel(r.Delta, r.MaxLevel)
+			}
 		}
 	})
-	var p units.Watts
+	var p, demand units.Watts
 	nCand, nStale := 0, 0
 	for i := range parts {
 		p += parts[i].p
+		demand += parts[i].demand
 		nCand += len(parts[i].candidates)
 		nStale += parts[i].stale
 	}
 	if nStale > 0 {
 		s.stale.Add(int64(nStale))
 	}
-	candidates := make([]manager.AgentReading, 0, nCand)
+	candidates := s.candScratch[:0]
 	for i := range parts {
 		candidates = append(candidates, parts[i].candidates...)
 	}
+	s.candScratch = candidates
 	// The sweep above is the cycle's sensing stage: collect fresh
 	// readings and evaluate the power model. Its cost is what Figure 5's
 	// collection-time curve measures.
@@ -1008,6 +1157,11 @@ func (s *Server) cycle() *fanout {
 	if s.learner != nil {
 		thr = s.learner.Observe(time.Since(s.started), p)
 		capping = s.learner.Trained()
+	}
+	if governed {
+		thr = s.fed.thresholds(t0)
+		s.fed.noteSense(float64(p), float64(demand))
+		s.demandWG.Set(float64(demand))
 	}
 	s.stateMu.Lock()
 	s.thr = thr
@@ -1028,8 +1182,11 @@ func (s *Server) cycle() *fanout {
 	snap := s.builder.Build(p, thr.PL, candidates)
 	if capping {
 		s.mgrMu.Lock()
-		_, _, _ = s.mgr.Cycle(p, thr, snap, actuator{s, fan})
+		st, actions, _ := s.mgr.Cycle(p, thr, snap, actuator{s, fan})
 		s.mgrMu.Unlock()
+		if s.cfg.RecordCycle != nil {
+			s.cfg.RecordCycle(cycleRecord(cycleN, p, thr, st, snap, actions))
+		}
 	}
 	fan.finishEnqueue()
 
@@ -1049,6 +1206,29 @@ func (s *Server) cycle() *fanout {
 	s.busyMicros.Add(float64(busy) / float64(time.Microsecond))
 	s.lastPowerW.Set(float64(p))
 	return fan
+}
+
+// cycleRecord converts one capping cycle into the scenario trace schema,
+// so daemon-driven fleets are checked by the same CheckAlgorithmOne
+// invariants as simulator traces. The node list is the policy snapshot
+// (pre-actuation), exactly as the scenario runner records it.
+func cycleRecord(cycleN int, p units.Watts, thr power.Thresholds, st power.State, snap *policy.Snapshot, actions []manager.Action) scenario.CycleRecord {
+	rec := scenario.CycleRecord{
+		Cycle: cycleN, PowerW: float64(p),
+		PLW: float64(thr.PL), PHW: float64(thr.PH),
+		State: st.String(), Online: len(snap.Nodes),
+		Nodes: make([]scenario.NodeRecord, 0, len(snap.Nodes)),
+	}
+	for _, ns := range snap.Nodes {
+		rec.Nodes = append(rec.Nodes, scenario.NodeRecord{
+			ID: int(ns.ID), Level: ns.Level, MaxLevel: ns.MaxLevel,
+			Idle: ns.Idle, AtLowest: ns.AtLowest,
+		})
+	}
+	for _, a := range actions {
+		rec.Actions = append(rec.Actions, scenario.ActionRecord{Node: int(a.Node), Level: a.Level})
+	}
+	return rec
 }
 
 // StepCycle runs one control cycle synchronously and blocks until its
@@ -1151,7 +1331,7 @@ func (s *Server) maintainCommands(cycleN int, fan *fanout) {
 // costs O(shards) regardless of fleet size.
 func (s *Server) refreshGauges() {
 	agents, drifted := 0, 0
-	var healthy, staleN, lost, quar int
+	var healthy, staleN, lost, quar, nBin, nJSON int
 	for _, sh := range s.nodes.shards {
 		sh.mu.Lock()
 		agents += len(sh.agents)
@@ -1160,6 +1340,8 @@ func (s *Server) refreshGauges() {
 		staleN += sh.nStale
 		lost += sh.nLost
 		quar += sh.nQuar
+		nBin += sh.nBin
+		nJSON += sh.nJSON
 		sh.mu.Unlock()
 	}
 	s.refreshReplicaGauges()
@@ -1169,6 +1351,8 @@ func (s *Server) refreshGauges() {
 	s.staleNodesG.SetInt(int64(staleN))
 	s.lostG.SetInt(int64(lost))
 	s.quarNodesG.SetInt(int64(quar))
+	s.binConnsG.SetInt(int64(nBin))
+	s.jsonConnsG.SetInt(int64(nJSON))
 	// Management cost: busy time over elapsed control time (Fig. 5's
 	// utilisation curve). The cycles counter is the manager's.
 	if cycles := s.cyclesC.Value(); cycles > 0 {
@@ -1219,4 +1403,41 @@ func QueryStatus(addr string, timeout time.Duration) (wire.StatusReply, error) {
 		return wire.StatusReply{}, fmt.Errorf("managerd: unexpected reply %q", env.Type)
 	}
 	return *env.Stats, nil
+}
+
+// QueryCodec connects to a manager daemon, advertises the full codec set
+// a real agent would, and reports which codec the daemon negotiates plus
+// its status (whose BinaryConns/JSONConns split shows what the live fleet
+// actually negotiated). The probe itself stays on JSON so the reply is
+// readable regardless of the outcome.
+func QueryCodec(addr string, timeout time.Duration) (string, wire.StatusReply, error) {
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return "", wire.StatusReply{}, err
+	}
+	conn := wire.NewConn(raw)
+	defer conn.Close()
+	if err := raw.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return "", wire.StatusReply{}, err
+	}
+	if err := conn.Send(wire.Envelope{
+		Type:   wire.KindStatus,
+		Codecs: []string{wire.CodecBinary, wire.CodecJSON},
+	}); err != nil {
+		return "", wire.StatusReply{}, err
+	}
+	env, err := conn.Recv()
+	if err != nil {
+		return "", wire.StatusReply{}, err
+	}
+	if env.Type != wire.KindStatus || env.Stats == nil {
+		return "", wire.StatusReply{}, fmt.Errorf("managerd: unexpected reply %q", env.Type)
+	}
+	codec := env.Codec
+	if codec == "" {
+		// A pre-negotiation daemon ignores the advertisement; that fact is
+		// the answer.
+		codec = wire.CodecJSON
+	}
+	return codec, *env.Stats, nil
 }

@@ -113,6 +113,9 @@ func (s *Server) runSender(ac *agentConn) {
 	// path (drain outbox → encode → write) allocates nothing per command;
 	// the connection's codec buffer is likewise reused underneath.
 	envs := make([]wire.Envelope, 0, 2)
+	// armedUntil is the write deadline currently set on the connection;
+	// only this goroutine sets write deadlines, so no lock is needed.
+	var armedUntil time.Time
 	for {
 		ac.obMu.Lock()
 		pc, has, ping, closed := ac.obCmd, ac.obHas, ac.obPing, ac.obClosed
@@ -136,9 +139,21 @@ func (s *Server) runSender(ac *agentConn) {
 		if ping {
 			envs = append(envs, wire.Envelope{Type: wire.KindPing})
 		}
-		_ = ac.conn.SetWriteDeadline(time.Now().Add(s.cfg.CommandTimeout))
+		// Keep the write deadline armed across batches instead of the
+		// arm/disarm pair per write: every SetWriteDeadline stops and
+		// re-creates a runtime timer, and at fleet scale those timer-heap
+		// operations dominate the sender's profile (two per agent per
+		// cycle). Re-arming only once more than half the window has
+		// burned keeps any single write bounded by CommandTimeout while
+		// the steady-state path touches the timer ~never. The deadline
+		// left armed between writes is harmless: SetWriteDeadline resets
+		// any expired state before the next write.
+		now := time.Now()
+		if armedUntil.Sub(now) < s.cfg.CommandTimeout/2 {
+			armedUntil = now.Add(s.cfg.CommandTimeout)
+			_ = ac.conn.SetWriteDeadline(armedUntil)
+		}
 		err := ac.conn.SendBatch(envs)
-		_ = ac.conn.SetWriteDeadline(time.Time{})
 		if err != nil {
 			// Account the failure before releasing the fan-out slot, so a
 			// caller unblocked by fan-out completion observes the error

@@ -41,6 +41,12 @@ type shard struct {
 	nLost    int
 	nQuar    int
 	drifted  int
+
+	// Connected-agent codec tallies, adjusted at connection register,
+	// replace and teardown in serveConn — the same O(shards) cache idea
+	// as the health counts, feeding the binary_conns/json_conns gauges.
+	nBin  int
+	nJSON int
 }
 
 // store is the sharded node-state table.

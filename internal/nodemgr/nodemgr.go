@@ -14,6 +14,7 @@ package nodemgr
 import (
 	"fmt"
 
+	"repro/internal/budget"
 	"repro/internal/manager"
 	"repro/internal/power"
 	"repro/internal/units"
@@ -32,17 +33,22 @@ func LevelFor(model power.Model, r manager.AgentReading, budget units.Watts) int
 	return 0
 }
 
-// Division chooses how the global budget splits across nodes.
-type Division int
+// Division chooses how the global budget splits across nodes. It is the
+// shared internal/budget strategy type: the same division engine serves
+// this node tier and the federation's cabinet tier (internal/fedd).
+type Division = budget.Division
 
 // Division strategies.
 const (
 	// Uniform gives every node total/N.
-	Uniform Division = iota
+	Uniform = budget.Uniform
 	// Proportional gives each node a share proportional to its current
 	// estimated demand (at full level), with a floor of the node's idle
 	// power so no node is starved below static draw.
-	Proportional
+	Proportional = budget.Proportional
+	// FairShare is FastCap-style max-min fairness: small demands are met
+	// in full before hungry nodes split the remainder.
+	FairShare = budget.FairShare
 )
 
 // Config parametrises the two-level controller.
@@ -60,7 +66,7 @@ func (c Config) Validate() error {
 	if c.Budget <= 0 {
 		return fmt.Errorf("nodemgr: budget must be positive")
 	}
-	if c.Division != Uniform && c.Division != Proportional {
+	if !c.Division.Valid() {
 		return fmt.Errorf("nodemgr: unknown division %d", c.Division)
 	}
 	return c.Model.Validate()
@@ -107,29 +113,22 @@ func (c *Controller) Cycle(readings []manager.AgentReading, act manager.Actuator
 	if n == 0 {
 		return
 	}
+	// Demand at full level, floored at idle draw; the division itself is
+	// the shared tier-agnostic engine (internal/budget), the same one the
+	// federation coordinator runs over cabinets.
+	floor := float64(c.cfg.Model.MinPower())
+	demands := make([]budget.Demand, n)
+	for i, r := range readings {
+		demands[i] = budget.Demand{
+			ID:    int(r.ID),
+			Want:  float64(c.cfg.Model.Estimate(r.Delta, r.MaxLevel)),
+			Floor: floor,
+		}
+	}
+	shares := budget.Divide(float64(c.cfg.Budget), c.cfg.Division, demands)
 	budgets := make([]units.Watts, n)
-	switch c.cfg.Division {
-	case Uniform:
-		share := units.Watts(float64(c.cfg.Budget) / float64(n))
-		for i := range budgets {
-			budgets[i] = share
-		}
-	case Proportional:
-		// Demand at full level, floored at idle draw.
-		floor := c.cfg.Model.MinPower()
-		demands := make([]float64, n)
-		total := 0.0
-		for i, r := range readings {
-			d := float64(c.cfg.Model.Estimate(r.Delta, r.MaxLevel))
-			if d < float64(floor) {
-				d = float64(floor)
-			}
-			demands[i] = d
-			total += d
-		}
-		for i := range budgets {
-			budgets[i] = units.Watts(float64(c.cfg.Budget) * demands[i] / total)
-		}
+	for i := range budgets {
+		budgets[i] = units.Watts(shares[i])
 	}
 	for i, r := range readings {
 		target := LevelFor(c.cfg.Model, r, budgets[i])

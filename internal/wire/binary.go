@@ -83,6 +83,12 @@ const (
 	tagBatch      = 14 // bytes, repeated (one nested payload per occurrence)
 	tagCodec      = 15 // bytes (string)
 	tagCodecs     = 16 // bytes, repeated (string)
+	tagPowerW     = 17 // fixed64 (IEEE 754 bits)
+	tagDemandW    = 18 // fixed64 (IEEE 754 bits)
+	tagBudgetW    = 19 // fixed64 (IEEE 754 bits)
+	tagPHW        = 20 // fixed64 (IEEE 754 bits)
+	tagAgents     = 21 // zigzag varint
+	tagHealthy    = 22 // zigzag varint
 )
 
 const (
@@ -135,6 +141,10 @@ func kindByte(kind string) (byte, bool) {
 		return 8, true
 	case KindJournalAck:
 		return 9, true
+	case KindCabReport:
+		return 10, true
+	case KindCabBudget:
+		return 11, true
 	}
 	return 0, false
 }
@@ -159,6 +169,10 @@ func kindName(b byte) (string, bool) {
 		return KindJournalAppend, true
 	case 9:
 		return KindJournalAck, true
+	case 10:
+		return KindCabReport, true
+	case 11:
+		return KindCabBudget, true
 	}
 	return "", false
 }
@@ -269,6 +283,28 @@ func appendPayload(buf []byte, e *Envelope, depth int) ([]byte, error) {
 	for _, c := range e.Codecs {
 		buf = appendBytesField(buf, tagCodecs, []byte(c))
 	}
+	if e.PowerW != 0 {
+		buf = appendKey(buf, tagPowerW, wireFixed64)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.PowerW))
+	}
+	if e.DemandW != 0 {
+		buf = appendKey(buf, tagDemandW, wireFixed64)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.DemandW))
+	}
+	if e.BudgetW != 0 {
+		buf = appendKey(buf, tagBudgetW, wireFixed64)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.BudgetW))
+	}
+	if e.PHW != 0 {
+		buf = appendKey(buf, tagPHW, wireFixed64)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.PHW))
+	}
+	if e.Agents != 0 {
+		buf = appendVarintField(buf, tagAgents, zigzag(int64(e.Agents)))
+	}
+	if e.Healthy != 0 {
+		buf = appendVarintField(buf, tagHealthy, zigzag(int64(e.Healthy)))
+	}
 	return buf, nil
 }
 
@@ -371,6 +407,10 @@ func decodePayload(p []byte, e *Envelope, depth int) error {
 				e.Job = int(unzigzag(v))
 			case tagEpoch:
 				e.Epoch = v
+			case tagAgents:
+				e.Agents = int(unzigzag(v))
+			case tagHealthy:
+				e.Healthy = int(unzigzag(v))
 			}
 		case wireFixed64:
 			if len(p) < 8 {
@@ -378,8 +418,17 @@ func decodePayload(p []byte, e *Envelope, depth int) error {
 			}
 			v := binary.LittleEndian.Uint64(p)
 			p = p[8:]
-			if tag == tagCPUUtil {
+			switch tag {
+			case tagCPUUtil:
 				e.CPUUtil = math.Float64frombits(v)
+			case tagPowerW:
+				e.PowerW = math.Float64frombits(v)
+			case tagDemandW:
+				e.DemandW = math.Float64frombits(v)
+			case tagBudgetW:
+				e.BudgetW = math.Float64frombits(v)
+			case tagPHW:
+				e.PHW = math.Float64frombits(v)
 			}
 		case wireBytes:
 			l, n := binary.Uvarint(p)

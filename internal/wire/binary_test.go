@@ -59,6 +59,10 @@ func kindExemplars() []Envelope {
 		{Type: KindJournalAppend, Seq: 42, Epoch: 2,
 			Entry: json.RawMessage(`{"seq":42,"cycle":17,"levels":[{"node":3,"level":1}]}`)},
 		{Type: KindJournalAck, Seq: 41, Epoch: 2},
+		{Type: KindCabReport, Node: 2, Seq: 6, PowerW: 10240.5, DemandW: 15360.25,
+			BudgetW: 9000, PHW: 9600, Agents: 128, Healthy: 126,
+			Codecs: []string{CodecBinary}},
+		{Type: KindCabBudget, Node: 2, Seq: 7, BudgetW: 8750.5, PHW: 9350.75, Epoch: 3},
 	}
 }
 

@@ -71,6 +71,15 @@ func randEnvelope(g *proptest.Generator, depth int) Envelope {
 			e.Batch = append(e.Batch, randEnvelope(g, depth+1))
 		}
 	}
+	if g.Bool(0.3) {
+		// Federation fields (cab_report/cab_budget).
+		e.PowerW = g.Range(0, 100_000)
+		e.DemandW = g.Range(0, 200_000)
+		e.BudgetW = g.Range(0, 100_000)
+		e.PHW = g.Range(0, 110_000)
+		e.Agents = g.Intn(100_000)
+		e.Healthy = g.Intn(100_000)
+	}
 	return e
 }
 
@@ -185,8 +194,9 @@ func TestPropBinaryUnknownTagTolerance(t *testing.T) {
 		}
 
 		// Append unknown-tag fields (varint and length-delimited
-		// wiretypes) that a future protocol revision might emit.
-		tag := uint64(20 + g.Intn(8))
+		// wiretypes) that a future protocol revision might emit. Tags
+		// below 23 are all assigned (tagHealthy is the highest).
+		tag := uint64(23 + g.Intn(8))
 		if g.Bool(0.5) {
 			payload = appendVarintField(payload, tag, uint64(g.Intn(1<<30)))
 		} else {

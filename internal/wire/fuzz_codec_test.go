@@ -45,6 +45,7 @@ func (b *envBuilder) f64() float64 {
 var builderKinds = []string{
 	KindHello, KindSample, KindCommand, KindAck, KindPing,
 	KindStatus, KindBatch, KindJournalAppend, KindJournalAck,
+	KindCabReport, KindCabBudget,
 }
 
 // Valid-JSON entry fragments, compact and not: the codecs must agree on
@@ -113,6 +114,13 @@ func (b *envBuilder) envelope(depth int) Envelope {
 			e.Batch = append(e.Batch, b.envelope(depth+1))
 		}
 	}
+	if ext&128 != 0 {
+		// Federation fields (cab_report/cab_budget).
+		e.PowerW, e.DemandW = b.f64(), b.f64()
+		e.BudgetW, e.PHW = b.f64(), b.f64()
+		e.Agents = int(b.i64() % 100_000)
+		e.Healthy = int(b.i64() % 100_000)
+	}
 	return e
 }
 
@@ -132,6 +140,8 @@ func FuzzCodecEquivalence(f *testing.F) {
 	f.Add([]byte{8, 0x84, 0x01, 1, 0xCC, 0xDD})                      // journal append + entry
 	f.Add([]byte{0, 0x81, 0x30, 2, 1, 0, 3})                         // hello advertising codecs
 	f.Add([]byte{1, 0, 0x10, 0})                                     // hello reply carrying codec
+	f.Add([]byte{9, 0x05, 0xA0, 1, 2, 3, 4, 5, 6, 7, 8})             // cab_report with fed fields
+	f.Add([]byte{10, 0x04, 0x80, 9, 9, 9, 9})                        // cab_budget grant
 	f.Fuzz(func(t *testing.T, data []byte) {
 		b := &envBuilder{data: data}
 		e := b.envelope(0)

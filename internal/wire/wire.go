@@ -58,6 +58,20 @@ const (
 	// followers just resubscribe from their current sequence.
 	KindJournalAppend = "journal_append" // leader → follower: one journal entry
 	KindJournalAck    = "journal_ack"    // follower → leader: subscribe/ack at Seq
+
+	// Capping federation (coordinator tier). A cabinet manager dials the
+	// coordinator and subscribes with a KindCabReport (carrying its codec
+	// advertisement, like a journal follower's subscribe), then streams
+	// one report per control cycle: sensed aggregate power, uncapped
+	// demand, the budget currently applied and its health tallies. The
+	// coordinator replies with a hello naming the chosen codec and then
+	// sends one KindCabBudget per coordinator cycle — the cabinet's new
+	// power band. Budget grants double as coordinator heartbeats: a
+	// cabinet that stops receiving them floors itself locally (the same
+	// dead-man idea as agentd's failsafe), and a coordinator that stops
+	// hearing reports re-divides the budget around the lost cabinet.
+	KindCabReport = "cab_report" // cabinet → coordinator: aggregate sense + demand
+	KindCabBudget = "cab_budget" // coordinator → cabinet: granted power band
 )
 
 // Envelope is the one-size wire message; Type selects which fields are
@@ -112,6 +126,20 @@ type Envelope struct {
 	// binary frame.
 	Codecs []string `json:"codecs,omitempty"`
 	Codec  string   `json:"codec,omitempty"`
+
+	// Capping federation fields (cab_report / cab_budget). Node carries
+	// the cabinet index on both kinds; Seq numbers budget grants (echoed
+	// in the next report so the coordinator sees which grant a cabinet
+	// runs under). In a report, PowerW/DemandW are the cabinet's sensed
+	// aggregate power and uncapped full-level demand, BudgetW/PHW the
+	// band it is currently enforcing, Agents/Healthy its fleet tallies.
+	// In a grant, BudgetW/PHW are the new band (P_L and P_H).
+	PowerW  float64 `json:"p_w,omitempty"`
+	DemandW float64 `json:"demand_w,omitempty"`
+	BudgetW float64 `json:"budget_w,omitempty"`
+	PHW     float64 `json:"ph_w,omitempty"`
+	Agents  int     `json:"agents,omitempty"`
+	Healthy int     `json:"healthy,omitempty"`
 }
 
 // Advertises reports whether the envelope's codec advertisement (its
@@ -188,6 +216,18 @@ type StatusReply struct {
 	JournalAppends     int   `json:"journal_appends" obs:"journal_appends"`           // incremental journal entries committed
 	FencedHellos       int   `json:"fenced_hellos" obs:"fenced_hellos"`               // hellos carrying a newer epoch than ours
 	LastTakeoverMicros int64 `json:"last_takeover_micros" obs:"last_takeover_micros"` // leaderless time absorbed at our promotion
+
+	// Capping federation (two-tier control plane, managerd's federate.go).
+	Cabinet      int     `json:"cabinet" obs:"cabinet"`             // this manager's cabinet index under a coordinator
+	Governed     bool    `json:"governed" obs:"governed"`           // running under a live coordinator grant
+	BudgetGrants int     `json:"budget_grants" obs:"budget_grants"` // cab_budget grants applied
+	BudgetFloors int     `json:"budget_floors" obs:"budget_floors"` // failsafe floors on coordinator silence
+	DemandW      float64 `json:"demand_w" obs:"demand_w"`           // last cycle's uncapped full-level demand estimate
+
+	// Wire codec tallies: connected agents by negotiated codec (the
+	// powctl -codec probe reads these to audit a live fleet).
+	BinaryConns int `json:"binary_conns" obs:"binary_conns"` // agent conns on the binary codec
+	JSONConns   int `json:"json_conns" obs:"json_conns"`     // agent conns on the JSON codec
 }
 
 // SampleEnvelope builds a sample message from an agent reading.
