@@ -1,0 +1,219 @@
+// Three-tier fan-out benchmark: the recursive control plane at scale. A
+// facility fedd governs 4 row fedds, each governing 8 cabinet managers
+// of 128 fake agents (4096 total); every iteration steps one full
+// three-tier round — a facility cycle granting the rows, a row cycle per
+// row re-dividing its grant over its cabinets, then a complete
+// Algorithm-1 cycle with full command fan-out inside every cabinet. The
+// row tier's cost is pure re-division and 8-way grant fan-out, so the
+// deep tree should price within noise of the flat two-tier federation
+// at the same agent count (BenchmarkCycleFanoutFed at 4096).
+//
+// Results persist to BENCH_fanout.json as bench "CycleFanoutFed3" keyed
+// by total agent count; CI guards the baseline alongside CycleFanoutFed.
+package repro_test
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/fedd"
+	"repro/internal/managerd"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+const (
+	fed3Rows       = 4
+	fed3CabsPerRow = 8
+	fed3Agents     = fed3Rows * fed3CabsPerRow * fedCabinetSize
+)
+
+// fed3BenchFleet is a facility over rows over cabinets, every cabinet a
+// benchFleet held in sustained red by its granted band: the facility's
+// budget is 1 W per cabinet (equal-split twice into P_L 1 W / P_H 2 W
+// grants), far below any fleet's draw.
+type fed3BenchFleet struct {
+	fac    *fedd.Server
+	facNet *faultnet.Network
+	rows   []*fedd.Server
+	cabs   []*benchFleet
+}
+
+func startFed3BenchFleet(b *testing.B) *fed3BenchFleet {
+	b.Helper()
+	const cabinets = fed3Rows * fed3CabsPerRow
+	facNet := faultnet.New(9002)
+	fac, err := fedd.New(fedd.Config{
+		Listener:     facNet.Listener(),
+		Budget:       units.Watts(cabinets),
+		PH:           units.Watts(2 * cabinets),
+		ControlEvery: time.Hour, // cycles driven explicitly via StepCycle
+		StaleAfter:   time.Hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := fac.Start(); err != nil {
+		b.Fatal(err)
+	}
+	f := &fed3BenchFleet{fac: fac, facNet: facNet}
+	b.Cleanup(func() {
+		fac.Stop()
+		facNet.Close()
+	})
+
+	deadline := time.Now().Add(60 * time.Second)
+	rowNets := make([]*faultnet.Network, fed3Rows)
+	for r := 0; r < fed3Rows; r++ {
+		r := r
+		rowNet := faultnet.New(9100 + int64(r))
+		rowNets[r] = rowNet
+		row, err := fedd.New(fedd.Config{
+			Listener:     rowNet.Listener(),
+			Budget:       units.Watts(fed3CabsPerRow),
+			PH:           units.Watts(2 * fed3CabsPerRow),
+			ControlEvery: time.Hour,
+			StaleAfter:   time.Hour,
+			ReportEvery:  time.Hour,
+			Row:          r,
+			ParentDial: func() (net.Conn, error) {
+				return facNet.Dial(context.Background(), uint64(r))
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := row.Start(); err != nil {
+			b.Fatal(err)
+		}
+		f.rows = append(f.rows, row)
+		b.Cleanup(func() {
+			row.Stop()
+			rowNet.Close()
+		})
+	}
+
+	// All rows subscribed, one facility round grants them, and every row
+	// must be governed (dividing its granted band) before its cabinets
+	// boot.
+	for len(f.fac.CabinetStates()) != fed3Rows {
+		if time.Now().After(deadline) {
+			b.Fatalf("only %d of %d rows subscribed", len(f.fac.CabinetStates()), fed3Rows)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	f.fac.StepCycle()
+	for _, row := range f.rows {
+		for !row.Governed() {
+			if time.Now().After(deadline) {
+				b.Fatal("row never governed by the facility")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	for r, row := range f.rows {
+		rowNet := rowNets[r]
+		for cab := 0; cab < fed3CabsPerRow; cab++ {
+			cab := cab
+			nw := faultnet.New(1000*int64(r+1) + int64(cab))
+			srv, err := managerd.New(managerd.Config{
+				Listener:     nw.Listener(),
+				Model:        power.TianheNode(),
+				Policy:       policy.MPCC{},
+				Tg:           3,
+				ControlEvery: time.Hour,
+				Thresholds:   power.Thresholds{PL: 1, PH: 2},
+				Cabinet:      cab,
+				CoordinatorDial: func() (net.Conn, error) {
+					return rowNet.Dial(context.Background(), uint64(cab))
+				},
+				ReportEvery:    time.Hour,
+				StaleAfter:     time.Hour,
+				CommandTimeout: 5 * time.Second,
+				HeartbeatEvery: -1,
+				Shards:         128,
+				FanoutWorkers:  4,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := srv.Start(); err != nil {
+				b.Fatal(err)
+			}
+			cf := &benchFleet{srv: srv, nw: nw}
+			b.Cleanup(func() {
+				srv.Stop()
+				nw.Close()
+			})
+			f.cabs = append(f.cabs, cf)
+			cf.wireAgents(b, fedCabinetSize)
+		}
+		// Every cabinet of this row subscribed, one row round grants them.
+		for len(row.CabinetStates()) != fed3CabsPerRow {
+			if time.Now().After(deadline) {
+				b.Fatalf("row %d: only %d of %d cabinets subscribed",
+					r, len(row.CabinetStates()), fed3CabsPerRow)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		row.StepCycle()
+	}
+	for _, cf := range f.cabs {
+		for !cf.srv.Status().Governed {
+			if time.Now().After(deadline) {
+				b.Fatalf("cabinet never governed: %+v", cf.srv.Status())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		cf.warmRed(b)
+	}
+	return f
+}
+
+// step runs one three-tier round: facility, every row, then a full
+// control cycle in every cabinet. Returns the summed in-cabinet fan-out
+// time.
+func (f *fed3BenchFleet) step() time.Duration {
+	f.fac.StepCycle()
+	for _, row := range f.rows {
+		row.StepCycle()
+	}
+	var fanout time.Duration
+	for _, cf := range f.cabs {
+		fanout += cf.srv.StepCycle()
+	}
+	return fanout
+}
+
+// BenchmarkCycleFanoutFed3 measures one three-tier federation round per
+// iteration: budget division and grant fan-out at the facility and every
+// row, plus a full Algorithm-1 cycle with 128-node command fan-out
+// across all 32 cabinets.
+func BenchmarkCycleFanoutFed3(b *testing.B) {
+	b.Run("n"+itoa(fed3Agents), func(b *testing.B) {
+		f := startFed3BenchFleet(b)
+		b.ReportAllocs()
+		ms := newMemTrack()
+		b.ResetTimer()
+		var fanout time.Duration
+		for i := 0; i < b.N; i++ {
+			fanout += f.step()
+		}
+		b.StopTimer()
+		allocsOp, bytesOp := ms.perOp(b.N)
+		nsOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(nsOp/float64(fed3Agents), "ns/agent")
+		recordBench(benchEntry{
+			Bench: "CycleFanoutFed3", Agents: fed3Agents,
+			NsPerOp:     nsOp,
+			AllocsPerOp: allocsOp,
+			BytesPerOp:  bytesOp,
+			FanoutUS:    fanout.Microseconds() / int64(b.N),
+		})
+	})
+}

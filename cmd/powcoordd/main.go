@@ -1,27 +1,54 @@
-// Command powcoordd runs the federation coordinator: it owns the global
-// power budget and re-divides it across cabinet managers (powmgrd
-// instances started with -coordinator) every coordination cycle.
+// Command powcoordd runs a coordinator tier of the capping federation:
+// it owns a power budget and re-divides it across its children — cabinet
+// managers (powmgrd instances started with -coordinator) or further
+// powcoordd instances in a deeper tree — every coordination cycle.
 //
 //	powcoordd -addr 127.0.0.1:7070 -budget 120kW -ph 132kW \
 //	          -division fair -breaker 40kW -floor 2kW
 //
-// Each cabinet manager subscribes and streams aggregate reports; the
-// coordinator answers with budget grants, which double as heartbeats —
-// a cabinet cut off from the coordinator floors itself to its failsafe
-// band, and its budget share is re-divided among the survivors.
+// Each child subscribes and streams aggregate reports; the coordinator
+// answers with budget grants, which double as heartbeats — a child cut
+// off from the coordinator floors itself to its failsafe band, and its
+// budget share is re-divided among the survivors.
+//
+// With -parent the daemon runs as a row coordinator: it reports its
+// fleet roll-up upward to a facility powcoordd under child index -row
+// and divides whatever band it is granted (falling back to
+// -failsafe-pl/-failsafe-ph after -budget-grace cycles of parent
+// silence), so a facility → row → cabinet tree is three powcoordd/powmgrd
+// layers speaking one protocol:
+//
+//	powcoordd -addr :7060 -budget 240kW                 # facility
+//	powcoordd -addr :7070 -parent 127.0.0.1:7060 -row 0 # row 0
+//	powmgrd   -addr :7077 -coordinator 127.0.0.1:7070   # a cabinet
+//
+// With -lease the coordinator renews a leadership lease file and
+// journals every grant through -journal; a second powcoordd started with
+// -standby-of replicates that journal over the wire and promotes itself
+// at a higher epoch once the lease goes stale past -lease-miss-budget
+// renewals, seeding its grantor from the replicated grants so no cabinet
+// floors across the takeover:
+//
+//	powcoordd -addr :7070 -journal primary.journal -lease /shared/lease.json
+//	powcoordd -addr :7071 -journal standby.journal -lease /shared/lease.json \
+//	          -standby-of 127.0.0.1:7070
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/budget"
 	"repro/internal/fedd"
+	"repro/internal/power"
+	"repro/internal/replica"
 	"repro/internal/units"
 )
 
@@ -30,17 +57,30 @@ func main() {
 	log.SetPrefix("powcoordd: ")
 
 	var (
-		addr       = flag.String("addr", "127.0.0.1:7070", "listen address for cabinet subscriptions")
+		addr       = flag.String("addr", "127.0.0.1:7070", "listen address for child subscriptions")
 		budgetStr  = flag.String("budget", "120kW", "global budget (sum of all grants' P_L)")
 		phStr      = flag.String("ph", "", "global upper threshold P_H (default 1.1× budget)")
 		divName    = flag.String("division", "proportional", "budget division: uniform, proportional or fair")
 		period     = flag.Duration("period", time.Second, "coordination cycle period")
-		staleAfter = flag.Duration("stale-after", 0, "mark cabinets lost after this report silence (0 = 3 cycles)")
-		breakerStr = flag.String("breaker", "", "per-cabinet breaker rating capping any grant (empty = unbounded)")
-		floorStr   = flag.String("floor", "", "per-cabinet weighting floor, reserved for lost cabinets (empty = none)")
+		staleAfter = flag.Duration("stale-after", 0, "mark children lost after this report silence (0 = 3 cycles)")
+		breakerStr = flag.String("breaker", "", "per-child breaker rating capping any grant (empty = unbounded)")
+		floorStr   = flag.String("floor", "", "per-child weighting floor, reserved for lost children (empty = none)")
+
+		parent      = flag.String("parent", "", "facility coordinator address: run as a row coordinator under it (empty = root)")
+		row         = flag.Int("row", 0, "this row's child index under -parent")
+		reportEvery = flag.Duration("report-every", 0, "upward reporting period in row mode (0 = -period)")
+		budgetGrace = flag.Int("budget-grace", 0, "parent-silent cycles tolerated before flooring to the failsafe band (0 = 3)")
+		failsafePL  = flag.String("failsafe-pl", "", "failsafe band P_L divided while the parent is silent (empty = -budget)")
+		failsafePH  = flag.String("failsafe-ph", "", "failsafe band P_H (empty = -ph)")
+
+		journalPath = flag.String("journal", "", "grant journal path for restart recovery and standby replication (empty = memory only)")
+		leasePath   = flag.String("lease", "", "leadership lease file shared with standbys (empty = HA off)")
+		leaseEvery  = flag.Duration("lease-every", 250*time.Millisecond, "lease renewal period")
+		standbyOf   = flag.String("standby-of", "", "run as warm standby: replicate this coordinator's journal, promote when its lease goes stale")
+		missBudget  = flag.Int("lease-miss-budget", 4, "stale lease renewals a standby tolerates before declaring the leader dead")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics and GET /debug/cycles on this address (empty = disabled)")
-		codec       = flag.String("codec", "binary", "preferred wire codec negotiated with cabinets: binary or json")
+		codec       = flag.String("codec", "binary", "preferred wire codec negotiated with children: binary or json")
 	)
 	flag.Parse()
 
@@ -69,8 +109,20 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	var failsafe power.Thresholds
+	if *failsafePL != "" {
+		if failsafe.PL, err = units.ParseWatts(*failsafePL); err != nil {
+			log.Fatal(err)
+		}
+		failsafe.PH = failsafe.PL * 11 / 10
+	}
+	if *failsafePH != "" {
+		if failsafe.PH, err = units.ParseWatts(*failsafePH); err != nil {
+			log.Fatal(err)
+		}
+	}
 
-	srv, err := fedd.New(fedd.Config{
+	cfg := fedd.Config{
 		Addr:         *addr,
 		Budget:       bud,
 		PH:           ph,
@@ -81,7 +133,33 @@ func main() {
 		FloorW:       floor,
 		WireCodec:    *codec,
 		MetricsAddr:  *metricsAddr,
-	})
+
+		ParentAddr:     *parent,
+		Row:            *row,
+		ReportEvery:    *reportEvery,
+		BudgetGrace:    *budgetGrace,
+		FailsafeBudget: failsafe,
+
+		JournalPath: *journalPath,
+	}
+
+	var lease *replica.Lease
+	if *leasePath != "" {
+		lease = &replica.Lease{Path: *leasePath, Every: *leaseEvery}
+	}
+	if *standbyOf != "" {
+		if lease == nil {
+			log.Fatal("-standby-of requires -lease (the standby watches the leader's lease file)")
+		}
+		runStandby(cfg, lease, *standbyOf, *journalPath, *missBudget)
+		return
+	}
+	if lease != nil {
+		cfg.Lease = lease
+		cfg.LeaseHolder = "primary"
+	}
+
+	srv, err := fedd.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,17 +168,94 @@ func main() {
 	}
 	fmt.Printf("powcoordd: listening on %s (budget %v, PH %v, division %s, period %v)\n",
 		srv.Addr(), bud, ph, div, *period)
+	if *parent != "" {
+		fmt.Printf("powcoordd: row %d under facility %s\n", *row, *parent)
+	}
 	if ma := srv.MetricsAddr(); ma != "" {
 		fmt.Printf("powcoordd: metrics on http://%s/metrics (cycles on /debug/cycles)\n", ma)
 	}
 
+	awaitSignal()
+	fmt.Println("powcoordd: shutting down")
+	srv.Stop()
+	printSummary(srv)
+}
+
+// runStandby replicates the leader's grant journal into the -journal
+// path (or memory when empty), watches its lease, and on takeover boots
+// the full coordinator from the replicated copy at the claimed epoch.
+func runStandby(cfg fedd.Config, lease *replica.Lease, leader, journalPath string, missBudget int) {
+	store, err := replica.Open(journalPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var (
+		mu       sync.Mutex
+		promoted *fedd.Server
+	)
+	sb, err := replica.NewStandby(replica.StandbyConfig{
+		Follower:   replica.FollowerConfig{Addr: leader, Store: store, Backoff: lease.Period()},
+		Lease:      lease,
+		MissBudget: missBudget,
+		Holder:     "standby",
+		OnPromote: func(p replica.Promotion) error {
+			cfg.JournalPath = ""
+			cfg.Journal = p.Store
+			cfg.Epoch = p.Epoch
+			cfg.Lease = lease
+			cfg.LeaseHolder = "standby"
+			cfg.TakeoverMicros = p.Leaderless.Microseconds()
+			srv, err := fedd.New(cfg)
+			if err != nil {
+				return err
+			}
+			if err := srv.Start(); err != nil {
+				return err
+			}
+			mu.Lock()
+			promoted = srv
+			mu.Unlock()
+			fmt.Printf("powcoordd: promoted at epoch %d after %v leaderless, listening on %s\n",
+				p.Epoch, p.Leaderless.Round(time.Millisecond), srv.Addr())
+			return nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := sb.Run(ctx); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	fmt.Printf("powcoordd: standby of %s (lease %s every %v, miss budget %d)\n",
+		leader, lease.Path, lease.Period(), missBudget)
+
+	awaitSignal()
+	fmt.Println("powcoordd: shutting down")
+	cancel()
+	<-done
+	mu.Lock()
+	srv := promoted
+	mu.Unlock()
+	if srv != nil {
+		srv.Stop()
+		printSummary(srv)
+	}
+}
+
+func awaitSignal() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("powcoordd: shutting down")
-	srv.Stop()
+}
+
+func printSummary(srv *fedd.Server) {
 	for _, cs := range srv.CabinetStates() {
-		fmt.Printf("powcoordd: cabinet %d live=%v grant %.0fW applied %.0fW power %.0fW agents %d/%d\n",
+		fmt.Printf("powcoordd: child %d live=%v grant %.0fW applied %.0fW power %.0fW agents %d/%d\n",
 			cs.Cabinet, cs.Live, cs.GrantW, cs.AppliedW, cs.PowerW, cs.Healthy, cs.Agents)
 	}
 }

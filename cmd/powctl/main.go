@@ -1,8 +1,12 @@
-// Command powctl queries a running powmgrd for its status: connected
-// agents, state cycle counts, throttle operations, thresholds and the
-// manager's own measured CPU cost.
+// Command powctl queries a running powmgrd — or powcoordd — for its
+// status. Against a manager it prints connected agents, state cycle
+// counts, throttle operations, thresholds and the manager's own measured
+// CPU cost; against a coordinator (detected from the reply itself, no
+// flag needed) it prints the budget, the fleet roll-up and one line per
+// child with its liveness, negotiated codec and granted band.
 //
 //	powctl -addr 127.0.0.1:7077
+//	powctl -addr 127.0.0.1:7070          # a coordinator answers too
 //	powctl -addr 127.0.0.1:7077 -json | jq .command_acks
 //	powctl -addr 127.0.0.1:7077 -watch 1s -samples 60
 //	powctl -addr 127.0.0.1:7077 -codec
@@ -24,6 +28,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/fedd"
 	"repro/internal/managerd"
 	"repro/internal/metrics"
 	"repro/internal/trace"
@@ -63,10 +68,23 @@ func main() {
 		return
 	}
 
-	st, err := managerd.QueryStatus(*addr, *timeout)
+	env, err := managerd.QueryStatusEnvelope(*addr, *timeout)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if env.Node == fedd.CoordinatorNode {
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(env); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		printCoordinator(env)
+		return
+	}
+	st := *env.Stats
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -108,6 +126,44 @@ func main() {
 			fmt.Printf("last takeover   %s leaderless absorbed\n",
 				time.Duration(st.LastTakeoverMicros)*time.Microsecond)
 		}
+	}
+}
+
+// printCoordinator renders a coordinator's status: the aggregate block,
+// then one line per known child with its liveness, negotiated codec and
+// granted band. "Child" is a cabinet manager under a row or root
+// coordinator, or a whole row under a facility.
+func printCoordinator(env wire.Envelope) {
+	st := *env.Stats
+	fmt.Printf("coordinator     row %d, governed %v\n", st.Cabinet, st.Governed)
+	fmt.Printf("budget          PL %.1f W, PH %.1f W\n", st.ThresholdPLW, st.ThresholdPHW)
+	fmt.Printf("fleet           power %.1f W, demand %.1f W, agents %d (healthy %d)\n",
+		st.LastPowerW, st.DemandW, st.Agents, st.HealthyNodes)
+	fmt.Printf("cycles          %d (last %d µs)\n", st.Cycles, st.LastCycleMicros)
+	fmt.Printf("children        %d known, %d lost (%d binary, %d json)\n",
+		len(env.Batch), st.LostNodes, st.BinaryConns, st.JSONConns)
+	fmt.Printf("federation      grants received %d, floors %d, decode errors %d\n",
+		st.BudgetGrants, st.BudgetFloors, st.DecodeErrors)
+	if st.Epoch > 0 {
+		fmt.Printf("ha              epoch %d, leader %v, followers %d (lag %d entries), fenced hellos %d\n",
+			st.Epoch, st.Leader, st.ReplicaConns, st.ReplicaLagEntries, st.FencedHellos)
+		if st.LastTakeoverMicros > 0 {
+			fmt.Printf("last takeover   %s leaderless absorbed\n",
+				time.Duration(st.LastTakeoverMicros)*time.Microsecond)
+		}
+	}
+	for _, c := range env.Batch {
+		live := "live"
+		if c.Level == 0 {
+			live = "lost"
+		}
+		codec := c.Codec
+		if codec == "" {
+			codec = "-"
+		}
+		fmt.Printf("child %-3d       %s codec %-6s grant %.0f W (PH %.0f W, seq %d) power %.0f W demand %.0f W agents %d/%d epoch %d\n",
+			c.Node, live, codec, c.BudgetW, c.PHW, c.Seq, c.PowerW, c.DemandW,
+			c.Healthy, c.Agents, c.Epoch)
 	}
 }
 

@@ -33,7 +33,7 @@ func binaries(t *testing.T) string {
 			buildOnce.err = err
 			return
 		}
-		for _, tool := range []string{"powersim", "powfigures", "powmgrd", "powagentd", "powctl", "powbench"} {
+		for _, tool := range []string{"powersim", "powfigures", "powmgrd", "powagentd", "powctl", "powbench", "powcoordd"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 			if out, err := cmd.CombinedOutput(); err != nil {
 				buildOnce.err = err
@@ -424,6 +424,78 @@ func TestPowbenchCLI(t *testing.T) {
 	// Unknown scenario fails loudly.
 	if err := exec.Command(filepath.Join(bin, "powbench"), "-scenarios", "bogus").Run(); err == nil {
 		t.Error("powbench accepted an unknown scenario")
+	}
+}
+
+// TestPowctlCoordinatorStatus points powctl at a live powcoordd with one
+// governed powmgrd cabinet under it: the CLI must detect from the reply
+// alone that it dialled a coordinator and render the coordinator block —
+// budget, fleet roll-up and one child line with liveness, negotiated
+// codec and granted band. -json must round-trip the full envelope with
+// the coordinator marker node and the child Batch row.
+func TestPowctlCoordinatorStatus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI end-to-end")
+	}
+	bin := binaries(t)
+	const coordAddr = "127.0.0.1:39747"
+	coord := exec.Command(filepath.Join(bin, "powcoordd"),
+		"-addr", coordAddr, "-budget", "900W", "-ph", "1100W", "-period", "100ms")
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		coord.Process.Kill()
+		coord.Wait()
+	}()
+	mgr := exec.Command(filepath.Join(bin, "powmgrd"),
+		"-addr", "127.0.0.1:39748", "-pl", "400W", "-ph", "600W", "-period", "100ms",
+		"-coordinator", coordAddr, "-cabinet", "2")
+	if err := mgr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		mgr.Process.Kill()
+		mgr.Wait()
+	}()
+
+	powctl := filepath.Join(bin, "powctl")
+	var text string
+	for i := 0; i < 40; i++ {
+		out, err := exec.Command(powctl, "-addr", coordAddr, "-timeout", "2s").CombinedOutput()
+		text = string(out)
+		if err == nil && strings.Contains(text, "child 2") {
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	for _, want := range []string{
+		"coordinator", "budget          PL 900.0 W, PH 1100.0 W",
+		"children        1 known", "child 2", "live", "grant",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("powctl coordinator output missing %q:\n%s", want, text)
+		}
+	}
+
+	// -json: the full envelope, with the coordinator marker node and the
+	// child report row carrying the grant.
+	out, err := exec.Command(powctl, "-addr", coordAddr, "-timeout", "2s", "-json").CombinedOutput()
+	if err != nil {
+		t.Fatalf("powctl -json: %v\n%s", err, out)
+	}
+	var env wire.Envelope
+	if err := json.Unmarshal(out, &env); err != nil {
+		t.Fatalf("powctl -json output not an envelope: %v\n%s", err, out)
+	}
+	if env.Node != -1 || env.Stats == nil {
+		t.Fatalf("not a coordinator envelope: node=%d stats=%v", env.Node, env.Stats != nil)
+	}
+	if len(env.Batch) != 1 || env.Batch[0].Node != 2 || env.Batch[0].BudgetW <= 0 {
+		t.Errorf("child batch rows = %+v", env.Batch)
+	}
+	if env.Stats.ThresholdPLW != 900 {
+		t.Errorf("coordinator budget = %v, want 900", env.Stats.ThresholdPLW)
 	}
 }
 

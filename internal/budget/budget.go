@@ -19,6 +19,16 @@
 // are satisfied smallest-first under a rising water level, so a few
 // power-hungry children cannot starve the rest, and any surplus beyond
 // total demand is spread evenly as headroom.
+//
+// Precedence when the per-child knobs conflict: Cap wins over Floor.
+// Floor is only a weighting floor — it raises the child's demand signal,
+// never its hard bound — so a child whose breaker rating sits below its
+// floor is still granted at most Cap, with the overflow re-spread across
+// its siblings. Degenerate inputs degrade instead of panicking
+// mid-control-loop: a non-positive budget or an empty child list (every
+// cabinet lost, each already excluded by the caller with its reserve
+// subtracted) yields all-zero shares, a zero-demand fleet falls back to
+// the equal split, and negative demands weigh zero.
 package budget
 
 import (

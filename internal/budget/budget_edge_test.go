@@ -1,0 +1,94 @@
+package budget
+
+import (
+	"math"
+	"testing"
+)
+
+var allDivisions = []Division{Uniform, Proportional, FairShare}
+
+// TestZeroDemandFleetSplitsEqually pins the idle-fleet edge: every child
+// reports zero demand and zero floor (a freshly-booted federation before
+// the first report round). No strategy may divide by the zero demand
+// sum; all must degrade to the equal split and still spend the whole
+// budget as headroom.
+func TestZeroDemandFleetSplitsEqually(t *testing.T) {
+	ds := []Demand{{ID: 0}, {ID: 1}, {ID: 2}, {ID: 3}}
+	for _, div := range allDivisions {
+		shares := Divide(600, div, ds)
+		for i, s := range shares {
+			if math.Abs(s-150) > 1e-9 {
+				t.Errorf("%v: share[%d] = %v, want 150", div, i, s)
+			}
+		}
+		if math.Abs(sum(shares)-600) > 1e-6 {
+			t.Errorf("%v: zero-demand fleet spent %v of 600", div, sum(shares))
+		}
+	}
+}
+
+// TestAllChildrenLostYieldsNoShares pins the all-cabinets-lost edge: the
+// coordinator excludes lost children from the division entirely (their
+// reserve is subtracted from the budget before the call), so with every
+// child lost the division runs over an empty — or nil — list. That must
+// yield zero shares without panicking mid-control-loop.
+func TestAllChildrenLostYieldsNoShares(t *testing.T) {
+	for _, div := range allDivisions {
+		if shares := Divide(1000, div, nil); len(shares) != 0 {
+			t.Errorf("%v: nil demands produced shares %v", div, shares)
+		}
+		if shares := Divide(1000, div, []Demand{}); len(shares) != 0 {
+			t.Errorf("%v: empty demands produced shares %v", div, shares)
+		}
+	}
+}
+
+// TestCapBelowFloorCapWins pins the conflicting-knob precedence: a child
+// whose breaker rating sits below its weighting floor (a mis-sized or
+// derated cabinet) is granted at most Cap — the floor raises its demand
+// signal, never its hard bound — and the overflow re-spreads to its
+// siblings, so the budget is still fully spent.
+func TestCapBelowFloorCapWins(t *testing.T) {
+	ds := []Demand{
+		{ID: 0, Want: 10, Floor: 500, Cap: 200}, // breaker below the floor
+		{ID: 1, Want: 400, Floor: 100},
+	}
+	for _, div := range allDivisions {
+		shares := Divide(1000, div, ds)
+		if shares[0] > 200+1e-9 {
+			t.Errorf("%v: capped child granted %v past its breaker 200", div, shares[0])
+		}
+		if math.Abs(sum(shares)-1000) > 1e-6 {
+			t.Errorf("%v: overflow not re-spread, spent %v of 1000: %v",
+				div, sum(shares), shares)
+		}
+		if shares[1] < 800-1e-9 {
+			t.Errorf("%v: sibling got %v, want the re-spread 800", div, shares[1])
+		}
+	}
+}
+
+// TestNegativeBudgetAndDemands pins the remaining degenerate inputs: a
+// non-positive budget yields all-zero shares, and a negative demand is
+// clamped to zero weight rather than producing a negative share.
+func TestNegativeBudgetAndDemands(t *testing.T) {
+	ds := []Demand{{Want: 100}, {Want: 200}}
+	for _, div := range allDivisions {
+		for _, total := range []float64{0, -500} {
+			for i, s := range Divide(total, div, ds) {
+				if s != 0 {
+					t.Errorf("%v: budget %v share[%d] = %v, want 0", div, total, i, s)
+				}
+			}
+		}
+		shares := Divide(300, div, []Demand{{Want: -50}, {Want: 100}})
+		for i, s := range shares {
+			if s < 0 {
+				t.Errorf("%v: negative share[%d] = %v", div, i, s)
+			}
+		}
+		if math.Abs(sum(shares)-300) > 1e-6 {
+			t.Errorf("%v: negative-demand fleet spent %v of 300", div, sum(shares))
+		}
+	}
+}

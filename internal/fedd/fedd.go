@@ -1,25 +1,38 @@
-// Package fedd implements the coordinator tier of the capping
-// federation: one daemon owning the machine's global power budget over a
-// fleet of cabinet managers (internal/managerd in governed mode).
+// Package fedd implements a coordinator tier of the capping federation:
+// one daemon owning a power budget over a fleet of children — governed
+// cabinet managers (internal/managerd), or further fedd coordinators in
+// a deeper tree.
 //
-// Each cabinet manager dials in and subscribes with a cab_report frame,
-// then streams one report per control cycle: its sensed aggregate power,
-// its uncapped full-level demand estimate, the band it currently
-// enforces and its fleet tallies. Every coordinator cycle the daemon
-// classifies cabinets live or lost by report freshness, re-divides the
-// global budget across the live ones with the shared division library
-// (internal/budget — the same code that splits a cabinet budget across
-// nodes in nodemgr), and sends each live cabinet a cab_budget grant
-// naming its new band. Grants double as heartbeats: a cabinet that stops
-// receiving them floors itself locally (managerd's federate.go), and a
-// lost cabinet's budget — minus a reserved floor for whatever it still
-// draws while flooring — is re-divided among the survivors on the very
-// next cycle.
+// Each child dials in and subscribes with a cab_report frame, then
+// streams one report per control cycle: its sensed aggregate power, its
+// uncapped full-level demand estimate, the band it currently enforces
+// and its fleet tallies. Every coordinator cycle the daemon classifies
+// children live or lost by report freshness, re-divides its budget
+// across the live ones with the shared division library
+// (internal/budget), and sends each live child a cab_budget grant
+// naming its new band. Grants double as heartbeats: a child that stops
+// receiving them floors itself locally, and a lost child's budget —
+// minus a reserved floor for whatever it still draws while flooring —
+// is re-divided among the survivors on the very next cycle. All of that
+// machinery is internal/tier's Grantor; this package is the daemon
+// around it.
 //
-// The two-tier split is the paper's pdist topology made control-plane
-// structure: breakers bound cabinets physically, so the coordinator
-// bounds them logically with per-cabinet caps, and no single control
-// loop has to fan out to every node in the machine.
+// The seam is recursive. In row mode (ParentAddr/ParentDial set) the
+// coordinator also embeds a tier.Governor: it reports its fleet
+// aggregate upward to a facility coordinator and divides whatever band
+// it is granted — or its failsafe band, once the parent has been silent
+// past the grace window — so a facility → row → cabinet → node tree is
+// the same two frame kinds on every edge, which is the paper's pdist
+// topology made control-plane structure.
+//
+// Coordinator HA mirrors managerd's: grants are journalled through
+// internal/replica (each child's granted watts as a journal level), a
+// warm standby replicates the journal over KindJournalAppend frames and
+// takes over under a bumped epoch when the leadership lease goes stale.
+// A promoted coordinator seeds its grantor from the journal, so every
+// child that was healthy when the old leader died keeps its share
+// reserved until it redials — takeover stays invisible below
+// StaleAfter, and no cabinet floors.
 package fedd
 
 import (
@@ -34,13 +47,15 @@ import (
 	"repro/internal/budget"
 	"repro/internal/obs"
 	"repro/internal/power"
+	"repro/internal/replica"
+	"repro/internal/tier"
 	"repro/internal/units"
 	"repro/internal/wire"
 )
 
 // Config parametrises the coordinator.
 type Config struct {
-	// Addr is the TCP listen address for cabinet subscriptions. Port 0
+	// Addr is the TCP listen address for child subscriptions. Port 0
 	// selects an ephemeral port (see Server.Addr).
 	Addr string
 	// Listener, when non-nil, is served instead of binding Addr (the
@@ -48,37 +63,38 @@ type Config struct {
 	// server takes ownership and closes it on Stop.
 	Listener net.Listener
 	// Budget is the global lower threshold: the sum of all grants' P_L
-	// never exceeds it.
+	// never exceeds it. In row mode it is the band divided before the
+	// first parent grant arrives.
 	Budget units.Watts
 	// PH is the global upper threshold. Each grant's P_H scales from its
-	// P_L by the global PH/Budget ratio, so cabinet headroom mirrors the
-	// machine's.
+	// P_L by the current band's PH/PL ratio, so child headroom mirrors
+	// its parent's.
 	PH units.Watts
 	// Division selects the budget division strategy (internal/budget):
 	// Uniform, Proportional (to reported demand) or FairShare.
 	Division budget.Division
 	// ControlEvery is the coordinator cycle period; every cycle
-	// re-divides the budget and sends one grant per live cabinet.
+	// re-divides the budget and sends one grant per live child.
 	ControlEvery time.Duration
-	// StaleAfter marks a cabinet lost when its newest report is older
-	// than this. Liveness is pure report freshness — a cabinet whose
+	// StaleAfter marks a child lost when its newest report is older
+	// than this. Liveness is pure report freshness — a child whose
 	// connection drops but whose last report is still fresh keeps its
 	// budget share through the window, so a warm-standby takeover that
 	// redials within it is invisible at this tier. Zero defaults to
 	// 3 coordinator cycles.
 	StaleAfter time.Duration
-	// Breaker is the per-cabinet circuit-breaker rating (pdist): a hard
-	// cap on any single cabinet's grant, whatever its demand. Zero means
+	// Breaker is the per-child circuit-breaker rating (pdist): a hard
+	// cap on any single child's grant, whatever its demand. Zero means
 	// unbounded.
 	Breaker units.Watts
-	// FloorW is the per-cabinet weighting floor handed to the division
-	// (a cabinet with zero demand still gets this much weight), and the
-	// amount reserved from the global budget for each lost cabinet —
-	// covering what it draws while floored on its local failsafe. Zero
-	// disables both.
+	// FloorW is the per-child weighting floor handed to the division (a
+	// child with zero demand still gets this much weight), and the
+	// amount reserved from the budget for each lost child — covering
+	// what it draws while floored on its local failsafe. Zero disables
+	// both.
 	FloorW units.Watts
 	// WireCodec mirrors managerd's: "binary" (and "") negotiates the
-	// binary codec with cabinets that advertise it; "json" pins JSON.
+	// binary codec with children that advertise it; "json" pins JSON.
 	WireCodec string
 	// MetricsAddr, when non-empty, serves GET /metrics and GET
 	// /debug/cycles for the coordinator registry on this address.
@@ -86,32 +102,65 @@ type Config struct {
 	// CycleHistory is how many staged cycle timelines to retain for
 	// /debug/cycles; zero defaults to obs.DefaultCycleHistory.
 	CycleHistory int
+
+	// --- row mode (mid-tier coordinator under a parent) ---
+
+	// ParentAddr is the facility coordinator's address; setting it (or
+	// ParentDial) turns this coordinator into a row: Grantor to its
+	// children, Governor under its parent.
+	ParentAddr string
+	// ParentDial, when non-nil, opens the parent connection instead of
+	// dialling ParentAddr (tests inject fault-injecting dialers).
+	ParentDial func() (net.Conn, error)
+	// Row is this coordinator's child index under its parent.
+	Row int
+	// ReportEvery is the upward reporting period; zero defaults to
+	// ControlEvery.
+	ReportEvery time.Duration
+	// BudgetGrace is how many control periods of parent silence are
+	// tolerated before the row floors itself to FailsafeBudget; zero
+	// defaults to 3.
+	BudgetGrace int
+	// FailsafeBudget is the band divided while the parent is silent past
+	// the grace window. Zero-value defaults to {Budget, PH} — a row that
+	// loses its facility falls back to its static budget.
+	FailsafeBudget power.Thresholds
+
+	// --- high availability (lease + replicated grant journal) ---
+
+	// JournalPath, when non-empty, persists the grant journal (snapshot
+	// + append log) so a restart or a promoted standby resumes knowing
+	// the fleet it inherited. Ignored when Journal is set.
+	JournalPath string
+	// Journal, when non-nil, is an already-open store handed over by a
+	// promoted standby (its replicated copy becomes the new leader's
+	// journal).
+	Journal *replica.Store
+	// Lease, when non-nil, carries coordinator leadership: the server
+	// renews it every lease period and self-deposes when a higher epoch
+	// appears in it.
+	Lease *replica.Lease
+	// LeaseHolder names this server in the lease file.
+	LeaseHolder string
+	// Epoch fixes the leadership epoch. Zero with a Lease set claims the
+	// epoch after whatever the lease file last recorded; the journal's
+	// epoch is a floor either way. Zero without a Lease leaves HA off.
+	Epoch uint64
+	// CommandTimeout arms follower stream writes; zero defaults to
+	// ControlEvery.
+	CommandTimeout time.Duration
+	// TakeoverMicros, set by a promoting standby, records how much
+	// leaderless time the takeover absorbed (observability only).
+	TakeoverMicros int64
 }
 
-// cabState is everything the coordinator knows about one cabinet.
-// All fields are guarded by Server.mu. The connection is written only by
-// the coordinator cycle goroutine once registered (the subscribe path
-// sends its frames before registering), so grant writes never race.
-type cabState struct {
-	conn     *wire.Conn
-	lastSeen time.Time
-
-	powerW, demandW  float64
-	appliedW, phW    float64 // band the cabinet says it is enforcing
-	agents, healthy  int
-	epoch            uint64 // cabinet manager's leadership epoch (HA)
-	appliedSeq       uint64 // grant seq echoed in the last report
-	grantW, grantPHW float64
-	grantSeq         uint64
-
-	liveG, grantG, powerG, demandG *obs.Gauge
-}
-
-// CabinetStatus is a point-in-time external view of one cabinet, for
-// tests and operator tooling.
+// CabinetStatus is a point-in-time external view of one child, for
+// tests and operator tooling. "Cabinet" is the protocol's word for
+// "child" — at a facility coordinator the children are whole rows.
 type CabinetStatus struct {
 	Cabinet    int
 	Live       bool
+	Codec      string
 	PowerW     float64
 	DemandW    float64
 	AppliedW   float64
@@ -129,28 +178,29 @@ type Server struct {
 	cfg Config
 	ln  net.Listener
 
-	mu   sync.Mutex
-	cabs map[int]*cabState
-
-	seq atomic.Uint64
+	grantor *tier.Grantor
+	gov     *tier.Governor // nil unless row mode
 
 	reg   *obs.Registry
 	trace *obs.CycleRecorder
 
-	reportsC    *obs.Counter
-	grantsC     *obs.Counter
-	decodeErrsC *obs.Counter
-	cyclesC     *obs.Counter
-	cabinetsG   *obs.Gauge
-	liveG       *obs.Gauge
-	lostG       *obs.Gauge
-	fleetPowerG *obs.Gauge
-	fleetDemG   *obs.Gauge
-	fleetAgG    *obs.Gauge
-	fleetHlG    *obs.Gauge
-	budgetG     *obs.Gauge
-	grantedG    *obs.Gauge
-	cycleUsG    *obs.Gauge
+	journal *replica.Store
+	pub     *replica.Publisher
+	epoch   uint64
+	deposed atomic.Bool
+	cycleN  atomic.Int64
+
+	journalAppendsC *obs.Counter
+	fencedHellosC   *obs.Counter
+	budgetGrantsC   *obs.Counter
+	budgetFloorsC   *obs.Counter
+	decodeErrsC     *obs.Counter
+	epochG          *obs.Gauge
+	leaderG         *obs.Gauge
+	replicaConnsG   *obs.Gauge
+	replicaLagG     *obs.Gauge
+	lastTakeoverG   *obs.Gauge
+	governedG       *obs.Gauge
 
 	metricsLn  net.Listener
 	metricsSrv *http.Server
@@ -183,35 +233,172 @@ func New(cfg Config) (*Server, error) {
 	default:
 		return nil, fmt.Errorf("fedd: unknown wire codec %q", cfg.WireCodec)
 	}
+	rowMode := cfg.ParentAddr != "" || cfg.ParentDial != nil
+	if rowMode {
+		if cfg.Row < 0 {
+			return nil, fmt.Errorf("fedd: negative row index %d", cfg.Row)
+		}
+		if cfg.ReportEvery <= 0 {
+			cfg.ReportEvery = cfg.ControlEvery
+		}
+		if cfg.BudgetGrace <= 0 {
+			cfg.BudgetGrace = 3
+		}
+		if cfg.FailsafeBudget == (power.Thresholds{}) {
+			cfg.FailsafeBudget = thr
+		}
+		if err := cfg.FailsafeBudget.Validate(); err != nil {
+			return nil, fmt.Errorf("fedd: failsafe budget: %w", err)
+		}
+	}
+	if cfg.CommandTimeout <= 0 {
+		cfg.CommandTimeout = cfg.ControlEvery
+	}
+
 	reg := obs.NewRegistry()
 	s := &Server{
 		cfg:    cfg,
-		cabs:   make(map[int]*cabState),
 		reg:    reg,
 		trace:  obs.NewCycleRecorder(cfg.CycleHistory, reg),
 		stopCh: make(chan struct{}),
 
-		reportsC:    reg.Counter("reports_received"),
-		grantsC:     reg.Counter("grants_sent"),
-		decodeErrsC: reg.Counter("decode_errors"),
-		cyclesC:     reg.Counter("cycles"),
-		cabinetsG:   reg.Gauge("cabinets"),
-		liveG:       reg.Gauge("cabinets_live"),
-		lostG:       reg.Gauge("cabinets_lost"),
-		fleetPowerG: reg.Gauge("fleet_power_w"),
-		fleetDemG:   reg.Gauge("fleet_demand_w"),
-		fleetAgG:    reg.Gauge("fleet_agents"),
-		fleetHlG:    reg.Gauge("fleet_healthy"),
-		budgetG:     reg.Gauge("budget_w"),
-		grantedG:    reg.Gauge("granted_w"),
-		cycleUsG:    reg.Gauge("last_cycle_micros"),
+		journalAppendsC: reg.Counter("journal_appends"),
+		fencedHellosC:   reg.Counter("fenced_hellos"),
+		budgetGrantsC:   reg.Counter("budget_grants"),
+		budgetFloorsC:   reg.Counter("budget_floors"),
+		decodeErrsC:     reg.Counter("decode_errors"),
+		epochG:          reg.Gauge("epoch"),
+		leaderG:         reg.Gauge("leader"),
+		replicaConnsG:   reg.Gauge("replica_conns"),
+		replicaLagG:     reg.Gauge("replica_lag_entries"),
+		lastTakeoverG:   reg.Gauge("last_takeover_micros"),
+		governedG:       reg.Gauge("governed"),
 	}
-	s.budgetG.Set(float64(cfg.Budget))
+	reg.Gauge("row").SetInt(int64(cfg.Row))
+
+	// The grant journal. Advisory like managerd's: a promoted standby
+	// hands over its replicated copy, a path-configured one persists, and
+	// everything else journals to a memory-only store (which still feeds
+	// live followers).
+	switch {
+	case cfg.Journal != nil:
+		s.journal = cfg.Journal
+	default:
+		j, err := replica.Open(cfg.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("fedd: journal: %w", err)
+		}
+		s.journal = j
+	}
+	s.pub = replica.NewPublisher(s.journal, cfg.CommandTimeout)
+
+	s.grantor = tier.NewGrantor(tier.GrantorConfig{
+		Division:   cfg.Division,
+		StaleAfter: cfg.StaleAfter,
+		Breaker:    cfg.Breaker,
+		Floor:      cfg.FloorW,
+		WireCodec:  cfg.WireCodec,
+		Band:       s.band,
+		Reg:        reg,
+		Trace:      s.trace,
+		OnGrant: func(child int, grantW, phW float64, seq uint64) {
+			s.journal.SetLevel(child, int(grantW+0.5))
+		},
+	})
+	s.reg.Gauge("budget_w").Set(float64(cfg.Budget))
+
+	if rowMode {
+		s.gov = tier.NewGovernor(tier.GovernorConfig{
+			Parent:      cfg.ParentAddr,
+			Dial:        cfg.ParentDial,
+			Child:       cfg.Row,
+			ReportEvery: cfg.ReportEvery,
+			Grace:       time.Duration(cfg.BudgetGrace) * cfg.ControlEvery,
+			Failsafe:    cfg.FailsafeBudget,
+			Initial:     thr,
+			WireCodec:   cfg.WireCodec,
+			Snapshot:    s.rowSnapshot,
+			OnGrant: func() {
+				s.budgetGrantsC.Inc()
+				s.governedG.Set(1)
+			},
+			OnFloor: func() {
+				s.budgetFloorsC.Inc()
+				s.governedG.Set(0)
+			},
+			OnDecodeError: func() { s.decodeErrsC.Inc() },
+		})
+	}
+
+	// Leadership epoch: explicit config wins; otherwise a lease implies
+	// HA, so claim the epoch after whatever the lease file last recorded.
+	// The journal's epoch (e.g. a handed-over replica copy) is a floor.
+	epoch := cfg.Epoch
+	if epoch == 0 && cfg.Lease != nil {
+		if st, err := cfg.Lease.Read(); err == nil {
+			epoch = st.Epoch + 1
+		} else {
+			epoch = 1
+		}
+	}
+	if je := s.journal.Epoch(); je > epoch {
+		epoch = je
+	}
+	s.epoch = epoch
+	s.journal.SetEpoch(epoch)
+	s.epochG.SetInt(int64(epoch))
+	s.leaderG.Set(1)
+	if cfg.TakeoverMicros > 0 {
+		s.lastTakeoverG.SetInt(cfg.TakeoverMicros)
+		reg.Histogram("takeover_micros").Observe(float64(cfg.TakeoverMicros))
+	}
+
+	// Seed the grantor from recovered journal state: each journalled
+	// child keeps its last granted band reserved (live with no
+	// connection) until it redials, so takeover and restart never starve
+	// a child that was healthy when the previous leader stopped.
+	if snap := s.journal.State(); len(snap.Levels) > 0 {
+		phRatio := float64(cfg.PH) / float64(cfg.Budget)
+		if snap.ThrPLW > 0 && snap.ThrPHW >= snap.ThrPLW {
+			phRatio = snap.ThrPHW / snap.ThrPLW
+		}
+		seeds := make([]tier.SeedChild, 0, len(snap.Levels))
+		for _, l := range snap.Levels {
+			g := float64(l.Level)
+			seeds = append(seeds, tier.SeedChild{Child: l.Node, GrantW: g, GrantPHW: g * phRatio})
+		}
+		s.grantor.Seed(seeds)
+		s.cycleN.Store(int64(snap.SavedAtCycle))
+	}
 	return s, nil
 }
 
+// band is the budget the grantor divides this cycle: in row mode the
+// parent's freshest grant (or the failsafe once the parent has been
+// silent past the grace window), at the root the static configuration.
+func (s *Server) band(now time.Time) power.Thresholds {
+	if s.gov != nil {
+		return s.gov.Thresholds(now)
+	}
+	return power.Thresholds{PL: s.cfg.Budget, PH: s.cfg.PH}
+}
+
+// rowSnapshot rolls the fleet up for one upward report.
+func (s *Server) rowSnapshot() tier.Snapshot {
+	agg := s.grantor.Aggregate()
+	applied := s.band(time.Now())
+	return tier.Snapshot{
+		AppliedPLW: float64(applied.PL),
+		AppliedPHW: float64(applied.PH),
+		Agents:     agg.Agents,
+		Healthy:    agg.Healthy,
+		Epoch:      s.epoch,
+	}
+}
+
 // Start binds the listener and launches the accept and coordination
-// loops.
+// loops (plus lease renewal and the upward governor session, when
+// configured).
 func (s *Server) Start() error {
 	if s.cfg.MetricsAddr != "" {
 		mln, err := net.Listen("tcp", s.cfg.MetricsAddr)
@@ -237,6 +424,23 @@ func (s *Server) Start() error {
 			return fmt.Errorf("fedd: listen: %w", err)
 		}
 		s.ln = ln
+	}
+	if s.cfg.Lease != nil {
+		// Claim the lease synchronously so a standby started right after
+		// us immediately sees a live leader.
+		_ = s.cfg.Lease.Write(replica.LeaseState{
+			Epoch: s.epoch, Holder: s.cfg.LeaseHolder, RenewedAt: time.Now(),
+		})
+		s.wg.Add(1)
+		go s.renewLoop()
+	}
+	if s.gov != nil {
+		s.gov.Start()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.gov.Run(s.stopCh)
+		}()
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -265,25 +469,39 @@ func (s *Server) MetricsAddr() string {
 // Obs returns the coordinator's instrument registry.
 func (s *Server) Obs() *obs.Registry { return s.reg }
 
+// Epoch returns the coordinator's leadership epoch (0 = HA off).
+func (s *Server) Epoch() uint64 { return s.epoch }
+
+// Deposed reports whether this coordinator has fenced itself off after
+// discovering a newer leadership epoch.
+func (s *Server) Deposed() bool { return s.deposed.Load() }
+
+// Governed reports whether a row coordinator is currently dividing a
+// live parent grant (false at the root, before the first grant, and
+// while floored).
+func (s *Server) Governed() bool { return s.gov != nil && s.gov.Governed() }
+
 // Stop shuts the coordinator down and waits for its goroutines.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() {
 		close(s.stopCh)
+		if s.gov != nil {
+			s.gov.CloseConn()
+		}
 		if s.metricsSrv != nil {
 			s.metricsSrv.Close()
 		}
 		if s.ln != nil {
 			s.ln.Close()
 		}
-		s.mu.Lock()
-		for _, cs := range s.cabs {
-			if cs.conn != nil {
-				cs.conn.Close()
-			}
-		}
-		s.mu.Unlock()
+		s.pub.Close()
+		s.grantor.CloseAll()
 	})
 	s.wg.Wait()
+	if s.journal.Persistent() {
+		_, _ = s.journal.Compact()
+	}
+	s.journal.Close()
 }
 
 func (s *Server) acceptLoop() {
@@ -320,91 +538,106 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// serveConn handles one cabinet subscription: the first frame must be a
-// cab_report (doubling as the hello, with the codec advertisement); the
-// reply names the chosen codec, after which the connection is registered
-// and the coordinate loop owns its write side. The rest of the stream is
-// reports.
+// binaryWanted reports whether the peer behind this subscribe/probe
+// frame should be switched onto the binary codec.
+func (s *Server) binaryWanted(first *wire.Envelope) bool {
+	return s.cfg.WireCodec != wire.CodecJSON && first.Advertises(wire.CodecBinary)
+}
+
+// serveConn routes one inbound connection by its first frame: child
+// subscriptions (cab_report) go to the grantor, journal followers
+// (journal_ack) to the publisher, and status probes get one reply.
 func (s *Server) serveConn(conn *wire.Conn) {
 	defer s.wg.Done()
 	first, err := conn.Recv()
-	if err != nil || first.Type != wire.KindCabReport || first.Node < 0 {
+	if err != nil {
 		conn.Close()
 		return
 	}
-	wantBin := s.cfg.WireCodec != wire.CodecJSON && first.Advertises(wire.CodecBinary)
-	reply := wire.Envelope{Type: wire.KindHello}
-	if wantBin {
-		reply.Codec = wire.CodecBinary
-	}
-	if err := conn.Send(reply); err != nil {
-		conn.Close()
-		return
-	}
-	if wantBin {
-		conn.EnableBinary()
-	}
-
-	cab := first.Node
-	s.mu.Lock()
-	cs := s.cabs[cab]
-	if cs == nil {
-		cs = &cabState{
-			liveG:   s.reg.Gauge(fmt.Sprintf("cab%d_live", cab)),
-			grantG:  s.reg.Gauge(fmt.Sprintf("cab%d_grant_w", cab)),
-			powerG:  s.reg.Gauge(fmt.Sprintf("cab%d_power_w", cab)),
-			demandG: s.reg.Gauge(fmt.Sprintf("cab%d_demand_w", cab)),
-		}
-		s.cabs[cab] = cs
-	}
-	old := cs.conn
-	cs.conn = conn
-	s.noteReport(cs, &first)
-	s.mu.Unlock()
-	if old != nil {
-		// A redial (or a promoted warm standby taking the cabinet over)
-		// replaced the connection; the old one is retired silently and
-		// the cabinet never counts as lost.
-		old.Close()
-	}
-
-	var env wire.Envelope
-	for {
-		if err := conn.RecvInto(&env); err != nil {
-			var de *wire.DecodeError
-			if errors.As(err, &de) && de.Recoverable() {
-				s.decodeErrsC.Inc()
-				continue
+	switch first.Type {
+	case wire.KindStatus:
+		reply := s.StatusEnvelope()
+		// A probe advertising codecs (powctl -codec) is told which codec
+		// this daemon would negotiate with it — without switching the
+		// reply itself off JSON, so any probe can read the answer.
+		if len(first.Codecs) > 0 {
+			if s.binaryWanted(&first) {
+				reply.Codec = wire.CodecBinary
+			} else {
+				reply.Codec = wire.CodecJSON
 			}
-			break
 		}
-		if env.Type != wire.KindCabReport {
-			continue
+		_ = conn.Send(reply)
+		conn.Close()
+	case wire.KindJournalAck:
+		s.serveReplica(conn, first)
+	case wire.KindCabReport:
+		if first.Node < 0 {
+			conn.Close()
+			return
 		}
-		s.mu.Lock()
-		if cs.conn == conn {
-			s.noteReport(cs, &env)
-		}
-		s.mu.Unlock()
+		s.grantor.Serve(conn, first)
+	default:
+		conn.Close()
 	}
-	s.mu.Lock()
-	if cs.conn == conn {
-		cs.conn = nil
-	}
-	s.mu.Unlock()
-	conn.Close()
 }
 
-// noteReport folds one cab_report into the cabinet state. Caller holds
-// s.mu.
-func (s *Server) noteReport(cs *cabState, env *wire.Envelope) {
-	cs.lastSeen = time.Now()
-	cs.powerW, cs.demandW = env.PowerW, env.DemandW
-	cs.appliedW, cs.phW = env.BudgetW, env.PHW
-	cs.agents, cs.healthy = env.Agents, env.Healthy
-	cs.epoch = env.Epoch
-	cs.appliedSeq = env.Seq
-	s.reportsC.Inc()
+// serveReplica owns one journal-follower connection: fence by epoch,
+// negotiate the codec, then hand the stream to the publisher.
+func (s *Server) serveReplica(conn *wire.Conn, first wire.Envelope) {
+	if s.epoch > 0 && first.Epoch > s.epoch {
+		s.fencedHellosC.Inc()
+		s.depose()
+		conn.Close()
+		return
+	}
+	if s.binaryWanted(&first) {
+		conn.EnableBinary()
+	}
+	s.pub.Serve(conn, first.Seq)
+}
+
+// renewLoop keeps the leadership lease fresh, and self-fences when a
+// higher epoch appears in it.
+func (s *Server) renewLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.Lease.Period())
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-tick.C:
+			if s.deposed.Load() {
+				return
+			}
+			if st, err := s.cfg.Lease.Read(); err == nil && st.Epoch > s.epoch {
+				s.depose()
+				return
+			}
+			_ = s.cfg.Lease.Write(replica.LeaseState{
+				Epoch: s.epoch, Holder: s.cfg.LeaseHolder, RenewedAt: time.Now(),
+			})
+		}
+	}
+}
+
+// depose self-fences a coordinator that has been superseded: leadership
+// gauge drops, lease renewal stops, the listener closes, followers and
+// children are shed so they redial the new leader.
+func (s *Server) depose() {
+	if !s.deposed.CompareAndSwap(false, true) {
+		return
+	}
+	s.leaderG.Set(0)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.pub.CloseSubs()
+	s.grantor.CloseAll()
+	if s.gov != nil {
+		s.gov.CloseConn()
+	}
 }
 
 func (s *Server) coordinateLoop() {
@@ -421,115 +654,28 @@ func (s *Server) coordinateLoop() {
 	}
 }
 
-// cycle is one coordination round: classify cabinets live/lost by report
-// freshness, divide the global budget across the live ones, and send
-// each its grant. The division reserves FloorW for every lost cabinet
-// (its local failsafe still draws power) and caps every share at the
-// cabinet breaker rating.
+// cycle is one coordination round: the grantor divides the current band
+// and grants it, a row coordinator rolls its fleet up for the next
+// upward report, and the grant journal commits (and replicates) the
+// cycle's deltas.
 func (s *Server) cycle() {
-	t0 := time.Now()
-	s.cyclesC.Inc()
-	span := s.trace.Begin()
-
-	type target struct {
-		cab  int
-		cs   *cabState
-		conn *wire.Conn
+	if s.deposed.Load() {
+		return
 	}
-	var (
-		targets         []target
-		demands         []budget.Demand
-		lost            int
-		fleetP, fleetD  float64
-		agents, healthy int
-	)
-	s.mu.Lock()
-	for cab, cs := range s.cabs {
-		// Liveness is report freshness alone: a cabinet mid-takeover
-		// (connection briefly down, reports still fresh) keeps its share
-		// reserved rather than thrashing the survivors' grants.
-		live := t0.Sub(cs.lastSeen) <= s.cfg.StaleAfter
-		cs.liveG.Set(b2f(live))
-		cs.powerG.Set(cs.powerW)
-		cs.demandG.Set(cs.demandW)
-		fleetP += cs.powerW
-		agents += cs.agents
-		healthy += cs.healthy
-		if !live {
-			lost++
-			cs.grantG.Set(0)
-			continue
-		}
-		fleetD += cs.demandW
-		want := cs.demandW
-		if want <= 0 {
-			// A cabinet that has not sensed yet weighs in at its current
-			// draw, so a fresh subscriber is not starved before its first
-			// full cycle.
-			want = cs.powerW
-		}
-		targets = append(targets, target{cab: cab, cs: cs, conn: cs.conn})
-		demands = append(demands, budget.Demand{
-			ID:    cab,
-			Want:  want,
-			Floor: float64(s.cfg.FloorW),
-			Cap:   float64(s.cfg.Breaker),
-		})
+	s.grantor.Cycle()
+	if s.gov != nil {
+		agg := s.grantor.Aggregate()
+		s.gov.NoteSense(agg.PowerW, agg.DemandW)
 	}
-	s.mu.Unlock()
-	span.Stage(obs.StageSense, time.Since(t0),
-		fmt.Sprintf("cabinets=%d lost=%d", len(targets), lost))
-
-	// Divide what is left after reserving a floor for each lost cabinet.
-	tDiv := time.Now()
-	total := float64(s.cfg.Budget) - float64(lost)*float64(s.cfg.FloorW)
-	shares := budget.Divide(total, s.cfg.Division, demands)
-	span.Stage(obs.StageSelect, time.Since(tDiv), s.cfg.Division.String())
-
-	// Grants. P_H scales from P_L by the global headroom ratio, so each
-	// cabinet's yellow band is proportionally as wide as the machine's.
-	tAct := time.Now()
-	phRatio := float64(s.cfg.PH) / float64(s.cfg.Budget)
-	granted := 0.0
-	sent := 0
-	for i, tg := range targets {
-		grant := shares[i]
-		if grant <= 0 || tg.conn == nil {
-			// A nil conn is a live cabinet between connections (takeover
-			// in flight): its share stays reserved, the grant frame waits
-			// for the redial.
-			continue
-		}
-		seq := s.seq.Add(1)
-		env := wire.Envelope{
-			Type: wire.KindCabBudget, Node: tg.cab, Seq: seq,
-			BudgetW: grant, PHW: grant * phRatio,
-		}
-		if err := tg.conn.Send(env); err != nil {
-			// The reader side will notice and deregister; next cycle
-			// treats the cabinet as lost unless it redials first.
-			continue
-		}
-		granted += grant
-		sent++
-		s.mu.Lock()
-		tg.cs.grantW, tg.cs.grantPHW, tg.cs.grantSeq = grant, grant*phRatio, seq
-		tg.cs.grantG.Set(grant)
-		s.mu.Unlock()
+	n := s.cycleN.Add(1)
+	band := s.band(time.Now())
+	if e, ok := s.journal.CommitCycle(int(n), float64(band.PL), float64(band.PH), nil); ok {
+		s.journalAppendsC.Inc()
+		s.pub.Publish(e)
 	}
-	s.grantsC.Add(int64(sent))
-	span.Stage(obs.StageActuate, time.Since(tAct), fmt.Sprintf("grants=%d", sent))
-	span.End()
-
-	s.cabinetsG.SetInt(int64(lost + len(targets)))
-	s.liveG.SetInt(int64(len(targets)))
-	s.lostG.SetInt(int64(lost))
-	s.fleetPowerG.Set(fleetP)
-	s.fleetDemG.Set(fleetD)
-	s.fleetAgG.SetInt(int64(agents))
-	s.fleetHlG.SetInt(int64(healthy))
-	s.grantedG.Set(granted)
-	s.cycleUsG.SetInt(time.Since(t0).Microseconds())
+	conns, lag := s.pub.Stats()
+	s.replicaConnsG.SetInt(int64(conns))
+	s.replicaLagG.SetInt(int64(lag))
 }
 
 // StepCycle runs one coordination round synchronously — a test and
@@ -537,41 +683,27 @@ func (s *Server) cycle() {
 // stays out of the way.
 func (s *Server) StepCycle() { s.cycle() }
 
-// CabinetStates returns a point-in-time view of every known cabinet,
-// sorted by cabinet index.
+// CabinetStates returns a point-in-time view of every known child,
+// sorted by child index.
 func (s *Server) CabinetStates() []CabinetStatus {
-	now := time.Now()
-	s.mu.Lock()
-	out := make([]CabinetStatus, 0, len(s.cabs))
-	for cab, cs := range s.cabs {
-		out = append(out, CabinetStatus{
-			Cabinet:    cab,
-			Live:       now.Sub(cs.lastSeen) <= s.cfg.StaleAfter,
-			PowerW:     cs.powerW,
-			DemandW:    cs.demandW,
-			AppliedW:   cs.appliedW,
-			GrantW:     cs.grantW,
-			GrantPHW:   cs.grantPHW,
-			GrantSeq:   cs.grantSeq,
-			AppliedSeq: cs.appliedSeq,
-			Agents:     cs.agents,
-			Healthy:    cs.healthy,
-			Epoch:      cs.epoch,
-		})
-	}
-	s.mu.Unlock()
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].Cabinet < out[j-1].Cabinet; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	children := s.grantor.States()
+	out := make([]CabinetStatus, len(children))
+	for i, c := range children {
+		out[i] = CabinetStatus{
+			Cabinet:    c.Child,
+			Live:       c.Live,
+			Codec:      c.Codec,
+			PowerW:     c.PowerW,
+			DemandW:    c.DemandW,
+			AppliedW:   c.AppliedW,
+			GrantW:     c.GrantW,
+			GrantPHW:   c.GrantPHW,
+			GrantSeq:   c.GrantSeq,
+			AppliedSeq: c.AppliedSeq,
+			Agents:     c.Agents,
+			Healthy:    c.Healthy,
+			Epoch:      c.Epoch,
 		}
 	}
 	return out
-}
-
-// b2f maps a bool onto the 0/1 gauge convention.
-func b2f(b bool) float64 {
-	if b {
-		return 1
-	}
-	return 0
 }

@@ -1,0 +1,97 @@
+package fedd
+
+import (
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Status serving. A powctl (or any probe) sends KindStatus and gets one
+// reply, exactly as against a managerd — but a coordinator marks its
+// reply with Node == CoordinatorNode and attaches one Batch row per
+// known child, so the same CLI can render either daemon without knowing
+// in advance which it dialled.
+
+// CoordinatorNode is the Node value stamped on a coordinator's status
+// reply, distinguishing it from a manager's (whose Node is never
+// negative). Child subscriptions reject negative indices, so the marker
+// can never collide with a real child.
+const CoordinatorNode = -1
+
+// StatusEnvelope assembles the coordinator's status reply: the
+// aggregate StatusReply plus one cab_report-shaped Batch row per child
+// (its Level field carries 0/1 liveness, its Codec the session's
+// negotiated codec).
+func (s *Server) StatusEnvelope() wire.Envelope {
+	children := s.grantor.States()
+	band := s.band(time.Now())
+
+	st := wire.StatusReply{
+		ThresholdPLW: float64(band.PL),
+		ThresholdPHW: float64(band.PH),
+
+		Epoch:              int(s.epoch),
+		Leader:             !s.deposed.Load(),
+		Cabinet:            s.cfg.Row,
+		Governed:           s.Governed(),
+		LastTakeoverMicros: s.lastTakeoverG.Int(),
+	}
+	conns, lag := s.pub.Stats()
+	st.ReplicaConns = conns
+	st.ReplicaLagEntries = int(lag)
+	st.JournalAppends = int(s.journalAppendsC.Value())
+	st.FencedHellos = int(s.fencedHellosC.Value())
+	st.BudgetGrants = int(s.budgetGrantsC.Value())
+	st.BudgetFloors = int(s.budgetFloorsC.Value())
+	st.DecodeErrors = int(s.decodeErrsC.Value())
+
+	if v, ok := s.reg.Value("cycles"); ok {
+		st.Cycles = int(v)
+	}
+	if v, ok := s.reg.Value("fleet_power_w"); ok {
+		st.LastPowerW = v
+	}
+	if v, ok := s.reg.Value("fleet_demand_w"); ok {
+		st.DemandW = v
+	}
+	if v, ok := s.reg.Value("last_cycle_micros"); ok {
+		st.LastCycleMicros = int64(v)
+	}
+
+	env := wire.Envelope{Type: wire.KindStatus, Node: CoordinatorNode, Stats: &st}
+	env.Batch = make([]wire.Envelope, 0, len(children))
+	var binConns, jsonConns int
+	for _, c := range children {
+		st.Agents += c.Agents
+		st.HealthyNodes += c.Healthy
+		if !c.Live {
+			st.LostNodes++
+		}
+		live := 0
+		if c.Live {
+			live = 1
+		}
+		switch c.Codec {
+		case wire.CodecBinary:
+			binConns++
+		case wire.CodecJSON:
+			jsonConns++
+		}
+		env.Batch = append(env.Batch, wire.Envelope{
+			Type: wire.KindCabReport, Node: c.Child,
+			Level:   live,
+			Codec:   c.Codec,
+			PowerW:  c.PowerW,
+			DemandW: c.DemandW,
+			BudgetW: c.GrantW,
+			PHW:     c.GrantPHW,
+			Seq:     c.GrantSeq,
+			Epoch:   c.Epoch,
+			Agents:  c.Agents,
+			Healthy: c.Healthy,
+		})
+	}
+	st.BinaryConns = binConns
+	st.JSONConns = jsonConns
+	return env
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/faultnet"
 	"repro/internal/fedd"
 	"repro/internal/power"
+	"repro/internal/replica"
 	"repro/internal/scenario"
 	"repro/internal/units"
 )
@@ -54,6 +56,10 @@ type FedOptions struct {
 	// CabOpts, when non-nil, mutates each cabinet's Options just before
 	// its cluster boots (fault profiles, lease paths, thresholds...).
 	CabOpts func(cab int, o *Options)
+	// CoordOpts, when non-nil, mutates the coordinator's config just
+	// before it boots (lease path, journal, codec pinning...). The
+	// Listener field is owned by the harness.
+	CoordOpts func(cfg *fedd.Config)
 }
 
 func (o *FedOptions) fill() {
@@ -84,8 +90,10 @@ type Federation struct {
 	CoordNet *faultnet.Network
 	Cabinets []*Cluster
 
-	t  testing.TB
-	mu sync.Mutex
+	t        testing.TB
+	coordCfg fedd.Config // as booted, minus the listener
+	standbys []*CoordStandbyHandle
+	mu       sync.Mutex
 	// recs[c] is cabinet c's Algorithm-1 cycle trace, collected through
 	// managerd's RecordCycle seam for scenario.CheckAlgorithmOne.
 	recs [][]scenario.CycleRecord
@@ -99,8 +107,7 @@ func StartFederation(t testing.TB, opt FedOptions) *Federation {
 	opt.fill()
 
 	coordNet := faultnet.New(opt.Seed + 7777)
-	coord, err := fedd.New(fedd.Config{
-		Listener:     coordNet.Listener(),
+	coordCfg := fedd.Config{
 		Budget:       opt.Budget,
 		PH:           opt.PH,
 		Division:     opt.Division,
@@ -108,7 +115,13 @@ func StartFederation(t testing.TB, opt FedOptions) *Federation {
 		StaleAfter:   opt.StaleAfter,
 		Breaker:      opt.Breaker,
 		FloorW:       opt.FloorW,
-	})
+	}
+	if opt.CoordOpts != nil {
+		opt.CoordOpts(&coordCfg)
+	}
+	bootCfg := coordCfg
+	bootCfg.Listener = coordNet.Listener()
+	coord, err := fedd.New(bootCfg)
 	if err != nil {
 		coordNet.Close()
 		t.Fatalf("harness: fedd.New: %v", err)
@@ -119,11 +132,15 @@ func StartFederation(t testing.TB, opt FedOptions) *Federation {
 	}
 	f := &Federation{
 		Opt: opt, Coord: coord, CoordNet: coordNet,
-		t:    t,
-		recs: make([][]scenario.CycleRecord, opt.Cabinets),
+		t:        t,
+		coordCfg: coordCfg,
+		recs:     make([][]scenario.CycleRecord, opt.Cabinets),
 	}
 	t.Cleanup(func() {
-		coord.Stop()
+		for _, h := range f.standbys {
+			h.stop()
+		}
+		f.Coord.Stop()
 		coordNet.Close()
 	})
 
@@ -203,4 +220,153 @@ func (f *Federation) PartitionCabinet(cab int) {
 // redial re-subscribes it.
 func (f *Federation) HealCabinet(cab int) {
 	f.CoordNet.Heal(uint64(cab))
+}
+
+// StopCoordinator kills the coordinator process outright (its listener
+// closes; cabinet sessions die). Cabinets keep their own agent planes
+// running and, past BudgetGrace, floor themselves to the failsafe band.
+func (f *Federation) StopCoordinator() {
+	f.Coord.Stop()
+}
+
+// RestartCoordinator boots a fresh coordinator over the same
+// configuration and fault network — the cold-restart case. Cabinet
+// federation clients redial under their capped backoff and resubscribe;
+// the next coordinator cycle re-grants. Rebinds f.Coord.
+func (f *Federation) RestartCoordinator() *fedd.Server {
+	f.t.Helper()
+	cfg := f.coordCfg
+	cfg.Listener = f.CoordNet.Listener()
+	coord, err := fedd.New(cfg)
+	if err != nil {
+		f.t.Fatalf("harness: restarted fedd.New: %v", err)
+	}
+	if err := coord.Start(); err != nil {
+		f.t.Fatalf("harness: restarted fedd.Start: %v", err)
+	}
+	f.Coord = coord
+	return coord
+}
+
+// CoordStandbyHandle tracks one warm coordinator standby.
+type CoordStandbyHandle struct {
+	// Standby exposes the replica.Standby (its Obs registry carries the
+	// follower and takeover instruments; Store is the journal copy).
+	Standby *replica.Standby
+
+	fed    *Federation
+	cancel context.CancelFunc
+	done   chan struct{}
+	srvCh  chan *fedd.Server
+	errCh  chan error
+	srv    *fedd.Server // promoted coordinator, once collected
+}
+
+// StartCoordStandby boots a warm coordinator standby: a journal
+// follower over the coordinator fault network plus a lease watcher
+// that, on leader death, starts a replacement coordinator over the
+// replicated grant journal at a fenced-off higher epoch. Requires the
+// coordinator to have been started with a Lease (via CoordOpts).
+// missBudget ≤ 0 takes the replica default. The federation owns the
+// standby; cleanup tears it down.
+func (f *Federation) StartCoordStandby(missBudget int) *CoordStandbyHandle {
+	t := f.t
+	t.Helper()
+	if f.coordCfg.Lease == nil {
+		t.Fatal("harness: StartCoordStandby needs a coordinator Lease (set via CoordOpts)")
+	}
+	store, err := replica.Open("")
+	if err != nil {
+		t.Fatalf("harness: coord standby store: %v", err)
+	}
+	idx := len(f.standbys)
+	key := standbyKeyBase + uint64(idx)
+	ctx, cancel := context.WithCancel(context.Background())
+	h := &CoordStandbyHandle{
+		fed:    f,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		srvCh:  make(chan *fedd.Server, 1),
+		errCh:  make(chan error, 1),
+	}
+	holder := fmt.Sprintf("coord-standby-%d", idx+1)
+	sb, err := replica.NewStandby(replica.StandbyConfig{
+		Follower: replica.FollowerConfig{
+			Store:   store,
+			Backoff: 10 * time.Millisecond,
+			Dial: func(dctx context.Context) (net.Conn, error) {
+				return f.CoordNet.Dial(dctx, key)
+			},
+		},
+		Lease:      f.coordCfg.Lease,
+		MissBudget: missBudget,
+		Holder:     holder,
+		OnPromote: func(p replica.Promotion) error {
+			cfg := f.coordCfg
+			cfg.Listener = f.CoordNet.Listener()
+			cfg.JournalPath = "" // the replicated store IS the journal
+			cfg.Journal = p.Store
+			cfg.Epoch = p.Epoch
+			cfg.LeaseHolder = holder
+			cfg.TakeoverMicros = p.Leaderless.Microseconds()
+			srv, err := fedd.New(cfg)
+			if err != nil {
+				return fmt.Errorf("harness: promoted fedd.New: %w", err)
+			}
+			if err := srv.Start(); err != nil {
+				return fmt.Errorf("harness: promoted fedd.Start: %w", err)
+			}
+			h.srvCh <- srv
+			return nil
+		},
+	})
+	if err != nil {
+		cancel()
+		t.Fatalf("harness: coord NewStandby: %v", err)
+	}
+	h.Standby = sb
+	go func() {
+		defer close(h.done)
+		if err := sb.Run(ctx); err != nil {
+			h.errCh <- err
+		}
+	}()
+	f.standbys = append(f.standbys, h)
+	return h
+}
+
+// AwaitCoordTakeover blocks until h has promoted a replacement
+// coordinator (or fails the test after timeout), rebinds f.Coord to it,
+// and returns it. The old coordinator is left to the test
+// (StopCoordinator usually killed it already).
+func (f *Federation) AwaitCoordTakeover(h *CoordStandbyHandle, timeout time.Duration) *fedd.Server {
+	t := f.t
+	t.Helper()
+	select {
+	case srv := <-h.srvCh:
+		h.srv = srv
+		f.Coord = srv
+		return srv
+	case err := <-h.errCh:
+		t.Fatalf("harness: coord standby promotion failed: %v", err)
+	case <-time.After(timeout):
+		t.Fatalf("harness: no coordinator takeover within %v", timeout)
+	}
+	return nil
+}
+
+// stop tears the standby down: cancel its watcher, wait it out, and
+// stop a promoted coordinator unless AwaitCoordTakeover already handed
+// it to the federation (the federation cleanup stops f.Coord itself).
+func (h *CoordStandbyHandle) stop() {
+	h.cancel()
+	<-h.done
+	select {
+	case srv := <-h.srvCh:
+		h.srv = srv
+	default:
+	}
+	if h.srv != nil && h.srv != h.fed.Coord {
+		h.srv.Stop()
+	}
 }

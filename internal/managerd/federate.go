@@ -1,51 +1,73 @@
 package managerd
 
 import (
-	"errors"
-	"net"
-	"sync"
 	"time"
 
 	"repro/internal/power"
-	"repro/internal/units"
-	"repro/internal/wire"
+	"repro/internal/tier"
 )
 
 // fedClient is the cabinet side of the capping federation: a governed
-// managerd dials the coordinator, subscribes with a cab_report frame
-// (which also advertises its codecs, like a journal follower's
-// subscribe), then streams one report per ReportEvery and applies the
-// power band from each cab_budget grant to its own Algorithm 1 loop.
+// managerd dials the coordinator, subscribes with a cab_report frame,
+// streams one report per ReportEvery and applies the power band from
+// each cab_budget grant to its own Algorithm 1 loop.
 //
-// Grants double as coordinator heartbeats. The control loop consults
-// thresholds() each cycle: while grants are fresh the granted band is in
-// force; after BudgetGrace control periods of silence the cabinet floors
-// itself to FailsafeBudget — the same dead-man posture as agentd's
-// failsafe, one tier up. Reconnects resubscribe under capped backoff and
-// the next grant lifts the floor.
+// The session machinery — subscribe, grant adoption, dead-man floor
+// after BudgetGrace control periods of silence, capped redial backoff —
+// lives in tier.Governor, the reusable child half of the federation
+// seam (the same code governs a row coordinator under a facility). This
+// file is only the binding of that seam onto this server: its config,
+// its instruments, and its per-cycle aggregate snapshot.
 type fedClient struct {
 	s *Server
-
-	mu        sync.Mutex
-	conn      *wire.Conn // current coordinator connection, nil between dials
-	thr       power.Thresholds
-	haveGrant bool
-	grantSeq  uint64
-	lastGrant time.Time
-	floored   bool
-	lastP     float64 // last cycle's sensed aggregate power
-	lastD     float64 // last cycle's uncapped demand estimate
-	started   time.Time
+	g *tier.Governor
 }
 
-func newFedClient(s *Server) *fedClient { return &fedClient{s: s} }
+func newFedClient(s *Server) *fedClient {
+	f := &fedClient{s: s}
+	f.g = tier.NewGovernor(tier.GovernorConfig{
+		Parent:      s.cfg.CoordinatorAddr,
+		Dial:        s.cfg.CoordinatorDial,
+		Child:       s.cfg.Cabinet,
+		ReportEvery: s.cfg.ReportEvery,
+		Grace:       time.Duration(s.cfg.BudgetGrace) * s.cfg.ControlEvery,
+		Failsafe:    s.cfg.FailsafeBudget,
+		Initial:     s.cfg.Thresholds,
+		WireCodec:   s.cfg.WireCodec,
+		Snapshot: func() tier.Snapshot {
+			s.refreshGauges()
+			s.stateMu.Lock()
+			thr := s.thr
+			s.stateMu.Unlock()
+			return tier.Snapshot{
+				AppliedPLW: float64(thr.PL),
+				AppliedPHW: float64(thr.PH),
+				Agents:     int(s.agentsG.Value()),
+				Healthy:    int(s.healthyG.Value()),
+				Epoch:      s.epoch,
+			}
+		},
+		OnGrant: func() {
+			s.budgetGrantsC.Inc()
+			s.governedG.Set(1)
+		},
+		OnFloor: func() {
+			s.budgetFloorsC.Inc()
+			s.governedG.Set(0)
+		},
+		OnDecodeError: func() { s.decodeErrs.Inc() },
+	})
+	return f
+}
 
 // start stamps the beginning of the grace window, so a daemon that never
 // reaches its coordinator still floors itself BudgetGrace periods in.
-func (f *fedClient) start() {
-	f.mu.Lock()
-	f.started = time.Now()
-	f.mu.Unlock()
+func (f *fedClient) start() { f.g.Start() }
+
+// run is the federation loop; runs until Stop.
+func (f *fedClient) run() {
+	defer f.s.wg.Done()
+	f.g.Run(f.s.stopCh)
 }
 
 // thresholds returns the band the control cycle must enforce now: the
@@ -53,201 +75,12 @@ func (f *fedClient) start() {
 // has been silent past the grace window, and the static configured band
 // before the first grant of a young connection.
 func (f *fedClient) thresholds(now time.Time) power.Thresholds {
-	grace := time.Duration(f.s.cfg.BudgetGrace) * f.s.cfg.ControlEvery
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	last := f.lastGrant
-	if last.IsZero() {
-		last = f.started
-	}
-	if now.Sub(last) > grace {
-		if !f.floored {
-			f.floored = true
-			f.s.budgetFloorsC.Inc()
-			f.s.governedG.Set(0)
-		}
-		return f.s.cfg.FailsafeBudget
-	}
-	if f.haveGrant {
-		return f.thr
-	}
-	return f.s.cfg.Thresholds
+	return f.g.Thresholds(now)
 }
 
 // noteSense records the cycle's sensed power and demand for the next
 // report.
-func (f *fedClient) noteSense(p, demand float64) {
-	f.mu.Lock()
-	f.lastP, f.lastD = p, demand
-	f.mu.Unlock()
-}
+func (f *fedClient) noteSense(p, demand float64) { f.g.NoteSense(p, demand) }
 
-// closeConn drops the current coordinator connection (Stop, and the
-// redial path after an error).
-func (f *fedClient) closeConn() {
-	f.mu.Lock()
-	c := f.conn
-	f.conn = nil
-	f.mu.Unlock()
-	if c != nil {
-		c.Close()
-	}
-}
-
-// dial opens one coordinator connection.
-func (f *fedClient) dial() (net.Conn, error) {
-	if f.s.cfg.CoordinatorDial != nil {
-		return f.s.cfg.CoordinatorDial()
-	}
-	return net.DialTimeout("tcp", f.s.cfg.CoordinatorAddr, 5*time.Second)
-}
-
-// run is the federation loop: dial, subscribe, report until the
-// connection dies, redial under capped backoff. Runs until Stop.
-func (f *fedClient) run() {
-	defer f.s.wg.Done()
-	const (
-		backoffMin = 10 * time.Millisecond
-		backoffMax = 2 * time.Second
-	)
-	backoff := backoffMin
-	for {
-		select {
-		case <-f.s.stopCh:
-			return
-		default:
-		}
-		raw, err := f.dial()
-		if err == nil {
-			conn := wire.NewConn(raw)
-			f.mu.Lock()
-			f.conn = conn
-			f.mu.Unlock()
-			err = f.session(conn)
-			f.closeConn()
-			if err == nil {
-				backoff = backoffMin
-			}
-		}
-		select {
-		case <-f.s.stopCh:
-			return
-		case <-time.After(backoff):
-		}
-		if backoff *= 2; backoff > backoffMax {
-			backoff = backoffMax
-		}
-	}
-}
-
-// session runs one subscribed connection: send the subscribe report,
-// spawn a reader for hellos and grants, and keep reporting every
-// ReportEvery until either side fails. Returns nil if at least one grant
-// arrived (a healthy session resets the redial backoff).
-func (f *fedClient) session(conn *wire.Conn) error {
-	sub := f.reportEnvelope()
-	if f.s.cfg.WireCodec != wire.CodecJSON {
-		sub.Codecs = []string{wire.CodecBinary, wire.CodecJSON}
-	}
-	if err := conn.Send(sub); err != nil {
-		return err
-	}
-
-	sawGrant := false
-	readerDone := make(chan error, 1)
-	go func() {
-		var env wire.Envelope
-		for {
-			if err := conn.RecvInto(&env); err != nil {
-				var de *wire.DecodeError
-				if errors.As(err, &de) && de.Recoverable() {
-					f.s.decodeErrs.Inc()
-					continue
-				}
-				readerDone <- err
-				return
-			}
-			switch env.Type {
-			case wire.KindHello:
-				// The coordinator's subscribe reply; switching our writes
-				// to the chosen codec mirrors agentd's negotiation.
-				if env.Codec == wire.CodecBinary {
-					conn.EnableBinary()
-				}
-			case wire.KindCabBudget:
-				if f.applyGrant(&env) {
-					sawGrant = true
-				}
-			}
-		}
-	}()
-
-	tick := time.NewTicker(f.s.cfg.ReportEvery)
-	defer tick.Stop()
-	for {
-		select {
-		case <-f.s.stopCh:
-			return nil
-		case err := <-readerDone:
-			if sawGrant {
-				return nil
-			}
-			return err
-		case <-tick.C:
-			if err := conn.Send(f.reportEnvelope()); err != nil {
-				// The reader will fail too; drain it so the goroutine exits
-				// before we redial.
-				conn.Close()
-				<-readerDone
-				if sawGrant {
-					return nil
-				}
-				return err
-			}
-		}
-	}
-}
-
-// reportEnvelope snapshots the cabinet's aggregate state into one
-// cab_report frame: sensed power, uncapped demand, the band currently in
-// force, fleet tallies, and the sequence number of the newest grant (so
-// the coordinator sees which grant the cabinet runs under).
-func (f *fedClient) reportEnvelope() wire.Envelope {
-	s := f.s
-	s.refreshGauges()
-	s.stateMu.Lock()
-	thr := s.thr
-	s.stateMu.Unlock()
-	f.mu.Lock()
-	seq := f.grantSeq
-	p, d := f.lastP, f.lastD
-	f.mu.Unlock()
-	return wire.Envelope{
-		Type: wire.KindCabReport, Node: s.cfg.Cabinet, Seq: seq, Epoch: s.epoch,
-		PowerW: p, DemandW: d,
-		BudgetW: float64(thr.PL), PHW: float64(thr.PH),
-		Agents:  int(s.agentsG.Value()),
-		Healthy: int(s.healthyG.Value()),
-	}
-}
-
-// applyGrant installs a cab_budget band as the governed thresholds.
-// Invalid bands (PL ≤ 0 or PH < PL — a coordinator bug or a torn frame)
-// are ignored; the dead-man floor covers a coordinator that sends only
-// garbage.
-func (f *fedClient) applyGrant(env *wire.Envelope) bool {
-	thr := power.Thresholds{PL: units.Watts(env.BudgetW), PH: units.Watts(env.PHW)}
-	if err := thr.Validate(); err != nil {
-		return false
-	}
-	f.mu.Lock()
-	f.thr = thr
-	f.grantSeq = env.Seq
-	f.lastGrant = time.Now()
-	f.haveGrant = true
-	f.floored = false
-	f.mu.Unlock()
-	f.s.budgetGrantsC.Inc()
-	f.s.governedG.Set(1)
-	return true
-}
+// closeConn drops the current coordinator connection (Stop path).
+func (f *fedClient) closeConn() { f.g.CloseConn() }

@@ -344,13 +344,12 @@ type Server struct {
 
 	// High-availability state (replicate.go). journal doubles as the
 	// crash-recovery store and the replication source; epoch is fixed at
-	// New. subs is guarded by repMu (a leaf lock, like the journal's own).
+	// New. pub owns the follower subscriptions (replica.Publisher).
 	journal   *replica.Store
 	epoch     uint64
 	deposed   atomic.Bool
 	replicaLn net.Listener
-	repMu     sync.Mutex
-	subs      map[*replicaSub]struct{}
+	pub       *replica.Publisher
 
 	journalAppends *obs.Counter
 	fencedHellos   *obs.Counter
@@ -463,7 +462,6 @@ func New(cfg Config) (*Server, error) {
 		stopCh:  make(chan struct{}),
 		reg:     reg,
 		trace:   trace,
-		subs:    make(map[*replicaSub]struct{}),
 
 		samplesRecv:   reg.Counter("samples_received"),
 		stale:         reg.Counter("dropped_stale"),
@@ -540,6 +538,7 @@ func New(cfg Config) (*Server, error) {
 	// The journal is advisory: any open or validation error (missing file
 	// included) just means a cold start on a memory-only store.
 	srv.journal = openJournal(srv.cfg)
+	srv.pub = replica.NewPublisher(srv.journal, cfg.CommandTimeout)
 	if !srv.journal.Empty() {
 		srv.restoreFromJournal(srv.journal.State())
 	}
@@ -678,7 +677,7 @@ func (s *Server) Stop() {
 		if s.replicaLn != nil {
 			s.replicaLn.Close()
 		}
-		s.closeSubs()
+		s.pub.Close()
 		for _, sh := range s.nodes.shards {
 			sh.mu.Lock()
 			acs := make([]*agentConn, 0, len(sh.agents))
@@ -1383,26 +1382,39 @@ func b2f(b bool) float64 {
 
 // QueryStatus connects to a manager daemon and fetches its status.
 func QueryStatus(addr string, timeout time.Duration) (wire.StatusReply, error) {
-	raw, err := net.DialTimeout("tcp", addr, timeout)
+	env, err := QueryStatusEnvelope(addr, timeout)
 	if err != nil {
 		return wire.StatusReply{}, err
+	}
+	return *env.Stats, nil
+}
+
+// QueryStatusEnvelope fetches the full status envelope from a manager or
+// coordinator daemon — both answer the same KindStatus probe. The
+// envelope's Node distinguishes them (a coordinator stamps
+// fedd.CoordinatorNode and attaches one Batch row per child), so a CLI
+// can render whichever daemon it happened to dial.
+func QueryStatusEnvelope(addr string, timeout time.Duration) (wire.Envelope, error) {
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return wire.Envelope{}, err
 	}
 	conn := wire.NewConn(raw)
 	defer conn.Close()
 	if err := raw.SetDeadline(time.Now().Add(timeout)); err != nil {
-		return wire.StatusReply{}, err
+		return wire.Envelope{}, err
 	}
 	if err := conn.Send(wire.Envelope{Type: wire.KindStatus}); err != nil {
-		return wire.StatusReply{}, err
+		return wire.Envelope{}, err
 	}
 	env, err := conn.Recv()
 	if err != nil {
-		return wire.StatusReply{}, err
+		return wire.Envelope{}, err
 	}
 	if env.Type != wire.KindStatus || env.Stats == nil {
-		return wire.StatusReply{}, fmt.Errorf("managerd: unexpected reply %q", env.Type)
+		return wire.Envelope{}, fmt.Errorf("managerd: unexpected reply %q", env.Type)
 	}
-	return *env.Stats, nil
+	return env, nil
 }
 
 // QueryCodec connects to a manager daemon, advertises the full codec set

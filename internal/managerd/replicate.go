@@ -1,8 +1,6 @@
 package managerd
 
 import (
-	"encoding/json"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/replica"
@@ -14,12 +12,10 @@ import (
 //
 // A standby's follower connects like any client and sends KindJournalAck
 // carrying the sequence number its copy has reached; serveConn routes it
-// here. The subscriber is caught up synchronously under repMu (ring
-// entries when the history is still held, a full-snapshot reset entry
-// otherwise) and then receives every entry the control loop commits,
-// each acked back so refreshGauges can report replication lag. A
-// follower that stalls past its buffer is dropped — it redials and
-// resumes from its own sequence number.
+// here. Streaming itself — synchronous catch-up, gap-free publication,
+// ack-driven lag accounting, drop-on-stall — lives in replica.Publisher,
+// shared with the federation coordinator's HA; this file keeps only what
+// is managerd-specific: epoch fencing, codec negotiation, and leadership.
 //
 // Leadership: while cfg.Lease is set the server rewrites the lease file
 // every lease period. Discovering a higher epoch in the lease — a
@@ -28,18 +24,6 @@ import (
 // every agent connection so the fleet redials to the new leader. The
 // same self-fencing triggers when any peer (agent hello or follower
 // subscribe) reports a higher epoch than ours.
-
-// replicaSubBuf sizes each subscriber's outbound buffer. It must cover a
-// full catch-up burst (the ring) plus headroom for live entries
-// committed while the writer drains it.
-const replicaSubBuf = 1024
-
-type replicaSub struct {
-	conn   *wire.Conn
-	ch     chan wire.Envelope
-	closed chan struct{}
-	acked  atomic.Uint64
-}
 
 // serveReplica owns one follower connection. Caller holds the serveConn
 // wg slot; first is the subscribe frame.
@@ -57,135 +41,18 @@ func (s *Server) serveReplica(conn *wire.Conn, first wire.Envelope) {
 	if s.binaryWanted(&first) {
 		conn.EnableBinary()
 	}
-	sub := &replicaSub{conn: conn, ch: make(chan wire.Envelope, replicaSubBuf), closed: make(chan struct{})}
-	sub.acked.Store(first.Seq)
-
-	// Catch-up and registration are one critical section: entries
-	// committed while we enqueue the backlog are published to sub's
-	// channel behind it, so the follower sees a gap-free stream.
-	s.repMu.Lock()
-	entries, ok := s.journal.EntriesSince(first.Seq)
-	if !ok {
-		entries = []replica.Entry{s.journal.ResetEntry()}
-	}
-	for _, e := range entries {
-		env, err := appendEnvelope(e)
-		if err != nil {
-			s.repMu.Unlock()
-			conn.Close()
-			return
-		}
-		sub.ch <- env
-	}
-	s.subs[sub] = struct{}{}
-	s.repMu.Unlock()
-
-	s.wg.Add(1)
-	go s.runReplicaWriter(sub)
-
-	for {
-		env, err := conn.Recv()
-		if err != nil {
-			break
-		}
-		if env.Type == wire.KindJournalAck {
-			sub.acked.Store(env.Seq)
-		}
-	}
-	s.dropSub(sub)
-}
-
-// runReplicaWriter drains one subscriber's channel onto its connection,
-// under the command write deadline so a wedged follower cannot hold the
-// buffer forever.
-func (s *Server) runReplicaWriter(sub *replicaSub) {
-	defer s.wg.Done()
-	for {
-		select {
-		case <-sub.closed:
-			return
-		case <-s.stopCh:
-			return
-		case env := <-sub.ch:
-			_ = sub.conn.SetWriteDeadline(time.Now().Add(s.cfg.CommandTimeout))
-			if err := sub.conn.Send(env); err != nil {
-				s.dropSub(sub)
-				return
-			}
-		}
-	}
+	s.pub.Serve(conn, first.Seq)
 }
 
 // publishEntry fans one committed journal entry out to every subscriber.
-// A subscriber whose buffer is full is dropped rather than waited on —
-// it will redial and resume.
 func (s *Server) publishEntry(e replica.Entry) {
-	env, err := appendEnvelope(e)
-	if err != nil {
-		return
-	}
-	s.repMu.Lock()
-	var full []*replicaSub
-	for sub := range s.subs {
-		select {
-		case sub.ch <- env:
-		default:
-			full = append(full, sub)
-		}
-	}
-	s.repMu.Unlock()
-	for _, sub := range full {
-		s.dropSub(sub)
-	}
-}
-
-// dropSub unregisters a subscriber and closes its connection; idempotent
-// across the reader, writer and publisher paths.
-func (s *Server) dropSub(sub *replicaSub) {
-	s.repMu.Lock()
-	_, present := s.subs[sub]
-	delete(s.subs, sub)
-	s.repMu.Unlock()
-	if present {
-		close(sub.closed)
-	}
-	sub.conn.Close()
-}
-
-// closeSubs drops every subscriber (Stop path).
-func (s *Server) closeSubs() {
-	s.repMu.Lock()
-	subs := make([]*replicaSub, 0, len(s.subs))
-	for sub := range s.subs {
-		subs = append(subs, sub)
-	}
-	s.repMu.Unlock()
-	for _, sub := range subs {
-		s.dropSub(sub)
-	}
-}
-
-func appendEnvelope(e replica.Entry) (wire.Envelope, error) {
-	raw, err := json.Marshal(e)
-	if err != nil {
-		return wire.Envelope{}, err
-	}
-	return wire.Envelope{Type: wire.KindJournalAppend, Seq: e.Seq, Epoch: e.Epoch, Entry: raw}, nil
+	s.pub.Publish(e)
 }
 
 // refreshReplicaGauges recomputes connected-follower count and worst
 // replication lag (in journal entries) for Status and /metrics.
 func (s *Server) refreshReplicaGauges() {
-	head := s.journal.Seq()
-	s.repMu.Lock()
-	conns := len(s.subs)
-	var lag uint64
-	for sub := range s.subs {
-		if a := sub.acked.Load(); head > a && head-a > lag {
-			lag = head - a
-		}
-	}
-	s.repMu.Unlock()
+	conns, lag := s.pub.Stats()
 	s.replicaConnsG.SetInt(int64(conns))
 	s.replicaLagG.SetInt(int64(lag))
 }
@@ -233,7 +100,7 @@ func (s *Server) depose() {
 	if s.replicaLn != nil {
 		s.replicaLn.Close()
 	}
-	s.closeSubs()
+	s.pub.CloseSubs()
 	for _, sh := range s.nodes.shards {
 		sh.mu.Lock()
 		acs := make([]*agentConn, 0, len(sh.agents))

@@ -1,0 +1,290 @@
+package tier
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/power"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// GovernorConfig parametrises the child half of the seam.
+type GovernorConfig struct {
+	// Parent is the parent grantor's TCP address; ignored when Dial is
+	// set.
+	Parent string
+	// Dial, when non-nil, opens the parent connection (tests hand a
+	// fault-injecting in-memory dialer here).
+	Dial func() (net.Conn, error)
+	// Child is this governor's index under its parent — the Node field
+	// of every upward cab_report.
+	Child int
+	// ReportEvery is the upward reporting period.
+	ReportEvery time.Duration
+	// Grace is the dead-man window: after this much silence from the
+	// parent (no grant since the newest of Start and the last grant) the
+	// governor floors itself to Failsafe.
+	Grace time.Duration
+	// Failsafe is the band enforced while floored.
+	Failsafe power.Thresholds
+	// Initial is the band enforced before the first grant of a young
+	// connection (inside the grace window).
+	Initial power.Thresholds
+	// WireCodec mirrors managerd's: "binary" (and "") advertises the
+	// binary codec on the subscribe frame; "json" pins JSON.
+	WireCodec string
+	// Snapshot supplies the aggregate state for each upward report; it
+	// may have side effects (managerd refreshes its gauges here). Must be
+	// non-nil.
+	Snapshot func() Snapshot
+	// OnGrant fires after each adopted grant (counter + gauge hooks).
+	OnGrant func()
+	// OnFloor fires once per floor transition, when the grace window
+	// first expires.
+	OnFloor func()
+	// OnDecodeError fires per recoverable decode error on the parent
+	// stream.
+	OnDecodeError func()
+}
+
+// Governor is the child half: dial parent, report up, adopt grants,
+// floor on silence. One Governor serves one parent edge; Run owns the
+// session/redial loop and Thresholds answers the control loop's
+// per-cycle question "which band do I enforce right now?".
+type Governor struct {
+	cfg GovernorConfig
+
+	mu        sync.Mutex
+	conn      *wire.Conn // current parent connection, nil between dials
+	thr       power.Thresholds
+	haveGrant bool
+	grantSeq  uint64
+	lastGrant time.Time
+	floored   bool
+	lastP     float64 // last cycle's sensed aggregate power
+	lastD     float64 // last cycle's uncapped demand estimate
+	started   time.Time
+}
+
+// NewGovernor builds an unstarted governor.
+func NewGovernor(cfg GovernorConfig) *Governor { return &Governor{cfg: cfg} }
+
+// Start stamps the beginning of the grace window, so a child that never
+// reaches its parent still floors itself Grace in.
+func (g *Governor) Start() {
+	g.mu.Lock()
+	g.started = time.Now()
+	g.mu.Unlock()
+}
+
+// Thresholds returns the band the child's control cycle must enforce
+// now: the freshest grant while the parent is alive, Failsafe once it
+// has been silent past the grace window, and Initial before the first
+// grant of a young connection.
+func (g *Governor) Thresholds(now time.Time) power.Thresholds {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	last := g.lastGrant
+	if last.IsZero() {
+		last = g.started
+	}
+	if now.Sub(last) > g.cfg.Grace {
+		if !g.floored {
+			g.floored = true
+			if g.cfg.OnFloor != nil {
+				g.cfg.OnFloor()
+			}
+		}
+		return g.cfg.Failsafe
+	}
+	if g.haveGrant {
+		return g.thr
+	}
+	return g.cfg.Initial
+}
+
+// Governed reports whether the newest grant is in force (true between
+// the first grant and a floor transition).
+func (g *Governor) Governed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.haveGrant && !g.floored
+}
+
+// NoteSense records the cycle's sensed power and demand for the next
+// upward report.
+func (g *Governor) NoteSense(p, demand float64) {
+	g.mu.Lock()
+	g.lastP, g.lastD = p, demand
+	g.mu.Unlock()
+}
+
+// CloseConn drops the current parent connection (Stop, and the redial
+// path after an error).
+func (g *Governor) CloseConn() {
+	g.mu.Lock()
+	c := g.conn
+	g.conn = nil
+	g.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// dial opens one parent connection.
+func (g *Governor) dial() (net.Conn, error) {
+	if g.cfg.Dial != nil {
+		return g.cfg.Dial()
+	}
+	return net.DialTimeout("tcp", g.cfg.Parent, 5*time.Second)
+}
+
+// Run is the federation loop: dial, subscribe, report until the
+// connection dies, redial under capped backoff. Runs until stop closes.
+func (g *Governor) Run(stop <-chan struct{}) {
+	const (
+		backoffMin = 10 * time.Millisecond
+		backoffMax = 2 * time.Second
+	)
+	backoff := backoffMin
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		raw, err := g.dial()
+		if err == nil {
+			conn := wire.NewConn(raw)
+			g.mu.Lock()
+			g.conn = conn
+			g.mu.Unlock()
+			err = g.session(conn, stop)
+			g.CloseConn()
+			if err == nil {
+				backoff = backoffMin
+			}
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > backoffMax {
+			backoff = backoffMax
+		}
+	}
+}
+
+// session runs one subscribed connection: send the subscribe report,
+// spawn a reader for hellos and grants, and keep reporting every
+// ReportEvery until either side fails. Returns nil if at least one grant
+// arrived (a healthy session resets the redial backoff).
+func (g *Governor) session(conn *wire.Conn, stop <-chan struct{}) error {
+	sub := g.reportEnvelope()
+	if g.cfg.WireCodec != wire.CodecJSON {
+		sub.Codecs = []string{wire.CodecBinary, wire.CodecJSON}
+	}
+	if err := conn.Send(sub); err != nil {
+		return err
+	}
+
+	sawGrant := false
+	readerDone := make(chan error, 1)
+	go func() {
+		var env wire.Envelope
+		for {
+			if err := conn.RecvInto(&env); err != nil {
+				var de *wire.DecodeError
+				if errors.As(err, &de) && de.Recoverable() {
+					if g.cfg.OnDecodeError != nil {
+						g.cfg.OnDecodeError()
+					}
+					continue
+				}
+				readerDone <- err
+				return
+			}
+			switch env.Type {
+			case wire.KindHello:
+				// The parent's subscribe reply; switching our writes to the
+				// chosen codec mirrors agentd's negotiation.
+				if env.Codec == wire.CodecBinary {
+					conn.EnableBinary()
+				}
+			case wire.KindCabBudget:
+				if g.applyGrant(&env) {
+					sawGrant = true
+				}
+			}
+		}
+	}()
+
+	tick := time.NewTicker(g.cfg.ReportEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return nil
+		case err := <-readerDone:
+			if sawGrant {
+				return nil
+			}
+			return err
+		case <-tick.C:
+			if err := conn.Send(g.reportEnvelope()); err != nil {
+				// The reader will fail too; drain it so the goroutine exits
+				// before we redial.
+				conn.Close()
+				<-readerDone
+				if sawGrant {
+					return nil
+				}
+				return err
+			}
+		}
+	}
+}
+
+// reportEnvelope snapshots the child's aggregate state into one
+// cab_report frame: sensed power, uncapped demand, the band currently in
+// force, fleet tallies, and the sequence number of the newest grant (so
+// the parent sees which grant the child runs under).
+func (g *Governor) reportEnvelope() wire.Envelope {
+	snap := g.cfg.Snapshot()
+	g.mu.Lock()
+	seq := g.grantSeq
+	p, d := g.lastP, g.lastD
+	g.mu.Unlock()
+	return wire.Envelope{
+		Type: wire.KindCabReport, Node: g.cfg.Child, Seq: seq, Epoch: snap.Epoch,
+		PowerW: p, DemandW: d,
+		BudgetW: snap.AppliedPLW, PHW: snap.AppliedPHW,
+		Agents:  snap.Agents,
+		Healthy: snap.Healthy,
+	}
+}
+
+// applyGrant installs a cab_budget band as the governed thresholds.
+// Invalid bands (PL ≤ 0 or PH < PL — a parent bug or a torn frame) are
+// ignored; the dead-man floor covers a parent that sends only garbage.
+func (g *Governor) applyGrant(env *wire.Envelope) bool {
+	thr := power.Thresholds{PL: units.Watts(env.BudgetW), PH: units.Watts(env.PHW)}
+	if err := thr.Validate(); err != nil {
+		return false
+	}
+	g.mu.Lock()
+	g.thr = thr
+	g.grantSeq = env.Seq
+	g.lastGrant = time.Now()
+	g.haveGrant = true
+	g.floored = false
+	g.mu.Unlock()
+	if g.cfg.OnGrant != nil {
+		g.cfg.OnGrant()
+	}
+	return true
+}
